@@ -1,0 +1,24 @@
+"""E-A3/E-A4 benchmarks: external-memory banking and the gxyz split."""
+
+from __future__ import annotations
+
+from repro.experiments import build_gxyz_split, build_memory_layout
+
+
+def test_bench_memory_layout(benchmark, print_once):
+    """Banked allocation must beat interleaving by the calibrated ~1.8x
+    for every degree (paper §III-D: 60 -> 109 GFLOP/s at N=7)."""
+    result = benchmark(build_memory_layout)
+    print_once("memory_layout", result.render())
+    for row in result.rows:
+        speedup = float(row[3])
+        assert 1.5 < speedup < 2.2, row
+
+
+def test_bench_gxyz_split(benchmark, print_once):
+    """Un-split gxyz must arbitrate and lose substantially (§III-B)."""
+    result = benchmark(build_gxyz_split)
+    print_once("gxyz", result.render())
+    split = float(result.rows[0][1])
+    fused = float(result.rows[1][1])
+    assert split > 2.0 * fused

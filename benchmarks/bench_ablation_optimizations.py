@@ -1,0 +1,22 @@
+"""E-A1 benchmark: the §III optimization journey (0.025 -> 10 -> 60 -> 109)."""
+
+from __future__ import annotations
+
+from repro.experiments import build_journey
+
+
+def test_bench_journey(benchmark, print_once):
+    """Time the journey regeneration; each §III step must land near the
+    paper's milestone and the progression must be monotone."""
+    result = benchmark(build_journey)
+    print_once("journey", result.render())
+    gflops = [float(row[1]) for row in result.rows]
+    paper = [float(row[2]) for row in result.rows]
+    assert gflops == sorted(gflops), "journey must be monotone"
+    # Baseline within 2x (order-of-magnitude claim), tuned points within 15%.
+    assert paper[0] / 2 < gflops[0] < paper[0] * 2
+    for got, exp in zip(gflops[1:], paper[1:]):
+        assert abs(got - exp) / exp < 0.15
+    # The II pragma alone is worth ~2x; banking ~1.8x (paper §III-C/D).
+    assert 1.7 < gflops[2] / gflops[1] < 9.0
+    assert 1.5 < gflops[3] / gflops[2] < 2.2

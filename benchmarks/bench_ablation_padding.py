@@ -1,0 +1,25 @@
+"""E-A2 benchmark: the §III-E / §IV padding analysis."""
+
+from __future__ import annotations
+
+from repro.experiments import build_padding
+
+
+def test_bench_padding(benchmark, print_once):
+    """Time the padding sweep; the paper's conclusions must hold:
+    padding hurts the small degrees and the focus degrees gain nothing."""
+    result = benchmark(build_padding)
+    print_once("padding", result.render())
+    rows = result.row_dict()
+    # Small degrees that need padding: clear losses (work inflation
+    # dominates); N=3 (nx=4) needs none and gains exactly nothing.
+    for n in (1, 5):
+        assert float(rows[n][5]) < 1.0, f"N={n} should lose from padding"
+    assert int(rows[3][3]) == 0 and abs(float(rows[3][5]) - 1.0) < 1e-9
+    # The paper's focus degrees (7, 11, 15) need no padding at T=4.
+    for n in (7, 11, 15):
+        assert int(rows[n][3]) == 0
+        assert abs(float(rows[n][5]) - 1.0) < 1e-9
+    # Even GLL counts the paper highlights as marginal.
+    for n in (9, 13):
+        assert float(rows[n][5]) < 1.4

@@ -1,0 +1,29 @@
+"""E-X1/E-X2 benchmarks: appendix bandwidth utilization + STREAM sweep."""
+
+from __future__ import annotations
+
+from repro.experiments import build_bandwidth_utilization, build_stream
+
+
+def test_bench_bandwidth_utilization(benchmark, print_once):
+    """The appendix claim: at N=15 the FPGA's achieved bandwidth
+    fraction beats every Tesla GPU's."""
+    result = benchmark(build_bandwidth_utilization)
+    print_once("bandwidth_util", result.render())
+    by_key = {(row[0], row[1]): float(row[4]) for row in result.rows}
+    fpga15 = by_key[("SEM-Acc (FPGA)", 15)]
+    for gpu in (
+        "NVIDIA Tesla P100 SXM2",
+        "NVIDIA Tesla V100 PCIe",
+        "NVIDIA A100 PCIe",
+    ):
+        assert fpga15 > by_key[(gpu, 15)], gpu
+
+
+def test_bench_stream_sweep(benchmark, print_once):
+    """STREAM-like saturation curve: monotone, saturating past 75%."""
+    result = benchmark(build_stream)
+    print_once("stream", result.render())
+    fractions = [float(row[3]) for row in result.rows]
+    assert fractions == sorted(fractions)
+    assert fractions[-1] > 75.0

@@ -1,0 +1,62 @@
+"""E-F1 benchmark: regenerate Fig. 1 (performance vs problem size).
+
+Prints the per-degree series and asserts the §V-C shape claims: GPU
+curves ramp slowly and dominate at scale, CPUs saturate early, and the
+FPGA's standing per degree matches the paper's crossovers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import build_fig1, crossover_summary
+from repro.experiments.fig1 import DEFAULT_SIZES, fpga_curve, host_curve
+
+
+def test_bench_fig1_regeneration(benchmark, print_once):
+    """Time the full Fig.-1 regeneration (8 degrees x 9 systems)."""
+    result = benchmark(build_fig1)
+    print_once("fig1", "\n".join([result.render().split("\n--")[0], *crossover_summary(result)]))
+    assert len(result.series) == 8 * 9
+    by_key = {(s.meta["N"], s.meta["system"]): s for s in result.series}
+
+    # Paper: at N=7 only ThunderX2 is slower than the FPGA at 4096 elems.
+    fpga7 = by_key[(7, "SEM-Acc (FPGA)")].y[-1]
+    assert by_key[(7, "Marvell ThunderX2")].y[-1] < fpga7
+    for sysname in ("Intel Xeon Gold 6130", "Intel i9-10920X", "NVIDIA Tesla K80"):
+        assert by_key[(7, sysname)].y[-1] > fpga7, sysname
+
+    # Paper: at N=11 only the Xeon (among CPUs/K80/RTX) beats the FPGA.
+    fpga11 = by_key[(11, "SEM-Acc (FPGA)")].y[-1]
+    assert by_key[(11, "Intel Xeon Gold 6130")].y[-1] > fpga11
+    for sysname in (
+        "Intel i9-10920X",
+        "Marvell ThunderX2",
+        "NVIDIA Tesla K80",
+        "NVIDIA RTX 2060 Super",
+    ):
+        assert by_key[(11, sysname)].y[-1] < fpga11, sysname
+
+    # Tesla-class GPUs dominate everything at large sizes for N >= 7.
+    for n in (7, 11, 15):
+        for sysname in ("NVIDIA Tesla P100 SXM2", "NVIDIA Tesla V100 PCIe", "NVIDIA A100 PCIe"):
+            assert by_key[(n, sysname)].y[-1] > by_key[(n, "SEM-Acc (FPGA)")].y[-1]
+
+
+@pytest.mark.parametrize("n", (1, 7, 15))
+def test_bench_fig1_fpga_curve(benchmark, n):
+    """Time one FPGA size sweep; curve must be monotone (ramp) and
+    flattening at the end (launch overhead keeps tiny-element kernels —
+    N=1 — ramping longer, as in the paper's Fig. 1a)."""
+    series = benchmark(fpga_curve, n, DEFAULT_SIZES)
+    ys = series.y
+    assert all(b >= a * 0.999 for a, b in zip(ys, ys[1:]))
+    tail_growth = (ys[-1] - ys[-2]) / ys[-1]
+    assert tail_growth < (0.10 if n <= 3 else 0.02)
+
+
+def test_bench_fig1_gpu_ramp(benchmark):
+    """GPUs crawl at small sizes: A100 at 8 elements is far below 10%
+    of its large-problem performance (kernel-launch bound)."""
+    series = benchmark(host_curve, "NVIDIA A100 PCIe", 7, DEFAULT_SIZES)
+    assert series.y[0] < 0.1 * series.y[-1]

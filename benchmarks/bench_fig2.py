@@ -1,0 +1,64 @@
+"""E-F2 / E-P1 benchmark: regenerate Fig. 2 (peak comparison + projections).
+
+Asserts the paper's headline numbers: the measured-FPGA bars, the N=15
+speedup ratios against every system, and the four projected devices.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import build_fig2
+
+
+def _bars(result):
+    return {(row[0], row[1]): row for row in result.rows}
+
+
+def test_bench_fig2_regeneration(benchmark, print_once):
+    """Time the Fig.-2 regeneration and pin the paper's anchors."""
+    result = benchmark(build_fig2)
+    print_once("fig2", result.render())
+    bars = _bars(result)
+
+    # Measured FPGA bars (Table I / Fig. 2): 109, 136.4, 211.3 GFLOP/s.
+    for n, paper in ((7, 109.0), (11, 136.4), (15, 211.3)):
+        got = float(bars[("SEM-Acc (FPGA)", n)][2])
+        assert abs(got - paper) / paper < 0.035
+
+    # N=15 speedups of the FPGA over each system (paper §V-C).
+    fpga15 = float(bars[("SEM-Acc (FPGA)", 15)][2])
+    for system, ratio in (
+        ("Intel Xeon Gold 6130", 1.17),
+        ("Intel i9-10920X", 1.89),
+        ("Marvell ThunderX2", 2.34),
+        ("NVIDIA Tesla K80", 1.87),
+        ("NVIDIA Tesla P100 SXM2", 1 / 4.3),
+        ("NVIDIA Tesla V100 PCIe", 1 / 6.41),
+        ("NVIDIA A100 PCIe", 1 / 8.43),
+    ):
+        got = fpga15 / float(bars[(system, 15)][2])
+        assert abs(got - ratio) / ratio < 0.05, system
+
+    # Projections (paper §V-D).
+    for device, expected in (
+        ("Agilex 027", (266.0, 191.0, 248.0)),
+        ("Stratix 10M", (266.0, 382.0, 248.0)),
+        ("Stratix 10M (8.7k DSP, 600 GB/s)", (1060.0, 1530.0, 990.0)),
+        ("Ideal FPGA (hypothetical)", (2131.0, 3053.0, 3974.0)),
+    ):
+        for n, exp in zip((7, 11, 15), expected):
+            got = float(bars[(device, n)][2])
+            assert abs(got - exp) / exp < 0.04, (device, n, got, exp)
+
+    # Power-efficiency claims: FPGA beats all CPUs at every Fig.-2 degree;
+    # rivals the RTX 2060 at N=11 and beats it at N=15.
+    for n in (7, 11, 15):
+        fpga_eff = float(bars[("SEM-Acc (FPGA)", n)][3])
+        for cpu in ("Intel Xeon Gold 6130", "Intel i9-10920X", "Marvell ThunderX2"):
+            assert fpga_eff > float(bars[(cpu, n)][3]), (cpu, n)
+    assert abs(
+        float(bars[("SEM-Acc (FPGA)", 11)][3])
+        - float(bars[("NVIDIA RTX 2060 Super", 11)][3])
+    ) < 0.15
+    assert float(bars[("SEM-Acc (FPGA)", 15)][3]) > float(
+        bars[("NVIDIA RTX 2060 Super", 15)][3]
+    )

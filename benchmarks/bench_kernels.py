@@ -1,0 +1,116 @@
+"""Real (wall-clock) kernel benchmarks of the SEM substrate.
+
+Unlike the ``bench_table*``/``bench_fig*`` modules — which time the
+*regeneration* of the paper's artifacts — these time the actual numerics
+on the host running the suite: the vectorized ``Ax``, the gather-scatter
+and a short CG solve.  Useful for tracking the library's own performance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cost import flops_per_dof
+from repro.sem import (
+    BoxMesh,
+    GatherScatter,
+    PoissonProblem,
+    ReferenceElement,
+    ax_local,
+    cg_solve,
+    geometric_factors,
+    sine_manufactured,
+)
+
+
+@pytest.mark.parametrize("n", (3, 7, 11))
+def test_bench_ax_local(benchmark, n):
+    """Vectorized matrix-free operator on 64 elements."""
+    ref = ReferenceElement.from_degree(n)
+    rng = np.random.default_rng(0)
+    num_e = 64
+    nx = ref.n_points
+    u = rng.standard_normal((num_e, nx, nx, nx))
+    g = np.abs(rng.standard_normal((num_e, 6, nx, nx, nx))) + 0.5
+    out = np.empty_like(u)
+    result = benchmark(ax_local, ref, u, g, out)
+    assert np.all(np.isfinite(result))
+    benchmark.extra_info["gflops_per_call"] = (
+        flops_per_dof(n) * num_e * nx ** 3 / 1e9
+    )
+
+
+def test_bench_gather_scatter(benchmark):
+    """Direct-stiffness round trip on a 4x4x4 mesh at N=7."""
+    ref = ReferenceElement.from_degree(7)
+    mesh = BoxMesh.build(ref, (4, 4, 4))
+    gs = GatherScatter.from_mesh(mesh)
+    rng = np.random.default_rng(0)
+    local = rng.standard_normal(mesh.l2g.shape)
+    result = benchmark(gs.gs, local)
+    assert result.shape == local.shape
+
+
+def test_bench_cg_solve(benchmark):
+    """Ten CG iterations of the Poisson problem at N=7, 8 elements."""
+    ref = ReferenceElement.from_degree(7)
+    mesh = BoxMesh.build(ref, (2, 2, 2))
+    prob = PoissonProblem(mesh)
+    _, forcing = sine_manufactured(mesh.extent)
+    b = prob.rhs_from_forcing(forcing)
+    diag = prob.jacobi_diagonal()
+
+    def run():
+        return cg_solve(prob.apply_A, b, precond_diag=diag, tol=0.0, maxiter=10)
+
+    result = benchmark(run)
+    assert result.iterations == 10
+
+
+def test_bench_geometric_factors(benchmark):
+    """Spectral geometry computation on a curved 3x3x3 mesh at N=7."""
+    ref = ReferenceElement.from_degree(7)
+    mesh = BoxMesh.build(ref, (3, 3, 3)).deform(
+        lambda x, y, z: (x + 0.03 * np.sin(np.pi * y), y, z + 0.02 * np.sin(np.pi * x))
+    )
+    geo = benchmark(geometric_factors, mesh)
+    assert np.all(geo.jac > 0)
+
+
+def test_bench_mesh_build(benchmark):
+    """Mesh construction (coordinates + global numbering), 8x8x8 at N=7."""
+    ref = ReferenceElement.from_degree(7)
+    mesh = benchmark(BoxMesh.build, ref, (8, 8, 8))
+    assert mesh.num_elements == 512
+
+
+def test_bench_accelerator_functional_run(benchmark):
+    """Functional accelerator execution (numerics + cycle report)."""
+    from repro.core.accel import AcceleratorConfig, SEMAccelerator
+    from repro.hardware.fpga import STRATIX10_GX2800
+
+    ref = ReferenceElement.from_degree(7)
+    mesh = BoxMesh.build(ref, (2, 2, 2))
+    geo = geometric_factors(mesh)
+    rng = np.random.default_rng(1)
+    u = rng.standard_normal((8, 8, 8, 8))
+    acc = SEMAccelerator(AcceleratorConfig.banked(7), STRATIX10_GX2800)
+    w, report = benchmark(acc.run, u, geo.g)
+    assert report.num_elements == 8
+    assert np.all(np.isfinite(w))
+
+
+def test_bench_listing1_reference(benchmark):
+    """The scalar Listing-1 port (ground truth; intentionally slow) on
+    one N=3 element — tracked so regressions in the reference path are
+    visible too."""
+    from repro.sem import ax_local_listing1
+
+    ref = ReferenceElement.from_degree(3)
+    mesh = BoxMesh.build(ref, (1, 1, 1))
+    geo = geometric_factors(mesh)
+    rng = np.random.default_rng(2)
+    u = rng.standard_normal((1, 4, 4, 4))
+    w = benchmark(ax_local_listing1, ref, u, geo.g)
+    assert np.all(np.isfinite(w))

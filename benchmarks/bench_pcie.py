@@ -1,0 +1,20 @@
+"""E-X4 benchmark: the PCIe exclusion study."""
+
+from __future__ import annotations
+
+from repro.experiments import build_pcie_study
+
+
+def test_bench_pcie_study(benchmark, print_once):
+    """PCIe-inclusive performance collapses vs kernel-only — the paper's
+    reason to exclude transfers."""
+    result = benchmark(build_pcie_study)
+    print_once("pcie", result.render())
+    for row in result.rows:
+        kernel = float(row[1])
+        resident = float(row[2])
+        cold = float(row[3])
+        assert cold < resident < kernel
+    # At the reference size the cold path loses ~an order of magnitude.
+    ref = result.row_dict()[4096]
+    assert float(ref[1]) / float(ref[3]) > 5.0

@@ -1,0 +1,41 @@
+"""E-T1 benchmark: regenerate Table I and verify the headline columns.
+
+``pytest benchmarks/bench_table1.py --benchmark-only`` prints the
+regenerated table and times (a) the full regeneration and (b) the
+per-degree accelerator simulation it is built from.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.accel import AcceleratorConfig, SEMAccelerator
+from repro.core.calibration import (
+    REFERENCE_ELEMENTS,
+    STRATIX10_TABLE1,
+    TABLE1_DEGREES,
+)
+from repro.experiments import build_table1
+from repro.hardware.fpga import STRATIX10_GX2800
+
+
+def test_bench_table1_regeneration(benchmark, print_once):
+    """Time the full Table-I regeneration; check GF/s agreement <= 3.5%."""
+    result = benchmark(build_table1)
+    print_once("table1", result.render())
+    rows = result.row_dict()
+    for n in TABLE1_DEGREES:
+        row = rows[n]
+        gflops_sim, gflops_paper = float(row[7]), float(row[8])
+        assert abs(gflops_sim - gflops_paper) / gflops_paper < 0.035, (
+            f"N={n}: simulated {gflops_sim} vs paper {gflops_paper}"
+        )
+
+
+@pytest.mark.parametrize("n", TABLE1_DEGREES)
+def test_bench_accelerator_performance(benchmark, n):
+    """Time one accelerator performance evaluation per degree."""
+    acc = SEMAccelerator(AcceleratorConfig.banked(n), STRATIX10_GX2800)
+    report = benchmark(acc.performance, REFERENCE_ELEMENTS)
+    paper = STRATIX10_TABLE1[n]
+    assert abs(report.dofs_per_cycle - paper.dofs_per_cycle) < 0.02

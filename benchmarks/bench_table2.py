@@ -1,0 +1,28 @@
+"""E-T2 benchmark: regenerate Table II (systems overview)."""
+
+from __future__ import annotations
+
+from repro.experiments import build_table2
+from repro.hardware.catalog import CATALOG_ORDER
+
+
+def test_bench_table2_regeneration(benchmark, print_once):
+    """Time the Table-II regeneration and check row count / derived
+    Byte/FLOP column against the paper's printed values."""
+    result = benchmark(build_table2)
+    print_once("table2", result.render())
+    assert len(result.rows) == len(CATALOG_ORDER) == 9
+    byte_per_flop = {row[1]: float(row[6]) for row in result.rows}
+    paper = {
+        "Stratix GX 2800": 0.154,
+        "Intel Xeon Gold 6130": 0.12,
+        "Intel i9-10920X": 0.083,
+        "Marvell ThunderX2": 0.33,
+        "NVIDIA Tesla K80": 0.17,
+        "NVIDIA Tesla P100 SXM2": 0.14,
+        "NVIDIA RTX 2060 Super": 2.0,
+        "NVIDIA Tesla V100 PCIe": 0.12,
+        "NVIDIA A100 PCIe": 0.16,
+    }
+    for name, expected in paper.items():
+        assert abs(byte_per_flop[name] - expected) <= 0.006 + 0.05 * expected, name

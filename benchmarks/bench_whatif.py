@@ -1,0 +1,35 @@
+"""E-X3 benchmarks: precision / DSP-specialization what-ifs, inverse design."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    build_dsp_specialization,
+    build_precision_whatif,
+    build_sizing,
+)
+
+
+def test_bench_precision_whatif(benchmark, print_once):
+    """FP32 counterfactual: >= 2x on every device/degree."""
+    result = benchmark(build_precision_whatif)
+    print_once("precision", result.render())
+    for row in result.rows:
+        assert float(row[4]) >= 2.0 - 1e-9
+
+
+def test_bench_dsp_specialization(benchmark, print_once):
+    """Specialized DSPs leave the GX2800 memory-bound (paper §V-D)."""
+    result = benchmark(build_dsp_specialization)
+    print_once("dsp_spec", result.render())
+    assert all(row[4] == "bandwidth" for row in result.rows)
+
+
+def test_bench_sizing(benchmark, print_once):
+    """Inverse design reproduces the paper's ideal inventory at T=64."""
+    result = benchmark(build_sizing)
+    print_once("sizing", result.render())
+    t64 = result.row_dict()[64]
+    assert float(t64[2]) == pytest.approx(6.24, abs=0.05)
+    assert float(t64[4]) == pytest.approx(1228.8, abs=2.0)

@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper:
+``pytest benchmarks/ --benchmark-only`` times the regeneration and prints
+the paper-style rows once per artifact.  The ``print_once`` fixture
+temporarily disables pytest's output capture so the regenerated tables
+appear in the run log alongside the timing summary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def _capmanager(request):
+    return request.config.pluginmanager.getplugin("capturemanager")
+
+
+@pytest.fixture(scope="session")
+def print_once(_capmanager):
+    """Print a rendered experiment exactly once per session per key."""
+    seen: set[str] = set()
+
+    def _print(key: str, text: str) -> None:
+        if key in seen:
+            return
+        seen.add(key)
+        if _capmanager is not None:
+            with _capmanager.global_and_fixture_disabled():
+                print(f"\n{text}\n")
+        else:  # pragma: no cover - capture plugin always present
+            print(f"\n{text}\n")
+
+    return _print

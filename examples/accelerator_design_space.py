@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Design-space exploration of the SEM accelerator (paper §III).
+
+Sweeps the accelerator's design knobs on the simulated Stratix 10 —
+unroll factor (with arbitration legality from the HLS analysis), the
+``#pragma ii 1`` fix, and the external-memory layout — and prints a
+Pareto-style table of performance vs resources, plus the HLS arbitration
+diagnosis for an illegal unroll.
+
+Run:  python examples/accelerator_design_space.py [N]
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import replace
+
+from repro.core.accel import (
+    AcceleratorConfig,
+    SEMAccelerator,
+    arbitration_diagnosis,
+    synthesize,
+)
+from repro.hardware.fpga import STRATIX10_GX2800
+from repro.hls import ax_grad_nest, max_conflict_free_unroll, nest_report
+from repro.util.tables import TextTable
+
+
+def main(n: int = 7) -> None:
+    nx = n + 1
+    legal_t = max_conflict_free_unroll(ax_grad_nest(n, 1), "i")
+    print(f"N={n}: GLL points nx={nx}; largest conflict-free unroll = {legal_t}\n")
+
+    table = TextTable(
+        ["unroll", "ii1", "layout", "GF/s", "DOF/cyc", "logic%", "DSP%", "power W", "legal"],
+        title=f"Design space at N={n}, 4096 elements (simulated Stratix 10)",
+        floatfmt=".3g",
+    )
+    t = 1
+    while t <= nx:
+        for force_ii1 in (False, True):
+            for banked in (False, True):
+                cfg = replace(
+                    AcceleratorConfig.banked(n),
+                    unroll=t,
+                    force_ii1=force_ii1,
+                    banked_memory=banked,
+                )
+                acc = SEMAccelerator(cfg, STRATIX10_GX2800)
+                rep = acc.performance(4096)
+                syn = synthesize(cfg, STRATIX10_GX2800)
+                table.add_row(
+                    [
+                        t,
+                        force_ii1,
+                        "banked" if banked else "interleaved",
+                        round(rep.gflops, 1),
+                        round(rep.dofs_per_cycle, 2),
+                        round(syn.logic_pct, 1),
+                        round(syn.dsp_pct, 1),
+                        round(syn.power_w, 1),
+                        cfg.conflict_free,
+                    ]
+                )
+        t *= 2
+    print(table.render())
+
+    # Show why an unroll that does not divide nx arbitrates (if any).
+    if nx & (nx - 1) != 0 or True:
+        bad_t = 4 if nx % 4 else (8 if nx % 8 else 3)
+        bad_cfg = replace(AcceleratorConfig.banked(n), unroll=min(bad_t, nx))
+        findings = arbitration_diagnosis(bad_cfg)
+        if findings:
+            print(f"\nHLS arbitration diagnosis at unroll={bad_cfg.unroll}:")
+            for f in findings:
+                print(f"  - {f}")
+        print("\nDetailed nest analysis:")
+        print(nest_report(ax_grad_nest(n, bad_cfg.unroll), "i", force_ii1=True))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 7)

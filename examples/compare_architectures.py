@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Fig. 2 as a text chart: every architecture at 4096 elements.
+
+Renders the peak-performance comparison (simulated FPGA, modeled hosts,
+projected future FPGAs) as horizontal log-scale bars with the
+power-efficiency line values alongside — the paper's Fig. 2 in ASCII.
+
+Run:  python examples/compare_architectures.py [N]
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+from repro.experiments import build_fig2
+
+
+def bar(value: float, vmax: float, width: int = 42) -> str:
+    """Log-scale bar from 10 GF/s to vmax."""
+    lo, hi = math.log10(10.0), math.log10(vmax)
+    frac = max(0.0, min(1.0, (math.log10(max(value, 10.0)) - lo) / (hi - lo)))
+    n = int(round(frac * width))
+    return "#" * n
+
+
+def main(n: int = 15) -> None:
+    result = build_fig2()
+    rows = [r for r in result.rows if r[1] == n]
+    vmax = max(float(r[2]) for r in rows) * 1.1
+    print(f"Peak performance at N={n}, 4096 elements (log scale, GFLOP/s)\n")
+    for r in rows:
+        name, _, gflops, eff, roof, source = r
+        eff_s = f"{float(eff):5.2f} GF/s/W" if eff not in (None, "-") else "    (proj.)"
+        print(f"{name:>33} |{bar(float(gflops), vmax):<42}| "
+              f"{float(gflops):8.1f}  {eff_s}")
+    print("\nroofline GF/s per system is included in "
+          "`python -m repro.experiments fig2`.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 15)

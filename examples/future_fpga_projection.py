@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Future and hypothetical FPGAs (paper §V-D).
+
+"What would it take to beat the Ampere-100 using an FPGA?"  Uses the
+Section-IV performance model in projection mode on the paper's three
+devices — Agilex 027, Stratix 10M (plus its 8.7k-DSP / 600 GB/s
+variant) and the hypothetical ideal FPGA — and prints per-degree
+throughput, the binding constraint, and the A100 comparison.
+
+Also answers the inverse question like the paper does: it *sizes* an
+ideal device from a target throughput.
+
+Run:  python examples/future_fpga_projection.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    ConstraintMode,
+    KernelCost,
+    PerformanceModel,
+    compute_resources,
+    zero_base_provider,
+)
+from repro.core.device import OperatorCosts
+from repro.hardware import SYSTEM_CATALOG
+from repro.hardware.fpga import (
+    AGILEX_027,
+    IDEAL_FPGA,
+    STRATIX10_GX2800,
+    STRATIX10_M,
+    STRATIX10_M_ENHANCED,
+)
+from repro.hardware.hostmodel import HostExecutionModel
+from repro.util.tables import TextTable
+
+DEGREES = (7, 11, 15)
+
+
+def project() -> None:
+    a100 = HostExecutionModel.for_system("NVIDIA A100 PCIe")
+    a100_gflops = {n: a100.sample(n, 4096).gflops for n in DEGREES}
+
+    table = TextTable(
+        ["device", "N", "T (DOF/cyc)", "GFLOP/s", "binding", "vs A100"],
+        title="Projected SEM-accelerator performance at 300 MHz",
+        floatfmt=".4g",
+    )
+    devices = [
+        (STRATIX10_GX2800, ConstraintMode.MEASURED, None),
+        (AGILEX_027, ConstraintMode.PROJECTION, None),
+        (STRATIX10_M, ConstraintMode.PROJECTION, None),
+        (STRATIX10_M_ENHANCED, ConstraintMode.PROJECTION, None),
+        (IDEAL_FPGA, ConstraintMode.PROJECTION, zero_base_provider()),
+    ]
+    for device, mode, base in devices:
+        pm = PerformanceModel(device, base_provider=base, mode=mode)
+        for n in DEGREES:
+            pred = pm.predict(n)
+            table.add_row(
+                [
+                    device.name,
+                    n,
+                    pred.t_max,
+                    round(pred.gflops, 1),
+                    pred.binding,
+                    f"{pred.gflops / a100_gflops[n]:.2f}x",
+                ]
+            )
+    print(table.render())
+    print(
+        "\npaper anchors: Agilex (266, 191, 248); 10M peak 382 @ N=11; "
+        "10M variant ~ (1.06, 1.53, 0.99) TF; ideal (2.1, 3, 3.97) TF."
+    )
+
+
+def size_ideal_device(target_t: int = 64, n: int = 15) -> None:
+    """Reverse the question: resources needed for ``target_t`` DOF/cycle."""
+    cost = KernelCost(n)
+    needed = compute_resources(cost, target_t, OperatorCosts.specialized_dsp())
+    bw = target_t * 64 * 300e6  # bytes/DOF x lanes x clock
+    print(
+        f"\nsizing an ideal device for T={target_t} at N={n} (300 MHz):\n"
+        f"  ALMs  ~ {needed.alms / 1e6:.2f} M   (paper: 6.2 M)\n"
+        f"  DSPs  ~ {needed.dsps / 1e3:.1f} k   (paper: 20 k)\n"
+        f"  DRAM  ~ {bw / 1e12:.2f} TB/s        (paper: ~1.2 TB/s, "
+        "less than the A100's 1.555)"
+    )
+
+
+if __name__ == "__main__":
+    project()
+    size_ideal_device()

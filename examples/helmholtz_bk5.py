@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""BK5-style Helmholtz solve: the CEED bake-off operator end-to-end.
+
+The paper's kernel "closely resembles" CEED bake-off kernel BK5, which
+adds one more geometric factor — the collocation mass term.  This
+example solves the strictly-SPD system ``(A + lam B) u = f`` (no
+Dirichlet mask needed) on box and curved meshes, verifies spectral
+convergence against a Neumann-compatible manufactured solution, and runs
+the stiffness part on the simulated FPGA accelerator.
+
+Run:  python examples/helmholtz_bk5.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AcceleratorConfig, BoxMesh, ReferenceElement, SEMAccelerator
+from repro.hardware.fpga import STRATIX10_GX2800
+from repro.sem import HelmholtzProblem, cg_solve, cosine_manufactured
+
+
+def solve(n: int, lam: float = 1.0, use_fpga: bool = False) -> float:
+    ref = ReferenceElement.from_degree(n)
+    mesh = BoxMesh.build(ref, (2, 2, 2))
+    if use_fpga:
+        acc = SEMAccelerator(AcceleratorConfig.banked(n), STRATIX10_GX2800)
+        prob = HelmholtzProblem(mesh, lam=lam, ax_backend=acc.as_ax_backend())
+    else:
+        prob = HelmholtzProblem(mesh, lam=lam)
+    u_exact, forcing = cosine_manufactured(mesh.extent, lam=lam)
+    b = prob.rhs_from_function(forcing)
+    res = cg_solve(prob.apply, b, precond_diag=prob.diagonal(), tol=1e-13, maxiter=2000)
+    if not res.converged:
+        raise RuntimeError(f"CG did not converge at N={n}")
+    return prob.l2_error(res.x, u_exact)
+
+
+def main() -> None:
+    print(f"{'N':>3} {'L2 error':>14}   (BK5 Helmholtz, lam=1, pure Neumann)")
+    for n in range(2, 10):
+        print(f"{n:>3} {solve(n):>14.3e}")
+
+    err_cpu = solve(7, use_fpga=False)
+    err_fpga = solve(7, use_fpga=True)
+    print(f"\nN=7 with the FPGA backend: L2 error {err_fpga:.3e} "
+          f"(CPU path: {err_cpu:.3e}) - identical numerics")
+    assert abs(err_cpu - err_fpga) < 1e-15 * max(1.0, err_cpu)
+
+
+if __name__ == "__main__":
+    main()

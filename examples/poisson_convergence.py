@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Spectral convergence of the SEM Poisson solver.
+
+The motivation for the paper's double-precision requirement (its
+footnote 6): high-order SEM converges exponentially with the polynomial
+degree, so discretization error quickly reaches the round-off floor —
+single precision would throw that accuracy away.
+
+This example solves -lap(u) = f on the unit cube with a smooth
+manufactured solution for N = 2..10 on a fixed 2^3-element mesh and on a
+deformed (curvilinear) variant, printing the L2 error per degree.
+
+Run:  python examples/poisson_convergence.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BoxMesh, PoissonProblem, ReferenceElement, cg_solve
+from repro.sem import sine_manufactured
+
+
+def solve_error(n: int, deform: bool) -> float:
+    """L2 error of the CG solution at degree ``n``."""
+    ref = ReferenceElement.from_degree(n)
+    mesh = BoxMesh.build(ref, shape=(2, 2, 2))
+    if deform:
+        mesh = mesh.deform(
+            lambda x, y, z: (
+                x + 0.04 * np.sin(np.pi * x) * np.sin(np.pi * y),
+                y + 0.04 * np.sin(np.pi * y) * np.sin(np.pi * z),
+                z + 0.04 * np.sin(np.pi * z) * np.sin(np.pi * x),
+            )
+        )
+    problem = PoissonProblem(mesh)
+    u_exact, forcing = sine_manufactured(mesh.extent)
+    b = problem.rhs_from_forcing(forcing)
+    result = cg_solve(
+        problem.apply_A,
+        b,
+        precond_diag=problem.jacobi_diagonal(),
+        tol=1e-13,
+        maxiter=2000,
+    )
+    if not result.converged:
+        raise RuntimeError(f"CG failed to converge at N={n}")
+    return problem.l2_error(result.x, u_exact)
+
+
+def main() -> None:
+    print(f"{'N':>3} {'L2 error (box)':>16} {'L2 error (curved)':>18} {'rate':>8}")
+    prev = None
+    for n in range(2, 11):
+        e_box = solve_error(n, deform=False)
+        e_cur = solve_error(n, deform=True)
+        rate = "" if prev is None else f"{prev / e_box:8.1f}"
+        prev = e_box
+        print(f"{n:>3} {e_box:>16.3e} {e_cur:>18.3e} {rate:>8}")
+    print("\nexponential error decay per added degree = spectral convergence;")
+    print("the curved mesh tracks the box mesh, validating the geometric factors.")
+
+
+if __name__ == "__main__":
+    main()

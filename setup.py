@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` also works in offline environments (legacy
+editable path, no PEP-517 build isolation / network access needed).
+"""
+
+from setuptools import setup
+
+setup()

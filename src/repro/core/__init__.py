@@ -1,0 +1,117 @@
+"""The paper's primary contribution: performance model + accelerator.
+
+``repro.core`` implements Section IV of the paper (cost, resource,
+throughput, padding and power models, roofline) and — in
+``repro.core.accel`` — the Section-III accelerator itself as a
+functional, cycle-accounted simulator.
+"""
+
+from repro.core.cost import (
+    KernelCost,
+    MemoryTraffic,
+    bytes_per_dof,
+    flops_per_dof,
+    operational_intensity,
+)
+from repro.core.device import (
+    FPGADevice,
+    FPGAFabric,
+    MemorySystem,
+    OperatorCosts,
+    ResourceVector,
+)
+from repro.core.resources import (
+    M20K_BITS,
+    ax_bram_blocks,
+    base_resources_from_measurement,
+    compute_resources,
+    fabric_throughput_bound,
+    m20k_blocks,
+)
+from repro.core.throughput import (
+    ConstraintMode,
+    bandwidth_throughput,
+    constrain_throughput,
+    max_throughput,
+)
+from repro.core.padding import PaddingPlan, best_padding, padding_gain
+from repro.core.roofline import Roofline
+from repro.core.perfmodel import (
+    ModelPrediction,
+    PerformanceModel,
+    stratix_base_provider,
+    zero_base_provider,
+    table1_design_throughput,
+    table1_measured_resources,
+)
+from repro.core.power import PowerModel, fitted_power_model, power_efficiency
+from repro.core.whatif import (
+    PrecisionComparison,
+    compare_precision,
+    fp32_device,
+    fp32_operator_costs,
+    specialize_dsps,
+)
+from repro.core.sizing import (
+    DeviceRequirement,
+    beat_the_a100,
+    size_for_gflops,
+    size_for_throughput,
+)
+from repro.core.explore import (
+    DesignPoint,
+    best_design,
+    enumerate_design_space,
+    pareto_frontier,
+)
+from repro.core import calibration
+
+__all__ = [
+    "KernelCost",
+    "MemoryTraffic",
+    "bytes_per_dof",
+    "flops_per_dof",
+    "operational_intensity",
+    "FPGADevice",
+    "FPGAFabric",
+    "MemorySystem",
+    "OperatorCosts",
+    "ResourceVector",
+    "M20K_BITS",
+    "ax_bram_blocks",
+    "base_resources_from_measurement",
+    "compute_resources",
+    "fabric_throughput_bound",
+    "m20k_blocks",
+    "ConstraintMode",
+    "bandwidth_throughput",
+    "constrain_throughput",
+    "max_throughput",
+    "PaddingPlan",
+    "best_padding",
+    "padding_gain",
+    "Roofline",
+    "ModelPrediction",
+    "PerformanceModel",
+    "stratix_base_provider",
+    "zero_base_provider",
+    "table1_design_throughput",
+    "table1_measured_resources",
+    "PowerModel",
+    "fitted_power_model",
+    "power_efficiency",
+    "PrecisionComparison",
+    "compare_precision",
+    "fp32_device",
+    "fp32_operator_costs",
+    "specialize_dsps",
+    "DeviceRequirement",
+    "beat_the_a100",
+    "size_for_gflops",
+    "size_for_throughput",
+    "DesignPoint",
+    "best_design",
+    "enumerate_design_space",
+    "pareto_frontier",
+    "calibration",
+]

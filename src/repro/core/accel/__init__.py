@@ -1,0 +1,64 @@
+"""The FPGA SEM-accelerator simulator (paper §III).
+
+Functional + cycle-level model of the paper's OpenCL accelerator:
+design-point configuration (the §III optimization journey), the banked
+external-memory model, HLS-scheduled datapath cycle accounting, and
+synthesis reports.
+"""
+
+from repro.core.accel.config import AcceleratorConfig
+from repro.core.accel.datapath import (
+    PIPELINE_FILL_CYCLES,
+    DatapathPlan,
+    arbitration_diagnosis,
+    plan_datapath,
+)
+from repro.core.accel.extmem import (
+    FRAGMENTATION_FACTOR_II2,
+    INTERLEAVE_FACTOR,
+    MemorySystemState,
+    bank_assignment,
+    baseline_cycles_per_dof,
+    default_stream_efficiency,
+    effective_bandwidth,
+)
+from repro.core.accel.kernel import CycleReport, SEMAccelerator
+from repro.core.accel.stream import (
+    BandwidthUtilization,
+    StreamSample,
+    fpga_bandwidth_utilization,
+    gpu_bandwidth_utilization,
+    stream_sweep,
+    utilization_comparison,
+)
+from repro.core.accel.host import HostSession, PCIeLink, pcie_overhead_fraction
+from repro.core.accel.synth import SynthesisReport, reference_row, synthesize
+
+__all__ = [
+    "AcceleratorConfig",
+    "PIPELINE_FILL_CYCLES",
+    "DatapathPlan",
+    "arbitration_diagnosis",
+    "plan_datapath",
+    "FRAGMENTATION_FACTOR_II2",
+    "INTERLEAVE_FACTOR",
+    "MemorySystemState",
+    "bank_assignment",
+    "baseline_cycles_per_dof",
+    "default_stream_efficiency",
+    "effective_bandwidth",
+    "CycleReport",
+    "BandwidthUtilization",
+    "StreamSample",
+    "fpga_bandwidth_utilization",
+    "gpu_bandwidth_utilization",
+    "stream_sweep",
+    "utilization_comparison",
+    "SEMAccelerator",
+    "HostSession",
+    "PCIeLink",
+    "pcie_overhead_fraction",
+    "SynthesisReport",
+    "reference_row",
+    "synthesize",
+]

@@ -1,0 +1,137 @@
+"""Accelerator design-point configuration and the §III optimization journey.
+
+The paper evolves its accelerator through four design points:
+
+1. **baseline** — a literal translation of Listing 1: no on-chip reuse,
+   in-order narrow external accesses (0.025 GFLOP/s at N=7);
+2. **local_ilp** — BRAM preload + full inner unroll + lane unroll ``T``,
+   but the compiler schedules the pipeline at II=2 and data stays
+   interleaved across banks with fragmented bursts (~10 GFLOP/s);
+3. **ii1** — ``#pragma ii 1`` forces the initiation interval the datapath
+   was designed for (~60 GFLOP/s);
+4. **banked** — each stream allocated to a single memory bank instead of
+   interleaving (109 GFLOP/s at N=7) — the shipped configuration.
+
+:class:`AcceleratorConfig` captures every knob; the four presets
+construct the journey's design points for the ablation experiment E-A1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.calibration import STRATIX10_TABLE1, fmax_mhz
+from repro.core.perfmodel import table1_design_throughput
+from repro.util.validation import check_positive, pow2_divisor_floor
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """A complete SEM-accelerator design point.
+
+    Attributes
+    ----------
+    n:
+        Polynomial degree the accelerator is specialized for.
+    unroll:
+        Lane count ``T`` (DOF/cycle issued by the compute pipeline).
+    use_local_memory:
+        Preload ``u``/``gxyz`` into BRAM and keep the work arrays on chip
+        (paper §III-B).  ``False`` reproduces the baseline.
+    force_ii1:
+        Apply ``#pragma ii 1`` (paper §III-C).
+    banked_memory:
+        Allocate each stream to a dedicated external bank instead of
+        interleaving across all banks (paper §III-D).
+    split_gxyz:
+        Split the geometric factors into six vectors to remove BRAM
+        arbitration (paper §III-B); disabling it is only meaningful for
+        ablations.
+    double_buffer:
+        Overlap load / compute / store across elements.
+    fmax_mhz:
+        Kernel clock; ``None`` uses the Table-I calibrated clock for
+        calibrated degrees (fallback 300 MHz kernel cap).
+    """
+
+    n: int
+    unroll: int = 0  # 0 -> choose automatically in __post_init__
+    use_local_memory: bool = True
+    force_ii1: bool = True
+    banked_memory: bool = True
+    split_gxyz: bool = True
+    double_buffer: bool = True
+    fmax_mhz: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"degree must be >= 1, got {self.n}")
+        if self.unroll == 0:
+            object.__setattr__(self, "unroll", table1_design_throughput(self.n))
+        check_positive("unroll", self.unroll)
+        if self.fmax_mhz is not None:
+            check_positive("fmax_mhz", self.fmax_mhz)
+
+    # ------------------------------------------------------------------
+    @property
+    def nx(self) -> int:
+        """GLL points per direction."""
+        return self.n + 1
+
+    @property
+    def clock_mhz(self) -> float:
+        """Resolved kernel clock (explicit > calibrated > 300 MHz)."""
+        if self.fmax_mhz is not None:
+            return self.fmax_mhz
+        if self.n in STRATIX10_TABLE1:
+            return fmax_mhz(self.n)
+        return 300.0
+
+    @property
+    def conflict_free(self) -> bool:
+        """True when the unroll satisfies the arbitration constraint
+        (power of two dividing ``N+1``)."""
+        return self.unroll == pow2_divisor_floor(float(self.unroll), self.nx)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def baseline(cls, n: int) -> "AcceleratorConfig":
+        """§III-A design point: Listing 1 as-is."""
+        return cls(
+            n=n,
+            unroll=1,
+            use_local_memory=False,
+            force_ii1=False,
+            banked_memory=False,
+            split_gxyz=False,
+            double_buffer=False,
+        )
+
+    @classmethod
+    def local_ilp(cls, n: int) -> "AcceleratorConfig":
+        """§III-B design point: BRAM locality + unrolling, II still 2."""
+        return cls(n=n, force_ii1=False, banked_memory=False)
+
+    @classmethod
+    def ii1(cls, n: int) -> "AcceleratorConfig":
+        """§III-C design point: ``#pragma ii 1`` applied."""
+        return cls(n=n, force_ii1=True, banked_memory=False)
+
+    @classmethod
+    def banked(cls, n: int) -> "AcceleratorConfig":
+        """§III-D design point (final): banked external memory."""
+        return cls(n=n, force_ii1=True, banked_memory=True)
+
+    @classmethod
+    def journey(cls, n: int) -> tuple["AcceleratorConfig", ...]:
+        """The four §III design points in order."""
+        return (
+            cls.baseline(n),
+            cls.local_ilp(n),
+            cls.ii1(n),
+            cls.banked(n),
+        )
+
+    def with_unroll(self, unroll: int) -> "AcceleratorConfig":
+        """Copy with a different lane count (design-space exploration)."""
+        return replace(self, unroll=unroll)

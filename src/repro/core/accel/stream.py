@@ -1,0 +1,123 @@
+"""STREAM-for-FPGA: the effective-bandwidth study behind the model error.
+
+The paper attributes its small-degree model error to "a significant
+dependence on the problem size and the effective bandwidth … We observed
+this empirically and also by investigating the performance of the STREAM
+benchmark for FPGAs [42]".  This module reproduces that study on the
+memory-system model: a copy-kernel sweep over transfer sizes and access
+widths, and the bandwidth-utilization comparison the paper draws against
+GPUs ("the utilized bandwidth on the FPGA was higher as a percentage of
+theoretical bandwidth").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.accel.config import AcceleratorConfig
+from repro.core.accel.extmem import effective_bandwidth
+from repro.core.calibration import STRATIX10_TABLE1, TABLE1_DEGREES
+from repro.core.cost import MemoryTraffic, operational_intensity
+from repro.core.device import FPGADevice
+from repro.hardware.calibration import anchor
+from repro.hardware.catalog import SYSTEM_CATALOG
+
+
+@dataclass(frozen=True)
+class StreamSample:
+    """One STREAM operating point on the FPGA memory model."""
+
+    n: int
+    num_elements: int
+    transfer_bytes: int
+    effective_gbs: float
+    fraction_of_peak: float
+
+
+def stream_sweep(
+    device: FPGADevice,
+    n: int = 7,
+    sizes: tuple[int, ...] = (8, 32, 128, 512, 2048, 4096, 8192),
+) -> list[StreamSample]:
+    """Effective bandwidth of the banked kernel over transfer sizes."""
+    cfg = AcceleratorConfig.banked(n)
+    out: list[StreamSample] = []
+    traffic = MemoryTraffic(n)
+    for e in sizes:
+        state = effective_bandwidth(cfg, e, device.peak_bandwidth, ii=1)
+        out.append(
+            StreamSample(
+                n=n,
+                num_elements=e,
+                transfer_bytes=traffic.bytes_total(e),
+                effective_gbs=state.effective_bandwidth / 1e9,
+                fraction_of_peak=state.efficiency,
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class BandwidthUtilization:
+    """Achieved fraction of theoretical bandwidth for one system/degree."""
+
+    system: str
+    n: int
+    achieved_gbs: float
+    peak_gbs: float
+
+    @property
+    def fraction(self) -> float:
+        """``achieved / peak``."""
+        return self.achieved_gbs / self.peak_gbs
+
+
+def fpga_bandwidth_utilization(n: int) -> BandwidthUtilization:
+    """Achieved DDR fraction of the degree-``n`` accelerator at the
+    reference size, from the Table-I calibration."""
+    row = STRATIX10_TABLE1[n]
+    achieved = row.dofs_per_cycle * 64.0 * row.fmax_mhz * 1e6 / 1e9
+    return BandwidthUtilization("SEM-Acc (FPGA)", n, achieved, 76.8)
+
+
+def gpu_bandwidth_utilization(system: str, n: int) -> BandwidthUtilization:
+    """Implied memory-bandwidth fraction of a host system at the
+    reference size: ``GFLOP/s / I(N)`` over the vendor peak."""
+    spec = SYSTEM_CATALOG[system]
+    gflops, _ = anchor(system, n)
+    achieved = gflops / operational_intensity(n)
+    return BandwidthUtilization(system, n, achieved, spec.mem_bw_gbs)
+
+
+def utilization_comparison(
+    degrees: tuple[int, ...] = (7, 11, 15),
+    gpus: tuple[str, ...] = (
+        "NVIDIA Tesla P100 SXM2",
+        "NVIDIA Tesla V100 PCIe",
+        "NVIDIA A100 PCIe",
+    ),
+) -> list[BandwidthUtilization]:
+    """The paper's appendix comparison: FPGA vs GPU bandwidth fractions.
+
+    The returned list interleaves the FPGA row with the GPU rows per
+    degree.  In the calibrated data the FPGA's achieved fraction exceeds
+    every GPU's at N=15 (where the GPU kernel degrades: 85% vs 35-47%)
+    and exceeds the K80/RTX at every degree; the Tesla parts reach
+    comparable fractions at their sweet-spot degrees.  This supports the
+    paper's "if this continues to be the case for higher bandwidth
+    speeds, this provides a case in favor for future FPGAs in memory
+    bound applications".
+    """
+    out: list[BandwidthUtilization] = []
+    for n in degrees:
+        out.append(fpga_bandwidth_utilization(n))
+        for g in gpus:
+            out.append(gpu_bandwidth_utilization(g, n))
+    return out
+
+
+def _all_table1_utilizations() -> dict[int, float]:
+    """FPGA bandwidth fractions for every synthesized degree."""
+    return {
+        n: fpga_bandwidth_utilization(n).fraction for n in TABLE1_DEGREES
+    }

@@ -1,0 +1,165 @@
+"""Calibration data: the paper's measured Stratix 10 operating points.
+
+The reproduction substitutes real Quartus synthesis and a real Bittware
+520N board with models; quantities that are *outcomes of physical
+processes* (place-and-route clock, DDR4 effective bandwidth, power
+draw) cannot be derived from first principles and are instead anchored
+to the paper's own Table I — precisely the role the paper's "empirically
+measured" constants play in its Section-IV model.
+
+Provenance: every value is transcribed from Table I of the paper
+(arXiv:2010.13463).  Cells whose digits are ambiguous in the available
+scan (OCR damage) are marked ``approx`` and carry a reconstruction that
+is consistent with the paper's prose (the accelerator is logic-bound;
+utilization grows with N; see DESIGN.md §4-5).
+
+The *reference problem size* for all Table-I numbers is 4096 elements
+(the paper's Fig. 2 operating point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.device import ResourceVector
+
+#: Degrees the paper synthesized accelerators for.
+TABLE1_DEGREES: tuple[int, ...] = (1, 3, 5, 7, 9, 11, 13, 15)
+
+#: Total resources of the measured device (Intel Stratix 10 GX2800 on the
+#: Bittware 520N): 933,120 ALMs / ~3.73 M registers / 5,760 DSP blocks /
+#: 11,721 M20Ks.  Table I percentages are fractions of these totals.
+STRATIX10_TOTALS = ResourceVector(
+    alms=933_120.0,
+    registers=3_732_480.0,
+    dsps=5_760.0,
+    brams=11_721.0,
+)
+
+#: Peak external bandwidth of the measured platform (4 DDR4 banks, 512-bit
+#: controllers at 300 MHz): 76.8 GB/s.
+STRATIX10_PEAK_BANDWIDTH: float = 76.8e9
+
+#: Problem size (elements) at which Table I / Fig. 2 numbers are quoted.
+REFERENCE_ELEMENTS: int = 4096
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One synthesized accelerator of Table I.
+
+    ``dofs_per_cycle`` is the paper's *measured* throughput at the
+    reference size; ``model_error_pct`` its reported gap to the model's
+    ``T_max``.  ``approx_fields`` lists columns reconstructed from
+    OCR-damaged cells.
+    """
+
+    n: int
+    fmax_mhz: float
+    logic_pct: float
+    registers: int
+    bram_pct: float
+    dsp_pct: float
+    power_w: float
+    gflops: float
+    gflops_per_w: float
+    dofs_per_cycle: float
+    model_error_pct: float
+    approx_fields: tuple[str, ...] = ()
+
+
+#: Table I of the paper, row per synthesized degree.
+STRATIX10_TABLE1: dict[int, Table1Row] = {
+    row.n: row
+    for row in (
+        Table1Row(1, 391.0, 31.0, 539409, 4.0, 6.0, 81.05, 22.1, 0.27, 1.45, 27.61),
+        Table1Row(3, 292.0, 50.0, 1031880, 9.0, 14.0, 84.38, 62.2, 0.78, 3.28, 17.99),
+        Table1Row(
+            5, 243.0, 46.0, 968793, 10.0, 15.0, 77.52, 31.4, 0.41, 1.48, 25.89,
+            approx_fields=("dsp_pct",),
+        ),
+        Table1Row(
+            7, 274.0, 72.0, 1464437, 18.0, 24.0, 90.38, 109.0, 1.21, 3.58, 10.05,
+            approx_fields=("logic_pct",),
+        ),
+        Table1Row(
+            9, 233.0, 59.0, 1350551, 27.0, 15.0, 84.31, 62.4, 0.74, 1.98, 0.82,
+            approx_fields=("dsp_pct",),
+        ),
+        Table1Row(
+            11, 216.0, 69.0, 1511613, 34.0, 27.0, 90.65, 136.4, 1.50, 3.96, 1.02,
+            approx_fields=("dsp_pct",),
+        ),
+        Table1Row(
+            13, 170.0, 70.0, 1644011, 53.0, 20.0, 83.37, 62.14, 0.74, 1.99, 0.31,
+            approx_fields=("logic_pct", "dsp_pct"),
+        ),
+        Table1Row(
+            15, 266.0, 71.0, 1705581, 39.0, 22.0, 99.65, 211.3, 2.12, 3.83, 4.30,
+            approx_fields=("logic_pct",),
+        ),
+    )
+}
+
+
+def fmax_mhz(n: int) -> float:
+    """Measured kernel clock of the degree-``n`` accelerator (Table I)."""
+    return _row(n).fmax_mhz
+
+
+def measured_dofs_per_cycle(n: int) -> float:
+    """Measured throughput (DOF/cycle) at the reference size (Table I)."""
+    return _row(n).dofs_per_cycle
+
+
+def measured_power_w(n: int) -> float:
+    """Measured board power for the degree-``n`` accelerator (Table I)."""
+    return _row(n).power_w
+
+
+def stream_efficiency(n: int) -> float:
+    """Effective/peak bandwidth ratio the degree-``n`` kernel achieved.
+
+    Derived from Table I: ``measured DOF/cycle * 64 B * fmax / B_peak``.
+    This plays the role of the paper's STREAM-for-FPGA measurements [42]:
+    an input- and access-pattern-dependent effective bandwidth.  For
+    arbitration-limited degrees the kernel *demands* less than peak, so
+    the value is a lower bound on supply; the simulator combines it with
+    the demand cap ``min(T_design, supply)``.
+    """
+    row = _row(n)
+    return (
+        row.dofs_per_cycle * 64.0 * row.fmax_mhz * 1e6 / STRATIX10_PEAK_BANDWIDTH
+    )
+
+
+#: Elements at which the effective-bandwidth ramp reaches half of its
+#: asymptote.  Chosen so Fig. 1's FPGA curves saturate near ~1000
+#: elements as in the paper; the Table-I operating point (4096 elements)
+#: is normalized to exactly the measured value.
+BANDWIDTH_RAMP_E_HALF: float = 40.0
+
+#: OpenCL kernel-launch overhead on the FPGA host (seconds); dominates
+#: tiny problem sizes in Fig. 1.
+FPGA_LAUNCH_OVERHEAD_S: float = 20e-6
+
+
+def bandwidth_ramp(num_elements: int, e_half: float = BANDWIDTH_RAMP_E_HALF) -> float:
+    """Size-dependent effective-bandwidth factor, normalized to 1 at the
+    reference size: ``ramp(E) = [E/(E+h)] / [E_ref/(E_ref+h)]`` capped at
+    the asymptote."""
+    if num_elements < 1:
+        raise ValueError(f"element count must be >= 1, got {num_elements}")
+    ref = REFERENCE_ELEMENTS / (REFERENCE_ELEMENTS + e_half)
+    val = num_elements / (num_elements + e_half) / ref
+    return min(val, 1.0 / ref)
+
+
+def _row(n: int) -> Table1Row:
+    try:
+        return STRATIX10_TABLE1[n]
+    except KeyError:
+        raise KeyError(
+            f"no Table-I calibration for degree N={n}; available: "
+            f"{sorted(STRATIX10_TABLE1)}"
+        ) from None

@@ -1,0 +1,113 @@
+"""The paper's Section-IV cost measures: ``C(N)``, ``Q(N)`` and ``I(N)``.
+
+Per degree-of-freedom (DOF = one GLL point of one element) the kernel
+executes
+
+``C(N) = (adds, mults) = (6(N+1) + 6, 6(N+1) + 9)``
+
+floating-point operations and transfers
+
+``Q(N) = (loads, writes) = (7, 1)``
+
+doubles to/from external memory (six geometric factors + the operand
+``u`` in; the result ``w`` out — all intra-element reuse of ``u`` happens
+on chip).  The operational intensity follows:
+
+``I(N) = (12(N+1) + 15) / (8 * S)``  FLOP/byte with ``S = 8``.
+
+These formulas are *independently derived* from the HLS loop-nest IR in
+:func:`repro.hls.loopnest.ax_ops_per_dof`; a unit test pins the two
+derivations together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import BYTES_PER_DOUBLE
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Arithmetic cost of the ``Ax`` kernel per DOF at degree ``n``."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"polynomial degree must be >= 1, got {self.n}")
+
+    @property
+    def nx(self) -> int:
+        """GLL points per direction, ``N + 1``."""
+        return self.n + 1
+
+    @property
+    def adds(self) -> int:
+        """Additions per DOF: ``6(N+1) + 6``."""
+        return 6 * self.nx + 6
+
+    @property
+    def mults(self) -> int:
+        """Multiplications per DOF: ``6(N+1) + 9``."""
+        return 6 * self.nx + 9
+
+    @property
+    def total(self) -> int:
+        """All FLOPs per DOF: ``12(N+1) + 15``."""
+        return self.adds + self.mults
+
+    def flops(self, num_elements: int) -> int:
+        """Total FLOPs to apply ``Ax`` to ``num_elements`` elements."""
+        if num_elements < 0:
+            raise ValueError(f"element count must be >= 0, got {num_elements}")
+        return self.total * num_elements * self.nx ** 3
+
+
+@dataclass(frozen=True)
+class MemoryTraffic:
+    """External-memory traffic of the ``Ax`` kernel per DOF (``Q(N)``).
+
+    The counts are degree-independent: each DOF streams its six geometric
+    factors and one operand value in, and one result value out.  (The
+    derivative matrices are preloaded once and amortize to zero.)
+    """
+
+    n: int
+    loads: int = 7
+    writes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"polynomial degree must be >= 1, got {self.n}")
+
+    @property
+    def doubles_per_dof(self) -> int:
+        """Total doubles moved per DOF (``loads + writes`` = 8)."""
+        return self.loads + self.writes
+
+    @property
+    def bytes_per_dof(self) -> int:
+        """Bytes moved per DOF (``8 * S`` = 64)."""
+        return self.doubles_per_dof * BYTES_PER_DOUBLE
+
+    def bytes_total(self, num_elements: int) -> int:
+        """Total external traffic for ``num_elements`` elements."""
+        if num_elements < 0:
+            raise ValueError(f"element count must be >= 0, got {num_elements}")
+        return self.bytes_per_dof * num_elements * (self.n + 1) ** 3
+
+
+def flops_per_dof(n: int) -> int:
+    """Shorthand for ``KernelCost(n).total`` = ``12(N+1) + 15``."""
+    return KernelCost(n).total
+
+
+def bytes_per_dof(n: int) -> int:
+    """Shorthand for ``MemoryTraffic(n).bytes_per_dof`` = 64."""
+    return MemoryTraffic(n).bytes_per_dof
+
+
+def operational_intensity(n: int) -> float:
+    """The paper's ``I(N) = (12(N+1) + 15) / 64`` in FLOP/byte."""
+    return flops_per_dof(n) / bytes_per_dof(n)

@@ -1,0 +1,131 @@
+"""Design-space exploration over accelerator configurations.
+
+Sweeps the §III knobs (unroll, II pragma, memory layout) on a device,
+evaluates performance (simulator) and cost (synthesis report), and
+extracts the Pareto frontier — the tool a designer would actually use on
+top of the paper's model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from repro.core.accel.config import AcceleratorConfig
+from repro.core.accel.kernel import SEMAccelerator
+from repro.core.accel.synth import SynthesisReport, synthesize
+from repro.core.calibration import REFERENCE_ELEMENTS
+from repro.core.device import FPGADevice
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration: performance vs cost."""
+
+    config: AcceleratorConfig
+    gflops: float
+    dofs_per_cycle: float
+    logic_frac: float
+    dsp_frac: float
+    power_w: float
+    feasible: bool
+
+    @property
+    def gflops_per_w(self) -> float:
+        """Power efficiency of the design point."""
+        return self.gflops / self.power_w
+
+
+def enumerate_design_space(
+    n: int,
+    device: FPGADevice,
+    num_elements: int = REFERENCE_ELEMENTS,
+    unrolls: Iterable[int] | None = None,
+    include_layouts: bool = True,
+) -> list[DesignPoint]:
+    """Evaluate all (unroll, ii1, layout) combinations for degree ``n``.
+
+    ``unrolls`` defaults to the powers of two up to ``N + 1``.  Designs
+    whose synthesized logic exceeds the device are marked infeasible but
+    still reported (a designer wants to see *why* a point is out).
+    """
+    if unrolls is None:
+        unrolls = []
+        t = 1
+        while t <= n + 1:
+            unrolls.append(t)
+            t *= 2
+    points: list[DesignPoint] = []
+    layouts = (True, False) if include_layouts else (True,)
+    for t in unrolls:
+        for ii1 in (True, False):
+            for banked in layouts:
+                cfg = replace(
+                    AcceleratorConfig(n=n, unroll=t),
+                    force_ii1=ii1,
+                    banked_memory=banked,
+                )
+                rep = SEMAccelerator(cfg, device).performance(num_elements)
+                syn: SynthesisReport = synthesize(cfg, device)
+                feasible = (
+                    syn.utilization["alms"] <= 1.0
+                    and syn.utilization["dsps"] <= 1.0
+                )
+                points.append(
+                    DesignPoint(
+                        config=cfg,
+                        gflops=rep.gflops,
+                        dofs_per_cycle=rep.dofs_per_cycle,
+                        logic_frac=syn.utilization["alms"],
+                        dsp_frac=syn.utilization["dsps"],
+                        power_w=syn.power_w,
+                        feasible=feasible,
+                    )
+                )
+    return points
+
+
+def pareto_frontier(
+    points: Iterable[DesignPoint],
+    feasible_only: bool = True,
+) -> list[DesignPoint]:
+    """Points not dominated in (max GFLOP/s, min logic, min power).
+
+    A point dominates another if it is at least as good on all three
+    axes and strictly better on one.
+    """
+    pool = [p for p in points if p.feasible or not feasible_only]
+
+    def dominates(a: DesignPoint, b: DesignPoint) -> bool:
+        no_worse = (
+            a.gflops >= b.gflops
+            and a.logic_frac <= b.logic_frac
+            and a.power_w <= b.power_w
+        )
+        better = (
+            a.gflops > b.gflops
+            or a.logic_frac < b.logic_frac
+            or a.power_w < b.power_w
+        )
+        return no_worse and better
+
+    return [
+        p for p in pool if not any(dominates(q, p) for q in pool if q is not p)
+    ]
+
+
+def best_design(
+    n: int,
+    device: FPGADevice,
+    num_elements: int = REFERENCE_ELEMENTS,
+) -> DesignPoint:
+    """Highest-GFLOP/s feasible design for degree ``n`` on ``device``.
+
+    For the Stratix 10 this recovers the paper's shipped configuration
+    (banked, ``ii1``, unroll = the bandwidth-constrained legal maximum).
+    """
+    points = enumerate_design_space(n, device, num_elements)
+    feasible = [p for p in points if p.feasible]
+    if not feasible:
+        raise ValueError(f"no feasible design for N={n} on {device.name}")
+    return max(feasible, key=lambda p: p.gflops)

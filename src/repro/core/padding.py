@@ -1,0 +1,93 @@
+"""The paper's §III-E / §IV padding analysis.
+
+When ``N + 1`` is not divisible by the desired unroll ``T2``, the host
+can pad each element to the nearest larger size ``N2 + 1`` that is.
+Padding buys a higher conflict-free throughput but inflates the work by
+``((N+1+p) / (N+1))^3``; the paper's net *gain* expression is
+
+``gain = (T2 / T1) / ((N+1+p)/(N+1))^3``
+
+(with ``T1`` the best native unroll) and is < 1 — a slowdown — for most
+small degrees, which is why the paper ultimately does not use padding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import pow2_divisor_floor, pow2_floor
+
+
+@dataclass(frozen=True)
+class PaddingPlan:
+    """A padding decision for degree ``n`` targeting unroll ``t2``.
+
+    Attributes
+    ----------
+    n:
+        Original polynomial degree.
+    pad:
+        Points added per direction (``p`` in the paper; 0 = no padding).
+    t_native:
+        Best conflict-free unroll without padding.
+    t_padded:
+        Unroll achieved after padding (= ``t2``).
+    work_factor:
+        Volume inflation ``((N+1+p)/(N+1))^3`` (>= 1).
+    gain:
+        Net throughput gain ``(t_padded / t_native) / work_factor``;
+        > 1 means padding helps.
+    """
+
+    n: int
+    pad: int
+    t_native: int
+    t_padded: int
+    work_factor: float
+    gain: float
+
+
+def padding_gain(n: int, t2: int) -> PaddingPlan:
+    """Evaluate padding degree ``n`` up to the nearest multiple of ``t2``.
+
+    Parameters
+    ----------
+    n:
+        Polynomial degree (>= 1).
+    t2:
+        Target unroll / vector length; must be a power of two.
+    """
+    if n < 1:
+        raise ValueError(f"degree must be >= 1, got {n}")
+    if t2 < 1 or pow2_floor(t2) != t2:
+        raise ValueError(f"target unroll must be a power of two, got {t2}")
+    nx = n + 1
+    t_native = pow2_divisor_floor(min(t2, nx), nx)
+    pad = (-nx) % t2
+    nx2 = nx + pad
+    t_padded = min(t2, nx2)
+    work = (nx2 / nx) ** 3
+    gain = (t_padded / max(t_native, 1)) / work
+    return PaddingPlan(
+        n=n,
+        pad=pad,
+        t_native=t_native,
+        t_padded=t_padded,
+        work_factor=work,
+        gain=gain,
+    )
+
+
+def best_padding(n: int, t_max: int = 16) -> PaddingPlan:
+    """Best padding plan for degree ``n`` among target unrolls up to
+    ``t_max`` (inclusive, powers of two).  Returns the plan with the
+    largest net gain; ties favour no padding."""
+    best: PaddingPlan | None = None
+    t2 = 1
+    while t2 <= t_max:
+        plan = padding_gain(n, t2)
+        if best is None or plan.gain > best.gain + 1e-12:
+            best = plan
+        t2 *= 2
+    assert best is not None
+    return best

@@ -1,0 +1,254 @@
+"""The assembled Section-IV performance model: ``P_max(N) = C * T_max * f``.
+
+:class:`PerformanceModel` binds an :class:`~repro.core.device.FPGADevice`
+to the cost/resource/throughput pieces and answers the paper's questions:
+
+* what throughput ``T_max(N, B, R_tot)`` can a device sustain,
+* what peak ``P_max(N)`` follows at a kernel clock ``f``,
+* which resource (or the memory) is the *binding constraint* — the basis
+  of the paper's "what would an ideal FPGA look like" discussion.
+
+The empirical ``R_base(N)`` is obtained from the Table-I calibration via
+:func:`stratix_base_provider` (the paper: "can be empirically measured
+for each degree").  Projections reuse the Stratix-measured base verbatim,
+exactly as the paper does ("Using our performance model and the
+experimental resource utilization we have on the Stratix 10, we project
+the performance of three devices").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+import numpy as np
+
+from repro.core.calibration import (
+    STRATIX10_TABLE1,
+    STRATIX10_TOTALS,
+    TABLE1_DEGREES,
+)
+from repro.core.cost import KernelCost, flops_per_dof
+from repro.core.device import FPGADevice, OperatorCosts, ResourceVector
+from repro.core.resources import (
+    ax_bram_blocks,
+    base_resources_from_measurement,
+    compute_resources,
+    fabric_throughput_bound,
+)
+from repro.core.throughput import (
+    ConstraintMode,
+    bandwidth_throughput,
+    constrain_throughput,
+    max_throughput,
+)
+from repro.util.units import MEGA
+from repro.util.validation import pow2_divisor_floor
+
+BaseProvider = Callable[[int], ResourceVector]
+
+
+def table1_measured_resources(n: int) -> ResourceVector:
+    """Absolute measured utilization of the degree-``n`` accelerator,
+    reconstructed from Table I's percentages against the Stratix 10
+    GX2800 totals (the measurement platform)."""
+    row = STRATIX10_TABLE1[n]
+    return ResourceVector(
+        alms=row.logic_pct / 100.0 * STRATIX10_TOTALS.alms,
+        registers=float(row.registers),
+        dsps=row.dsp_pct / 100.0 * STRATIX10_TOTALS.dsps,
+        brams=row.bram_pct / 100.0 * STRATIX10_TOTALS.brams,
+    )
+
+
+def table1_design_throughput(n: int) -> int:
+    """The unroll the paper's kernels were built with: the largest power
+    of two that divides ``N + 1`` and respects the Stratix bandwidth
+    budget of 4 DOF/cycle (T = 2, 4, 2, 4, ... for N = 1, 3, 5, 7, ...)."""
+    return pow2_divisor_floor(4.0, n + 1)
+
+
+@lru_cache(maxsize=1)
+def stratix_base_provider() -> BaseProvider:
+    """Fit ``R_base(N)`` once from the Table-I measurements.
+
+    ``R_base(N) = R_measured(N) - R_comp(N)`` at the design throughput
+    with the measured fabric's operator costs, clamped at zero per
+    component.  Degrees between the calibrated odd degrees are linearly
+    interpolated; degrees outside the range clamp to the nearest
+    calibrated value.  The result is device-independent (it is control /
+    shell / load-store logic) and is reused verbatim for projections.
+    """
+    op_costs = OperatorCosts.stratix10_double()
+    degs = np.array(TABLE1_DEGREES, dtype=float)
+    bases: list[ResourceVector] = []
+    for n in TABLE1_DEGREES:
+        measured = table1_measured_resources(n)
+        base = base_resources_from_measurement(
+            measured,
+            KernelCost(n),
+            table1_design_throughput(n),
+            op_costs,
+        )
+        bases.append(base)
+    alms = np.array([b.alms for b in bases])
+    regs = np.array([b.registers for b in bases])
+    dsps = np.array([b.dsps for b in bases])
+    brams = np.array([b.brams for b in bases])
+
+    def provider(n: int) -> ResourceVector:
+        x = float(np.clip(n, degs[0], degs[-1]))
+        return ResourceVector(
+            alms=float(np.interp(x, degs, alms)),
+            registers=float(np.interp(x, degs, regs)),
+            dsps=float(np.interp(x, degs, dsps)),
+            brams=float(np.interp(x, degs, brams)),
+        )
+
+    return provider
+
+
+def zero_base_provider() -> BaseProvider:
+    """``R_base = 0`` for every degree.
+
+    Used for the paper's *ideal* hypothetical device, which is sized
+    backwards from the target throughput using compute resources alone
+    (there is no measured base for a device that does not exist: 20k
+    DSPs = 105 mults/DOF x 64 DOF/cycle x 3 DSPs, 6.2M ALMs = 64 x
+    (102 adds x 750 + 105 mults x 200)).
+    """
+    zero = ResourceVector()
+
+    def provider(n: int) -> ResourceVector:  # noqa: ARG001 - uniform base
+        return zero
+
+    return provider
+
+
+@dataclass(frozen=True)
+class ModelPrediction:
+    """Full model output for one degree on one device."""
+
+    n: int
+    kernel_mhz: float
+    t_resource: float
+    t_bandwidth: float
+    t_max: float
+    gflops: float
+    binding: str
+    bram_blocks: int
+    bram_feasible: bool
+    resources: ResourceVector
+
+
+@dataclass
+class PerformanceModel:
+    """The paper's FPGA performance model bound to a device.
+
+    Parameters
+    ----------
+    device:
+        Target FPGA.
+    base_provider:
+        ``R_base(N)`` source; defaults to the Stratix-measured Table-I
+        fit (exactly the paper's projection methodology: measured bases
+        reused on future fabrics).
+    mode:
+        Throughput quantization mode (measured vs projection).
+    """
+
+    device: FPGADevice
+    base_provider: BaseProvider | None = None
+    mode: ConstraintMode = ConstraintMode.MEASURED
+
+    def __post_init__(self) -> None:
+        if self.base_provider is None:
+            self.base_provider = stratix_base_provider()
+
+    # ------------------------------------------------------------------
+    def t_bandwidth(self, kernel_mhz: float | None = None) -> float:
+        """``T_B`` at the given kernel clock (device default otherwise)."""
+        f = (kernel_mhz or self.device.max_kernel_mhz) * MEGA
+        return bandwidth_throughput(self.device.peak_bandwidth, f)
+
+    def t_resource(self, n: int) -> float:
+        """``T_R``: fabric-supported throughput for degree ``n``."""
+        assert self.base_provider is not None
+        return fabric_throughput_bound(
+            self.device.fabric, KernelCost(n), self.base_provider(n)
+        )
+
+    def t_max(self, n: int, kernel_mhz: float | None = None) -> float:
+        """``T_max = min(T_R, T_B)`` with the mode's quantization."""
+        return max_throughput(
+            self.t_resource(n), self.t_bandwidth(kernel_mhz), n + 1, self.mode
+        )
+
+    def peak_gflops(self, n: int, kernel_mhz: float | None = None) -> float:
+        """``P_max(N) = (12(N+1)+15) * T_max * f`` in GFLOP/s."""
+        f_mhz = kernel_mhz or self.device.max_kernel_mhz
+        return flops_per_dof(n) * self.t_max(n, kernel_mhz) * f_mhz * MEGA / 1e9
+
+    # ------------------------------------------------------------------
+    def predict(self, n: int, kernel_mhz: float | None = None) -> ModelPrediction:
+        """Full prediction with binding-constraint attribution."""
+        assert self.base_provider is not None
+        f_mhz = kernel_mhz or self.device.max_kernel_mhz
+        t_r = self.t_resource(n)
+        t_b = self.t_bandwidth(kernel_mhz)
+        t = max_throughput(t_r, t_b, n + 1, self.mode)
+        gflops = flops_per_dof(n) * t * f_mhz * MEGA / 1e9
+
+        binding = self._binding(n, t_r, t_b)
+        t_int = max(1, int(round(t))) if t >= 1 else 1
+        blocks = ax_bram_blocks(n, t_int)
+        base = self.base_provider(n)
+        used = base + compute_resources(
+            KernelCost(n), t, self.device.fabric.op_costs
+        )
+        used = ResourceVector(used.alms, used.registers, used.dsps, float(blocks))
+        feasible = blocks + base.brams <= self.device.fabric.total.brams
+        return ModelPrediction(
+            n=n,
+            kernel_mhz=f_mhz,
+            t_resource=t_r,
+            t_bandwidth=t_b,
+            t_max=t,
+            gflops=gflops,
+            binding=binding,
+            bram_blocks=blocks,
+            bram_feasible=feasible,
+            resources=used,
+        )
+
+    def _binding(self, n: int, t_r: float, t_b: float) -> str:
+        """Name the constraint that limits ``T_max``."""
+        if t_b <= t_r:
+            return "bandwidth"
+        assert self.base_provider is not None
+        cost = KernelCost(n)
+        base = self.base_provider(n)
+        remaining = (self.device.fabric.usable - base).clamped()
+        per_unit = (
+            self.device.fabric.op_costs.add * float(cost.adds)
+            + self.device.fabric.op_costs.mult * float(cost.mults)
+        )
+        candidates = []
+        if per_unit.alms > 0:
+            candidates.append(("logic", remaining.alms / per_unit.alms))
+        if per_unit.dsps > 0:
+            candidates.append(("dsp", remaining.dsps / per_unit.dsps))
+        if per_unit.registers > 0:
+            candidates.append(("registers", remaining.registers / per_unit.registers))
+        candidates.sort(key=lambda kv: kv[1])
+        return candidates[0][0] if candidates else "bandwidth"
+
+    # ------------------------------------------------------------------
+    def model_error_pct(self, n: int, measured_dofs_per_cycle: float) -> float:
+        """The paper's Table-I error column:
+        ``(T_model - T_measured) / T_model * 100``."""
+        t_model = self.t_max(n)
+        if t_model <= 0:
+            raise ValueError(f"model throughput is zero for N={n}")
+        return (t_model - measured_dofs_per_cycle) / t_model * 100.0

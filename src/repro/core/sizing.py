@@ -1,0 +1,133 @@
+"""Inverse design: size an FPGA from a performance target (paper §V-D).
+
+The paper's closing question — *"how would the FPGA device look that
+would beat or be comparable to the Ampere-100?"* — is an inverse problem
+on the Section-IV model: pick a target throughput (or GFLOP/s) and read
+off the resources and bandwidth it implies.  This module formalizes the
+calculation the paper does by hand (and that
+``examples/future_fpga_projection.py`` demonstrates).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.cost import KernelCost, MemoryTraffic, flops_per_dof
+from repro.core.device import (
+    FPGADevice,
+    FPGAFabric,
+    MemorySystem,
+    OperatorCosts,
+    ResourceVector,
+)
+from repro.core.resources import ax_bram_blocks, compute_resources
+from repro.util.units import MEGA
+from repro.util.validation import check_positive, pow2_floor
+
+
+@dataclass(frozen=True)
+class DeviceRequirement:
+    """Resources and bandwidth needed for a target operating point."""
+
+    n: int
+    throughput: int
+    kernel_mhz: float
+    gflops: float
+    resources: ResourceVector
+    bandwidth_bytes_per_s: float
+    bram_blocks: int
+
+    def as_device(self, name: str = "sized device") -> FPGADevice:
+        """Materialize the requirement as a :class:`FPGADevice` (banked
+        512-bit controllers at the kernel clock)."""
+        bank_bytes = 64 * self.kernel_mhz * MEGA
+        banks = max(1, math.ceil(self.bandwidth_bytes_per_s / bank_bytes))
+        return FPGADevice(
+            fabric=FPGAFabric(
+                name=name,
+                total=ResourceVector(
+                    alms=self.resources.alms,
+                    registers=self.resources.registers,
+                    dsps=self.resources.dsps,
+                    brams=float(self.bram_blocks),
+                ),
+                op_costs=OperatorCosts.specialized_dsp(),
+            ),
+            memory=MemorySystem(banks=banks, bus_bits=512, controller_mhz=self.kernel_mhz),
+            max_kernel_mhz=self.kernel_mhz,
+        )
+
+
+def size_for_throughput(
+    n: int,
+    throughput: int,
+    kernel_mhz: float = 300.0,
+    op_costs: OperatorCosts | None = None,
+) -> DeviceRequirement:
+    """Resources/bandwidth for ``throughput`` DOF/cycle at degree ``n``.
+
+    Uses specialized-DSP costs by default (the paper's ideal device).
+    Reproduces the paper's inventory at ``(n=15, T=64)``:
+    ~6.2M ALMs, ~20k DSPs, ~1.23 TB/s.
+    """
+    if n < 1:
+        raise ValueError(f"degree must be >= 1, got {n}")
+    check_positive("throughput", throughput)
+    check_positive("kernel_mhz", kernel_mhz)
+    costs = op_costs or OperatorCosts.specialized_dsp()
+    cost = KernelCost(n)
+    resources = compute_resources(cost, throughput, costs)
+    f_hz = kernel_mhz * MEGA
+    bandwidth = throughput * MemoryTraffic(n).bytes_per_dof * f_hz
+    gflops = flops_per_dof(n) * throughput * f_hz / 1e9
+    return DeviceRequirement(
+        n=n,
+        throughput=throughput,
+        kernel_mhz=kernel_mhz,
+        gflops=gflops,
+        resources=resources,
+        bandwidth_bytes_per_s=bandwidth,
+        bram_blocks=ax_bram_blocks(n, throughput),
+    )
+
+
+def size_for_gflops(
+    n: int,
+    target_gflops: float,
+    kernel_mhz: float = 300.0,
+    op_costs: OperatorCosts | None = None,
+    round_pow2: bool = True,
+) -> DeviceRequirement:
+    """Resources/bandwidth to reach ``target_gflops`` at degree ``n``.
+
+    The implied lane count is rounded *up* to the next power of two when
+    ``round_pow2`` (hardware lanes come in 2^k), so the sized device
+    meets or exceeds the target.
+    """
+    check_positive("target_gflops", target_gflops)
+    check_positive("kernel_mhz", kernel_mhz)
+    t_raw = target_gflops * 1e9 / (flops_per_dof(n) * kernel_mhz * MEGA)
+    if round_pow2:
+        t = pow2_floor(t_raw)
+        if t < t_raw:
+            t *= 2
+        t = max(1, t)
+    else:
+        t = max(1, math.ceil(t_raw))
+    return size_for_throughput(n, int(t), kernel_mhz, op_costs)
+
+
+def beat_the_a100(n: int = 15, margin: float = 1.0) -> DeviceRequirement:
+    """Size the device that matches ``margin`` x the A100 on this kernel.
+
+    The A100 reference is the calibrated host-model plateau at 4096
+    elements (1781 GF/s at N=15).  With the default margin the answer is
+    the paper's hypothetical FPGA up to lane quantization.
+    """
+    from repro.hardware.hostmodel import HostExecutionModel
+
+    check_positive("margin", margin)
+    a100 = HostExecutionModel.for_system("NVIDIA A100 PCIe")
+    target = a100.plateau_gflops(n) * margin
+    return size_for_gflops(n, target)

@@ -1,0 +1,109 @@
+"""Throughput bounds and the HLS vectorization constraint (paper §IV).
+
+``T_max(N, B, R_tot) = min(T_R, T_B)`` subject to
+
+* **measured mode** — today's HLS: ``T = 2^k`` *and* ``(N+1) mod T = 0``
+  (both derived in :mod:`repro.hls.unroll`); used for the Stratix 10
+  results in Table I / Fig. 1-3.
+* **projection mode** — the paper's future projections assume the
+  divisibility arbitration is fixed by better HLS but vectorization
+  stays power-of-two ("even if the device can support a throughput of,
+  say 6, this is reduced down to 4"); the *bandwidth* bound is not
+  quantized (projection memories are sized in whole DOF/cycle anyway).
+* **unconstrained mode** — the raw real-valued minimum, for rooflines
+  and model diagnostics.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.util.validation import pow2_divisor_floor, pow2_floor
+
+
+class ConstraintMode(Enum):
+    """How the raw throughput bound is quantized into a legal unroll."""
+
+    MEASURED = "measured"
+    PROJECTION = "projection"
+    UNCONSTRAINED = "unconstrained"
+
+
+#: Engineering slack applied before power-of-two flooring in projection
+#: mode.  A designer a few percent short of the next lane count would
+#: recover it (operator sharing, slightly fewer pipeline registers);
+#: the paper's ideal-device sizing (T = 64 from 20k DSPs = 63.5 lanes)
+#: relies on exactly this rounding.
+POW2_PROJECTION_SLACK: float = 1.05
+
+
+def bandwidth_throughput(
+    bandwidth_bytes_per_s: float,
+    kernel_hz: float,
+    bytes_per_dof: int = 64,
+) -> float:
+    """The paper's ``T_B = B / (8 S f)`` in DOF/cycle.
+
+    Parameters
+    ----------
+    bandwidth_bytes_per_s:
+        Available external bandwidth ``B`` (peak or effective).
+    kernel_hz:
+        Kernel clock ``f`` in Hz.
+    bytes_per_dof:
+        ``8 * S`` = 64 for the double-precision ``Ax`` kernel.
+    """
+    if bandwidth_bytes_per_s < 0:
+        raise ValueError(f"bandwidth must be >= 0, got {bandwidth_bytes_per_s}")
+    if kernel_hz <= 0:
+        raise ValueError(f"kernel clock must be > 0, got {kernel_hz}")
+    return bandwidth_bytes_per_s / (bytes_per_dof * kernel_hz)
+
+
+def constrain_throughput(t_raw: float, nx: int, mode: ConstraintMode) -> float:
+    """Quantize a raw throughput bound into a legal lane count.
+
+    Parameters
+    ----------
+    t_raw:
+        Unconstrained bound (e.g. ``min(T_R, T_B)`` or just ``T_R``).
+    nx:
+        GLL points per direction, ``N + 1``.
+    mode:
+        See :class:`ConstraintMode`.
+    """
+    if t_raw < 0:
+        raise ValueError(f"throughput must be >= 0, got {t_raw}")
+    if nx < 2:
+        raise ValueError(f"nx must be >= 2, got {nx}")
+    if mode is ConstraintMode.UNCONSTRAINED:
+        return t_raw
+    if mode is ConstraintMode.MEASURED:
+        return float(pow2_divisor_floor(min(t_raw, float(nx)), nx))
+    # PROJECTION: power-of-two only (the divisibility arbitration is
+    # assumed fixed by future HLS).  Lane counts beyond one row are
+    # allowed — e.g. the ideal device issues a whole nx^2 slab per cycle
+    # at N=7 — but never more than a full element.
+    return float(min(pow2_floor(t_raw * POW2_PROJECTION_SLACK), nx ** 3))
+
+
+def max_throughput(
+    t_resource: float,
+    t_bandwidth: float,
+    nx: int,
+    mode: ConstraintMode = ConstraintMode.MEASURED,
+) -> float:
+    """``T_max = min(T_R, T_B)`` with mode-dependent quantization.
+
+    In measured mode the *design* unroll must satisfy both the
+    vectorization constraint and the bandwidth budget, so the combined
+    minimum is quantized.  In projection mode only the resource side is
+    quantized — the paper sizes projection memories to integral DOF/cycle
+    and takes the plain minimum.
+    """
+    if mode is ConstraintMode.PROJECTION:
+        t_r = constrain_throughput(t_resource, nx, mode)
+        return min(t_r, t_bandwidth)
+    if mode is ConstraintMode.MEASURED:
+        return constrain_throughput(min(t_resource, t_bandwidth), nx, mode)
+    return min(t_resource, t_bandwidth)

@@ -1,0 +1,116 @@
+"""What-if analyses of the resource model (paper footnote 6 and §V-D).
+
+Two counterfactuals the paper discusses but does not tabulate:
+
+* **Single precision** — "Experiments with single-precision or lower may
+  work for some scenarios, but for longer simulations in particular the
+  cumulative error can lead to highly inaccurate results."  FP32
+  operators are far cheaper on this fabric (native single-precision DSP
+  modes): what throughput/performance would the same devices reach, had
+  precision not been non-negotiable?
+* **Specialized DSPs** — "there is always the opportunity for the
+  manufacturers to specialize their DSP blocks to double-precision…
+  which would reduce the pressure on the logic and likely make the
+  computation memory-bound."  :func:`specialize_dsps` applies that
+  transform to any device and reports the binding-constraint change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.cost import flops_per_dof
+from repro.core.device import FPGADevice, OperatorCosts, ResourceVector
+from repro.core.perfmodel import BaseProvider, PerformanceModel
+from repro.core.throughput import ConstraintMode
+
+
+def fp32_operator_costs() -> OperatorCosts:
+    """Single-precision operator costs on Stratix-class fabric.
+
+    The Stratix 10 DSP block implements an FP32 multiply-add *natively*
+    (one block), and an FP32 soft adder is ~4x cheaper than the FP64 one.
+    """
+    return OperatorCosts(
+        add=ResourceVector(alms=200.0, registers=400.0),
+        mult=ResourceVector(alms=30.0, registers=100.0, dsps=1.0),
+    )
+
+
+def fp32_device(device: FPGADevice) -> FPGADevice:
+    """Copy of ``device`` with FP32 operator costs on its fabric."""
+    return replace(
+        device, fabric=replace(device.fabric, op_costs=fp32_operator_costs())
+    )
+
+
+def specialize_dsps(device: FPGADevice) -> FPGADevice:
+    """Copy of ``device`` with double-precision-specialized DSP blocks
+    (the §V-D manufacturer opportunity): multiplier cost 3 DSPs and the
+    logic pressure unchanged."""
+    return replace(
+        device,
+        fabric=replace(device.fabric, op_costs=OperatorCosts.specialized_dsp()),
+    )
+
+
+@dataclass(frozen=True)
+class PrecisionComparison:
+    """FP64 vs FP32 on one device at one degree.
+
+    FP32 also halves the bytes per DOF (32 instead of 64), doubling the
+    bandwidth-bound throughput.
+    """
+
+    n: int
+    device_name: str
+    t_fp64: float
+    t_fp32: float
+    gflops_fp64: float
+    gflops_fp32: float
+    binding_fp64: str
+    binding_fp32: str
+
+    @property
+    def speedup(self) -> float:
+        """FP32/FP64 performance ratio (in respective FLOP/s)."""
+        return self.gflops_fp32 / self.gflops_fp64
+
+
+def compare_precision(
+    device: FPGADevice,
+    n: int,
+    mode: ConstraintMode = ConstraintMode.PROJECTION,
+    base_provider: BaseProvider | None = None,
+) -> PrecisionComparison:
+    """Evaluate the single-precision counterfactual on ``device``.
+
+    The FP32 bandwidth bound uses 32 B/DOF; the resource bound uses
+    :func:`fp32_operator_costs`.  Constraint handling matches the FP64
+    path.
+    """
+    pm64 = PerformanceModel(device, base_provider=base_provider, mode=mode)
+    p64 = pm64.predict(n)
+
+    dev32 = fp32_device(device)
+    pm32 = PerformanceModel(dev32, base_provider=base_provider, mode=mode)
+    # Halved bytes/DOF -> doubled T_B; reuse the model by scaling.
+    from repro.core.throughput import bandwidth_throughput, max_throughput
+    from repro.util.units import MEGA
+
+    f_hz = dev32.max_kernel_mhz * MEGA
+    t_b32 = bandwidth_throughput(dev32.peak_bandwidth, f_hz, bytes_per_dof=32)
+    t_r32 = pm32.t_resource(n)
+    t32 = max_throughput(t_r32, t_b32, n + 1, mode)
+    gflops32 = flops_per_dof(n) * t32 * f_hz / 1e9
+    binding32 = "bandwidth" if t_b32 <= t_r32 else pm32.predict(n).binding
+    return PrecisionComparison(
+        n=n,
+        device_name=device.name,
+        t_fp64=p64.t_max,
+        t_fp32=t32,
+        gflops_fp64=p64.gflops,
+        gflops_fp32=gflops32,
+        binding_fp64=p64.binding,
+        binding_fp32=binding32,
+    )

@@ -1,0 +1,55 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Run from the command line::
+
+    python -m repro.experiments table1
+    python -m repro.experiments all
+
+or import the builders (``build_table1`` etc.) for programmatic access —
+the benchmark harness and the test-suite both do.
+"""
+
+from repro.experiments.common import ExperimentResult, Series
+from repro.experiments.table1 import build_table1
+from repro.experiments.table2 import build_table2
+from repro.experiments.fig1 import build_fig1, crossover_summary
+from repro.experiments.fig2 import build_fig2, FIG2_DEGREES
+from repro.experiments.fig3 import build_fig3
+from repro.experiments.ablations import (
+    build_gxyz_split,
+    build_journey,
+    build_memory_layout,
+    build_padding,
+)
+from repro.experiments.bandwidth import build_bandwidth_utilization, build_stream
+from repro.experiments.export import export_all, export_result
+from repro.experiments.pcie import build_pcie_study
+from repro.experiments.whatif import (
+    build_dsp_specialization,
+    build_precision_whatif,
+    build_sizing,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "Series",
+    "build_table1",
+    "build_table2",
+    "build_fig1",
+    "crossover_summary",
+    "build_fig2",
+    "FIG2_DEGREES",
+    "build_fig3",
+    "build_gxyz_split",
+    "build_journey",
+    "build_memory_layout",
+    "build_padding",
+    "build_bandwidth_utilization",
+    "build_stream",
+    "build_dsp_specialization",
+    "build_precision_whatif",
+    "build_sizing",
+    "build_pcie_study",
+    "export_all",
+    "export_result",
+]

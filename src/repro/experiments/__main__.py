@@ -1,0 +1,76 @@
+"""CLI for the experiment drivers: ``python -m repro.experiments <name>``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    build_bandwidth_utilization,
+    build_dsp_specialization,
+    build_fig1,
+    build_fig2,
+    build_fig3,
+    build_gxyz_split,
+    build_journey,
+    build_memory_layout,
+    build_padding,
+    build_precision_whatif,
+    build_sizing,
+    build_stream,
+    build_table1,
+    build_table2,
+)
+from repro.experiments import build_pcie_study
+from repro.experiments.fig1 import crossover_summary
+
+_DRIVERS = {
+    "table1": lambda: build_table1().render(),
+    "table2": lambda: build_table2().render(),
+    "fig1": lambda: _fig1(),
+    "fig2": lambda: build_fig2().render(),
+    "fig3": lambda: build_fig3().render(),
+    "ablations": lambda: "\n\n".join(
+        b().render()
+        for b in (build_journey, build_padding, build_memory_layout, build_gxyz_split)
+    ),
+    "bandwidth": lambda: "\n\n".join(
+        b().render() for b in (build_bandwidth_utilization, build_stream)
+    ),
+    "pcie": lambda: build_pcie_study().render(),
+    "whatif": lambda: "\n\n".join(
+        b().render()
+        for b in (build_precision_whatif, build_dsp_specialization, build_sizing)
+    ),
+}
+
+
+def _fig1() -> str:
+    result = build_fig1()
+    result.notes.extend(crossover_summary(result))
+    return result.render()
+
+
+def main(argv: list[str]) -> int:
+    """Dispatch one or all experiment drivers, or export CSVs."""
+    if argv and argv[0] == "export":
+        from repro.experiments.export import export_all
+
+        out_dir = argv[1] if len(argv) > 1 else "results"
+        paths = export_all(out_dir)
+        print(f"wrote {len(paths)} files to {out_dir}/")
+        return 0
+    if len(argv) != 1 or argv[0] not in (*_DRIVERS, "all"):
+        names = ", ".join((*_DRIVERS, "all", "export [dir]"))
+        print(f"usage: python -m repro.experiments <{names}>", file=sys.stderr)
+        return 2
+    if argv[0] == "all":
+        for name, driver in _DRIVERS.items():
+            print(driver())
+            print()
+    else:
+        print(_DRIVERS[argv[0]]())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,98 @@
+"""Export regenerated artifacts to CSV (plot-ready result files).
+
+``python -m repro.experiments export <dir>`` writes one CSV per table
+and one per figure series set — the files a downstream user would feed
+to their plotting stack to redraw the paper's figures.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Callable
+
+from repro.experiments.common import ExperimentResult
+
+Builder = Callable[[], ExperimentResult]
+
+
+def export_result(result: ExperimentResult, directory: Path) -> list[Path]:
+    """Write one experiment's rows (and series, if any) as CSV files.
+
+    Returns the created paths.  Row tables go to ``<exp_id>.csv``;
+    series go to ``<exp_id>_series.csv`` in long format
+    ``(series, x, y, meta...)``.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    if result.rows:
+        path = directory / f"{result.exp_id}.csv"
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(result.headers)
+            for row in result.rows:
+                writer.writerow(["" if c is None else c for c in row])
+        written.append(path)
+
+    if result.series:
+        path = directory / f"{result.exp_id}_series.csv"
+        meta_keys = sorted({k for s in result.series for k in s.meta})
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["series", "x", "y", *meta_keys])
+            for s in result.series:
+                metas = [s.meta.get(k, "") for k in meta_keys]
+                for x, y in zip(s.x, s.y):
+                    writer.writerow([s.name, x, y, *metas])
+        written.append(path)
+    return written
+
+
+def default_builders() -> dict[str, Builder]:
+    """All experiment builders keyed by their artifact name."""
+    from repro.experiments import (
+        build_bandwidth_utilization,
+        build_dsp_specialization,
+        build_fig1,
+        build_fig2,
+        build_fig3,
+        build_gxyz_split,
+        build_journey,
+        build_memory_layout,
+        build_padding,
+        build_pcie_study,
+        build_precision_whatif,
+        build_sizing,
+        build_stream,
+        build_table1,
+        build_table2,
+    )
+
+    return {
+        "table1": build_table1,
+        "table2": build_table2,
+        "fig1": build_fig1,
+        "fig2": build_fig2,
+        "fig3": build_fig3,
+        "journey": build_journey,
+        "padding": build_padding,
+        "memory_layout": build_memory_layout,
+        "gxyz_split": build_gxyz_split,
+        "bandwidth_utilization": build_bandwidth_utilization,
+        "stream": build_stream,
+        "precision_whatif": build_precision_whatif,
+        "dsp_specialization": build_dsp_specialization,
+        "sizing": build_sizing,
+        "pcie": build_pcie_study,
+    }
+
+
+def export_all(directory: Path | str) -> list[Path]:
+    """Regenerate and export every artifact; returns written paths."""
+    directory = Path(directory)
+    written: list[Path] = []
+    for builder in default_builders().values():
+        written.extend(export_result(builder(), directory))
+    return written

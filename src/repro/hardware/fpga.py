@@ -1,0 +1,120 @@
+"""Concrete FPGA devices: the measured Stratix 10 and the paper's
+three projected devices (§V-D).
+
+Resource inventories and memory sizings follow the paper's description:
+
+* **Stratix 10 GX2800** (Bittware 520N) — the measured platform:
+  933,120 ALMs, 5,760 DSPs, 11,721 M20Ks, 4 DDR4 banks = 76.8 GB/s.
+* **Agilex 027** — "a generation ahead", coupled with 153.6 GB/s
+  (= 8 DOF/cycle at 300 MHz, "similar to ThunderX2").
+* **Stratix 10M** — ASIC-prototyping device, "3.6x larger" logic,
+  "5.7k DSP blocks", coupled with ~306 GB/s (= 16 DOF/cycle).  Its DSP
+  architecture is less efficient for double-precision multipliers on
+  this fabric: the paper's projected numbers (266/382/248 GFLOP/s,
+  DSP-bound, peak at N=11) pin the fitted cost at 8 DSPs/multiplier.
+* **Ideal FPGA** — the paper's "what would it take to beat the A100":
+  6.2 M ALMs, 20 k DSPs, 12.9 k BRAMs, ~1.2 TB/s (= 64 DOF/cycle),
+  with double-precision-*specialized* DSP blocks (3 per multiplier —
+  this is how 20 k DSPs supports T = 64 at N = 15:
+  105 mults/DOF x 64 x 3 = 20,160).
+
+A variant of the 10M with "8.7k DSPs and 600 GB/s" (paper: would rival
+the P100 at 1.06/1.53/0.99 TFLOP/s) is provided as
+:data:`STRATIX10_M_ENHANCED`.
+"""
+
+from __future__ import annotations
+
+from repro.core.calibration import STRATIX10_TOTALS
+from repro.core.device import (
+    FPGADevice,
+    FPGAFabric,
+    MemorySystem,
+    OperatorCosts,
+    ResourceVector,
+)
+
+#: The measured platform (Bittware 520N, Intel Stratix 10 GX2800).
+STRATIX10_GX2800 = FPGADevice(
+    fabric=FPGAFabric(
+        name="Stratix 10 GX2800",
+        total=STRATIX10_TOTALS,
+        op_costs=OperatorCosts.stratix10_double(),
+    ),
+    memory=MemorySystem(banks=4, bus_bits=512, controller_mhz=300.0),
+    max_kernel_mhz=300.0,
+)
+
+#: Intel Agilex 027 projection (paper §V-D, logic-bound).
+AGILEX_027 = FPGADevice(
+    fabric=FPGAFabric(
+        name="Agilex 027",
+        total=ResourceVector(
+            alms=912_800.0,
+            registers=3_651_200.0,
+            dsps=8_528.0,
+            brams=13_272.0,
+        ),
+        op_costs=OperatorCosts.stratix10_double(),
+    ),
+    memory=MemorySystem(banks=8, bus_bits=512, controller_mhz=300.0),  # 153.6 GB/s
+    max_kernel_mhz=300.0,
+)
+
+#: Stratix 10M projection (paper §V-D, DSP-bound; ASIC-prototyping part).
+STRATIX10_M = FPGADevice(
+    fabric=FPGAFabric(
+        name="Stratix 10M",
+        total=ResourceVector(
+            alms=3_456_000.0,  # "factor 3.6x larger than our current FPGA"
+            registers=13_824_000.0,
+            dsps=5_700.0,      # "has 5.7k DSP blocks"
+            brams=12_950.0,
+        ),
+        op_costs=OperatorCosts(
+            add=ResourceVector(alms=800.0, registers=1600.0),
+            # Fitted to the paper's 10M projection (DSP-bound, 266/382/248
+            # GFLOP/s peaking at N=11): 8 DSPs per DP multiplier.
+            mult=ResourceVector(alms=200.0, registers=500.0, dsps=8.0),
+        ),
+    ),
+    memory=MemorySystem(banks=16, bus_bits=512, controller_mhz=300.0),  # 307.2 ~ "306" GB/s
+    max_kernel_mhz=300.0,
+)
+
+#: The paper's thought experiment: 10M silicon with "8.7k DSPs (only
+#: slightly more than the Agilex's)" and 600 GB/s — "on par with or
+#: outperform the NVIDIA Pascal-100".  Specialized-DSP multipliers.
+STRATIX10_M_ENHANCED = FPGADevice(
+    fabric=FPGAFabric(
+        name="Stratix 10M (8.7k DSP, 600 GB/s)",
+        total=ResourceVector(
+            alms=3_456_000.0,
+            registers=13_824_000.0,
+            dsps=8_700.0,
+            brams=12_950.0,
+        ),
+        op_costs=OperatorCosts.specialized_dsp(),
+    ),
+    memory=MemorySystem(banks=32, bus_bits=512, controller_mhz=293.0),  # 600.1 GB/s
+    max_kernel_mhz=300.0,
+)
+
+#: The paper's hypothetical device that beats the A100 on this kernel.
+IDEAL_FPGA = FPGADevice(
+    fabric=FPGAFabric(
+        name="Ideal FPGA (hypothetical)",
+        total=ResourceVector(
+            alms=6_200_000.0,
+            registers=24_800_000.0,
+            dsps=20_000.0,
+            brams=12_900.0,
+        ),
+        op_costs=OperatorCosts.specialized_dsp(),
+    ),
+    memory=MemorySystem(banks=64, bus_bits=512, controller_mhz=300.0),  # 1.2288 TB/s ~ "1.2 TB/s"
+    max_kernel_mhz=300.0,
+)
+
+#: All projection devices of Fig. 2's right-hand side, in paper order.
+PROJECTED_DEVICES: tuple[FPGADevice, ...] = (AGILEX_027, STRATIX10_M, IDEAL_FPGA)

@@ -1,0 +1,118 @@
+"""Simulated power instrumentation (paper §V-A measurement stack).
+
+The paper reads power through four different interfaces: Intel RAPL
+(CPUs), Marvell's ``tx2mon`` kernel module (ThunderX2), NVML (GPUs) and
+Bittware's MMD functions (the FPGA board).  These are plumbing, not
+physics — but a reproduction that exposes the same *sampling interface*
+lets downstream code written against counters run unmodified.  Each
+meter integrates the calibrated power model over a simulated interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.calibration import STRATIX10_TABLE1
+from repro.hardware.calibration import anchor
+from repro.hardware.catalog import SYSTEM_CATALOG
+
+
+class MeterError(RuntimeError):
+    """Raised on invalid meter usage (e.g. reading a stopped meter)."""
+
+
+@dataclass
+class PowerMeter:
+    """Base sampler: integrates watts over advance() calls.
+
+    Subclasses provide :meth:`instantaneous_watts`; callers drive
+    simulated time with :meth:`advance` and read accumulated energy like
+    they would read an energy counter register.
+    """
+
+    _energy_j: float = field(default=0.0, init=False)
+    _elapsed_s: float = field(default=0.0, init=False)
+
+    def instantaneous_watts(self) -> float:
+        """Current draw; overridden per meter."""
+        raise NotImplementedError
+
+    def advance(self, seconds: float) -> None:
+        """Advance simulated time, integrating energy."""
+        if seconds < 0:
+            raise MeterError(f"cannot advance by {seconds} s")
+        self._energy_j += self.instantaneous_watts() * seconds
+        self._elapsed_s += seconds
+
+    @property
+    def energy_joules(self) -> float:
+        """Accumulated energy (the RAPL/NVML-style counter value)."""
+        return self._energy_j
+
+    def average_watts(self) -> float:
+        """Average power over the sampled window."""
+        if self._elapsed_s <= 0:
+            raise MeterError("no time sampled yet")
+        return self._energy_j / self._elapsed_s
+
+
+@dataclass
+class RaplMeter(PowerMeter):
+    """Intel RAPL package counter for the catalog CPUs."""
+
+    system: str = "Intel Xeon Gold 6130"
+    degree: int = 7
+
+    def __post_init__(self) -> None:
+        spec = SYSTEM_CATALOG[self.system]
+        if spec.arch_type.value != "CPU":
+            raise MeterError(f"{self.system} is not a CPU; use NvmlMeter/MmdMeter")
+
+    def instantaneous_watts(self) -> float:
+        return anchor(self.system, self.degree)[1]
+
+
+@dataclass
+class NvmlMeter(PowerMeter):
+    """NVML board-power reading for the catalog GPUs."""
+
+    system: str = "NVIDIA Tesla V100 PCIe"
+    degree: int = 7
+
+    def __post_init__(self) -> None:
+        spec = SYSTEM_CATALOG[self.system]
+        if spec.arch_type.value != "GPU":
+            raise MeterError(f"{self.system} is not a GPU; use RaplMeter/MmdMeter")
+
+    def instantaneous_watts(self) -> float:
+        return anchor(self.system, self.degree)[1]
+
+
+@dataclass
+class MmdMeter(PowerMeter):
+    """Bittware MMD board-power reading for the FPGA accelerators.
+
+    Reads the Table-I measured power of the degree-``degree`` kernel
+    (idle shell power when ``loaded`` is False).
+    """
+
+    degree: int = 7
+    loaded: bool = True
+    idle_watts: float = 45.0
+
+    def instantaneous_watts(self) -> float:
+        if not self.loaded:
+            return self.idle_watts
+        try:
+            return STRATIX10_TABLE1[self.degree].power_w
+        except KeyError:
+            raise MeterError(
+                f"no synthesized accelerator for N={self.degree}"
+            ) from None
+
+
+def measure_energy(meter: PowerMeter, seconds: float) -> float:
+    """Convenience: advance ``meter`` and return the window's joules."""
+    before = meter.energy_joules
+    meter.advance(seconds)
+    return meter.energy_joules - before

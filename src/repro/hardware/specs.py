@@ -1,0 +1,81 @@
+"""Architecture specifications (the paper's Table II).
+
+:class:`ArchSpec` holds the vendor-sheet numbers the paper tabulates for
+each evaluated system — double-precision peak, memory bandwidth, TDP,
+process node, base frequency, release year — plus the derived
+byte-per-FLOP balance the paper highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.util.validation import check_positive
+
+
+class ArchType(Enum):
+    """Coarse architecture class (Table II's "Type" column)."""
+
+    FPGA = "FPGA"
+    CPU = "CPU"
+    GPU = "GPU"
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """One row of Table II.
+
+    Attributes
+    ----------
+    name:
+        Marketing name as the paper prints it.
+    arch_type:
+        CPU / GPU / FPGA.
+    tech_nm:
+        Process node in nanometres.
+    peak_gflops:
+        Double-precision peak in GFLOP/s (the FPGA entry is the paper's
+        model-derived optimistic bound at 400 MHz, marked with ``*``).
+    mem_bw_gbs:
+        Peak memory bandwidth in GB/s.
+    tdp_w:
+        Thermal design power in W.
+    freq_mhz:
+        Base (CPU/FPGA) or boost-rated (GPU) frequency in MHz.
+    release_year:
+        First availability.
+    peak_is_model_bound:
+        True for the FPGA row (``*`` footnote in the paper).
+    """
+
+    name: str
+    arch_type: ArchType
+    tech_nm: int
+    peak_gflops: float
+    mem_bw_gbs: float
+    tdp_w: float
+    freq_mhz: float
+    release_year: int
+    peak_is_model_bound: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive("peak_gflops", self.peak_gflops)
+        check_positive("mem_bw_gbs", self.mem_bw_gbs)
+        check_positive("tdp_w", self.tdp_w)
+        check_positive("freq_mhz", self.freq_mhz)
+
+    @property
+    def byte_per_flop(self) -> float:
+        """Derived machine balance ``B / P`` (Table II's Byte/FLOP)."""
+        return self.mem_bw_gbs / self.peak_gflops
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak in FLOP/s."""
+        return self.peak_gflops * 1e9
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Bandwidth in B/s."""
+        return self.mem_bw_gbs * 1e9

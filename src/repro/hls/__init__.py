@@ -1,0 +1,68 @@
+"""HLS-style kernel modeling substrate (paper §III design reasoning).
+
+Models kernels as affine loop nests, analyzes unroll legality (BRAM
+arbitration — the origin of the paper's ``T = 2^k``, ``(N+1) mod T = 0``
+constraint), schedules initiation intervals (including the Intel II=2
+quirk fixed by ``#pragma ii 1``), and estimates instantiated operators
+for the resource model.
+"""
+
+from repro.hls.loopnest import (
+    Access,
+    AccessKind,
+    Storage,
+    Loop,
+    LoopNest,
+    ax_grad_nest,
+    ax_geom_nest,
+    ax_store_nest,
+    ax_kernel_nests,
+    ax_ops_per_dof,
+)
+from repro.hls.unroll import (
+    AccessAnalysis,
+    LanePattern,
+    UnrollAnalysis,
+    analyze_unroll,
+    max_conflict_free_unroll,
+)
+from repro.hls.schedule import (
+    BRAM_PORTS,
+    ScheduleResult,
+    ii_from_ports,
+    read_replication,
+    schedule_nest,
+    pipeline_cycles,
+)
+from repro.hls.estimate import OpBudget, BramBudget, op_budget, bram_words_for_ax
+from repro.hls.report import nest_report, kernel_report
+
+__all__ = [
+    "Access",
+    "AccessKind",
+    "Storage",
+    "Loop",
+    "LoopNest",
+    "ax_grad_nest",
+    "ax_geom_nest",
+    "ax_store_nest",
+    "ax_kernel_nests",
+    "ax_ops_per_dof",
+    "AccessAnalysis",
+    "LanePattern",
+    "UnrollAnalysis",
+    "analyze_unroll",
+    "max_conflict_free_unroll",
+    "BRAM_PORTS",
+    "ScheduleResult",
+    "ii_from_ports",
+    "read_replication",
+    "schedule_nest",
+    "pipeline_cycles",
+    "OpBudget",
+    "BramBudget",
+    "op_budget",
+    "bram_words_for_ax",
+    "nest_report",
+    "kernel_report",
+]

@@ -1,0 +1,81 @@
+"""Resource estimation for loop nests: ops/cycle -> (ALMs, DSPs, BRAMs).
+
+Implements the compute part of the paper's resource measure::
+
+    R_comp(N) = T * ( C_add(N) * R_add + C_mult(N) * R_mult )
+
+where ``R_add`` / ``R_mult`` are per-operator implementation costs on the
+target fabric.  The constants live in :mod:`repro.core.resources` (they
+are device properties); this module only counts what a nest instantiates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.hls.loopnest import LoopNest
+
+
+@dataclass(frozen=True)
+class OpBudget:
+    """Hardware operators a (group of) nest(s) instantiates per cycle."""
+
+    adds_per_cycle: int
+    mults_per_cycle: int
+
+    def __add__(self, other: "OpBudget") -> "OpBudget":
+        return OpBudget(
+            self.adds_per_cycle + other.adds_per_cycle,
+            self.mults_per_cycle + other.mults_per_cycle,
+        )
+
+
+def op_budget(nests: Iterable[LoopNest]) -> OpBudget:
+    """Sum the per-cycle op counts of fused nests (they run concurrently
+    in a dataflow pipeline, so their operators coexist on the fabric)."""
+    adds = mults = 0
+    for nest in nests:
+        a, m = nest.ops_per_cycle()
+        adds += a
+        mults += m
+    return OpBudget(adds, mults)
+
+
+@dataclass(frozen=True)
+class BramBudget:
+    """On-chip buffer requirements of a kernel (in doubles).
+
+    ``replication`` multiplies capacity: banked arrays replicate or
+    partition to provide lane-parallel ports.
+    """
+
+    words: int
+    replication: int
+
+    @property
+    def total_words(self) -> int:
+        """Capacity including replication."""
+        return self.words * self.replication
+
+
+def bram_words_for_ax(n: int, unroll: int, double_buffer: bool = True) -> BramBudget:
+    """On-chip storage of the ``Ax`` accelerator for degree ``n``.
+
+    Arrays held in BRAM per element: ``u``, ``w``, ``shur``, ``shus``,
+    ``shut`` (each ``(N+1)^3``), the six split geometric-factor streams
+    (each ``(N+1)^3``) and the two ``(N+1)^2`` derivative matrices.
+    Double buffering (overlap load/compute/store) doubles the element
+    payload; cyclic partitioning into ``unroll`` banks does not increase
+    *capacity* but each bank becomes a separate physical block, which the
+    block-granularity conversion in :mod:`repro.core.resources` accounts
+    for via the replication factor.
+    """
+    if n < 1:
+        raise ValueError(f"degree must be >= 1, got {n}")
+    if unroll < 1:
+        raise ValueError(f"unroll must be >= 1, got {unroll}")
+    nx = n + 1
+    per_element = 11 * nx ** 3  # u, w, shur, shus, shut, g0..g5
+    words = per_element * (2 if double_buffer else 1) + 2 * nx * nx
+    return BramBudget(words=words, replication=max(1, unroll))

@@ -1,0 +1,42 @@
+"""Human-readable HLS analysis reports (Quartus-report flavoured)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.hls.loopnest import LoopNest
+from repro.hls.schedule import schedule_nest
+from repro.hls.unroll import analyze_unroll
+from repro.util.tables import TextTable
+
+
+def nest_report(nest: LoopNest, var: str = "i", force_ii1: bool = False) -> str:
+    """Render the unroll/arbitration/II analysis of one nest as text."""
+    analysis = analyze_unroll(nest, var)
+    sched = schedule_nest(nest, var, force_ii1=force_ii1)
+    table = TextTable(
+        ["array", "kind", "pattern", "arbitration", "reason"],
+        title=(
+            f"{nest.name}: unroll={analysis.unroll} "
+            f"II={sched.ii} (structural {sched.ii_structural}, "
+            f"stall x{sched.arbitration_stall_factor:g})"
+        ),
+    )
+    for item in analysis.per_access:
+        table.add_row(
+            [
+                item.access.array,
+                item.access.kind.value,
+                item.pattern.value,
+                item.needs_arbitration,
+                item.reason,
+            ]
+        )
+    return table.render()
+
+
+def kernel_report(
+    nests: Iterable[LoopNest], var: str = "i", force_ii1: bool = False
+) -> str:
+    """Concatenated reports for a fused nest group."""
+    return "\n\n".join(nest_report(n, var, force_ii1) for n in nests)

@@ -1,0 +1,157 @@
+"""Initiation-interval (II) scheduling of pipelined loop nests.
+
+The paper's §III-C observation: their datapath *can* accept new loop
+iterations every cycle (II=1), but Intel's compiler conservatively
+scheduled it at II=2 until ``#pragma ii 1`` was forced — doubling
+performance.  We model both behaviours:
+
+* ``ii_from_ports`` — the structural lower bound: every BRAM has two
+  physical ports; if the lanes of a cycle need more ports than banking
+  provides, the II grows by the contention factor.
+* ``conservative_ii`` — the Intel-compiler heuristic: a nest that reads an
+  array written by an earlier (fused) stage gets II=2 because the
+  compiler cannot prove the inter-stage addresses disjoint, unless the
+  user forces ``ii=1`` (the paper showed the pragma is safe here).
+
+The scheduler output is consumed by the accelerator simulator
+(:mod:`repro.core.accel.datapath`) for cycle accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hls.loopnest import AccessKind, LoopNest
+from repro.hls.unroll import analyze_unroll
+
+#: Physical ports of an FPGA block RAM (M20K: one read + one write, or
+#: two read; we model the usual dual-port configuration).
+BRAM_PORTS: int = 2
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Pipelining outcome of one loop nest (or fused nest group).
+
+    Attributes
+    ----------
+    ii:
+        Achieved initiation interval in cycles (>= 1).
+    ii_structural:
+        Port-contention lower bound on the II.
+    arbitration_stall_factor:
+        Average extra issue slots per iteration caused by arbitration
+        (1.0 = stall-free).
+    forced_ii1:
+        Whether ``#pragma ii 1`` was applied (and accepted).
+    """
+
+    ii: int
+    ii_structural: int
+    arbitration_stall_factor: float
+    forced_ii1: bool
+
+
+def ii_from_ports(nest: LoopNest, var: str = "i") -> int:
+    """Structural II bound from BRAM port contention.
+
+    Reads never raise the II: Intel's OpenCL memory system *replicates*
+    read-only BRAM views to provide extra read ports (the cost shows up as
+    BRAM utilization, tracked by :func:`read_replication`).  Writes cannot
+    be replicated — every store needs the single write port of each bank —
+    so multiple stores to one array per cycle serialize.  Arbitrated
+    accesses (see :mod:`repro.hls.unroll`) serialize all their lanes.
+    """
+    analysis = analyze_unroll(nest, var)
+    stores_per_array: dict[str, int] = {}
+    worst_arbitration = 1
+    for item in analysis.per_access:
+        if item.needs_arbitration:
+            worst_arbitration = max(worst_arbitration, analysis.unroll)
+        if (
+            item.access.kind is AccessKind.STORE
+            and item.access.storage.value == "bram"
+        ):
+            arr = item.access.array
+            stores_per_array[arr] = stores_per_array.get(arr, 0) + 1
+    ii_port = 1
+    for n_st in stores_per_array.values():
+        ii_port = max(ii_port, n_st)
+    return max(ii_port, worst_arbitration)
+
+
+def read_replication(nest: LoopNest, var: str = "i") -> dict[str, int]:
+    """Per-array BRAM replication factor needed to serve all reads.
+
+    Each conflict-free read access group needs one read port; an M20K in
+    the usual configuration offers one read port alongside its write port,
+    so an array read by ``r`` concurrent engines is replicated ``r`` times
+    (register-resident arrays are excluded — they replicate for free in
+    the meaning of flip-flops, not BRAM).
+    """
+    reads: dict[str, int] = {}
+    for acc in nest.accesses:
+        if acc.kind is AccessKind.LOAD and acc.storage.value == "bram":
+            reads[acc.array] = reads.get(acc.array, 0) + 1
+    return {arr: max(1, n) for arr, n in reads.items()}
+
+
+def schedule_nest(
+    nest: LoopNest,
+    var: str = "i",
+    force_ii1: bool = False,
+    cross_stage_hazard: bool = True,
+) -> ScheduleResult:
+    """Schedule one pipelined nest.
+
+    Parameters
+    ----------
+    nest:
+        The loop nest (with unroll factors applied).
+    var:
+        The partially unrolled (throughput) loop variable.
+    force_ii1:
+        Model ``#pragma ii 1``: overrides the conservative inter-stage
+        hazard (the paper found this safe and 2x faster), but can never
+        beat the structural port bound.
+    cross_stage_hazard:
+        Whether the nest reads arrays produced by an earlier fused stage
+        (true for both ``Ax`` phases: phase 2 reads ``shur/s/t`` written
+        by phase 1, and phase 1's geometric stage reads the gradient
+        results).  Without the pragma, Intel's scheduler issues at II=2.
+
+    Returns
+    -------
+    :class:`ScheduleResult` with the achieved II.
+    """
+    ii_struct = ii_from_ports(nest, var)
+    analysis = analyze_unroll(nest, var)
+    if analysis.conflict_free:
+        stall = 1.0
+    else:
+        # Arbitrated lanes serialize: on average the group needs one grant
+        # per conflicting lane.
+        stall = float(analysis.unroll)
+    if force_ii1:
+        ii = ii_struct
+        forced = True
+    else:
+        ii = max(ii_struct, 2 if cross_stage_hazard else 1)
+        forced = False
+    return ScheduleResult(
+        ii=ii,
+        ii_structural=ii_struct,
+        arbitration_stall_factor=stall,
+        forced_ii1=forced,
+    )
+
+
+def pipeline_cycles(
+    nest: LoopNest,
+    schedule: ScheduleResult,
+    pipeline_depth: int = 0,
+) -> int:
+    """Cycle count to drain a pipelined nest:
+    ``issue_slots * ii * stall + depth`` (ramp-up latency)."""
+    slots = nest.issue_slots
+    return int(round(slots * schedule.ii * schedule.arbitration_stall_factor)) + pipeline_depth

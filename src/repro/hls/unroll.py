@@ -1,0 +1,189 @@
+"""Unroll legality and on-chip-memory arbitration analysis.
+
+This module explains — mechanistically — the paper's Section-IV throughput
+constraint::
+
+    T = 2^k,  k in Z,  (N+1) mod T = 0
+
+When the flattened DOF loop of Listing 1 is unrolled by ``T``:
+
+* The ``T`` parallel lanes read/write BRAM arrays.  HLS memory systems
+  serve parallel lanes by *cyclic partitioning* with power-of-two factors;
+  a non-power-of-two lane count leaves some lanes sharing a physical port
+  and the compiler inserts a stallable arbiter.
+* Lanes are ``T`` *consecutive* values of the flattened index
+  ``ijk = i + j*nx + k*nx^2``.  If ``T`` divides ``nx`` the group never
+  crosses a row boundary: every lane shares the same ``(j, k)``, so
+  accesses that do not depend on ``i`` (e.g. the ``rtmp`` contraction row
+  ``u[l + j*nx + k*nx^2]``) are *uniform* across lanes — a single read
+  broadcast to all lanes — and accesses with ``i``-stride 1 are
+  lane-contiguous, exactly matching a cyclic partition.  If ``T`` does not
+  divide ``nx`` the group straddles rows: previously-uniform accesses now
+  need several distinct rows per cycle, the partitioning cannot serve
+  them, and the compiler arbitrates (the paper's observed slowdown for
+  ``N = 1 mod 4`` degrees at ``T = 4``).
+
+The entry point :func:`analyze_unroll` classifies every access of a nest
+and :func:`max_conflict_free_unroll` searches for the largest legal ``T``,
+which the tests verify equals ``pow2_divisor_floor`` for the ``Ax`` nests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.hls.loopnest import Access, LoopNest, Storage
+from repro.util.validation import is_power_of_two
+
+
+class LanePattern(Enum):
+    """How the unrolled lanes of one access relate to each other."""
+
+    UNIFORM = "uniform"          # all lanes read the same address (broadcast)
+    CONTIGUOUS = "contiguous"    # lane u accesses base + u (cyclic partition)
+    STRIDED = "strided"          # lane u accesses base + u*s, s > 1
+    CONFLICT = "conflict"        # irregular across lanes -> arbitration
+
+
+@dataclass(frozen=True)
+class AccessAnalysis:
+    """Lane pattern of a single access under a given unroll.
+
+    ``needs_arbitration`` is True when the HLS memory system cannot serve
+    all lanes in one cycle without a stallable arbiter.
+    """
+
+    access: Access
+    pattern: LanePattern
+    needs_arbitration: bool
+    reason: str
+
+
+@dataclass(frozen=True)
+class UnrollAnalysis:
+    """Joint result for a loop nest at a given unroll factor."""
+
+    nest_name: str
+    unroll: int
+    per_access: tuple[AccessAnalysis, ...]
+
+    @property
+    def conflict_free(self) -> bool:
+        """True when no access needs arbitration."""
+        return not any(a.needs_arbitration for a in self.per_access)
+
+    @property
+    def conflicts(self) -> tuple[AccessAnalysis, ...]:
+        """The accesses that do need arbitration."""
+        return tuple(a for a in self.per_access if a.needs_arbitration)
+
+
+def _classify(
+    acc: Access, var: str, unroll: int, trip: int, inner_uniform: bool
+) -> AccessAnalysis:
+    """Classify one access for ``unroll`` lanes of loop ``var``.
+
+    ``inner_uniform`` is True when an unrolled lane group is guaranteed to
+    stay within one row of the iteration space (i.e. ``unroll`` divides the
+    trip count of ``var`` *and* ``var`` is the innermost non-unrolled-full
+    dimension of a flattened loop).  When the group wraps, accesses that
+    depend on *outer* variables stop being uniform across lanes.
+    """
+    if acc.storage is Storage.REGISTER:
+        return AccessAnalysis(
+            acc,
+            LanePattern.UNIFORM,
+            False,
+            "register-resident array; freely replicated, never arbitrates",
+        )
+    stride = acc.stride_of(var)
+    if not is_power_of_two(unroll):
+        return AccessAnalysis(
+            acc,
+            LanePattern.CONFLICT,
+            True,
+            f"unroll factor {unroll} is not a power of two; cyclic "
+            "partitioning requires 2^k banks",
+        )
+    if stride == 0:
+        if inner_uniform:
+            return AccessAnalysis(
+                acc,
+                LanePattern.UNIFORM,
+                False,
+                "independent of the unrolled variable; single broadcast read",
+            )
+        return AccessAnalysis(
+            acc,
+            LanePattern.CONFLICT,
+            True,
+            f"lane group wraps the '{var}' dimension (unroll {unroll} does "
+            f"not divide trip {trip}); lanes need distinct rows each cycle",
+        )
+    if abs(stride) == 1:
+        if inner_uniform:
+            return AccessAnalysis(
+                acc,
+                LanePattern.CONTIGUOUS,
+                False,
+                "unit stride across lanes; cyclic partition serves all lanes",
+            )
+        return AccessAnalysis(
+            acc,
+            LanePattern.CONFLICT,
+            True,
+            f"lane group wraps the '{var}' dimension; contiguity broken at "
+            "row boundaries",
+        )
+    # Non-unit stride: lanes hit banks (base + u*stride) mod P.  With
+    # P = unroll (power of two) the lanes are distinct iff stride is odd.
+    if stride % 2 == 1 and inner_uniform:
+        return AccessAnalysis(
+            acc,
+            LanePattern.STRIDED,
+            False,
+            f"odd stride {stride} permutes the {unroll} banks; conflict-free",
+        )
+    return AccessAnalysis(
+        acc,
+        LanePattern.CONFLICT,
+        True,
+        f"stride {stride} across lanes collides modulo {unroll} banks",
+    )
+
+
+def analyze_unroll(nest: LoopNest, var: str = "i") -> UnrollAnalysis:
+    """Analyze all accesses of ``nest`` for the unroll on loop ``var``.
+
+    Fully unrolled inner loops (like the contraction loop ``l``) do not
+    arbitrate on their own: their lanes are fixed at compile time and the
+    compiler banks or replicates small arrays accordingly; what matters is
+    the *runtime-varying* lane group of the partially unrolled loop.
+    """
+    lp = nest.loop(var)
+    inner_uniform = lp.trip % lp.unroll == 0
+    per_access = tuple(
+        _classify(acc, var, lp.unroll, lp.trip, inner_uniform)
+        for acc in nest.accesses
+    )
+    return UnrollAnalysis(nest.name, lp.unroll, per_access)
+
+
+def max_conflict_free_unroll(nest: LoopNest, var: str = "i") -> int:
+    """Largest unroll factor of loop ``var`` with no arbitration.
+
+    Searches powers of two downward from the trip count.  For the ``Ax``
+    nests this equals ``pow2_divisor_floor(trip, trip)`` — i.e. the largest
+    power of two dividing ``N + 1`` — reproducing the paper's measured
+    throughput pattern (T = 2, 4, 2, 4, ... for N = 1, 3, 5, 7, ...).
+    """
+    trip = nest.loop(var).trip
+    t = 1
+    while t * 2 <= trip:
+        t *= 2
+    while t > 1:
+        if analyze_unroll(nest.with_unroll(var, t), var).conflict_free:
+            return t
+        t //= 2
+    return 1

@@ -1,0 +1,88 @@
+"""Spectral Element Method numerics substrate (paper §II).
+
+Everything needed to *run* the paper's kernel and the surrounding solver on
+a laptop: GLL quadrature, spectral differentiation, hexahedral meshes,
+geometric factors, the matrix-free local Poisson operator (Listing 1), the
+BK5-style Helmholtz variant, gather-scatter, and preconditioned CG.
+"""
+
+from repro.sem.legendre import legendre, legendre_prime
+from repro.sem.quadrature import (
+    gll_points_and_weights,
+    gll_points,
+    gll_weights,
+    integrate,
+)
+from repro.sem.basis import (
+    barycentric_weights,
+    lagrange_basis_matrix,
+    interpolate,
+    interpolation_matrix,
+)
+from repro.sem.derivative import derivative_matrix, derivative_matrix_general
+from repro.sem.element import ReferenceElement
+from repro.sem.mesh import BoxMesh, flatten_local, unflatten_local
+from repro.sem.geometry import (
+    Geometry,
+    geometric_factors,
+    affine_geometric_factors,
+    reference_gradient,
+    G_COMPONENTS,
+)
+from repro.sem.operators import (
+    ax_local,
+    ax_local_listing1,
+    ax_local_dense,
+    ax_element_matrix,
+    helmholtz_local,
+    ax_flops,
+)
+from repro.sem.gather_scatter import GatherScatter
+from repro.sem.poisson import PoissonProblem, sine_manufactured
+from repro.sem.cg import cg_solve, CGResult
+from repro.sem.helmholtz import HelmholtzProblem, cosine_manufactured
+from repro.sem.nekbone import (
+    NekboneCase,
+    NekboneReport,
+    element_sweep,
+)
+
+__all__ = [
+    "legendre",
+    "legendre_prime",
+    "gll_points_and_weights",
+    "gll_points",
+    "gll_weights",
+    "integrate",
+    "barycentric_weights",
+    "lagrange_basis_matrix",
+    "interpolate",
+    "interpolation_matrix",
+    "derivative_matrix",
+    "derivative_matrix_general",
+    "ReferenceElement",
+    "BoxMesh",
+    "flatten_local",
+    "unflatten_local",
+    "Geometry",
+    "geometric_factors",
+    "affine_geometric_factors",
+    "reference_gradient",
+    "G_COMPONENTS",
+    "ax_local",
+    "ax_local_listing1",
+    "ax_local_dense",
+    "ax_element_matrix",
+    "helmholtz_local",
+    "ax_flops",
+    "GatherScatter",
+    "PoissonProblem",
+    "sine_manufactured",
+    "cg_solve",
+    "CGResult",
+    "HelmholtzProblem",
+    "cosine_manufactured",
+    "NekboneCase",
+    "NekboneReport",
+    "element_sweep",
+]

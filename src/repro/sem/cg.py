@@ -1,0 +1,135 @@
+"""Preconditioned conjugate gradients — the iterative solver around ``Ax``.
+
+The paper's kernel lives inside "a preconditioned Krylov subspace method";
+Nekbone, the proxy app the paper draws its CPU baseline from, is exactly a
+Jacobi-preconditioned CG over the matrix-free SEM operator.  This module
+provides that solver with an operator-callback interface so the FPGA
+accelerator simulator can be swapped in as the ``Ax`` backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+from numpy.typing import NDArray
+
+Operator = Callable[[NDArray[np.float64]], NDArray[np.float64]]
+
+
+@dataclass(frozen=True)
+class CGResult:
+    """Outcome of a CG solve.
+
+    Attributes
+    ----------
+    x:
+        Final iterate.
+    iterations:
+        Number of iterations executed.
+    converged:
+        True if the residual criterion was met before ``maxiter``.
+    residual_norm:
+        Final preconditioned residual 2-norm.
+    residual_history:
+        Per-iteration residual norms (length ``iterations + 1``,
+        including the initial residual).
+    """
+
+    x: NDArray[np.float64]
+    iterations: int
+    converged: bool
+    residual_norm: float
+    residual_history: tuple[float, ...]
+
+
+def cg_solve(
+    apply_A: Operator,
+    b: NDArray[np.float64],
+    x0: NDArray[np.float64] | None = None,
+    precond_diag: NDArray[np.float64] | None = None,
+    tol: float = 1e-10,
+    maxiter: int = 1000,
+) -> CGResult:
+    """Solve ``A x = b`` for SPD ``A`` with (Jacobi-)preconditioned CG.
+
+    Parameters
+    ----------
+    apply_A:
+        Matrix-free operator callback.
+    b:
+        Right-hand side.
+    x0:
+        Initial guess (zeros if omitted).
+    precond_diag:
+        Diagonal of ``A`` for Jacobi preconditioning; identity if omitted.
+        Entries must be positive.
+    tol:
+        Relative tolerance on ``||r||_2 / ||b||_2`` (absolute if ``b = 0``).
+    maxiter:
+        Iteration cap.
+
+    Returns
+    -------
+    :class:`CGResult`.
+
+    Raises
+    ------
+    ValueError
+        On non-positive preconditioner entries or a breakdown (``p^T A p
+    <= 0``), which indicates the operator is not SPD on this subspace.
+    """
+    b = np.asarray(b, dtype=np.float64)
+    x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
+    if x.shape != b.shape:
+        raise ValueError(f"x0 shape {x.shape} != b shape {b.shape}")
+    if precond_diag is not None:
+        md = np.asarray(precond_diag, dtype=np.float64)
+        if md.shape != b.shape:
+            raise ValueError(f"preconditioner shape {md.shape} != {b.shape}")
+        if np.any(md <= 0):
+            raise ValueError("Jacobi preconditioner has non-positive entries")
+        inv_m = 1.0 / md
+    else:
+        inv_m = None
+
+    r = b - apply_A(x)
+    z = r * inv_m if inv_m is not None else r
+    p = z.copy()
+    rz = float(np.dot(r, z))
+    b_norm = float(np.linalg.norm(b))
+    stop = tol * (b_norm if b_norm > 0 else 1.0)
+
+    history = [float(np.linalg.norm(r))]
+    converged = history[0] <= stop
+    it = 0
+    while not converged and it < maxiter:
+        ap = apply_A(p)
+        pap = float(np.dot(p, ap))
+        if pap <= 0.0:
+            if abs(pap) < 1e-300:  # exact zero direction: solved subspace
+                break
+            raise ValueError(
+                f"CG breakdown: p^T A p = {pap:g} <= 0 (operator not SPD?)"
+            )
+        alpha = rz / pap
+        x += alpha * p
+        r -= alpha * ap
+        z = r * inv_m if inv_m is not None else r
+        rz_new = float(np.dot(r, z))
+        beta = rz_new / rz
+        rz = rz_new
+        p = z + beta * p
+        it += 1
+        res = float(np.linalg.norm(r))
+        history.append(res)
+        converged = res <= stop
+
+    return CGResult(
+        x=x,
+        iterations=it,
+        converged=converged,
+        residual_norm=history[-1],
+        residual_history=tuple(history),
+    )

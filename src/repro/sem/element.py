@@ -1,0 +1,77 @@
+"""The SEM reference element: nodes, weights and differentiation operator.
+
+A :class:`ReferenceElement` bundles everything that depends only on the
+polynomial degree ``N``: the 1-D GLL rule, the differentiation matrix and
+the 3-D tensor-product weights.  Every other piece of the library (meshes,
+operators, the accelerator) takes a reference element rather than a bare
+degree so the quadrature data is computed once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.sem.derivative import derivative_matrix
+from repro.sem.quadrature import gll_points_and_weights
+
+
+@dataclass(frozen=True)
+class ReferenceElement:
+    """Reference hexahedron ``[-1, 1]^3`` at polynomial degree ``N``.
+
+    Attributes
+    ----------
+    degree:
+        Polynomial degree ``N``; the element has ``N + 1`` GLL points per
+        direction, i.e. ``(N+1)^3`` degrees of freedom (DOFs, the paper's
+        unit of throughput).
+    points:
+        1-D GLL nodes, shape ``(N+1,)``.
+    weights:
+        1-D GLL weights, shape ``(N+1,)``.
+    deriv:
+        Differentiation matrix ``D``, shape ``(N+1, N+1)``.
+    """
+
+    degree: int
+    points: NDArray[np.float64] = field(repr=False)
+    weights: NDArray[np.float64] = field(repr=False)
+    deriv: NDArray[np.float64] = field(repr=False)
+
+    @classmethod
+    def from_degree(cls, degree: int) -> "ReferenceElement":
+        """Build the reference element for polynomial degree ``degree >= 1``."""
+        if degree < 1:
+            raise ValueError(f"polynomial degree must be >= 1, got {degree}")
+        pts, wts = gll_points_and_weights(degree + 1)
+        d = derivative_matrix(degree + 1)
+        return cls(degree=degree, points=pts, weights=wts, deriv=d)
+
+    @property
+    def n_points(self) -> int:
+        """GLL points per direction (``N + 1``, Listing 1's ``nx``)."""
+        return self.degree + 1
+
+    @property
+    def dofs_per_element(self) -> int:
+        """``(N+1)^3`` — nodal values per hexahedral element."""
+        return self.n_points ** 3
+
+    def weights_3d(self) -> NDArray[np.float64]:
+        """Tensor-product quadrature weights ``w_i w_j w_k`` with shape
+        ``(N+1, N+1, N+1)`` (index order ``[i, j, k]`` = (r, s, t))."""
+        w = self.weights
+        return w[:, None, None] * w[None, :, None] * w[None, None, :]
+
+    def __post_init__(self) -> None:
+        n = self.degree + 1
+        for name, arr, shape in (
+            ("points", self.points, (n,)),
+            ("weights", self.weights, (n,)),
+            ("deriv", self.deriv, (n, n)),
+        ):
+            if np.asarray(arr).shape != shape:
+                raise ValueError(f"{name} has shape {np.asarray(arr).shape}, expected {shape}")

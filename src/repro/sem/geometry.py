@@ -1,0 +1,141 @@
+"""Geometric factors ``G^e`` of the SEM Poisson operator.
+
+For the mapping ``x(r)`` from the reference element to element ``e`` the
+paper's tensor ``G^e`` has the six unique entries (it is symmetric)
+
+``G_pq = w_i w_j w_k  |J|  sum_m (dr_p/dx_m)(dr_q/dx_m)``
+
+evaluated at each GLL point, with ``(p, q)`` in the order
+``(rr, rs, rt, ss, st, tt)`` — exactly the ``gxyz[0..5]`` layout consumed
+by Listing 1.  All derivatives are taken spectrally (apply ``D`` to the
+nodal coordinates), so curved elements are handled exactly at the
+discretization's own accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.sem.element import ReferenceElement
+from repro.sem.mesh import BoxMesh
+
+#: Order of the six unique symmetric entries of G, matching gxyz[0..5].
+G_COMPONENTS: tuple[str, ...] = ("rr", "rs", "rt", "ss", "st", "tt")
+
+
+def reference_gradient(
+    ref: ReferenceElement, u: NDArray[np.float64]
+) -> tuple[NDArray[np.float64], NDArray[np.float64], NDArray[np.float64]]:
+    """Spectral gradient ``(du/dr, du/ds, du/dt)`` of local fields.
+
+    Parameters
+    ----------
+    ref:
+        Reference element providing ``D``.
+    u:
+        Local nodal fields, shape ``(E, nx, nx, nx)`` indexed
+        ``[e, i, j, k]`` with ``i`` along ``r``.
+    """
+    d = ref.deriv
+    ur = np.einsum("il,eljk->eijk", d, u, optimize=True)
+    us = np.einsum("jl,eilk->eijk", d, u, optimize=True)
+    ut = np.einsum("kl,eijl->eijk", d, u, optimize=True)
+    return ur, us, ut
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """Geometric data of a mesh: ``G`` factors, Jacobian, diagonal mass.
+
+    Attributes
+    ----------
+    g:
+        Geometric factors, shape ``(E, 6, nx, nx, nx)`` in the
+        :data:`G_COMPONENTS` order.
+    jac:
+        Jacobian determinant ``|J|`` at every node, shape
+        ``(E, nx, nx, nx)``; positive for valid meshes.
+    mass:
+        Diagonal mass matrix ``B = w_i w_j w_k |J|``, same shape as
+        ``jac``.  ``sum(mass)`` equals the domain volume (with interface
+        nodes counted once per element).
+    """
+
+    g: NDArray[np.float64] = field(repr=False)
+    jac: NDArray[np.float64] = field(repr=False)
+    mass: NDArray[np.float64] = field(repr=False)
+
+    @property
+    def num_elements(self) -> int:
+        """Number of elements the factors were computed for."""
+        return self.g.shape[0]
+
+
+def geometric_factors(mesh: BoxMesh) -> Geometry:
+    """Compute :class:`Geometry` for every element of ``mesh``.
+
+    Raises
+    ------
+    ValueError
+        If any nodal Jacobian determinant is non-positive (tangled mesh).
+    """
+    ref = mesh.ref
+    w3 = ref.weights_3d()
+
+    # Jacobian matrix entries dx_m/dr_p, each (E, nx, nx, nx).
+    grads = [reference_gradient(ref, mesh.coords[m]) for m in range(3)]
+    # jmat[..., m, p] = dx_m / dr_p
+    jmat = np.stack(
+        [np.stack(grads[m], axis=-1) for m in range(3)], axis=-2
+    )  # (E, nx, nx, nx, 3(m), 3(p))
+
+    jac = np.linalg.det(jmat)
+    if np.any(jac <= 0):
+        bad = int(np.count_nonzero(jac <= 0))
+        raise ValueError(
+            f"mesh is tangled: {bad} nodal Jacobians are non-positive"
+        )
+    jinv = np.linalg.inv(jmat)  # jinv[..., p, m] = dr_p / dx_m
+
+    scale = w3[None] * jac  # (E, nx, nx, nx)
+    g = np.empty((mesh.num_elements, 6) + jac.shape[1:])
+    comp = 0
+    for p in range(3):
+        for q in range(p, 3):
+            g[:, comp] = scale * np.einsum(
+                "...m,...m->...", jinv[..., p, :], jinv[..., q, :]
+            )
+            comp += 1
+    mass = w3[None] * jac
+    return Geometry(g=g, jac=jac, mass=mass)
+
+
+def affine_geometric_factors(
+    ref: ReferenceElement, num_elements: int, hx: float, hy: float, hz: float
+) -> Geometry:
+    """Closed-form factors for axis-aligned boxes of size ``hx x hy x hz``.
+
+    For an affine, axis-aligned element ``dr/dx = 2/hx`` etc., the Jacobian
+    is constant ``hx hy hz / 8``, the off-diagonal ``G`` entries vanish and
+
+    ``G_rr = w3 * (hy hz) / (2 hx)`` (cyclic for ss, tt).
+
+    Used as an independent verification path for :func:`geometric_factors`.
+    """
+    for name, h in (("hx", hx), ("hy", hy), ("hz", hz)):
+        if h <= 0:
+            raise ValueError(f"{name} must be positive, got {h}")
+    nx = ref.n_points
+    w3 = ref.weights_3d()
+    jac_const = hx * hy * hz / 8.0
+    shape = (num_elements, nx, nx, nx)
+    g = np.zeros((num_elements, 6, nx, nx, nx))
+    g[:, 0] = w3[None] * (hy * hz) / (2.0 * hx)   # rr
+    g[:, 3] = w3[None] * (hx * hz) / (2.0 * hy)   # ss
+    g[:, 5] = w3[None] * (hx * hy) / (2.0 * hz)   # tt
+    jac = np.full(shape, jac_const)
+    mass = w3[None] * jac
+    return Geometry(g=g, jac=jac, mass=mass)

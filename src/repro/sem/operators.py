@@ -1,0 +1,230 @@
+"""The matrix-free local Poisson operator ``Ax`` (paper Listing 1).
+
+Three functionally identical implementations are provided:
+
+* :func:`ax_local_listing1` — a literal Python port of the paper's C code
+  (same loop structure, same flattened indexing, same accumulation order).
+  Slow; the ground truth for the test-suite and for the accelerator
+  simulator's numerics.
+* :func:`ax_local` — the production NumPy implementation (einsum tensor
+  contractions, vectorized over elements).  This is the "CPU baseline"
+  kernel of the library.
+* :func:`ax_local_dense` — applies the densely assembled element matrix;
+  only feasible for small ``N``, used to verify symmetry/positive
+  semi-definiteness and the matrix-free implementations.
+
+All take local fields shaped ``(E, nx, nx, nx)`` (see
+:mod:`repro.sem.mesh` for the index convention) and the geometric factors
+``(E, 6, nx, nx, nx)`` in the ``(rr, rs, rt, ss, st, tt)`` order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.sem.element import ReferenceElement
+
+
+def _check_shapes(
+    ref: ReferenceElement, u: NDArray[np.float64], g: NDArray[np.float64]
+) -> None:
+    nx = ref.n_points
+    if u.ndim != 4 or u.shape[1:] != (nx, nx, nx):
+        raise ValueError(f"u must be (E, {nx}, {nx}, {nx}), got {u.shape}")
+    if g.shape != (u.shape[0], 6, nx, nx, nx):
+        raise ValueError(
+            f"g must be ({u.shape[0]}, 6, {nx}, {nx}, {nx}), got {g.shape}"
+        )
+
+
+def ax_local(
+    ref: ReferenceElement,
+    u: NDArray[np.float64],
+    g: NDArray[np.float64],
+    out: NDArray[np.float64] | None = None,
+) -> NDArray[np.float64]:
+    """Vectorized ``w = D^T G D u`` per element (the paper's ``Ax``).
+
+    Parameters
+    ----------
+    ref:
+        Reference element providing the differentiation matrix ``D``.
+    u:
+        Input nodal fields, shape ``(E, nx, nx, nx)``.
+    g:
+        Geometric factors, shape ``(E, 6, nx, nx, nx)``.
+    out:
+        Optional preallocated output array (same shape as ``u``); passing
+        it avoids one allocation per call in solver inner loops.
+
+    Returns
+    -------
+    ``w`` with the same shape as ``u``.
+    """
+    _check_shapes(ref, u, g)
+    d = ref.deriv
+    # Phase 1: reference-space gradient.
+    ur = np.einsum("il,eljk->eijk", d, u, optimize=True)
+    us = np.einsum("jl,eilk->eijk", d, u, optimize=True)
+    ut = np.einsum("kl,eijl->eijk", d, u, optimize=True)
+    # Phase 2: apply the symmetric geometric tensor.
+    wr = g[:, 0] * ur + g[:, 1] * us + g[:, 2] * ut
+    ws = g[:, 1] * ur + g[:, 3] * us + g[:, 4] * ut
+    wt = g[:, 2] * ur + g[:, 4] * us + g[:, 5] * ut
+    # Phase 3: transposed derivative (weak-form divergence).
+    w = np.einsum("li,eljk->eijk", d, wr, optimize=True)
+    w += np.einsum("lj,eilk->eijk", d, ws, optimize=True)
+    w += np.einsum("lk,eijl->eijk", d, wt, optimize=True)
+    if out is not None:
+        np.copyto(out, w)
+        return out
+    return w
+
+
+def ax_local_listing1(
+    ref: ReferenceElement,
+    u: NDArray[np.float64],
+    g: NDArray[np.float64],
+) -> NDArray[np.float64]:
+    """Literal port of Listing 1 (paper §II) — scalar loops, flat arrays.
+
+    The C code stores ``u``/``w`` flattened per element with
+    ``ijk = i + j*nx + k*nx*nx``, ``gxyz`` with stride 6 per node, and
+    keeps ``dxt`` (= ``D``) and ``dx`` (= ``D^T``) as row-major ``nx*nx``
+    arrays.  We reproduce that layout and the exact accumulation order so
+    floating-point results match the hardware dataflow bit-for-bit.
+    """
+    _check_shapes(ref, u, g)
+    nx = ref.n_points
+    num_e = u.shape[0]
+    # Listing 1 memory layout: dxt[l + i*nx] multiplies u(l, j, k) to give
+    # the r-derivative at (i, j, k), hence dxt[row i, col l] = D[i, l];
+    # dx[l + i*nx] = D^T[i, l] = D[l, i].
+    dxt = ref.deriv.reshape(-1)            # row-major D
+    dx = ref.deriv.T.copy().reshape(-1)    # row-major D^T
+    u_flat = u.transpose(0, 3, 2, 1).reshape(num_e, -1)   # i fastest
+    g_flat = g.transpose(0, 4, 3, 2, 1).reshape(num_e, -1, 6)  # [e, ijk, c]
+    w_flat = np.zeros_like(u_flat)
+
+    for e in range(num_e):
+        ue = u_flat[e]
+        ge = g_flat[e]
+        shur = np.zeros(nx * nx * nx)
+        shus = np.zeros(nx * nx * nx)
+        shut = np.zeros(nx * nx * nx)
+        for k in range(nx):
+            for j in range(nx):
+                for i in range(nx):
+                    ij = i + j * nx
+                    ijk = ij + k * nx * nx
+                    rtmp = 0.0
+                    stmp = 0.0
+                    ttmp = 0.0
+                    for l in range(nx):
+                        rtmp += dxt[l + i * nx] * ue[l + j * nx + k * nx * nx]
+                        stmp += dxt[l + j * nx] * ue[i + l * nx + k * nx * nx]
+                        ttmp += dxt[l + k * nx] * ue[ij + l * nx * nx]
+                    shur[ijk] = ge[ijk, 0] * rtmp + ge[ijk, 1] * stmp + ge[ijk, 2] * ttmp
+                    shus[ijk] = ge[ijk, 1] * rtmp + ge[ijk, 3] * stmp + ge[ijk, 4] * ttmp
+                    shut[ijk] = ge[ijk, 2] * rtmp + ge[ijk, 4] * stmp + ge[ijk, 5] * ttmp
+        for k in range(nx):
+            for j in range(nx):
+                for i in range(nx):
+                    ij = i + j * nx
+                    ijk = ij + k * nx * nx
+                    wijke = 0.0
+                    for l in range(nx):
+                        wijke += dx[l + i * nx] * shur[l + j * nx + k * nx * nx]
+                        wijke += dx[l + j * nx] * shus[i + l * nx + k * nx * nx]
+                        wijke += dx[l + k * nx] * shut[ij + l * nx * nx]
+                    w_flat[e, ijk] = wijke
+    return w_flat.reshape(num_e, nx, nx, nx).transpose(0, 3, 2, 1)
+
+
+def ax_element_matrix(
+    ref: ReferenceElement, g_e: NDArray[np.float64]
+) -> NDArray[np.float64]:
+    """Densely assemble the ``(nx^3, nx^3)`` element matrix ``A^e``.
+
+    The paper stresses that forming ``A^e`` is prohibitively expensive in
+    production — we do it anyway (for small ``N``) to verify the
+    matrix-free kernels: ``A^e`` must be symmetric positive semi-definite
+    with the constant vector in its null space.
+
+    Parameters
+    ----------
+    ref:
+        Reference element.
+    g_e:
+        Geometric factors of a single element, shape ``(6, nx, nx, nx)``.
+
+    Returns
+    -------
+    Dense ``A^e`` in Listing-1 flat ordering (``i`` fastest).
+    """
+    nx = ref.n_points
+    ndof = nx ** 3
+    ident = np.eye(ndof)
+    basis = ident.reshape(ndof, nx, nx, nx).transpose(0, 3, 2, 1)  # columns -> fields
+    w = ax_local(ref, basis, np.broadcast_to(g_e[None], (ndof, 6, nx, nx, nx)))
+    return w.transpose(0, 3, 2, 1).reshape(ndof, ndof).T
+
+
+def ax_local_dense(
+    ref: ReferenceElement,
+    u: NDArray[np.float64],
+    g: NDArray[np.float64],
+) -> NDArray[np.float64]:
+    """Apply the densely assembled ``A^e`` of every element (small N only)."""
+    _check_shapes(ref, u, g)
+    nx = ref.n_points
+    num_e = u.shape[0]
+    out = np.empty_like(u)
+    for e in range(num_e):
+        a = ax_element_matrix(ref, g[e])
+        ue = u[e].transpose(2, 1, 0).reshape(-1)
+        we = a @ ue
+        out[e] = we.reshape(nx, nx, nx).transpose(2, 1, 0)
+    return out
+
+
+def helmholtz_local(
+    ref: ReferenceElement,
+    u: NDArray[np.float64],
+    g: NDArray[np.float64],
+    mass: NDArray[np.float64],
+    lam: float = 1.0,
+) -> NDArray[np.float64]:
+    """BK5-style Helmholtz operator ``w = D^T G D u + lam * B u``.
+
+    The paper notes that CEED's bake-off kernel BK5 "closely resembles the
+    local Poisson operator, but also considers one more geometric factor";
+    that extra factor is the collocation mass term ``B = w |J|`` which we
+    add here with coefficient ``lam`` (``lam = 0`` recovers ``Ax``).
+
+    Parameters
+    ----------
+    mass:
+        Diagonal mass ``(E, nx, nx, nx)`` from :class:`~repro.sem.geometry.Geometry`.
+    lam:
+        Helmholtz coefficient (>= 0 keeps the operator SPD after masking).
+    """
+    w = ax_local(ref, u, g)
+    if lam != 0.0:
+        w = w + lam * mass * u
+    return w
+
+
+def ax_flops(n: int, num_elements: int) -> int:
+    """Total FLOPs of one ``Ax`` application: ``(12(N+1)+15) * E * (N+1)^3``.
+
+    Matches the paper's cost measure ``C(N)`` summed over adds and mults
+    (see :mod:`repro.core.cost` for the split).
+    """
+    if n < 1:
+        raise ValueError(f"degree must be >= 1, got {n}")
+    if num_elements < 0:
+        raise ValueError(f"element count must be >= 0, got {num_elements}")
+    nx = n + 1
+    return (12 * nx + 15) * num_elements * nx ** 3

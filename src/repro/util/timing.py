@@ -1,0 +1,65 @@
+"""Lightweight wall-clock timing helpers (profile-first workflow).
+
+The HPC-Python guides' first rule is *measure before optimizing*; these
+helpers keep the measuring uniform across the library: a context-manager
+:class:`Timer` and a :func:`repeat_time` that reports the best-of-k
+minimum (the stable statistic ``timeit`` uses).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Context manager measuring elapsed wall time.
+
+    >>> with Timer() as t:
+    ...     do_work()
+    >>> t.elapsed  # seconds
+    """
+
+    label: str = ""
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    @property
+    def milliseconds(self) -> float:
+        """Elapsed time in ms."""
+        return self.elapsed * 1e3
+
+
+def repeat_time(fn: Callable[[], T], repeats: int = 5) -> tuple[float, T]:
+    """Best-of-``repeats`` wall time of ``fn`` and its (last) result.
+
+    The minimum over repeats filters scheduler noise — the statistic the
+    guides recommend for micro-timings.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    result: T = None  # type: ignore[assignment]
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def throughput(units: float, seconds: float) -> float:
+    """Units per second with a guard against zero-duration windows."""
+    if seconds <= 0:
+        raise ValueError(f"duration must be > 0, got {seconds}")
+    return units / seconds

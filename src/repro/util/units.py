@@ -1,0 +1,42 @@
+"""Unit constants and human-readable formatting.
+
+The paper reports performance in GFLOP/s, bandwidth in GB/s (decimal giga),
+and power in Watts; we follow the same conventions throughout.
+"""
+
+from __future__ import annotations
+
+BYTES_PER_DOUBLE: int = 8
+"""Size of an IEEE-754 binary64 value in bytes (the paper's ``S``)."""
+
+KILO: float = 1e3
+MEGA: float = 1e6
+GIGA: float = 1e9
+TERA: float = 1e12
+
+
+def gflops(flops_per_second: float) -> float:
+    """Convert FLOP/s to GFLOP/s."""
+    return flops_per_second / GIGA
+
+
+def gbytes_per_s(bytes_per_second: float) -> float:
+    """Convert B/s to GB/s (decimal)."""
+    return bytes_per_second / GIGA
+
+
+def fmt_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``fmt_si(2.1e12, 'FLOP/s')
+    == '2.10 TFLOP/s'``.
+
+    Values below 1e3 are printed without a prefix. Negative values keep
+    their sign; zero is printed as ``0 unit``.
+    """
+    if value == 0:
+        return f"0 {unit}".strip()
+    sign = "-" if value < 0 else ""
+    v = abs(value)
+    for factor, prefix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if v >= factor:
+            return f"{sign}{v / factor:.{digits - 1}f} {prefix}{unit}".rstrip()
+    return f"{sign}{v:.{digits - 1}f} {unit}".rstrip()

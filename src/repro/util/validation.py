@@ -1,0 +1,65 @@
+"""Argument validation and small integer helpers used across the package.
+
+``pow2_divisor_floor`` implements the paper's Section-IV arbitration
+constraint: the accelerator throughput ``T`` must be a power of two *and*
+divide the number of GLL points ``N + 1`` — otherwise the HLS-generated
+on-chip memory system arbitrates and stalls the pipeline.
+"""
+
+from __future__ import annotations
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> None:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True iff ``n`` is a positive integral power of two."""
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def check_power_of_two(name: str, n: int) -> None:
+    """Raise ``ValueError`` unless ``n`` is a power of two."""
+    if not is_power_of_two(n):
+        raise ValueError(f"{name} must be a power of two, got {n!r}")
+
+
+def pow2_floor(x: float) -> int:
+    """Largest power of two that is <= ``x`` (0 if ``x < 1``).
+
+    Used by the performance model in *projection* mode, where the paper
+    assumes the divisibility requirement will be fixed by future HLS tools
+    but the power-of-two vectorization constraint remains ("even if the
+    device can support a throughput of, say 6, this is reduced down to 4").
+    """
+    if x < 1:
+        return 0
+    p = 1
+    while p * 2 <= x:
+        p *= 2
+    return p
+
+
+def pow2_divisor_floor(x: float, n: int) -> int:
+    """Largest power of two that is <= ``x`` *and* divides ``n``.
+
+    This is the paper's measured-hardware throughput constraint
+    (``T = 2^k`` with ``(N+1) mod T = 0`` where ``n = N+1`` GLL points).
+    Returns 0 when even ``T = 1`` exceeds ``x`` (i.e. ``x < 1``).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    t = pow2_floor(x)
+    while t > 1 and n % t != 0:
+        t //= 2
+    if t == 1 and x < 1:
+        return 0
+    return t

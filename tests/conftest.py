@@ -1,0 +1,45 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sem import BoxMesh, ReferenceElement, geometric_factors
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG per test."""
+    return np.random.default_rng(0x5EED)
+
+
+@pytest.fixture(scope="session")
+def ref3() -> ReferenceElement:
+    """Degree-3 reference element (small, fast)."""
+    return ReferenceElement.from_degree(3)
+
+
+@pytest.fixture(scope="session")
+def mesh3(ref3) -> BoxMesh:
+    """2x2x1 box mesh at degree 3."""
+    return BoxMesh.build(ref3, (2, 2, 1))
+
+
+@pytest.fixture(scope="session")
+def curved_mesh3(ref3) -> BoxMesh:
+    """Smoothly deformed (curvilinear) 2x2x1 mesh at degree 3."""
+    base = BoxMesh.build(ref3, (2, 2, 1))
+    return base.deform(
+        lambda x, y, z: (
+            x + 0.05 * np.sin(np.pi * y) * np.sin(np.pi * z),
+            y + 0.04 * np.sin(np.pi * z) * np.sin(np.pi * x),
+            z + 0.03 * np.sin(np.pi * x) * np.sin(np.pi * y),
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def curved_geo3(curved_mesh3):
+    """Geometry of the curved mesh (full G tensor exercised)."""
+    return geometric_factors(curved_mesh3)

@@ -1,0 +1,54 @@
+"""Tests for repro.core.accel.config (design points, §III journey)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.accel.config import AcceleratorConfig
+
+
+class TestDefaults:
+    @pytest.mark.parametrize("n,t", [(1, 2), (3, 4), (7, 4), (9, 2), (15, 4)])
+    def test_auto_unroll_is_design_throughput(self, n, t):
+        assert AcceleratorConfig(n=n).unroll == t
+
+    def test_calibrated_clock(self):
+        assert AcceleratorConfig(n=7).clock_mhz == 274.0
+        assert AcceleratorConfig(n=13).clock_mhz == 170.0
+
+    def test_uncalibrated_degree_caps_at_300(self):
+        assert AcceleratorConfig(n=2).clock_mhz == 300.0
+
+    def test_explicit_clock_wins(self):
+        assert AcceleratorConfig(n=7, fmax_mhz=123.0).clock_mhz == 123.0
+
+    def test_conflict_free_flag(self):
+        assert AcceleratorConfig(n=7, unroll=4).conflict_free
+        assert not AcceleratorConfig(n=9, unroll=4).conflict_free
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            AcceleratorConfig(n=0)
+        with pytest.raises(ValueError, match="positive"):
+            AcceleratorConfig(n=3, fmax_mhz=-1.0)
+
+
+class TestJourney:
+    def test_four_design_points_in_order(self):
+        pts = AcceleratorConfig.journey(7)
+        assert len(pts) == 4
+        base, ilp, ii1, banked = pts
+        assert not base.use_local_memory and base.unroll == 1
+        assert ilp.use_local_memory and not ilp.force_ii1
+        assert ii1.force_ii1 and not ii1.banked_memory
+        assert banked.banked_memory and banked.force_ii1
+
+    def test_baseline_has_no_optimizations(self):
+        base = AcceleratorConfig.baseline(7)
+        assert not base.split_gxyz
+        assert not base.double_buffer
+
+    def test_with_unroll(self):
+        cfg = AcceleratorConfig.banked(7).with_unroll(8)
+        assert cfg.unroll == 8
+        assert cfg.banked_memory

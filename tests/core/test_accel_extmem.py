@@ -1,0 +1,102 @@
+"""Tests for repro.core.accel.extmem (external-memory model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.accel.config import AcceleratorConfig
+from repro.core.accel.extmem import (
+    FRAGMENTATION_FACTOR_II2,
+    INTERLEAVE_FACTOR,
+    bank_assignment,
+    baseline_cycles_per_dof,
+    default_stream_efficiency,
+    effective_bandwidth,
+)
+from repro.core.calibration import REFERENCE_ELEMENTS
+
+
+class TestEffectiveBandwidth:
+    def test_banked_reference_matches_calibration(self):
+        cfg = AcceleratorConfig.banked(7)
+        state = effective_bandwidth(cfg, REFERENCE_ELEMENTS, 76.8e9, ii=1)
+        # stream efficiency only (ramp = 1 at reference).
+        assert state.efficiency == pytest.approx(
+            default_stream_efficiency(7), rel=1e-6
+        )
+        assert state.layout == "banked"
+
+    def test_interleaving_factor_applied(self):
+        banked = effective_bandwidth(
+            AcceleratorConfig.banked(7), REFERENCE_ELEMENTS, 76.8e9, 1
+        )
+        inter = effective_bandwidth(
+            AcceleratorConfig.ii1(7), REFERENCE_ELEMENTS, 76.8e9, 1
+        )
+        assert inter.effective_bandwidth / banked.effective_bandwidth == (
+            pytest.approx(INTERLEAVE_FACTOR)
+        )
+        assert "interleave" in inter.factors
+
+    def test_ii2_fragmentation(self):
+        cfg = AcceleratorConfig.local_ilp(7)
+        frag = effective_bandwidth(cfg, REFERENCE_ELEMENTS, 76.8e9, ii=2)
+        assert "fragmentation" in frag.factors
+        assert frag.factors["fragmentation"] == FRAGMENTATION_FACTOR_II2
+
+    def test_small_input_derated(self):
+        cfg = AcceleratorConfig.banked(7)
+        small = effective_bandwidth(cfg, 16, 76.8e9, 1)
+        big = effective_bandwidth(cfg, REFERENCE_ELEMENTS, 76.8e9, 1)
+        assert small.effective_bandwidth < 0.5 * big.effective_bandwidth
+
+    def test_validation(self):
+        cfg = AcceleratorConfig.banked(7)
+        with pytest.raises(ValueError, match=">= 1"):
+            effective_bandwidth(cfg, 0, 76.8e9, 1)
+        with pytest.raises(ValueError, match="> 0"):
+            effective_bandwidth(cfg, 10, 0.0, 1)
+        with pytest.raises(ValueError, match=">= 1"):
+            effective_bandwidth(cfg, 10, 76.8e9, 0)
+
+
+class TestStreamEfficiency:
+    def test_interpolation_for_even_degrees(self):
+        e7 = default_stream_efficiency(7)
+        e8 = default_stream_efficiency(8)
+        e9 = default_stream_efficiency(9)
+        assert min(e7, e9) <= e8 <= max(e7, e9)
+
+    def test_clamped_outside_range(self):
+        assert default_stream_efficiency(16) == default_stream_efficiency(15)
+
+
+class TestBaseline:
+    def test_cycle_cost_reproduces_paper_order_of_magnitude(self):
+        # 0.025 GFLOP/s at N=7, ~225-274 MHz -> ~1000+ cycles per DOF.
+        cycles = baseline_cycles_per_dof(7)
+        assert 700 < cycles < 1500
+
+    def test_grows_with_degree(self):
+        assert baseline_cycles_per_dof(15) > baseline_cycles_per_dof(7)
+
+
+class TestBankAssignment:
+    def test_banked_round_robin(self):
+        cfg = AcceleratorConfig.banked(7)
+        banks = bank_assignment(cfg, 4)
+        assert len(banks) == 8
+        assert set(banks.values()) == {0, 1, 2, 3}
+        # Each of the 4 banks carries exactly 2 of the 8 streams.
+        from collections import Counter
+
+        assert set(Counter(banks.values()).values()) == {2}
+
+    def test_interleaved_marks_all(self):
+        cfg = AcceleratorConfig.ii1(7)
+        banks = bank_assignment(cfg, 4)
+        assert set(banks.values()) == {-1}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            bank_assignment(AcceleratorConfig.banked(7), 0)

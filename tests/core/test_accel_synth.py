@@ -1,0 +1,86 @@
+"""Tests for repro.core.accel.synth and datapath planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.accel.config import AcceleratorConfig
+from repro.core.accel.datapath import arbitration_diagnosis, plan_datapath
+from repro.core.accel.synth import reference_row, synthesize
+from repro.core.calibration import STRATIX10_TABLE1, TABLE1_DEGREES
+from repro.hardware.fpga import STRATIX10_GX2800
+
+
+class TestDatapath:
+    def test_final_design_ii1_stall_free(self):
+        plan = plan_datapath(AcceleratorConfig.banked(7))
+        assert plan.ii == 1
+        assert plan.stall_factor == 1.0
+        assert plan.issue_dofs_per_cycle == 4.0
+
+    def test_no_pragma_gives_ii2(self):
+        plan = plan_datapath(AcceleratorConfig.local_ilp(7))
+        assert plan.ii == 2
+        assert plan.issue_dofs_per_cycle == 2.0
+
+    def test_illegal_unroll_stalls(self):
+        plan = plan_datapath(AcceleratorConfig(n=9, unroll=4))
+        assert plan.stall_factor >= 4.0
+
+    def test_unsplit_gxyz_stalls(self):
+        from dataclasses import replace
+
+        cfg = replace(AcceleratorConfig.banked(7), split_gxyz=False)
+        plan = plan_datapath(cfg)
+        assert plan.gxyz_arbitration
+        assert plan.stall_factor >= 3.0
+
+    def test_cycles_for_dofs(self):
+        plan = plan_datapath(AcceleratorConfig.banked(7))
+        assert plan.cycles_for_dofs(512) == pytest.approx(128.0)
+        with pytest.raises(ValueError, match=">= 0"):
+            plan.cycles_for_dofs(-1)
+
+    def test_diagnosis_lists_findings(self):
+        assert arbitration_diagnosis(AcceleratorConfig.banked(7)) == []
+        findings = arbitration_diagnosis(AcceleratorConfig(n=9, unroll=4))
+        assert findings and any("divide" in f for f in findings)
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("n", TABLE1_DEGREES)
+    def test_clock_matches_calibration(self, n):
+        syn = synthesize(AcceleratorConfig.banked(n), STRATIX10_GX2800)
+        assert syn.fmax_mhz == STRATIX10_TABLE1[n].fmax_mhz
+
+    @pytest.mark.parametrize("n", TABLE1_DEGREES)
+    def test_logic_utilization_matches_table1(self, n):
+        # base fit + compute at the design throughput reconstructs the
+        # measured logic utilization exactly (by construction).
+        syn = synthesize(AcceleratorConfig.banked(n), STRATIX10_GX2800)
+        assert syn.logic_pct == pytest.approx(STRATIX10_TABLE1[n].logic_pct, abs=0.2)
+
+    @pytest.mark.parametrize("n", TABLE1_DEGREES)
+    def test_power_near_measurement(self, n):
+        syn = synthesize(AcceleratorConfig.banked(n), STRATIX10_GX2800)
+        assert syn.power_w == pytest.approx(STRATIX10_TABLE1[n].power_w, abs=8.0)
+
+    def test_bigger_unroll_uses_more_logic(self):
+        s2 = synthesize(AcceleratorConfig(n=7, unroll=2), STRATIX10_GX2800)
+        s8 = synthesize(AcceleratorConfig(n=7, unroll=8), STRATIX10_GX2800)
+        assert s8.logic_pct > s2.logic_pct
+        assert s8.dsp_pct > s2.dsp_pct
+
+    def test_structural_bram_reported(self):
+        syn = synthesize(AcceleratorConfig.banked(7), STRATIX10_GX2800)
+        assert syn.bram_blocks_structural > 0
+
+    def test_reference_row_lookup(self):
+        assert reference_row(7) is STRATIX10_TABLE1[7]
+        assert reference_row(2) is None
+
+    def test_report_percent_properties(self):
+        syn = synthesize(AcceleratorConfig.banked(7), STRATIX10_GX2800)
+        assert syn.logic_pct == syn.utilization["alms"] * 100.0
+        assert syn.dsp_pct == syn.utilization["dsps"] * 100.0
+        assert syn.bram_pct == syn.utilization["brams"] * 100.0

@@ -1,0 +1,86 @@
+"""Tests for repro.core.cost (C(N), Q(N), I(N))."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import (
+    KernelCost,
+    MemoryTraffic,
+    bytes_per_dof,
+    flops_per_dof,
+    operational_intensity,
+)
+from repro.hls.loopnest import ax_ops_per_dof
+
+
+class TestKernelCost:
+    @pytest.mark.parametrize("n", range(1, 16))
+    def test_formulas(self, n):
+        c = KernelCost(n)
+        assert c.adds == 6 * (n + 1) + 6
+        assert c.mults == 6 * (n + 1) + 9
+        assert c.total == 12 * (n + 1) + 15
+
+    @pytest.mark.parametrize("n", range(1, 16))
+    def test_agrees_with_hls_ir_derivation(self, n):
+        # The closed form must equal the loop-nest IR count (two
+        # independent derivations of the paper's C(N)).
+        adds, mults = ax_ops_per_dof(n)
+        c = KernelCost(n)
+        assert (adds, mults) == (c.adds, c.mults)
+
+    def test_paper_headline_values(self):
+        # N=7: 111 FLOPs/DOF; N=11: 159; N=15: 207 (used throughout §V).
+        assert KernelCost(7).total == 111
+        assert KernelCost(11).total == 159
+        assert KernelCost(15).total == 207
+
+    def test_flops_total(self):
+        assert KernelCost(7).flops(4096) == 111 * 4096 * 512
+
+    def test_invalid(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            KernelCost(0)
+        with pytest.raises(ValueError, match=">= 0"):
+            KernelCost(3).flops(-1)
+
+
+class TestMemoryTraffic:
+    def test_q_is_seven_loads_one_store(self):
+        q = MemoryTraffic(7)
+        assert (q.loads, q.writes) == (7, 1)
+        assert q.doubles_per_dof == 8
+        assert q.bytes_per_dof == 64
+
+    @pytest.mark.parametrize("n", (1, 7, 15))
+    def test_degree_independent_bytes(self, n):
+        assert bytes_per_dof(n) == 64
+
+    def test_bytes_total(self):
+        assert MemoryTraffic(7).bytes_total(4096) == 64 * 4096 * 512
+
+    def test_invalid(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            MemoryTraffic(0)
+
+
+class TestIntensity:
+    @pytest.mark.parametrize("n", range(1, 16))
+    def test_formula(self, n):
+        assert operational_intensity(n) == pytest.approx(
+            (12 * (n + 1) + 15) / 64.0
+        )
+
+    def test_monotonically_increasing(self):
+        vals = [operational_intensity(n) for n in range(1, 16)]
+        assert vals == sorted(vals)
+
+    def test_paper_values(self):
+        # I(7) = 111/64 ~ 1.73; I(15) = 207/64 ~ 3.23.
+        assert operational_intensity(7) == pytest.approx(1.734, abs=1e-3)
+        assert operational_intensity(15) == pytest.approx(3.234, abs=1e-3)
+
+    def test_shorthands_consistent(self):
+        for n in (1, 5, 9):
+            assert flops_per_dof(n) / bytes_per_dof(n) == operational_intensity(n)

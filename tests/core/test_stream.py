@@ -1,0 +1,64 @@
+"""Tests for repro.core.accel.stream (bandwidth-utilization appendix)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.accel.stream import (
+    _all_table1_utilizations,
+    fpga_bandwidth_utilization,
+    gpu_bandwidth_utilization,
+    stream_sweep,
+    utilization_comparison,
+)
+from repro.core.calibration import TABLE1_DEGREES
+from repro.hardware.fpga import STRATIX10_GX2800
+
+
+class TestStreamSweep:
+    def test_monotone_saturation(self):
+        samples = stream_sweep(STRATIX10_GX2800, n=7)
+        effs = [s.fraction_of_peak for s in samples]
+        assert effs == sorted(effs)
+        assert effs[0] < 0.25
+        assert effs[-1] > 0.75
+
+    def test_transfer_bytes_accounting(self):
+        s = stream_sweep(STRATIX10_GX2800, n=7, sizes=(100,))[0]
+        assert s.transfer_bytes == 64 * 100 * 512
+
+    def test_never_exceeds_peak(self):
+        for s in stream_sweep(STRATIX10_GX2800, n=15, sizes=(8, 4096, 16384)):
+            assert s.fraction_of_peak <= 1.0
+
+
+class TestUtilization:
+    def test_fpga_fraction_matches_table1(self):
+        # N=7: 3.58 DOF/cyc x 64 B x 274 MHz = 62.8 GB/s = 81.7% of 76.8.
+        u = fpga_bandwidth_utilization(7)
+        assert u.achieved_gbs == pytest.approx(62.8, abs=0.2)
+        assert u.fraction == pytest.approx(0.817, abs=0.005)
+
+    def test_gpu_fraction_derivation(self):
+        u = gpu_bandwidth_utilization("NVIDIA A100 PCIe", 15)
+        # 1781 GF/s / I(15)=3.234 = 550.7 GB/s of 1555.
+        assert u.achieved_gbs == pytest.approx(550.6, abs=2.0)
+        assert u.fraction == pytest.approx(0.354, abs=0.01)
+
+    def test_fpga_beats_every_gpu_at_n15(self):
+        rows = utilization_comparison(degrees=(15,))
+        fpga = rows[0]
+        assert fpga.system == "SEM-Acc (FPGA)"
+        for gpu in rows[1:]:
+            assert fpga.fraction > gpu.fraction, gpu.system
+
+    def test_fpga_beats_k80_and_rtx_everywhere(self):
+        for n in (7, 11, 15):
+            fpga = fpga_bandwidth_utilization(n)
+            for gpu in ("NVIDIA Tesla K80", "NVIDIA RTX 2060 Super"):
+                assert fpga.fraction > gpu_bandwidth_utilization(gpu, n).fraction
+
+    def test_all_table1_fractions_in_unit_interval(self):
+        fr = _all_table1_utilizations()
+        assert set(fr) == set(TABLE1_DEGREES)
+        assert all(0.2 < v < 1.0 for v in fr.values())

@@ -1,0 +1,91 @@
+"""Tests for repro.core.throughput (T_B, T_max, constraint modes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.throughput import (
+    ConstraintMode,
+    bandwidth_throughput,
+    constrain_throughput,
+    max_throughput,
+)
+
+
+class TestBandwidthThroughput:
+    def test_stratix_gives_four(self):
+        # The paper: "our performance model which for this FPGA gives
+        # Tmax = 4" - 76.8 GB/s at 300 MHz and 64 B/DOF.
+        assert bandwidth_throughput(76.8e9, 300e6) == pytest.approx(4.0)
+
+    def test_projection_memories_integral(self):
+        assert bandwidth_throughput(153.6e9, 300e6) == pytest.approx(8.0)
+        assert bandwidth_throughput(307.2e9, 300e6) == pytest.approx(16.0)
+        assert bandwidth_throughput(1.2288e12, 300e6) == pytest.approx(64.0)
+
+    def test_scales_inverse_with_clock(self):
+        assert bandwidth_throughput(76.8e9, 150e6) == pytest.approx(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            bandwidth_throughput(-1.0, 1.0)
+        with pytest.raises(ValueError, match="> 0"):
+            bandwidth_throughput(1.0, 0.0)
+
+
+class TestMeasuredMode:
+    @pytest.mark.parametrize("n,expected", [
+        (1, 2), (3, 4), (5, 2), (7, 4), (9, 2), (11, 4), (13, 2), (15, 4),
+    ])
+    def test_paper_throughput_pattern(self, n, expected):
+        # min(T_R ~ 8, T_B = 4) quantized by 2^k | (N+1).
+        t = max_throughput(8.0, 4.0, n + 1, ConstraintMode.MEASURED)
+        assert t == expected
+
+    def test_divisibility_enforced(self):
+        assert constrain_throughput(4.0, 10, ConstraintMode.MEASURED) == 2.0
+        assert constrain_throughput(4.0, 12, ConstraintMode.MEASURED) == 4.0
+
+    def test_never_exceeds_nx(self):
+        assert constrain_throughput(100.0, 8, ConstraintMode.MEASURED) == 8.0
+
+
+class TestProjectionMode:
+    def test_pow2_floor_with_slack(self):
+        # "even if the device can support a throughput of, say 6, this is
+        # reduced down to 4".
+        assert constrain_throughput(6.0, 12, ConstraintMode.PROJECTION) == 4.0
+        # Engineering slack: 63.5 lanes round up to 64 (ideal device).
+        assert constrain_throughput(63.5, 16, ConstraintMode.PROJECTION) == 64.0
+
+    def test_divisibility_not_enforced(self):
+        # Future HLS fixes arbitration: T=8 on nx=12 is allowed.
+        assert constrain_throughput(8.5, 12, ConstraintMode.PROJECTION) == 8.0
+
+    def test_bandwidth_not_quantized(self):
+        # min(pow2(T_R), T_B) keeps fractional bandwidth bounds.
+        t = max_throughput(50.8, 31.25, 8, ConstraintMode.PROJECTION)
+        assert t == pytest.approx(31.25)
+
+    def test_resource_bound_quantized(self):
+        t = max_throughput(6.0, 16.0, 12, ConstraintMode.PROJECTION)
+        assert t == 4.0
+
+    def test_capped_at_element_size(self):
+        assert constrain_throughput(1e6, 2, ConstraintMode.PROJECTION) == 8.0
+
+
+class TestUnconstrainedMode:
+    def test_raw_minimum(self):
+        assert max_throughput(7.3, 4.4, 10, ConstraintMode.UNCONSTRAINED) == 4.4
+        assert constrain_throughput(5.7, 10, ConstraintMode.UNCONSTRAINED) == 5.7
+
+
+class TestValidation:
+    def test_negative_throughput(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            constrain_throughput(-1.0, 8, ConstraintMode.MEASURED)
+
+    def test_bad_nx(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            constrain_throughput(4.0, 1, ConstraintMode.MEASURED)

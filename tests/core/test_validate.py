@@ -1,0 +1,62 @@
+"""Tests for repro.core.accel.validate (bring-up harness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.accel.validate import (
+    ValidationCase,
+    default_cases,
+    run_case,
+    validate_accelerator,
+)
+from repro.hardware.fpga import STRATIX10_GX2800
+
+
+class TestRunCase:
+    @pytest.mark.parametrize("n", (1, 3, 5))
+    def test_affine_case_passes(self, n):
+        outcome = run_case(
+            ValidationCase(n=n, deform_amplitude=0.0), STRATIX10_GX2800
+        )
+        assert outcome.passed
+        assert outcome.bit_exact_detailed
+        assert outcome.max_err_vs_listing1 < 1e-12
+
+    def test_deformed_case_passes(self):
+        outcome = run_case(
+            ValidationCase(n=3, deform_amplitude=0.05), STRATIX10_GX2800
+        )
+        assert outcome.passed
+
+    def test_unreasonable_tolerance_fails(self):
+        outcome = run_case(
+            ValidationCase(n=3, deform_amplitude=0.04),
+            STRATIX10_GX2800,
+            tolerance=1e-30,
+        )
+        # Reassociation round-off is real; an impossible tolerance must
+        # be reported as a failure, not papered over.
+        assert not outcome.passed or outcome.max_err_vs_listing1 == 0.0
+
+
+class TestMatrix:
+    def test_default_cases_cover_affine_and_deformed(self):
+        cases = default_cases()
+        assert any(c.deform_amplitude == 0.0 for c in cases)
+        assert any(c.deform_amplitude > 0.0 for c in cases)
+        assert {c.n for c in cases} >= {1, 3, 5, 7, 9}
+
+    def test_full_validation_signs_off(self):
+        ok, report = validate_accelerator(STRATIX10_GX2800)
+        assert ok, report
+        assert "ALL CASES PASSED" in report
+        assert "Stratix 10 GX2800" in report
+
+    def test_report_contains_all_rows(self):
+        ok, report = validate_accelerator(
+            STRATIX10_GX2800,
+            cases=(ValidationCase(n=2), ValidationCase(n=3)),
+        )
+        assert ok
+        assert report.count("2x1x1") >= 1

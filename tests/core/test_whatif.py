@@ -1,0 +1,74 @@
+"""Tests for repro.core.whatif (precision & DSP-specialization what-ifs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.throughput import ConstraintMode
+from repro.core.whatif import (
+    compare_precision,
+    fp32_device,
+    fp32_operator_costs,
+    specialize_dsps,
+)
+from repro.hardware.fpga import AGILEX_027, STRATIX10_GX2800, STRATIX10_M
+
+
+class TestFp32Costs:
+    def test_cheaper_than_fp64(self):
+        fp32 = fp32_operator_costs()
+        from repro.core.device import OperatorCosts
+
+        fp64 = OperatorCosts.stratix10_double()
+        assert fp32.add.alms < fp64.add.alms
+        assert fp32.mult.dsps < fp64.mult.dsps
+
+    def test_fp32_device_preserves_inventory(self):
+        dev = fp32_device(STRATIX10_GX2800)
+        assert dev.fabric.total == STRATIX10_GX2800.fabric.total
+        assert dev.fabric.op_costs.mult.dsps == 1.0
+
+
+class TestPrecisionComparison:
+    def test_bandwidth_bound_device_gains_exactly_2x(self):
+        # On the GX2800 both precisions are bandwidth-bound; halving
+        # bytes/DOF doubles throughput and FLOP rate.
+        c = compare_precision(STRATIX10_GX2800, 7, mode=ConstraintMode.PROJECTION)
+        assert c.binding_fp64 == "bandwidth"
+        assert c.speedup == pytest.approx(2.0)
+
+    def test_resource_bound_device_gains_more(self):
+        # The Agilex at N=11 is logic-bound in FP64; FP32 relieves both
+        # logic and bandwidth -> > 2x.
+        c = compare_precision(AGILEX_027, 11, mode=ConstraintMode.PROJECTION)
+        assert c.binding_fp64 == "logic"
+        assert c.speedup > 2.0
+        assert c.binding_fp32 == "bandwidth"
+
+    def test_dsp_bound_10m(self):
+        c = compare_precision(STRATIX10_M, 15, mode=ConstraintMode.PROJECTION)
+        assert c.binding_fp64 == "dsp"
+        assert c.gflops_fp32 > c.gflops_fp64
+
+    def test_fields(self):
+        c = compare_precision(STRATIX10_GX2800, 7)
+        assert c.n == 7 and c.device_name == "Stratix 10 GX2800"
+        assert c.t_fp32 >= c.t_fp64
+
+
+class TestSpecializeDsps:
+    def test_mult_cost_halved(self):
+        dev = specialize_dsps(STRATIX10_GX2800)
+        assert dev.fabric.op_costs.mult.dsps == 3.0
+        assert dev.fabric.total == STRATIX10_GX2800.fabric.total
+
+    def test_relieves_dsp_bound_device(self):
+        from repro.core.perfmodel import PerformanceModel
+
+        stock = PerformanceModel(STRATIX10_M, mode=ConstraintMode.PROJECTION)
+        spec = PerformanceModel(
+            specialize_dsps(STRATIX10_M), mode=ConstraintMode.PROJECTION
+        )
+        # 10M is DSP-bound at N=15 with its 8-DSP multipliers; the
+        # 3-DSP specialization more than doubles the resource bound.
+        assert spec.t_resource(15) > 2.0 * stock.t_resource(15)

@@ -1,0 +1,63 @@
+"""Tests for repro.experiments.export (CSV artifact writer)."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.experiments import build_table2, export_result
+from repro.experiments.common import ExperimentResult, Series
+from repro.experiments.export import default_builders
+
+
+class TestExportResult:
+    def test_table_roundtrip(self, tmp_path):
+        result = build_table2()
+        paths = export_result(result, tmp_path)
+        assert len(paths) == 1
+        with paths[0].open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == list(result.headers)
+        assert len(rows) == 1 + len(result.rows)
+        assert rows[1][1] == "Stratix GX 2800"
+
+    def test_series_long_format(self, tmp_path):
+        r = ExperimentResult("E-Z", "t", headers=["a"])
+        r.add_row([1])
+        r.add_series(Series("s1", (1.0, 2.0), (3.0, 4.0), {"N": 7}))
+        r.add_series(Series("s2", (1.0,), (9.0,), {"N": 9}))
+        paths = export_result(r, tmp_path)
+        assert {p.name for p in paths} == {"E-Z.csv", "E-Z_series.csv"}
+        with (tmp_path / "E-Z_series.csv").open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["series", "x", "y", "N"]
+        assert len(rows) == 1 + 3
+        assert rows[1] == ["s1", "1.0", "3.0", "7"]
+
+    def test_none_cells_become_empty(self, tmp_path):
+        r = ExperimentResult("E-Y", "t", headers=["a", "b"])
+        r.add_row([1, None])
+        (path,) = export_result(r, tmp_path)
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[1] == ["1", ""]
+
+    def test_creates_directory(self, tmp_path):
+        r = ExperimentResult("E-W", "t", headers=["a"])
+        r.add_row([1])
+        export_result(r, tmp_path / "nested" / "dir")
+        assert (tmp_path / "nested" / "dir" / "E-W.csv").exists()
+
+
+class TestBuilders:
+    def test_all_fifteen_artifacts_registered(self):
+        builders = default_builders()
+        assert len(builders) == 15
+        assert {"table1", "fig1", "pcie", "sizing"} <= set(builders)
+
+    @pytest.mark.parametrize("name", ("table1", "padding", "sizing"))
+    def test_registered_builders_produce_results(self, name, tmp_path):
+        result = default_builders()[name]()
+        paths = export_result(result, tmp_path)
+        assert paths and all(p.stat().st_size > 0 for p in paths)

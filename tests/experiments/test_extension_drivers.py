@@ -1,0 +1,56 @@
+"""Tests for the extension experiment drivers (bandwidth, what-if)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    build_bandwidth_utilization,
+    build_dsp_specialization,
+    build_precision_whatif,
+    build_sizing,
+    build_stream,
+)
+
+
+class TestBandwidthDrivers:
+    def test_utilization_rows(self):
+        r = build_bandwidth_utilization()
+        assert len(r.rows) == 3 * 4  # (FPGA + 3 Teslas) x 3 degrees
+        fpga15 = next(
+            row for row in r.rows if row[0] == "SEM-Acc (FPGA)" and row[1] == 15
+        )
+        assert float(fpga15[4]) > 80.0
+
+    def test_stream_series(self):
+        r = build_stream()
+        assert len(r.series) == 1
+        ys = r.series[0].y
+        assert ys == tuple(sorted(ys))
+
+
+class TestWhatifDrivers:
+    def test_precision_rows(self):
+        r = build_precision_whatif()
+        assert len(r.rows) == 3 * 3
+        for row in r.rows:
+            assert float(row[4]) >= 2.0 - 1e-9  # FP32 speedup >= 2x
+
+    def test_dsp_specialization_keeps_bandwidth_binding(self):
+        r = build_dsp_specialization()
+        for row in r.rows:
+            assert row[4] == "bandwidth"
+
+    def test_sizing_includes_paper_device(self):
+        r = build_sizing()
+        t64 = r.row_dict()[64]
+        assert float(t64[2]) == pytest.approx(6.24, abs=0.05)   # M ALMs
+        assert float(t64[3]) == pytest.approx(20.16, abs=0.2)   # k DSPs
+
+    def test_cli_dispatch(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["whatif"]) == 0
+        assert "Precision what-if" in capsys.readouterr().out
+        assert main(["bandwidth"]) == 0
+        assert "STREAM" in capsys.readouterr().out

@@ -1,0 +1,143 @@
+"""Tests for repro.hardware.hostmodel and hardware.calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.calibration import ANCHOR_DEGREES, HOST_ANCHORS, anchor
+from repro.hardware.hostmodel import REFERENCE_ELEMENTS, HostExecutionModel
+
+FPGA_PEAKS = {7: 109.0, 11: 136.4, 15: 211.3}
+
+
+class TestAnchors:
+    def test_all_eight_systems_anchored(self):
+        assert len(HOST_ANCHORS) == 8
+        for table in HOST_ANCHORS.values():
+            assert set(table) == set(ANCHOR_DEGREES)
+
+    def test_interpolation(self):
+        g8, w8 = anchor("Intel Xeon Gold 6130", 8)
+        g7, _ = anchor("Intel Xeon Gold 6130", 7)
+        g9, _ = anchor("Intel Xeon Gold 6130", 9)
+        assert min(g7, g9) <= g8 <= max(g7, g9)
+
+    def test_clamping(self):
+        assert anchor("Intel Xeon Gold 6130", 20) == anchor("Intel Xeon Gold 6130", 15)
+
+    def test_unknown_system(self):
+        with pytest.raises(KeyError, match="no host calibration"):
+            anchor("Cray-1", 7)
+
+    def test_power_below_tdp(self):
+        from repro.hardware.catalog import SYSTEM_CATALOG
+
+        for name, table in HOST_ANCHORS.items():
+            tdp = SYSTEM_CATALOG[name].tdp_w
+            for n, (_, watts) in table.items():
+                assert watts <= tdp, (name, n)
+
+
+class TestPaperClaims:
+    """§V-C comparative claims at the 4096-element reference."""
+
+    def test_n15_speedup_ratios(self):
+        for name, ratio in (
+            ("Intel Xeon Gold 6130", 1.17),
+            ("Intel i9-10920X", 1.89),
+            ("Marvell ThunderX2", 2.34),
+            ("NVIDIA Tesla K80", 1.87),
+            ("NVIDIA Tesla P100 SXM2", 1 / 4.3),
+            ("NVIDIA Tesla V100 PCIe", 1 / 6.41),
+            ("NVIDIA A100 PCIe", 1 / 8.43),
+        ):
+            m = HostExecutionModel.for_system(name)
+            got = FPGA_PEAKS[15] / m.sample(15, REFERENCE_ELEMENTS).gflops
+            assert got == pytest.approx(ratio, rel=0.02), name
+
+    def test_rtx_beats_fpga_at_n15(self):
+        # "0.86x the performance of the Turing-class RTX 2060".
+        m = HostExecutionModel.for_system("NVIDIA RTX 2060 Super")
+        ratio = FPGA_PEAKS[15] / m.sample(15, REFERENCE_ELEMENTS).gflops
+        assert ratio == pytest.approx(0.86, abs=0.02)
+
+    def test_n7_only_tx2_slower(self):
+        fpga = FPGA_PEAKS[7]
+        for name in HOST_ANCHORS:
+            got = HostExecutionModel.for_system(name).sample(7, REFERENCE_ELEMENTS).gflops
+            if name == "Marvell ThunderX2":
+                assert got < fpga
+            else:
+                assert got > fpga * 0.95, name
+
+    def test_n11_only_xeon_faster_among_non_tesla(self):
+        fpga = FPGA_PEAKS[11]
+        non_tesla = (
+            "Intel Xeon Gold 6130",
+            "Intel i9-10920X",
+            "Marvell ThunderX2",
+            "NVIDIA Tesla K80",
+            "NVIDIA RTX 2060 Super",
+        )
+        for name in non_tesla:
+            got = HostExecutionModel.for_system(name).sample(11, REFERENCE_ELEMENTS).gflops
+            if name == "Intel Xeon Gold 6130":
+                assert got > fpga
+            else:
+                assert got < fpga, name
+
+    def test_tesla_efficiency_ratios_at_n15(self):
+        # "up-to 2.69x, 4.44x, and 4.52x more power-efficient".
+        fpga_eff = 2.12
+        for name, ratio in (
+            ("NVIDIA Tesla P100 SXM2", 2.69),
+            ("NVIDIA Tesla V100 PCIe", 4.44),
+            ("NVIDIA A100 PCIe", 4.52),
+        ):
+            s = HostExecutionModel.for_system(name).sample(15, REFERENCE_ELEMENTS)
+            assert s.gflops_per_w / fpga_eff == pytest.approx(ratio, rel=0.03), name
+
+    def test_gpu_high_degree_degradation(self):
+        # "the performance of the GPU kernel seems to degrade for too
+        # high degrees": N=15 < N=11 for every Tesla part.
+        for name in (
+            "NVIDIA Tesla P100 SXM2",
+            "NVIDIA Tesla V100 PCIe",
+            "NVIDIA A100 PCIe",
+        ):
+            m = HostExecutionModel.for_system(name)
+            assert (
+                m.sample(15, REFERENCE_ELEMENTS).gflops
+                < m.sample(11, REFERENCE_ELEMENTS).gflops
+            ), name
+
+
+class TestCurveShapes:
+    def test_gpu_ramps_slowly(self):
+        m = HostExecutionModel.for_system("NVIDIA A100 PCIe")
+        assert m.sample(7, 8).gflops < 0.1 * m.sample(7, 4096).gflops
+
+    def test_cpu_saturates_quickly(self):
+        m = HostExecutionModel.for_system("Intel Xeon Gold 6130")
+        assert m.sample(7, 64).gflops > 0.6 * m.sample(7, 4096).gflops
+
+    def test_monotone_in_size(self):
+        for name in ("Intel i9-10920X", "NVIDIA Tesla V100 PCIe"):
+            m = HostExecutionModel.for_system(name)
+            vals = [m.sample(7, e).gflops for e in (8, 64, 512, 4096, 16384)]
+            assert vals == sorted(vals), name
+
+    def test_roofline_fraction_below_unity(self):
+        for name in HOST_ANCHORS:
+            m = HostExecutionModel.for_system(name)
+            for n in (7, 11, 15):
+                assert m.roofline_fraction(n) < 1.2, (name, n)
+
+    def test_fpga_not_a_host_model(self):
+        with pytest.raises(ValueError, match="SEMAccelerator"):
+            HostExecutionModel.for_system("Stratix GX 2800")
+
+    def test_invalid_element_count(self):
+        m = HostExecutionModel.for_system("Intel i9-10920X")
+        with pytest.raises(ValueError, match=">= 1"):
+            m.ramp(0)

@@ -1,0 +1,93 @@
+"""Tests for repro.hardware.meters (simulated power instrumentation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.calibration import STRATIX10_TABLE1
+from repro.hardware.calibration import anchor
+from repro.hardware.meters import (
+    MeterError,
+    MmdMeter,
+    NvmlMeter,
+    PowerMeter,
+    RaplMeter,
+    measure_energy,
+)
+
+
+class TestBaseMeter:
+    def test_energy_integration(self):
+        m = MmdMeter(degree=7)
+        m.advance(1.0)
+        m.advance(1.0)
+        assert m.energy_joules == pytest.approx(2 * STRATIX10_TABLE1[7].power_w)
+        assert m.average_watts() == pytest.approx(STRATIX10_TABLE1[7].power_w)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(MeterError, match="advance"):
+            MmdMeter().advance(-1.0)
+
+    def test_average_without_samples_rejected(self):
+        with pytest.raises(MeterError, match="no time"):
+            MmdMeter().average_watts()
+
+    def test_base_class_abstract(self):
+        with pytest.raises(NotImplementedError):
+            PowerMeter().instantaneous_watts()
+
+
+class TestRapl:
+    def test_reads_calibrated_cpu_power(self):
+        m = RaplMeter(system="Intel i9-10920X", degree=11)
+        assert m.instantaneous_watts() == anchor("Intel i9-10920X", 11)[1]
+
+    def test_rejects_gpu(self):
+        with pytest.raises(MeterError, match="not a CPU"):
+            RaplMeter(system="NVIDIA A100 PCIe")
+
+
+class TestNvml:
+    def test_reads_calibrated_gpu_power(self):
+        m = NvmlMeter(system="NVIDIA A100 PCIe", degree=15)
+        assert m.instantaneous_watts() == pytest.approx(185.9)
+
+    def test_rejects_cpu(self):
+        with pytest.raises(MeterError, match="not a GPU"):
+            NvmlMeter(system="Marvell ThunderX2")
+
+
+class TestMmd:
+    def test_loaded_reads_table1(self):
+        assert MmdMeter(degree=15).instantaneous_watts() == 99.65
+
+    def test_idle_shell_power(self):
+        m = MmdMeter(degree=15, loaded=False)
+        assert m.instantaneous_watts() == 45.0
+
+    def test_unknown_degree(self):
+        with pytest.raises(MeterError, match="no synthesized"):
+            MmdMeter(degree=2).instantaneous_watts()
+
+    def test_measure_energy_window(self):
+        m = MmdMeter(degree=7)
+        joules = measure_energy(m, 0.5)
+        assert joules == pytest.approx(0.5 * STRATIX10_TABLE1[7].power_w)
+
+
+class TestEnergyEfficiencyStory:
+    def test_fpga_kernel_energy_beats_cpu_at_n15(self):
+        """Energy to apply Ax to 4096 elements at N=15: the FPGA draws
+        less power *and* finishes faster than the Xeon -> less energy."""
+        from repro.core.accel import AcceleratorConfig, SEMAccelerator
+        from repro.hardware.fpga import STRATIX10_GX2800
+        from repro.hardware.hostmodel import HostExecutionModel
+
+        acc = SEMAccelerator(AcceleratorConfig.banked(15), STRATIX10_GX2800)
+        t_fpga = acc.performance(4096).time_kernel_s
+        fpga_j = measure_energy(MmdMeter(degree=15), t_fpga)
+
+        xeon = HostExecutionModel.for_system("Intel Xeon Gold 6130")
+        t_cpu = xeon.time_seconds(15, 4096)
+        cpu_j = measure_energy(RaplMeter(system="Intel Xeon Gold 6130", degree=15), t_cpu)
+        assert fpga_j < cpu_j

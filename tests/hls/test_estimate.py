@@ -1,0 +1,47 @@
+"""Tests for repro.hls.estimate (op budgets and BRAM words)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hls.estimate import BramBudget, OpBudget, bram_words_for_ax, op_budget
+from repro.hls.loopnest import ax_kernel_nests
+
+
+class TestOpBudget:
+    @pytest.mark.parametrize("n,t", [(3, 4), (7, 4), (9, 2)])
+    def test_fused_kernel_op_budget(self, n, t):
+        nx = n + 1
+        budget = op_budget(ax_kernel_nests(n, t))
+        # Per issued cycle: T lanes x per-DOF cost, with the contraction
+        # ops counted per l-lane (the grad nests instantiate nx copies).
+        assert budget.adds_per_cycle == t * (6 * nx + 6)
+        assert budget.mults_per_cycle == t * (6 * nx + 9)
+
+    def test_addition(self):
+        assert OpBudget(1, 2) + OpBudget(3, 4) == OpBudget(4, 6)
+
+
+class TestBramWords:
+    def test_words_formula(self):
+        b = bram_words_for_ax(7, 4, double_buffer=True)
+        nx = 8
+        assert b.words == 11 * nx ** 3 * 2 + 2 * nx * nx
+        assert b.replication == 4
+        assert b.total_words == b.words * 4
+
+    def test_no_double_buffer(self):
+        b = bram_words_for_ax(7, 1, double_buffer=False)
+        assert b.words == 11 * 512 + 128
+
+    def test_grows_cubically(self):
+        w3 = bram_words_for_ax(3, 1).words
+        w7 = bram_words_for_ax(7, 1).words
+        # (8/4)^3 = 8x element payload growth dominates.
+        assert 7.0 < w7 / w3 < 8.5
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            bram_words_for_ax(0, 1)
+        with pytest.raises(ValueError, match=">= 1"):
+            bram_words_for_ax(3, 0)

@@ -1,0 +1,41 @@
+"""Tests for repro.hls.report (textual analysis reports)."""
+
+from __future__ import annotations
+
+from repro.hls.loopnest import ax_grad_nest, ax_kernel_nests
+from repro.hls.report import kernel_report, nest_report
+
+
+class TestNestReport:
+    def test_conflict_free_report(self):
+        text = nest_report(ax_grad_nest(7, 4), "i", force_ii1=True)
+        assert "unroll=4" in text
+        assert "II=1" in text
+        assert "uniform" in text and "contiguous" in text
+        assert "stall x1" in text
+        assert "yes" not in text  # nothing arbitrates at a legal unroll
+
+    def test_arbitrating_report_explains_why(self):
+        text = nest_report(ax_grad_nest(9, 4), "i", force_ii1=True)
+        assert "yes" in text
+        assert "wraps" in text
+        assert "stall x4" in text
+
+    def test_ii2_without_pragma(self):
+        text = nest_report(ax_grad_nest(7, 4), "i", force_ii1=False)
+        assert "II=2" in text
+
+    def test_register_arrays_annotated(self):
+        text = nest_report(ax_grad_nest(7, 4), "i")
+        assert "register-resident" in text
+
+
+class TestKernelReport:
+    def test_covers_all_stages(self):
+        text = kernel_report(ax_kernel_nests(3, 4), "i", force_ii1=True)
+        for stage in ("phase1_grad", "phase1_geom", "phase2_grad", "phase2_store"):
+            assert stage in text
+
+    def test_report_is_multiline_tables(self):
+        text = kernel_report(ax_kernel_nests(3, 2), "i", True)
+        assert text.count("array") >= 4  # one header per sub-nest

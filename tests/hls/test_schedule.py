@@ -1,0 +1,112 @@
+"""Tests for repro.hls.schedule (II scheduling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hls.loopnest import (
+    Access,
+    AccessKind,
+    Loop,
+    LoopNest,
+    ax_grad_nest,
+    ax_kernel_nests,
+)
+from repro.hls.schedule import (
+    ii_from_ports,
+    pipeline_cycles,
+    read_replication,
+    schedule_nest,
+)
+
+
+class TestII:
+    def test_paper_ii_quirk(self):
+        # Without the pragma Intel schedules II=2 (inter-stage hazard);
+        # with it the structural II=1 is achieved (paper §III-C).
+        nest = ax_grad_nest(7, 4)
+        assert schedule_nest(nest, "i", force_ii1=False).ii == 2
+        assert schedule_nest(nest, "i", force_ii1=True).ii == 1
+
+    def test_no_hazard_no_pragma_needed(self):
+        nest = ax_grad_nest(7, 4)
+        s = schedule_nest(nest, "i", force_ii1=False, cross_stage_hazard=False)
+        assert s.ii == 1
+
+    def test_arbitration_dominates_ii(self):
+        nest = ax_grad_nest(9, 4)  # illegal unroll
+        s = schedule_nest(nest, "i", force_ii1=True)
+        assert s.arbitration_stall_factor == 4.0
+
+    def test_multiple_stores_serialize(self):
+        nest = LoopNest(
+            "t",
+            (Loop("i", 8, 2),),
+            (
+                Access("w", AccessKind.STORE, {"i": 1}),
+                Access("w", AccessKind.STORE, {"i": 1}, const=4),
+            ),
+        )
+        assert ii_from_ports(nest, "i") == 2
+
+    def test_reads_do_not_raise_ii(self):
+        nest = LoopNest(
+            "t",
+            (Loop("i", 8, 2),),
+            tuple(
+                Access("u", AccessKind.LOAD, {"i": 1}, const=c) for c in range(5)
+            ),
+        )
+        assert ii_from_ports(nest, "i") == 1
+
+
+class TestReplication:
+    def test_u_is_read_three_times(self):
+        repl = read_replication(ax_grad_nest(7, 4), "i")
+        assert repl["u"] == 3
+
+    def test_register_arrays_excluded(self):
+        repl = read_replication(ax_grad_nest(7, 4), "i")
+        assert "dxt" not in repl
+
+    def test_phase2_reads_each_work_array_once(self):
+        repl = read_replication(ax_grad_nest(7, 4, phase=2), "i")
+        assert repl == {"shur": 1, "shus": 1, "shut": 1}
+
+
+class TestCycles:
+    def test_pipeline_cycles_formula(self):
+        nest = ax_grad_nest(7, 4)
+        s = schedule_nest(nest, "i", force_ii1=True)
+        # nx^4 trips, nx lanes of l fully unrolled, 4 lanes of i:
+        # slots = nx^3/4 ... times trip of k, j.
+        slots = nest.issue_slots
+        assert pipeline_cycles(nest, s) == slots
+        assert pipeline_cycles(nest, s, pipeline_depth=100) == slots + 100
+
+    def test_stall_factor_scales_cycles(self):
+        nest = ax_grad_nest(9, 4)
+        s = schedule_nest(nest, "i", force_ii1=True)
+        assert pipeline_cycles(nest, s) == int(
+            round(nest.issue_slots * s.ii * s.arbitration_stall_factor)
+        )
+
+    def test_full_kernel_dofs_per_cycle(self):
+        # At II=1 and legal unroll T the fused kernel issues T DOFs/cycle:
+        # each stage's slots per element = nx^3 / T.
+        n, t = 7, 4
+        nx = n + 1
+        for nest in ax_kernel_nests(n, t):
+            s = schedule_nest(nest, "i", force_ii1=True)
+            assert s.ii == 1
+            # grad nests fully unroll l, so every stage issues nx^3/T slots.
+            assert nest.issue_slots * t == nx ** 3
+
+    def test_report_runs(self):
+        from repro.hls.report import kernel_report, nest_report
+
+        text = nest_report(ax_grad_nest(9, 4), "i", force_ii1=True)
+        assert "arbitration" in text
+        assert "ax_phase1_grad" in text
+        full = kernel_report(ax_kernel_nests(3, 4), "i", True)
+        assert full.count("ax_phase") >= 4

@@ -1,0 +1,103 @@
+"""Tests for repro.hls.unroll (arbitration analysis).
+
+The key theorem this module encodes: for the ``Ax`` nests the largest
+conflict-free unroll equals the largest power of two dividing ``N + 1``
+— the paper's Section-IV constraint, here *derived* from access-pattern
+analysis.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hls.loopnest import Access, AccessKind, Loop, LoopNest, Storage
+from repro.hls.unroll import (
+    LanePattern,
+    analyze_unroll,
+    max_conflict_free_unroll,
+)
+from repro.hls.loopnest import ax_grad_nest, ax_geom_nest
+from repro.util.validation import pow2_divisor_floor
+
+
+class TestPaperConstraint:
+    @pytest.mark.parametrize("n", range(1, 17))
+    def test_max_unroll_is_pow2_divisor_of_nx(self, n):
+        nx = n + 1
+        got = max_conflict_free_unroll(ax_grad_nest(n, 1), "i")
+        assert got == pow2_divisor_floor(nx, nx)
+
+    def test_paper_throughput_pattern(self):
+        # T = 2, 4, 2, 8, 2, 4, 2, 16 raw arbitration limits for the odd
+        # degrees (bandwidth separately caps at 4 on the Stratix).
+        got = [
+            max_conflict_free_unroll(ax_grad_nest(n, 1), "i")
+            for n in (1, 3, 5, 7, 9, 11, 13, 15)
+        ]
+        assert got == [2, 4, 2, 8, 2, 4, 2, 16]
+
+    @pytest.mark.parametrize("n,unroll,ok", [
+        (7, 4, True), (7, 8, True), (9, 2, True), (9, 4, False),
+        (11, 4, True), (11, 8, False), (13, 2, True), (13, 4, False),
+    ])
+    def test_specific_legality(self, n, unroll, ok):
+        analysis = analyze_unroll(ax_grad_nest(n, unroll), "i")
+        assert analysis.conflict_free is ok
+
+    def test_geom_nest_follows_same_rule(self):
+        assert analyze_unroll(ax_geom_nest(7, 4), "i").conflict_free
+        assert not analyze_unroll(ax_geom_nest(9, 4), "i").conflict_free
+
+
+class TestClassification:
+    def nest(self, accesses, trip=8, unroll=4):
+        return LoopNest("t", (Loop("j", trip), Loop("i", trip, unroll)), tuple(accesses))
+
+    def test_uniform_broadcast(self):
+        a = Access("d", AccessKind.LOAD, {"j": 1})
+        item = analyze_unroll(self.nest([a]), "i").per_access[0]
+        assert item.pattern is LanePattern.UNIFORM
+        assert not item.needs_arbitration
+
+    def test_contiguous(self):
+        a = Access("u", AccessKind.LOAD, {"i": 1})
+        item = analyze_unroll(self.nest([a]), "i").per_access[0]
+        assert item.pattern is LanePattern.CONTIGUOUS
+        assert not item.needs_arbitration
+
+    def test_odd_stride_permutes_banks(self):
+        a = Access("u", AccessKind.LOAD, {"i": 3})
+        item = analyze_unroll(self.nest([a]), "i").per_access[0]
+        assert item.pattern is LanePattern.STRIDED
+        assert not item.needs_arbitration
+
+    def test_even_stride_conflicts(self):
+        a = Access("u", AccessKind.LOAD, {"i": 2})
+        item = analyze_unroll(self.nest([a]), "i").per_access[0]
+        assert item.needs_arbitration
+
+    def test_non_pow2_unroll_conflicts(self):
+        a = Access("u", AccessKind.LOAD, {"i": 1})
+        nest = LoopNest("t", (Loop("i", 9, 3),), (a,))
+        item = analyze_unroll(nest, "i").per_access[0]
+        assert item.needs_arbitration
+        assert "power of two" in item.reason
+
+    def test_wrap_breaks_uniformity(self):
+        # unroll 4 on trip 6: group wraps; j-dependent access conflicts.
+        a = Access("d", AccessKind.LOAD, {"j": 1})
+        nest = LoopNest("t", (Loop("j", 6), Loop("i", 6, 4)), (a,))
+        item = analyze_unroll(nest, "i").per_access[0]
+        assert item.needs_arbitration
+        assert "wraps" in item.reason
+
+    def test_register_arrays_never_arbitrate(self):
+        a = Access("dxt", AccessKind.LOAD, {"i": 2}, storage=Storage.REGISTER)
+        nest = LoopNest("t", (Loop("i", 6, 4),), (a,))
+        item = analyze_unroll(nest, "i").per_access[0]
+        assert not item.needs_arbitration
+
+    def test_conflicts_listing(self):
+        analysis = analyze_unroll(ax_grad_nest(9, 4), "i")
+        assert len(analysis.conflicts) > 0
+        assert all(c.needs_arbitration for c in analysis.conflicts)

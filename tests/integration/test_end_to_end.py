@@ -1,0 +1,141 @@
+"""Integration tests across package boundaries.
+
+These exercise the paths a downstream user actually runs: solving
+Poisson problems with the accelerator as the operator backend, the
+model-vs-simulator agreement that underpins Table I, and spectral
+convergence of the full solver stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AcceleratorConfig,
+    BoxMesh,
+    PoissonProblem,
+    ReferenceElement,
+    SEMAccelerator,
+    STRATIX10_GX2800,
+    cg_solve,
+)
+from repro.core import ConstraintMode, PerformanceModel
+from repro.core.calibration import REFERENCE_ELEMENTS, TABLE1_DEGREES
+from repro.sem import sine_manufactured
+
+
+class TestSolveOnAccelerator:
+    def test_cg_identical_with_fpga_backend(self):
+        n = 5
+        ref = ReferenceElement.from_degree(n)
+        mesh = BoxMesh.build(ref, (2, 2, 2))
+        _, forcing = sine_manufactured(mesh.extent)
+
+        cpu = PoissonProblem(mesh)
+        b = cpu.rhs_from_forcing(forcing)
+        diag = cpu.jacobi_diagonal()
+        cpu_res = cg_solve(cpu.apply_A, b, precond_diag=diag, tol=1e-11)
+
+        acc = SEMAccelerator(AcceleratorConfig.banked(n), STRATIX10_GX2800)
+        fpga = PoissonProblem(mesh, ax_backend=acc.as_ax_backend())
+        fpga_res = cg_solve(fpga.apply_A, b, precond_diag=diag, tol=1e-11)
+
+        assert cpu_res.converged and fpga_res.converged
+        assert cpu_res.iterations == fpga_res.iterations
+        assert np.allclose(cpu_res.x, fpga_res.x, atol=1e-12)
+        # One report per operator application: initial residual + iters.
+        assert len(acc.history) == fpga_res.iterations + 1
+
+    def test_accumulated_kernel_time_is_positive_and_consistent(self):
+        n = 3
+        ref = ReferenceElement.from_degree(n)
+        mesh = BoxMesh.build(ref, (2, 1, 1))
+        acc = SEMAccelerator(AcceleratorConfig.banked(n), STRATIX10_GX2800)
+        prob = PoissonProblem(mesh, ax_backend=acc.as_ax_backend())
+        rng = np.random.default_rng(0)
+        prob.apply_A(rng.standard_normal(prob.n_dofs))
+        rep = acc.history[0]
+        assert rep.time_kernel_s > 0
+        assert rep.flops == 63 * mesh.num_elements * 64
+
+
+class TestModelSimulatorAgreement:
+    @pytest.mark.parametrize("n", TABLE1_DEGREES)
+    def test_simulator_never_exceeds_model(self, n):
+        # The §IV model is an upper bound on the simulator at the
+        # calibrated clock.
+        model = PerformanceModel(STRATIX10_GX2800, mode=ConstraintMode.MEASURED)
+        acc = SEMAccelerator(AcceleratorConfig.banked(n), STRATIX10_GX2800)
+        rep = acc.performance(REFERENCE_ELEMENTS)
+        assert rep.dofs_per_cycle <= model.t_max(n) + 1e-9
+
+    @pytest.mark.parametrize("n", (9, 11, 13))
+    def test_agreement_tight_for_arbitration_limited_degrees(self, n):
+        # Paper: errors < ~1% where arbitration (not bandwidth) binds.
+        model = PerformanceModel(STRATIX10_GX2800, mode=ConstraintMode.MEASURED)
+        acc = SEMAccelerator(AcceleratorConfig.banked(n), STRATIX10_GX2800)
+        rep = acc.performance(REFERENCE_ELEMENTS)
+        err = (model.t_max(n) - rep.dofs_per_cycle) / model.t_max(n)
+        assert err < 0.012
+
+    def test_error_shrinks_with_degree_band(self):
+        # Paper: "the error decreases as the polynomial degree increases"
+        # (from 27.6% at N=1 to ~1% at N>=9).
+        model = PerformanceModel(STRATIX10_GX2800, mode=ConstraintMode.MEASURED)
+        errs = []
+        for n in TABLE1_DEGREES:
+            acc = SEMAccelerator(AcceleratorConfig.banked(n), STRATIX10_GX2800)
+            rep = acc.performance(REFERENCE_ELEMENTS)
+            errs.append((model.t_max(n) - rep.dofs_per_cycle) / model.t_max(n))
+        assert errs[0] > 0.25
+        assert max(errs[4:]) < 0.05
+
+
+class TestSpectralConvergence:
+    def test_error_decays_exponentially(self):
+        errors = []
+        for n in (2, 4, 6, 8):
+            ref = ReferenceElement.from_degree(n)
+            mesh = BoxMesh.build(ref, (2, 2, 2))
+            prob = PoissonProblem(mesh)
+            u_exact, forcing = sine_manufactured(mesh.extent)
+            b = prob.rhs_from_forcing(forcing)
+            res = cg_solve(
+                prob.apply_A, b, precond_diag=prob.jacobi_diagonal(),
+                tol=1e-13, maxiter=2000,
+            )
+            assert res.converged
+            errors.append(prob.l2_error(res.x, u_exact))
+        # Each +2 degrees must buy >= 2 orders of magnitude here.
+        for a, b_ in zip(errors, errors[1:]):
+            assert b_ < a / 50.0
+        assert errors[-1] < 1e-10
+
+    def test_h_refinement_also_converges(self):
+        errs = []
+        for shape in ((1, 1, 1), (2, 2, 2), (3, 3, 3)):
+            ref = ReferenceElement.from_degree(3)
+            mesh = BoxMesh.build(ref, shape)
+            prob = PoissonProblem(mesh)
+            u_exact, forcing = sine_manufactured(mesh.extent)
+            b = prob.rhs_from_forcing(forcing)
+            res = cg_solve(
+                prob.apply_A, b, precond_diag=prob.jacobi_diagonal(),
+                tol=1e-13, maxiter=2000,
+            )
+            errs.append(prob.l2_error(res.x, u_exact))
+        assert errs[0] > errs[1] > errs[2]
+
+
+class TestPublicAPI:
+    def test_top_level_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

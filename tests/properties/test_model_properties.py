@@ -1,0 +1,114 @@
+"""Property-based tests (hypothesis) for the performance-model layer."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import KernelCost, operational_intensity
+from repro.core.padding import padding_gain
+from repro.core.roofline import Roofline
+from repro.core.throughput import (
+    ConstraintMode,
+    bandwidth_throughput,
+    constrain_throughput,
+    max_throughput,
+)
+from repro.util.validation import is_power_of_two, pow2_divisor_floor, pow2_floor
+
+degrees = st.integers(min_value=1, max_value=31)
+throughputs = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+
+
+@given(n=degrees)
+@settings(max_examples=50, deadline=None)
+def test_cost_totals_consistent(n):
+    c = KernelCost(n)
+    assert c.total == c.adds + c.mults
+    assert c.mults - c.adds == 3  # 9 - 6 from the G stage
+    assert operational_intensity(n) * 64 == c.total
+
+
+@given(t=throughputs, n=degrees)
+@settings(max_examples=100, deadline=None)
+def test_measured_constraint_properties(t, n):
+    nx = n + 1
+    out = constrain_throughput(t, nx, ConstraintMode.MEASURED)
+    assert out <= t + 1e-12
+    if out >= 1:
+        assert is_power_of_two(int(out))
+        assert nx % int(out) == 0
+
+
+@given(t=st.floats(min_value=1.0, max_value=1e4), n=degrees)
+@settings(max_examples=100, deadline=None)
+def test_projection_constraint_properties(t, n):
+    nx = n + 1
+    out = constrain_throughput(t, nx, ConstraintMode.PROJECTION)
+    assert out <= max(t * 1.05, float(nx ** 3)) + 1e-9
+    assert is_power_of_two(int(out)) or out == nx ** 3
+
+
+@given(tr=throughputs, tb=throughputs, n=degrees)
+@settings(max_examples=100, deadline=None)
+def test_tmax_never_exceeds_either_bound(tr, tb, n):
+    out = max_throughput(tr, tb, n + 1, ConstraintMode.MEASURED)
+    assert out <= min(tr, tb) + 1e-12
+    raw = max_throughput(tr, tb, n + 1, ConstraintMode.UNCONSTRAINED)
+    assert raw == min(tr, tb)
+
+
+@given(b=st.floats(min_value=1e9, max_value=1e13), f=st.floats(min_value=1e8, max_value=1e9))
+@settings(max_examples=50, deadline=None)
+def test_bandwidth_throughput_scaling(b, f):
+    t = bandwidth_throughput(b, f)
+    assert t > 0
+    assert bandwidth_throughput(2 * b, f) == 2 * t or abs(
+        bandwidth_throughput(2 * b, f) - 2 * t
+    ) < 1e-9 * t
+
+
+@given(x=st.floats(min_value=1.0, max_value=1e9))
+@settings(max_examples=100, deadline=None)
+def test_pow2_floor_properties(x):
+    p = pow2_floor(x)
+    assert is_power_of_two(p)
+    assert p <= x < 2 * p
+
+
+@given(x=st.floats(min_value=1.0, max_value=1e4), n=st.integers(min_value=1, max_value=64))
+@settings(max_examples=100, deadline=None)
+def test_pow2_divisor_floor_properties(x, n):
+    t = pow2_divisor_floor(x, n)
+    if t >= 1:
+        assert is_power_of_two(t)
+        assert n % t == 0
+        assert t <= x
+
+
+@given(n=st.integers(min_value=1, max_value=20), k=st.integers(min_value=0, max_value=4))
+@settings(max_examples=100, deadline=None)
+def test_padding_gain_invariants(n, k):
+    t2 = 2 ** k
+    plan = padding_gain(n, t2)
+    assert plan.work_factor >= 1.0
+    assert (n + 1 + plan.pad) % t2 == 0
+    assert plan.t_padded <= t2
+    if plan.pad == 0:
+        # No padding -> work factor exactly 1 and no throughput loss.
+        assert plan.work_factor == 1.0
+        assert plan.gain >= 1.0 - 1e-12
+
+
+@given(
+    p=st.floats(min_value=1e9, max_value=1e13),
+    b=st.floats(min_value=1e9, max_value=1e12),
+    i1=st.floats(min_value=0.01, max_value=100),
+    i2=st.floats(min_value=0.01, max_value=100),
+)
+@settings(max_examples=100, deadline=None)
+def test_roofline_monotone_and_bounded(p, b, i1, i2):
+    r = Roofline(p, b)
+    lo, hi = sorted((i1, i2))
+    assert r.attainable(lo) <= r.attainable(hi) + 1e-9
+    assert r.attainable(hi) <= p

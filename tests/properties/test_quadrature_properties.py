@@ -1,0 +1,86 @@
+"""Property-based tests (hypothesis) for the quadrature/basis layer."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sem.basis import interpolate, lagrange_basis_matrix
+from repro.sem.derivative import derivative_matrix
+from repro.sem.legendre import legendre
+from repro.sem.quadrature import gll_points_and_weights
+
+degrees = st.integers(min_value=1, max_value=12)
+coeff_lists = st.lists(
+    st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=1, max_size=8
+)
+
+
+@given(n=degrees)
+@settings(max_examples=30, deadline=None)
+def test_gll_weights_positive_sum_two(n):
+    _, w = gll_points_and_weights(n + 1)
+    assert np.all(w > 0)
+    assert abs(w.sum() - 2.0) < 1e-12
+
+
+@given(n=st.integers(min_value=2, max_value=12), coeffs=coeff_lists)
+@settings(max_examples=60, deadline=None)
+def test_quadrature_exact_for_low_degree_polynomials(n, coeffs):
+    """Any polynomial of degree <= 2N-1 integrates exactly."""
+    deg = min(len(coeffs) - 1, 2 * n - 1)
+    coeffs = coeffs[: deg + 1]
+    x, w = gll_points_and_weights(n + 1)
+    vals = np.polynomial.polynomial.polyval(x, coeffs)
+    got = float(np.dot(w, vals))
+    exact = sum(
+        c * (2.0 / (k + 1)) for k, c in enumerate(coeffs) if k % 2 == 0
+    )
+    scale = 1.0 + sum(abs(c) for c in coeffs)
+    assert abs(got - exact) < 1e-10 * scale
+
+
+@given(n=degrees, coeffs=coeff_lists)
+@settings(max_examples=60, deadline=None)
+def test_derivative_matrix_exact_on_interpolated_polynomials(n, coeffs):
+    """D differentiates any polynomial of degree <= N exactly."""
+    deg = min(len(coeffs) - 1, n)
+    coeffs = np.asarray(coeffs[: deg + 1])
+    x, _ = gll_points_and_weights(n + 1)
+    d = derivative_matrix(n + 1)
+    p = np.polynomial.polynomial.polyval(x, coeffs)
+    dp_exact = np.polynomial.polynomial.polyval(
+        x, np.polynomial.polynomial.polyder(coeffs)
+    ) if deg > 0 else np.zeros_like(x)
+    scale = 1.0 + np.sum(np.abs(coeffs)) * (n ** 2)
+    assert np.max(np.abs(d @ p - dp_exact)) < 1e-10 * scale
+
+
+@given(n=degrees, vals=st.lists(
+    st.floats(min_value=-5, max_value=5, allow_nan=False), min_size=2, max_size=13
+))
+@settings(max_examples=40, deadline=None)
+def test_interpolation_reproduces_nodal_values(n, vals):
+    """Evaluating the interpolant at its own nodes is the identity."""
+    x, _ = gll_points_and_weights(n + 1)
+    v = np.resize(np.asarray(vals), n + 1)
+    out = interpolate(x, v, x)
+    assert np.allclose(out, v, atol=1e-11)
+
+
+@given(n=degrees)
+@settings(max_examples=20, deadline=None)
+def test_basis_partition_of_unity(n):
+    x, _ = gll_points_and_weights(n + 1)
+    pts = np.linspace(-1, 1, 17)
+    b = lagrange_basis_matrix(x, pts)
+    assert np.allclose(b.sum(axis=1), 1.0, atol=1e-11)
+
+
+@given(n=st.integers(min_value=1, max_value=14))
+@settings(max_examples=20, deadline=None)
+def test_legendre_bounded_on_interval(n):
+    """|L_n(x)| <= 1 on [-1, 1]."""
+    x = np.linspace(-1, 1, 101)
+    assert np.max(np.abs(legendre(n, x))) <= 1.0 + 1e-12

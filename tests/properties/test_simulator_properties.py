@@ -1,0 +1,77 @@
+"""Property-based tests (hypothesis) for the accelerator simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accel import AcceleratorConfig, SEMAccelerator
+from repro.core.calibration import TABLE1_DEGREES
+from repro.hardware.fpga import STRATIX10_GX2800
+from repro.sem.gather_scatter import GatherScatter
+from repro.sem.mesh import BoxMesh
+from repro.sem.element import ReferenceElement
+
+table1_degrees = st.sampled_from(TABLE1_DEGREES)
+sizes = st.integers(min_value=1, max_value=20000)
+
+
+@given(n=table1_degrees, e=sizes)
+@settings(max_examples=60, deadline=None)
+def test_throughput_bounded_by_design(n, e):
+    acc = SEMAccelerator(AcceleratorConfig.banked(n), STRATIX10_GX2800)
+    rep = acc.performance(e)
+    assert 0 < rep.dofs_per_cycle <= acc.config.unroll + 1e-9
+
+
+@given(n=table1_degrees, e1=sizes, e2=sizes)
+@settings(max_examples=40, deadline=None)
+def test_end_to_end_gflops_monotone_in_size(n, e1, e2):
+    lo, hi = sorted((e1, e2))
+    acc = SEMAccelerator(AcceleratorConfig.banked(n), STRATIX10_GX2800)
+    g_lo = acc.performance(lo).gflops_end_to_end
+    g_hi = acc.performance(hi).gflops_end_to_end
+    assert g_hi >= g_lo * 0.999
+
+
+@given(n=table1_degrees, e=sizes)
+@settings(max_examples=40, deadline=None)
+def test_cycle_overlap_invariant(n, e):
+    acc = SEMAccelerator(AcceleratorConfig.banked(n), STRATIX10_GX2800)
+    rep = acc.performance(e)
+    assert rep.cycles_total == max(rep.cycles_compute, rep.cycles_memory)
+    assert rep.time_total_s > rep.time_kernel_s > 0
+
+
+@given(n=table1_degrees, e=st.integers(min_value=1, max_value=8192))
+@settings(max_examples=40, deadline=None)
+def test_banked_never_slower_than_interleaved(n, e):
+    banked = SEMAccelerator(AcceleratorConfig.banked(n), STRATIX10_GX2800)
+    inter = SEMAccelerator(AcceleratorConfig.ii1(n), STRATIX10_GX2800)
+    assert banked.performance(e).gflops >= inter.performance(e).gflops * 0.999
+
+
+@given(
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=2),
+    ),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_gather_scatter_conservation(shape, seed):
+    """sum(gather(local)) == sum(local) for any mesh topology."""
+    ref = ReferenceElement.from_degree(2)
+    mesh = BoxMesh.build(ref, shape)
+    gs = GatherScatter.from_mesh(mesh)
+    rng = np.random.default_rng(seed)
+    local = rng.standard_normal(gs.local_shape)
+    assert np.sum(gs.gather(local)) == st_approx(np.sum(local))
+
+
+def st_approx(x: float):
+    import pytest
+
+    return pytest.approx(x, rel=1e-10, abs=1e-9)

@@ -1,0 +1,97 @@
+"""Tests for repro.sem.cg (preconditioned conjugate gradients)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sem.cg import CGResult, cg_solve
+
+
+def spd_system(n: int, seed: int = 0, cond: float = 100.0):
+    """Random SPD matrix with controlled conditioning."""
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    eig = np.geomspace(1.0, cond, n)
+    a = (q * eig) @ q.T
+    x = rng.standard_normal(n)
+    return a, x, a @ x
+
+
+class TestCG:
+    def test_solves_spd_system(self):
+        a, x_true, b = spd_system(40)
+        res = cg_solve(lambda v: a @ v, b, tol=1e-12, maxiter=500)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-8)
+
+    def test_exact_convergence_in_n_steps_for_small_system(self):
+        a, x_true, b = spd_system(12, cond=10.0)
+        res = cg_solve(lambda v: a @ v, b, tol=1e-13, maxiter=13)
+        assert res.converged
+
+    def test_jacobi_preconditioning_reduces_iterations(self):
+        rng = np.random.default_rng(1)
+        # Strongly diagonally-scaled SPD system.
+        d = np.geomspace(1.0, 1e4, 60)
+        q, _ = np.linalg.qr(rng.standard_normal((60, 60)))
+        a = (q * np.linspace(1, 2, 60)) @ q.T
+        a = np.diag(np.sqrt(d)) @ a @ np.diag(np.sqrt(d))
+        b = rng.standard_normal(60)
+        plain = cg_solve(lambda v: a @ v, b, tol=1e-10, maxiter=3000)
+        precond = cg_solve(
+            lambda v: a @ v, b, precond_diag=np.diag(a).copy(),
+            tol=1e-10, maxiter=3000,
+        )
+        assert precond.converged
+        assert precond.iterations < plain.iterations
+
+    def test_zero_rhs_returns_zero(self):
+        a, _, _ = spd_system(10)
+        res = cg_solve(lambda v: a @ v, np.zeros(10))
+        assert res.converged
+        assert res.iterations == 0
+        assert np.array_equal(res.x, np.zeros(10))
+
+    def test_initial_guess_respected(self):
+        a, x_true, b = spd_system(20)
+        res = cg_solve(lambda v: a @ v, b, x0=x_true.copy(), tol=1e-10)
+        assert res.converged
+        assert res.iterations == 0
+
+    def test_maxiter_reached_reports_not_converged(self):
+        a, _, b = spd_system(50, cond=1e6)
+        res = cg_solve(lambda v: a @ v, b, tol=1e-14, maxiter=2)
+        assert not res.converged
+        assert res.iterations == 2
+
+    def test_residual_history_monotone_enough(self):
+        # CG residuals are not strictly monotone, but the final residual
+        # must be far below the initial one.
+        a, _, b = spd_system(30)
+        res = cg_solve(lambda v: a @ v, b, tol=1e-12, maxiter=500)
+        assert res.residual_history[-1] < 1e-10 * res.residual_history[0]
+        assert len(res.residual_history) == res.iterations + 1
+
+    def test_non_spd_operator_raises(self):
+        a = -np.eye(5)
+        with pytest.raises(ValueError, match="breakdown"):
+            cg_solve(lambda v: a @ v, np.ones(5))
+
+    def test_bad_preconditioner_raises(self):
+        a, _, b = spd_system(5)
+        with pytest.raises(ValueError, match="non-positive"):
+            cg_solve(lambda v: a @ v, b, precond_diag=np.zeros(5))
+
+    def test_shape_mismatch_raises(self):
+        a, _, b = spd_system(5)
+        with pytest.raises(ValueError, match="x0 shape"):
+            cg_solve(lambda v: a @ v, b, x0=np.zeros(4))
+        with pytest.raises(ValueError, match="preconditioner shape"):
+            cg_solve(lambda v: a @ v, b, precond_diag=np.ones(4))
+
+    def test_result_type(self):
+        a, _, b = spd_system(5)
+        res = cg_solve(lambda v: a @ v, b)
+        assert isinstance(res, CGResult)
+        assert res.residual_norm == res.residual_history[-1]

@@ -1,0 +1,56 @@
+"""Tests for repro.sem.element (ReferenceElement)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sem.element import ReferenceElement
+
+
+class TestReferenceElement:
+    def test_basic_properties(self):
+        ref = ReferenceElement.from_degree(7)
+        assert ref.degree == 7
+        assert ref.n_points == 8
+        assert ref.dofs_per_element == 512
+        assert ref.points.shape == (8,)
+        assert ref.weights.shape == (8,)
+        assert ref.deriv.shape == (8, 8)
+
+    def test_degree_zero_raises(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            ReferenceElement.from_degree(0)
+
+    def test_weights_3d_structure(self):
+        ref = ReferenceElement.from_degree(3)
+        w3 = ref.weights_3d()
+        assert w3.shape == (4, 4, 4)
+        w = ref.weights
+        assert w3[1, 2, 3] == pytest.approx(w[1] * w[2] * w[3])
+        # total = (sum w)^3 = 8 = reference volume
+        assert w3.sum() == pytest.approx(8.0, abs=1e-12)
+
+    def test_invalid_shapes_rejected(self):
+        ref = ReferenceElement.from_degree(2)
+        with pytest.raises(ValueError, match="shape"):
+            ReferenceElement(
+                degree=2,
+                points=ref.points[:-1],
+                weights=ref.weights,
+                deriv=ref.deriv,
+            )
+
+    def test_frozen(self):
+        ref = ReferenceElement.from_degree(2)
+        with pytest.raises(AttributeError):
+            ref.degree = 5  # type: ignore[misc]
+
+    @pytest.mark.parametrize("n", (1, 4, 9))
+    def test_consistent_with_quadrature_module(self, n):
+        from repro.sem.quadrature import gll_points_and_weights
+
+        ref = ReferenceElement.from_degree(n)
+        pts, wts = gll_points_and_weights(n + 1)
+        assert np.array_equal(ref.points, pts)
+        assert np.array_equal(ref.weights, wts)

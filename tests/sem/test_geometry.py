@@ -1,0 +1,94 @@
+"""Tests for repro.sem.geometry (geometric factors)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sem.element import ReferenceElement
+from repro.sem.geometry import (
+    affine_geometric_factors,
+    geometric_factors,
+    reference_gradient,
+)
+from repro.sem.mesh import BoxMesh
+
+
+class TestReferenceGradient:
+    def test_gradient_of_linear_fields(self, ref3, mesh3):
+        x, y, z = mesh3.coords
+        # d(x)/dr should be constant hx/2 per element on the box mesh.
+        xr, xs, xt = reference_gradient(ref3, x)
+        hx = mesh3.extent[0] / mesh3.shape[0]
+        assert np.allclose(xr, hx / 2.0, atol=1e-12)
+        assert np.allclose(xs, 0.0, atol=1e-12)
+        assert np.allclose(xt, 0.0, atol=1e-12)
+
+    def test_gradient_of_product_field(self, ref3, mesh3):
+        # f = x*y on [0,1]^2 slabs: df/dr = y*hx/2 in reference space.
+        x, y, _ = mesh3.coords
+        f = x * y
+        fr, fs, ft = reference_gradient(ref3, f)
+        hx = mesh3.extent[0] / mesh3.shape[0]
+        hy = mesh3.extent[1] / mesh3.shape[1]
+        assert np.allclose(fr, y * hx / 2.0, atol=1e-10)
+        assert np.allclose(fs, x * hy / 2.0, atol=1e-10)
+        assert np.allclose(ft, 0.0, atol=1e-10)
+
+
+class TestAffineFactors:
+    def test_matches_spectral_computation_on_box(self, ref3):
+        mesh = BoxMesh.build(ref3, (2, 2, 2), extent=(1.0, 2.0, 3.0))
+        geo = geometric_factors(mesh)
+        hx, hy, hz = (1.0 / 2, 2.0 / 2, 3.0 / 2)
+        exact = affine_geometric_factors(ref3, mesh.num_elements, hx, hy, hz)
+        assert np.allclose(geo.g, exact.g, atol=1e-11)
+        assert np.allclose(geo.jac, exact.jac, atol=1e-12)
+        assert np.allclose(geo.mass, exact.mass, atol=1e-12)
+
+    def test_off_diagonals_vanish_on_box(self, ref3, mesh3):
+        geo = geometric_factors(mesh3)
+        for comp in (1, 2, 4):  # rs, rt, st
+            assert np.allclose(geo.g[:, comp], 0.0, atol=1e-12)
+
+    def test_invalid_sizes_raise(self, ref3):
+        with pytest.raises(ValueError, match="positive"):
+            affine_geometric_factors(ref3, 1, -1.0, 1.0, 1.0)
+
+
+class TestCurvedFactors:
+    def test_symmetric_tensor_psd(self, curved_geo3):
+        # Reconstruct full 3x3 G at each node and check PSD.
+        g = curved_geo3.g
+        gm = np.empty(g.shape[:1] + g.shape[2:] + (3, 3))
+        idx = {(0, 0): 0, (0, 1): 1, (0, 2): 2, (1, 1): 3, (1, 2): 4, (2, 2): 5}
+        for (p, q), c in idx.items():
+            gm[..., p, q] = g[:, c]
+            gm[..., q, p] = g[:, c]
+        eig = np.linalg.eigvalsh(gm)
+        assert np.all(eig > -1e-12)
+
+    def test_jacobian_positive(self, curved_geo3):
+        assert np.all(curved_geo3.jac > 0)
+
+    def test_mass_sums_to_volume(self, ref3):
+        # Volume of the (undeformed) box must equal sum of the mass,
+        # counting interface nodes once per element (local mass).
+        mesh = BoxMesh.build(ref3, (2, 2, 1), extent=(1.0, 1.0, 1.0))
+        geo = geometric_factors(mesh)
+        assert geo.mass.sum() == pytest.approx(1.0, rel=1e-12)
+
+    def test_volume_preserving_deformation_keeps_volume(self, ref3):
+        mesh = BoxMesh.build(ref3, (2, 2, 2))
+        # Shear: x' = x + 0.2 y is volume preserving (det = 1).
+        sheared = mesh.deform(lambda x, y, z: (x + 0.2 * y, y, z))
+        geo = geometric_factors(sheared)
+        assert geo.mass.sum() == pytest.approx(1.0, rel=1e-12)
+
+    def test_tangled_mesh_rejected(self, ref3):
+        mesh = BoxMesh.build(ref3, (1, 1, 1))
+        with pytest.raises(ValueError, match="tangled"):
+            geometric_factors(mesh.deform(lambda x, y, z: (-x, y, z)))
+
+    def test_num_elements_property(self, curved_geo3, curved_mesh3):
+        assert curved_geo3.num_elements == curved_mesh3.num_elements

@@ -1,0 +1,75 @@
+"""Tests for repro.sem.nekbone (the proxy-app driver)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import flops_per_dof
+from repro.sem.nekbone import (
+    CG_FLOPS_PER_DOF_PER_ITER,
+    NekboneCase,
+    element_sweep,
+)
+
+
+class TestNekboneCase:
+    def test_fixed_iteration_run(self):
+        case = NekboneCase(3, (2, 2, 2))
+        report, result = case.run(iterations=15)
+        assert report.iterations == 15
+        assert result.iterations == 15
+        assert report.num_elements == 8
+
+    def test_flop_accounting(self):
+        case = NekboneCase(3, (2, 1, 1))
+        report, _ = case.run(iterations=10)
+        local_dofs = 2 * 4 ** 3
+        assert report.flops_ax == 11 * flops_per_dof(3) * local_dofs
+        assert report.flops_cg == 10 * CG_FLOPS_PER_DOF_PER_ITER * case.problem.n_dofs
+        assert report.total_flops == report.flops_ax + report.flops_cg
+
+    def test_mflops_positive(self):
+        report, _ = NekboneCase(3, (2, 2, 1)).run(iterations=5)
+        assert report.mflops > 0
+        assert report.seconds > 0
+
+    def test_residual_decreases_with_iterations(self):
+        short, _ = NekboneCase(3, (2, 2, 2)).run(iterations=3)
+        long, _ = NekboneCase(3, (2, 2, 2)).run(iterations=40)
+        assert long.residual_norm < short.residual_norm
+
+    def test_tolerance_mode_converges(self):
+        case = NekboneCase(5, (2, 2, 2))
+        report, result = case.run(iterations=500, tol=1e-10)
+        assert result.converged
+        assert report.iterations < 500
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            NekboneCase(3, (1, 1, 1)).run(iterations=0)
+
+    def test_fpga_backend(self):
+        from repro import AcceleratorConfig, SEMAccelerator
+        from repro.hardware.fpga import STRATIX10_GX2800
+
+        acc = SEMAccelerator(AcceleratorConfig.banked(3), STRATIX10_GX2800)
+        case = NekboneCase(3, (2, 1, 1), ax_backend=acc.as_ax_backend())
+        report, result = case.run(iterations=8)
+        assert report.iterations == 8
+        # One accelerator call per operator application.
+        assert len(acc.history) == 9
+
+
+class TestElementSweep:
+    def test_cubic_counts(self):
+        reports = element_sweep(2, element_counts=(1, 8), iterations=4)
+        assert [r.num_elements for r in reports] == [1, 8]
+
+    def test_non_cube_rejected(self):
+        with pytest.raises(ValueError, match="perfect cube"):
+            element_sweep(2, element_counts=(10,), iterations=2)
+
+    def test_flops_grow_with_elements(self):
+        reports = element_sweep(2, element_counts=(1, 8, 27), iterations=3)
+        totals = [r.total_flops for r in reports]
+        assert totals == sorted(totals)

@@ -1,0 +1,69 @@
+"""Tests for repro.util (units, validation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.units import BYTES_PER_DOUBLE, fmt_si, gbytes_per_s, gflops
+from repro.util.validation import (
+    check_in_range,
+    check_positive,
+    check_power_of_two,
+    is_power_of_two,
+    pow2_divisor_floor,
+    pow2_floor,
+)
+
+
+class TestUnits:
+    def test_constants(self):
+        assert BYTES_PER_DOUBLE == 8
+
+    def test_conversions(self):
+        assert gflops(2.5e9) == 2.5
+        assert gbytes_per_s(76.8e9) == 76.8
+
+    def test_fmt_si(self):
+        assert fmt_si(2.1e12, "FLOP/s") == "2.10 TFLOP/s"
+        assert fmt_si(76.8e9, "B/s") == "76.80 GB/s"
+        assert fmt_si(0, "W") == "0 W"
+        assert fmt_si(-3.2e6, "Hz") == "-3.20 MHz"
+        assert fmt_si(42.0, "W") == "42.00 W"
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", 0)
+
+    def test_check_in_range(self):
+        check_in_range("x", 0.5, 0, 1)
+        with pytest.raises(ValueError, match="in \\[0, 1\\]"):
+            check_in_range("x", 2, 0, 1)
+
+    def test_is_power_of_two(self):
+        assert all(is_power_of_two(v) for v in (1, 2, 4, 1024))
+        assert not any(is_power_of_two(v) for v in (0, -2, 3, 6, 12))
+
+    def test_check_power_of_two(self):
+        check_power_of_two("t", 8)
+        with pytest.raises(ValueError, match="power of two"):
+            check_power_of_two("t", 12)
+
+    @pytest.mark.parametrize("x,expected", [
+        (1.0, 1), (1.9, 1), (2.0, 2), (63.9, 32), (64.0, 64), (0.5, 0),
+    ])
+    def test_pow2_floor(self, x, expected):
+        assert pow2_floor(x) == expected
+
+    @pytest.mark.parametrize("x,n,expected", [
+        (4.0, 8, 4), (4.0, 10, 2), (4.0, 12, 4), (8.0, 12, 4),
+        (16.0, 16, 16), (4.0, 14, 2), (1.0, 7, 1), (0.5, 4, 0),
+    ])
+    def test_pow2_divisor_floor(self, x, n, expected):
+        assert pow2_divisor_floor(x, n) == expected
+
+    def test_pow2_divisor_floor_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            pow2_divisor_floor(4.0, 0)

@@ -1,0 +1,53 @@
+"""Tests for repro.util.timing."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.util.timing import Timer, repeat_time, throughput
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer("t") as t:
+            time.sleep(0.01)
+        assert 0.005 < t.elapsed < 0.5
+        assert t.milliseconds == pytest.approx(t.elapsed * 1e3)
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed >= first
+
+
+class TestRepeatTime:
+    def test_returns_min_and_result(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return 42
+
+        best, result = repeat_time(fn, repeats=3)
+        assert result == 42
+        assert len(calls) == 3
+        assert best >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            repeat_time(lambda: None, repeats=0)
+
+
+class TestThroughput:
+    def test_formula(self):
+        assert throughput(100.0, 2.0) == 50.0
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError, match="> 0"):
+            throughput(1.0, 0.0)
