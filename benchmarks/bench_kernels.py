@@ -17,9 +17,11 @@ from repro.sem import (
     GatherScatter,
     PoissonProblem,
     ReferenceElement,
+    SolverWorkspace,
     ax_local,
     cg_solve,
     geometric_factors,
+    get_ax_kernel,
     sine_manufactured,
 )
 
@@ -35,6 +37,55 @@ def test_bench_ax_local(benchmark, n):
     g = np.abs(rng.standard_normal((num_e, 6, nx, nx, nx))) + 0.5
     out = np.empty_like(u)
     result = benchmark(ax_local, ref, u, g, out)
+    assert np.all(np.isfinite(result))
+    benchmark.extra_info["gflops_per_call"] = (
+        flops_per_dof(n) * num_e * nx ** 3 / 1e9
+    )
+
+
+@pytest.mark.parametrize("kernel", ("einsum", "matmul"))
+def test_bench_ax_n7_e512(benchmark, kernel):
+    """The acceptance-size comparison at N=7, 512 elements.
+
+    ``einsum`` runs the library's historical hot path (allocating, as the
+    seed shipped it); ``matmul`` runs the new one (BLAS dgemm sum
+    factorization, cache-blocked, warm workspace).  The new path must
+    stay >= 2x faster; ``benchmarks/run_baseline.py`` records the ratio
+    in ``BENCH_kernels.json``.
+    """
+    ref = ReferenceElement.from_degree(7)
+    rng = np.random.default_rng(0)
+    num_e = 512
+    nx = ref.n_points
+    u = rng.standard_normal((num_e, nx, nx, nx))
+    g = np.abs(rng.standard_normal((num_e, 6, nx, nx, nx))) + 0.5
+    out = np.empty_like(u)
+    fn = get_ax_kernel(kernel)
+    if kernel == "matmul":
+        ws = SolverWorkspace(num_elements=num_e, nx=nx)
+        result = benchmark(fn, ref, u, g, out, ws)
+    else:
+        result = benchmark(fn, ref, u, g, out)
+    assert np.all(np.isfinite(result))
+    benchmark.extra_info["gflops_per_call"] = (
+        flops_per_dof(7) * num_e * nx ** 3 / 1e9
+    )
+
+
+@pytest.mark.parametrize("n", (3, 7, 11))
+def test_bench_ax_local_matmul(benchmark, n):
+    """BLAS-backed matrix-free operator on 64 elements (vs einsum above)."""
+    from repro.sem import ax_local_matmul
+
+    ref = ReferenceElement.from_degree(n)
+    rng = np.random.default_rng(0)
+    num_e = 64
+    nx = ref.n_points
+    u = rng.standard_normal((num_e, nx, nx, nx))
+    g = np.abs(rng.standard_normal((num_e, 6, nx, nx, nx))) + 0.5
+    ws = SolverWorkspace(num_elements=num_e, nx=nx)
+    out = np.empty_like(u)
+    result = benchmark(ax_local_matmul, ref, u, g, out, ws)
     assert np.all(np.isfinite(result))
     benchmark.extra_info["gflops_per_call"] = (
         flops_per_dof(n) * num_e * nx ** 3 / 1e9
@@ -66,6 +117,49 @@ def test_bench_cg_solve(benchmark):
 
     result = benchmark(run)
     assert result.iterations == 10
+
+
+def test_bench_cg_solve_workspace(benchmark):
+    """Allocation-free CG: matmul kernel + SolverWorkspace, N=7, 8 elements."""
+    ref = ReferenceElement.from_degree(7)
+    mesh = BoxMesh.build(ref, (2, 2, 2))
+    prob = PoissonProblem(mesh, ax_backend="matmul")
+    _, forcing = sine_manufactured(mesh.extent)
+    b = prob.rhs_from_forcing(forcing)
+    diag = prob.jacobi_diagonal()
+
+    def run():
+        return cg_solve(
+            prob.apply_A, b, precond_diag=diag, tol=0.0, maxiter=10,
+            workspace=prob.workspace,
+        )
+
+    result = benchmark(run)
+    assert result.iterations == 10
+
+
+def test_bench_gather(benchmark):
+    """Permutation + reduceat segment-sum gather on a 4x4x4 mesh at N=7."""
+    ref = ReferenceElement.from_degree(7)
+    mesh = BoxMesh.build(ref, (4, 4, 4))
+    gs = GatherScatter.from_mesh(mesh)
+    rng = np.random.default_rng(0)
+    local = rng.standard_normal(mesh.l2g.shape)
+    out = np.empty(mesh.n_global)
+    result = benchmark(gs.gather, local, out)
+    assert result is out
+
+
+def test_bench_gather_scatter_dot(benchmark):
+    """Nekbone glsc3 inner product (cached inverse multiplicity), N=7."""
+    ref = ReferenceElement.from_degree(7)
+    mesh = BoxMesh.build(ref, (4, 4, 4))
+    gs = GatherScatter.from_mesh(mesh)
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal(mesh.l2g.shape)
+    b = rng.standard_normal(mesh.l2g.shape)
+    result = benchmark(gs.dot, a, b)
+    assert np.isfinite(result)
 
 
 def test_bench_geometric_factors(benchmark):

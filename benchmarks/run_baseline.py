@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Snapshot the real kernel benchmarks into ``BENCH_kernels.json``.
+
+Runs ``benchmarks/bench_kernels.py`` under pytest-benchmark with
+``--benchmark-json``, then appends a ``derived`` section with the
+headline hot-path ratios (einsum vs matmul at the paper's N=7 reference
+shape) so future PRs have a perf trajectory to compare against:
+
+    python benchmarks/run_baseline.py [--out BENCH_kernels.json] [--fast]
+
+``--fast`` caps benchmark rounds for a quick smoke run; omit it for the
+numbers you intend to commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def run_benchmarks(out_path: pathlib.Path, fast: bool) -> None:
+    """Execute the kernel benchmark suite, writing the raw JSON."""
+    cmd = [
+        sys.executable, "-m", "pytest",
+        str(REPO_ROOT / "benchmarks" / "bench_kernels.py"),
+        "--benchmark-only",
+        "--benchmark-json", str(out_path),
+        "-q",
+    ]
+    if fast:
+        cmd += ["--benchmark-max-time", "0.2", "--benchmark-min-rounds", "3"]
+    env_path = str(REPO_ROOT / "src")
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        env_path + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else env_path
+    )
+    subprocess.run(cmd, check=True, env=env, cwd=REPO_ROOT)
+
+
+def mean_of(data: dict, name: str) -> float | None:
+    """Mean runtime of the benchmark with exactly this name."""
+    for bench in data.get("benchmarks", []):
+        if bench["name"] == name:
+            return float(bench["stats"]["mean"])
+    return None
+
+
+def derive(data: dict) -> dict:
+    """Headline ratios tracked across PRs."""
+    einsum = mean_of(data, "test_bench_ax_n7_e512[einsum]")
+    matmul = mean_of(data, "test_bench_ax_n7_e512[matmul]")
+    derived: dict = {}
+    if einsum and matmul:
+        derived["ax_n7_e512_einsum_s"] = einsum
+        derived["ax_n7_e512_matmul_s"] = matmul
+        derived["ax_n7_e512_matmul_speedup"] = einsum / matmul
+    cg_plain = mean_of(data, "test_bench_cg_solve")
+    cg_ws = mean_of(data, "test_bench_cg_solve_workspace")
+    if cg_plain and cg_ws:
+        derived["cg10_einsum_s"] = cg_plain
+        derived["cg10_workspace_matmul_s"] = cg_ws
+        derived["cg10_workspace_speedup"] = cg_plain / cg_ws
+    return derived
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_kernels.json"),
+        help="snapshot path (default: repo-root BENCH_kernels.json)",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="smoke-run with capped rounds (do not commit these numbers)",
+    )
+    args = parser.parse_args(argv)
+    out_path = pathlib.Path(args.out)
+
+    run_benchmarks(out_path, args.fast)
+
+    data = json.loads(out_path.read_text())
+    data["derived"] = derive(data)
+    # Keep the snapshot diffable: drop per-round raw samples and
+    # machine-local noise; the summary stats carry the trend.
+    data.pop("commit_info", None)
+    for bench in data.get("benchmarks", []):
+        bench["stats"].pop("data", None)
+    out_path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+    print(f"\nwrote {out_path}")
+    for key, value in data["derived"].items():
+        print(f"  {key}: {value:.6g}")
+    speedup = data["derived"].get("ax_n7_e512_matmul_speedup")
+    if speedup is not None and speedup < 2.0:
+        print(
+            f"WARNING: matmul speedup {speedup:.2f}x is below the 2x "
+            "acceptance threshold on this host"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

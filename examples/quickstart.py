@@ -5,8 +5,10 @@ Five minutes through the library's public API:
 
 1. build a reference element and a small hexahedral mesh,
 2. apply the paper's matrix-free Poisson operator ``Ax`` (Listing 1),
-3. solve a Poisson problem with Jacobi-preconditioned CG and verify
-   spectral accuracy against a manufactured solution,
+   picking the BLAS-backed implementation from the kernel registry,
+3. solve a Poisson problem with Jacobi-preconditioned CG on the
+   allocation-free workspace hot path and verify spectral accuracy
+   against a manufactured solution,
 4. run the same kernel on the simulated FPGA accelerator and read its
    cycle/bandwidth report.
 
@@ -24,8 +26,10 @@ from repro import (
     ReferenceElement,
     SEMAccelerator,
     STRATIX10_GX2800,
+    available_ax_kernels,
     ax_local,
     cg_solve,
+    get_ax_kernel,
 )
 from repro.sem import geometric_factors, sine_manufactured
 
@@ -38,21 +42,28 @@ def main() -> None:
     print(f"mesh: {mesh.num_elements} elements, "
           f"{ref.dofs_per_element} DOFs each, {mesh.n_global} global nodes")
 
-    # 2. The matrix-free local Poisson operator.
+    # 2. The matrix-free local Poisson operator — implementations are
+    #    selected by name from the kernel registry; "matmul" is the
+    #    BLAS-backed hot path (~2.5x the einsum baseline at N=7).
     geo = geometric_factors(mesh)
     rng = np.random.default_rng(42)
     u = rng.standard_normal((mesh.num_elements,) + (ref.n_points,) * 3)
-    w = ax_local(ref, u, geo.g)
-    print(f"Ax applied: |w|_inf = {np.abs(w).max():.3f}")
+    ax_matmul = get_ax_kernel("matmul")
+    w = ax_matmul(ref, u, geo.g)
+    assert np.allclose(ax_local(ref, u, geo.g), w, atol=1e-11)
+    print(f"Ax applied ({', '.join(available_ax_kernels())} registered): "
+          f"|w|_inf = {np.abs(w).max():.3f}")
 
-    # 3. Solve -lap(u) = f with a manufactured sine solution.
-    problem = PoissonProblem(mesh)
+    # 3. Solve -lap(u) = f with a manufactured sine solution.  The
+    #    problem's SolverWorkspace makes the CG loop allocation-free.
+    problem = PoissonProblem(mesh, ax_backend="matmul")
     u_exact, forcing = sine_manufactured(mesh.extent)
     b = problem.rhs_from_forcing(forcing)
     result = cg_solve(
         problem.apply_A, b,
         precond_diag=problem.jacobi_diagonal(),
         tol=1e-12, maxiter=500,
+        workspace=problem.workspace,
     )
     err = problem.l2_error(result.x, u_exact)
     print(f"CG: {result.iterations} iterations, converged={result.converged}, "
@@ -61,7 +72,7 @@ def main() -> None:
     # 4. The same kernel on the simulated Stratix 10 accelerator.
     acc = SEMAccelerator(AcceleratorConfig.banked(7), STRATIX10_GX2800)
     w_fpga, report = acc.run(u, geo.g)
-    assert np.allclose(w_fpga, w, rtol=1e-12, atol=1e-12)
+    assert np.allclose(w_fpga, w, rtol=1e-11, atol=1e-11)
     print(
         f"FPGA (simulated): {report.gflops:.1f} GFLOP/s at "
         f"{report.dofs_per_cycle:.2f} DOF/cycle "

@@ -42,6 +42,10 @@ from repro.sem import (
     geometric_factors,
     ax_local,
     ax_local_listing1,
+    ax_local_matmul,
+    get_ax_kernel,
+    available_ax_kernels,
+    SolverWorkspace,
     PoissonProblem,
     cg_solve,
 )
@@ -82,6 +86,10 @@ __all__ = [
     "geometric_factors",
     "ax_local",
     "ax_local_listing1",
+    "ax_local_matmul",
+    "get_ax_kernel",
+    "available_ax_kernels",
+    "SolverWorkspace",
     "PoissonProblem",
     "cg_solve",
     # core

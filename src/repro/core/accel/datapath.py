@@ -9,6 +9,7 @@ real accelerator is represented by a constant fill latency.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.core.accel.config import AcceleratorConfig
 from repro.hls.loopnest import ax_kernel_nests
@@ -50,6 +51,7 @@ class DatapathPlan:
         return dofs / self.issue_dofs_per_cycle
 
 
+@lru_cache(maxsize=1024)
 def plan_datapath(config: AcceleratorConfig) -> DatapathPlan:
     """Schedule the fused ``Ax`` pipeline for ``config``.
 
@@ -57,6 +59,10 @@ def plan_datapath(config: AcceleratorConfig) -> DatapathPlan:
     arbitration stall factor likewise.  Not splitting ``gxyz`` adds a
     6-way arbiter on the single interleaved factor array (§III-B), which
     serializes the six factor reads of each DOF.
+
+    Scheduling a nest is pure in ``config`` (a frozen dataclass), so the
+    plan is memoized — solver loops and design-space sweeps hit the
+    cache instead of re-scheduling the same design point.
     """
     nests = ax_kernel_nests(config.n, config.unroll)
     ii = 1

@@ -35,7 +35,7 @@ from repro.core.calibration import FPGA_LAUNCH_OVERHEAD_S
 from repro.core.cost import KernelCost, MemoryTraffic
 from repro.core.device import FPGADevice
 from repro.sem.element import ReferenceElement
-from repro.sem.operators import ax_local
+from repro.sem.kernels import DEFAULT_AX_KERNEL, AxKernel, resolve_ax_backend
 from repro.util.units import MEGA
 
 
@@ -90,14 +90,29 @@ class SEMAccelerator:
         Design point (degree, unroll, memory layout, II pragma, ...).
     device:
         Target FPGA (bank count and peak bandwidth come from here).
+    ax_kernel:
+        Functional-path implementation, selected by registry name
+        (``"einsum"``, ``"matmul"``, ...; see :mod:`repro.sem.kernels`)
+        or passed as a callable.  The default einsum kernel keeps the
+        historical numerics bit-for-bit.
+
+    The kernel cost, memory-traffic model and datapath plan are pure
+    functions of the (frozen) configuration, so they are computed once
+    and the per-element-count :class:`CycleReport` is memoized —
+    :meth:`performance` is O(1) per CG iteration.
     """
 
     config: AcceleratorConfig
     device: FPGADevice
+    ax_kernel: "AxKernel | str" = DEFAULT_AX_KERNEL
     _ref: ReferenceElement = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._ref = ReferenceElement.from_degree(self.config.n)
+        self._ax = resolve_ax_backend(self.ax_kernel)
+        self._cost = KernelCost(self.config.n)
+        self._traffic = MemoryTraffic(self.config.n)
+        self._perf_cache: dict[int, CycleReport] = {}
 
     # ------------------------------------------------------------------
     # Functional path
@@ -112,7 +127,7 @@ class SEMAccelerator:
         against the Listing-1 reference by the element-level simulator
         and the test-suite); the cycle report follows the §III/§IV model.
         """
-        w = ax_local(self._ref, u, g)
+        w = self._ax(self._ref, u, g)
         report = self.performance(u.shape[0])
         return w, report
 
@@ -193,37 +208,45 @@ class SEMAccelerator:
     # Performance path
     # ------------------------------------------------------------------
     def performance(self, num_elements: int) -> CycleReport:
-        """Cycle/bandwidth accounting for ``num_elements`` elements."""
+        """Cycle/bandwidth accounting for ``num_elements`` elements.
+
+        Reports are memoized per element count (the model is pure in
+        ``(config, device, num_elements)``), so repeated calls from a
+        solver loop cost a dictionary lookup.
+        """
         if num_elements < 1:
             raise ValueError(f"element count must be >= 1, got {num_elements}")
+        cached = self._perf_cache.get(num_elements)
+        if cached is not None:
+            return cached
         cfg = self.config
-        cost = KernelCost(cfg.n)
-        traffic = MemoryTraffic(cfg.n)
         dofs = num_elements * cfg.nx ** 3
-        flops = cost.flops(num_elements)
-        nbytes = traffic.bytes_total(num_elements)
+        flops = self._cost.flops(num_elements)
+        nbytes = self._traffic.bytes_total(num_elements)
         f_hz = cfg.clock_mhz * MEGA
 
         if not cfg.use_local_memory:
             # §III-A baseline: latency-bound, no overlap.
             cycles = dofs * baseline_cycles_per_dof(cfg.n) + PIPELINE_FILL_CYCLES
-            return self._report(
+            report = self._report(
                 num_elements, flops, nbytes, cycles, cycles, cycles, f_hz,
                 memory=None, datapath=None,
             )
-
-        plan = plan_datapath(cfg)
-        mem = effective_bandwidth(
-            cfg, num_elements, self.device.peak_bandwidth, plan.ii
-        )
-        cycles_compute = plan.cycles_for_dofs(dofs) + PIPELINE_FILL_CYCLES
-        cycles_memory = nbytes * f_hz / mem.effective_bandwidth
-        cycles_total = max(cycles_compute, cycles_memory)
-        return self._report(
-            num_elements, flops, nbytes,
-            cycles_compute, cycles_memory, cycles_total, f_hz,
-            memory=mem, datapath=plan,
-        )
+        else:
+            plan = plan_datapath(cfg)
+            mem = effective_bandwidth(
+                cfg, num_elements, self.device.peak_bandwidth, plan.ii
+            )
+            cycles_compute = plan.cycles_for_dofs(dofs) + PIPELINE_FILL_CYCLES
+            cycles_memory = nbytes * f_hz / mem.effective_bandwidth
+            cycles_total = max(cycles_compute, cycles_memory)
+            report = self._report(
+                num_elements, flops, nbytes,
+                cycles_compute, cycles_memory, cycles_total, f_hz,
+                memory=mem, datapath=plan,
+            )
+        self._perf_cache[num_elements] = report
+        return report
 
     def _report(
         self,

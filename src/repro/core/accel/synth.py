@@ -15,6 +15,7 @@ utilization, and modeled power — combining:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.core.accel.config import AcceleratorConfig
 from repro.core.calibration import STRATIX10_TABLE1
@@ -57,8 +58,15 @@ class SynthesisReport:
         return self.utilization["dsps"] * 100.0
 
 
+@lru_cache(maxsize=1024)
 def synthesize(config: AcceleratorConfig, device: FPGADevice) -> SynthesisReport:
-    """Produce the synthesis report for ``config`` on ``device``."""
+    """Produce the synthesis report for ``config`` on ``device``.
+
+    Both arguments are frozen (hashable) dataclasses and the report is
+    a pure function of them, so results are memoized — design-space
+    sweeps and :func:`repro.core.explore.best_design` stop
+    re-synthesizing identical points.
+    """
     base = stratix_base_provider()(config.n)
     comp = compute_resources(
         KernelCost(config.n), config.unroll, device.fabric.op_costs

@@ -38,6 +38,15 @@ from repro.sem.operators import (
     ax_flops,
 )
 from repro.sem.gather_scatter import GatherScatter
+from repro.sem.kernels import (
+    ax_local_matmul,
+    get_ax_kernel,
+    register_ax_kernel,
+    available_ax_kernels,
+    resolve_ax_backend,
+    DEFAULT_AX_KERNEL,
+)
+from repro.sem.workspace import SolverWorkspace
 from repro.sem.poisson import PoissonProblem, sine_manufactured
 from repro.sem.cg import cg_solve, CGResult
 from repro.sem.helmholtz import HelmholtzProblem, cosine_manufactured
@@ -75,6 +84,13 @@ __all__ = [
     "ax_element_matrix",
     "helmholtz_local",
     "ax_flops",
+    "ax_local_matmul",
+    "get_ax_kernel",
+    "register_ax_kernel",
+    "available_ax_kernels",
+    "resolve_ax_backend",
+    "DEFAULT_AX_KERNEL",
+    "SolverWorkspace",
     "GatherScatter",
     "PoissonProblem",
     "sine_manufactured",

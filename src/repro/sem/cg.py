@@ -5,15 +5,28 @@ Nekbone, the proxy app the paper draws its CPU baseline from, is exactly a
 Jacobi-preconditioned CG over the matrix-free SEM operator.  This module
 provides that solver with an operator-callback interface so the FPGA
 accelerator simulator can be swapped in as the ``Ax`` backend.
+
+The inner loop is allocation-free: every vector (``x``, ``r``, ``z``,
+``p``, ``Ap`` and one axpy scratch) is bound once at entry — from a
+:class:`~repro.sem.workspace.SolverWorkspace` when one is passed,
+otherwise freshly allocated — and every update runs through in-place
+ufuncs (``np.multiply``/``np.add`` with ``out=``).  If the operator
+callback accepts an ``out=`` keyword (as
+:meth:`repro.sem.poisson.PoissonProblem.apply_A` does), ``A p`` is also
+computed without allocating, so a warm iteration performs zero
+field-sized heap allocations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 from numpy.typing import NDArray
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.sem.workspace import SolverWorkspace
 
 Operator = Callable[[NDArray[np.float64]], NDArray[np.float64]]
 
@@ -44,6 +57,13 @@ class CGResult:
     residual_history: tuple[float, ...]
 
 
+def _operator_accepts_out(apply_A: Operator) -> bool:
+    """Probe the callback for ``out=`` support (see module docstring)."""
+    from repro.sem.kernels import accepts_keyword
+
+    return accepts_keyword(apply_A, "out")
+
+
 def cg_solve(
     apply_A: Operator,
     b: NDArray[np.float64],
@@ -51,13 +71,15 @@ def cg_solve(
     precond_diag: NDArray[np.float64] | None = None,
     tol: float = 1e-10,
     maxiter: int = 1000,
+    workspace: "SolverWorkspace | None" = None,
 ) -> CGResult:
     """Solve ``A x = b`` for SPD ``A`` with (Jacobi-)preconditioned CG.
 
     Parameters
     ----------
     apply_A:
-        Matrix-free operator callback.
+        Matrix-free operator callback.  If it accepts an ``out=``
+        keyword, results are written into a preallocated buffer.
     b:
         Right-hand side.
     x0:
@@ -69,6 +91,11 @@ def cg_solve(
         Relative tolerance on ``||r||_2 / ||b||_2`` (absolute if ``b = 0``).
     maxiter:
         Iteration cap.
+    workspace:
+        Optional :class:`~repro.sem.workspace.SolverWorkspace` supplying
+        the five CG vectors plus scratch (sized for ``b``).  The
+        returned iterate is copied out of the workspace, so the result
+        stays valid across subsequent solves.
 
     Returns
     -------
@@ -81,31 +108,67 @@ def cg_solve(
     <= 0``), which indicates the operator is not SPD on this subspace.
     """
     b = np.asarray(b, dtype=np.float64)
-    x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
-    if x.shape != b.shape:
-        raise ValueError(f"x0 shape {x.shape} != b shape {b.shape}")
+    if workspace is not None:
+        if b.ndim != 1:
+            raise ValueError(
+                f"workspace solves need a 1-D rhs, got shape {b.shape}"
+            )
+        workspace.require_global(b.shape[0])
+        x, r, z_buf, p, ap, tmp = (
+            workspace.cg_x, workspace.cg_r, workspace.cg_z,
+            workspace.cg_p, workspace.cg_ap, workspace.cg_tmp,
+        )
+    else:
+        x, r, z_buf, p, ap, tmp = (np.empty_like(b) for _ in range(6))
+    if x0 is None:
+        x.fill(0.0)
+    else:
+        x0 = np.asarray(x0, dtype=np.float64)
+        if x0.shape != b.shape:
+            raise ValueError(f"x0 shape {x0.shape} != b shape {b.shape}")
+        np.copyto(x, x0)
     if precond_diag is not None:
         md = np.asarray(precond_diag, dtype=np.float64)
         if md.shape != b.shape:
             raise ValueError(f"preconditioner shape {md.shape} != {b.shape}")
         if np.any(md <= 0):
             raise ValueError("Jacobi preconditioner has non-positive entries")
-        inv_m = 1.0 / md
+        if workspace is not None:
+            inv_m = workspace.cg_invm
+            np.divide(1.0, md, out=inv_m)
+        else:
+            inv_m = 1.0 / md
+        z = z_buf
     else:
         inv_m = None
+        z = r  # unpreconditioned: z aliases r, no copy needed
 
-    r = b - apply_A(x)
-    z = r * inv_m if inv_m is not None else r
-    p = z.copy()
+    out_ok = _operator_accepts_out(apply_A)
+
+    def apply_into(vec: NDArray[np.float64], dst: NDArray[np.float64]) -> None:
+        # Operators may accept ``out=`` yet still return a fresh array
+        # (only writing into ``out`` is optional); honor the return
+        # value whenever it isn't the destination buffer itself.
+        res = apply_A(vec, out=dst) if out_ok else apply_A(vec)
+        if res is not dst:
+            np.copyto(dst, res)
+
+    apply_into(x, ap)
+    np.subtract(b, ap, out=r)
+    if inv_m is not None:
+        np.multiply(r, inv_m, out=z)
+    np.copyto(p, z)
     rz = float(np.dot(r, z))
-    b_norm = float(np.linalg.norm(b))
+    # sqrt(dot) instead of np.linalg.norm: norm materializes an x*x
+    # temporary, which would be the hot loop's only field-sized alloc.
+    b_norm = float(np.sqrt(np.dot(b.reshape(-1), b.reshape(-1))))
     stop = tol * (b_norm if b_norm > 0 else 1.0)
 
-    history = [float(np.linalg.norm(r))]
+    history = [float(np.sqrt(np.dot(r.reshape(-1), r.reshape(-1))))]
     converged = history[0] <= stop
     it = 0
     while not converged and it < maxiter:
-        ap = apply_A(p)
+        apply_into(p, ap)
         pap = float(np.dot(p, ap))
         if pap <= 0.0:
             if abs(pap) < 1e-300:  # exact zero direction: solved subspace
@@ -114,20 +177,24 @@ def cg_solve(
                 f"CG breakdown: p^T A p = {pap:g} <= 0 (operator not SPD?)"
             )
         alpha = rz / pap
-        x += alpha * p
-        r -= alpha * ap
-        z = r * inv_m if inv_m is not None else r
+        np.multiply(p, alpha, out=tmp)
+        x += tmp
+        np.multiply(ap, alpha, out=tmp)
+        r -= tmp
+        if inv_m is not None:
+            np.multiply(r, inv_m, out=z)
         rz_new = float(np.dot(r, z))
         beta = rz_new / rz
         rz = rz_new
-        p = z + beta * p
+        np.multiply(p, beta, out=p)
+        p += z
         it += 1
-        res = float(np.linalg.norm(r))
+        res = float(np.sqrt(np.dot(r.reshape(-1), r.reshape(-1))))
         history.append(res)
         converged = res <= stop
 
     return CGResult(
-        x=x,
+        x=x.copy() if workspace is not None else x,
         iterations=it,
         converged=converged,
         residual_norm=history[-1],

@@ -5,15 +5,25 @@ values; the gather-scatter operator ``QQ^T`` sums local contributions into
 shared global nodes and redistributes the result.  The paper lists this
 phase among the solver components surrounding the ``Ax`` kernel.
 
-This implementation works on a :class:`~repro.sem.mesh.BoxMesh`'s
-local-to-global map using ``np.add.at`` (scatter-add) and fancy indexing
-(gather), which are the vectorized equivalents recommended by the HPC
-Python guides.
+The operator precomputes everything it can at construction so the solver
+inner loop touches no setup work:
+
+* a stable sort permutation of the local-to-global map plus the segment
+  boundaries of each global node, so ``gather`` is a permuted copy
+  followed by one ``np.add.reduceat`` segment sum (replacing a
+  per-call ``np.bincount``);
+* the node multiplicities and their inverses, so the Nekbone ``glsc3``
+  inner product (:meth:`GatherScatter.dot`) is a single fused
+  three-operand reduction with no temporaries.
+
+``gather``/``scatter`` accept ``out=`` so the allocation-free solver path
+(:mod:`repro.sem.workspace`) can reuse preallocated buffers; the cached
+scratch makes the instance non-thread-safe (like the buffers themselves).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 from numpy.typing import NDArray
@@ -38,6 +48,48 @@ class GatherScatter:
     l2g_flat: NDArray[np.int64]
     n_global: int
     local_shape: tuple[int, int, int, int]
+    # Construction-time caches (set via object.__setattr__; frozen class).
+    _perm: NDArray[np.int64] = field(init=False, repr=False, compare=False)
+    _seg_starts: NDArray[np.int64] = field(
+        init=False, repr=False, compare=False
+    )
+    _mult: NDArray[np.float64] = field(init=False, repr=False, compare=False)
+    _inv_mult_local: NDArray[np.float64] = field(
+        init=False, repr=False, compare=False
+    )
+    _sorted_scratch: NDArray[np.float64] = field(
+        init=False, repr=False, compare=False
+    )
+    _dense: bool = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        # Validate once here: gather/scatter use mode="clip" fast paths
+        # that assume every index is in range.
+        if self.l2g_flat.size and (
+            self.l2g_flat.min() < 0 or self.l2g_flat.max() >= self.n_global
+        ):
+            raise ValueError(
+                f"l2g map references nodes outside [0, {self.n_global})"
+            )
+        counts = np.bincount(self.l2g_flat, minlength=self.n_global)
+        mult = counts.astype(float)
+        # The reduceat fast path needs every global node to own at least
+        # one local slot (reduceat cannot represent empty segments); a
+        # BoxMesh always satisfies this, hand-built maps may not.
+        dense = bool(np.all(counts > 0))
+        perm = np.argsort(self.l2g_flat, kind="stable")
+        seg_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        safe_mult = np.where(mult > 0, mult, 1.0)
+        inv_mult_local = (1.0 / safe_mult)[self.l2g_flat]
+        for name, value in (
+            ("_perm", perm),
+            ("_seg_starts", seg_starts),
+            ("_mult", mult),
+            ("_inv_mult_local", inv_mult_local),
+            ("_sorted_scratch", np.empty(self.l2g_flat.shape[0])),
+            ("_dense", dense),
+        ):
+            object.__setattr__(self, name, value)
 
     @classmethod
     def from_mesh(cls, mesh: BoxMesh) -> "GatherScatter":
@@ -49,13 +101,19 @@ class GatherScatter:
         )
 
     # ------------------------------------------------------------------
-    def gather(self, local: NDArray[np.float64]) -> NDArray[np.float64]:
+    def gather(
+        self,
+        local: NDArray[np.float64],
+        out: NDArray[np.float64] | None = None,
+    ) -> NDArray[np.float64]:
         """Sum local contributions into a global vector (``Q^T``).
 
         Parameters
         ----------
         local:
             Element-local field, shape ``local_shape``.
+        out:
+            Optional preallocated global vector of length ``n_global``.
 
         Returns
         -------
@@ -63,17 +121,49 @@ class GatherScatter:
         """
         if local.shape != self.local_shape:
             raise ValueError(f"expected {self.local_shape}, got {local.shape}")
-        return np.bincount(
-            self.l2g_flat, weights=local.reshape(-1), minlength=self.n_global
+        if out is not None and out.shape != (self.n_global,):
+            raise ValueError(
+                f"out must be ({self.n_global},), got {out.shape}"
+            )
+        if not self._dense:
+            # Sparse maps (some global ids unused) fall back to bincount.
+            summed = np.bincount(
+                self.l2g_flat, weights=local.reshape(-1),
+                minlength=self.n_global,
+            )
+            if out is None:
+                return summed
+            np.copyto(out, summed)
+            return out
+        if out is None:
+            out = np.empty(self.n_global)
+        # mode="clip" skips numpy's defensive full-size bounce buffer;
+        # the permutation is construction-time valid, so it never clips.
+        np.take(
+            local.reshape(-1), self._perm, out=self._sorted_scratch,
+            mode="clip",
         )
+        np.add.reduceat(self._sorted_scratch, self._seg_starts, out=out)
+        return out
 
-    def scatter(self, global_vec: NDArray[np.float64]) -> NDArray[np.float64]:
+    def scatter(
+        self,
+        global_vec: NDArray[np.float64],
+        out: NDArray[np.float64] | None = None,
+    ) -> NDArray[np.float64]:
         """Copy global values out to element-local storage (``Q``)."""
         if global_vec.shape != (self.n_global,):
             raise ValueError(
                 f"expected ({self.n_global},), got {global_vec.shape}"
             )
-        return global_vec[self.l2g_flat].reshape(self.local_shape)
+        if out is None:
+            return global_vec[self.l2g_flat].reshape(self.local_shape)
+        if out.shape != self.local_shape:
+            raise ValueError(
+                f"out must be {self.local_shape}, got {out.shape}"
+            )
+        np.take(global_vec, self.l2g_flat, out=out.reshape(-1), mode="clip")
+        return out
 
     def gs(self, local: NDArray[np.float64]) -> NDArray[np.float64]:
         """Round-trip ``Q Q^T`` — the classic SEM direct-stiffness sum."""
@@ -81,15 +171,23 @@ class GatherScatter:
 
     # ------------------------------------------------------------------
     def multiplicity(self) -> NDArray[np.float64]:
-        """Global node multiplicities (how many elements touch each node)."""
-        return np.bincount(self.l2g_flat, minlength=self.n_global).astype(float)
+        """Global node multiplicities (how many elements touch each node).
+
+        Precomputed at construction; a copy is returned so callers can
+        safely modify it.
+        """
+        return self._mult.copy()
 
     def dot(self, a: NDArray[np.float64], b: NDArray[np.float64]) -> float:
         """Global inner product of two *local* redundant fields.
 
         Interface values are weighted by the inverse multiplicity so each
         global DOF is counted exactly once — Nekbone's ``glsc3`` pattern.
+        The weights are cached at construction and the triple product is
+        one fused reduction (no per-call ``bincount`` or temporaries).
         """
-        inv_mult = 1.0 / self.multiplicity()
-        wa = a.reshape(-1) * inv_mult[self.l2g_flat]
-        return float(np.dot(wa, b.reshape(-1)))
+        return float(
+            np.einsum(
+                "i,i,i->", a.reshape(-1), self._inv_mult_local, b.reshape(-1)
+            )
+        )

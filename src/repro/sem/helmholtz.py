@@ -20,9 +20,11 @@ from numpy.typing import NDArray
 from repro.sem.element import ReferenceElement
 from repro.sem.gather_scatter import GatherScatter
 from repro.sem.geometry import Geometry, geometric_factors
+from repro.sem.kernels import accepts_keyword, resolve_ax_backend
 from repro.sem.mesh import BoxMesh
 from repro.sem.operators import ax_local
 from repro.sem.poisson import AxBackend
+from repro.sem.workspace import SolverWorkspace
 
 
 @dataclass
@@ -37,22 +39,32 @@ class HelmholtzProblem:
         Helmholtz coefficient (> 0 makes the operator strictly SPD, so
         no Dirichlet mask is needed — the natural BK5 setting).
     ax_backend:
-        Stiffness-part backend (the accelerator plugs in here; the mass
-        term is a cheap diagonal axpy the paper's kernel leaves on the
-        host).
+        Stiffness-part backend — a registry name (see
+        :mod:`repro.sem.kernels`) or a callable (the accelerator plugs
+        in here; the mass term is a cheap diagonal axpy the paper's
+        kernel leaves on the host).
+
+    Like :class:`~repro.sem.poisson.PoissonProblem`, the problem owns a
+    :class:`~repro.sem.workspace.SolverWorkspace` and :meth:`apply` runs
+    allocation-free when the backend supports ``out=``/``workspace=``.
     """
 
     mesh: BoxMesh
     lam: float = 1.0
-    ax_backend: AxBackend = ax_local
+    ax_backend: AxBackend | str = ax_local
     geometry: Geometry = field(init=False)
     gs: GatherScatter = field(init=False)
+    workspace: SolverWorkspace = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.lam <= 0:
             raise ValueError(f"lam must be > 0 for an SPD system, got {self.lam}")
         self.geometry = geometric_factors(self.mesh)
         self.gs = GatherScatter.from_mesh(self.mesh)
+        self.ax_backend = resolve_ax_backend(self.ax_backend)
+        self.workspace = SolverWorkspace.for_mesh(self.mesh)
+        self._ax_out = accepts_keyword(self.ax_backend, "out")
+        self._ax_ws = accepts_keyword(self.ax_backend, "workspace")
 
     # ------------------------------------------------------------------
     @property
@@ -65,12 +77,28 @@ class HelmholtzProblem:
         """Number of global DOFs (no boundary masking in BK5)."""
         return self.mesh.n_global
 
-    def apply(self, u_global: NDArray[np.float64]) -> NDArray[np.float64]:
+    def apply(
+        self,
+        u_global: NDArray[np.float64],
+        out: NDArray[np.float64] | None = None,
+    ) -> NDArray[np.float64]:
         """Apply ``A + lam B`` globally (scatter, local op, gather)."""
-        u_local = self.gs.scatter(u_global)
-        w_local = self.ax_backend(self.ref, u_local, self.geometry.g)
-        w_local = w_local + self.lam * self.geometry.mass * u_local
-        return self.gs.gather(w_local)
+        ws = self.workspace
+        self.gs.scatter(u_global, out=ws.u_local)
+        if self._ax_out and self._ax_ws:
+            w_local = self.ax_backend(
+                self.ref, ws.u_local, self.geometry.g,
+                out=ws.w_local, workspace=ws,
+            )
+            # The mass-term axpy reuses the elementwise scratch, which the
+            # kernel is done with by the time it returns.
+            np.multiply(self.geometry.mass, ws.u_local, out=ws.tmp)
+            np.multiply(ws.tmp, self.lam, out=ws.tmp)
+            w_local += ws.tmp
+        else:
+            w_local = self.ax_backend(self.ref, ws.u_local, self.geometry.g)
+            w_local = w_local + self.lam * self.geometry.mass * ws.u_local
+        return self.gs.gather(w_local, out=out)
 
     def diagonal(self) -> NDArray[np.float64]:
         """Assembled operator diagonal (for Jacobi preconditioning)."""

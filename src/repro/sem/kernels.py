@@ -1,0 +1,267 @@
+"""Named ``Ax`` kernel registry + the BLAS-backed sum-factorization kernel.
+
+The paper's premise is that the matrix-free ``Ax`` dominates SEM solver
+time; this module makes the CPU-side hot path as fast as the hardware
+model assumes and gives every caller a single way to pick an
+implementation by name:
+
+* :func:`ax_local_matmul` — sum factorization recast as stacked
+  ``(nx, nx) @ (nx, nx^2)`` matrix products via reshapes, so all three
+  derivative phases hit BLAS ``dgemm`` (≈2.5x the einsum kernel at the
+  paper's headline ``N = 7`` with a warm workspace).
+* the registry — :func:`get_ax_kernel`, :func:`register_ax_kernel`,
+  :func:`available_ax_kernels`, :func:`resolve_ax_backend` — through
+  which :class:`~repro.sem.poisson.PoissonProblem`,
+  :class:`~repro.core.accel.SEMAccelerator`, the examples and the
+  benchmarks select ``"einsum" | "matmul" | "listing1" | "dense"``.
+
+Every registered kernel has the uniform signature
+``kernel(ref, u, g, out=None, workspace=None)``; ``workspace`` is a
+:class:`~repro.sem.workspace.SolverWorkspace` whose scratch buffers make
+the call allocation-free after warm-up.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.sem.element import ReferenceElement
+from repro.sem.operators import (
+    _check_shapes,
+    ax_local,
+    ax_local_dense,
+    ax_local_listing1,
+)
+from repro.sem.workspace import SolverWorkspace
+
+#: Uniform kernel signature: ``(ref, u, g, out=None, workspace=None)``.
+AxKernel = Callable[..., NDArray[np.float64]]
+
+#: Cache-blocking target: elements are processed in chunks of roughly
+#: this many DOFs so the gradient/flux work arrays stay resident in the
+#: last-level cache between the three phases (measured optimum on the
+#: benchmark host; the exact value is not critical within ~2x).
+BLOCK_DOFS: int = 16384
+
+
+def ax_local_matmul(
+    ref: ReferenceElement,
+    u: NDArray[np.float64],
+    g: NDArray[np.float64],
+    out: NDArray[np.float64] | None = None,
+    workspace: SolverWorkspace | None = None,
+) -> NDArray[np.float64]:
+    """``w = D^T G D u`` with every derivative phase as a BLAS ``dgemm``.
+
+    The three reference-space derivatives are stacked matrix products on
+    contiguous views of ``u`` (no copies):
+
+    * ``ur``: ``D @ u.reshape(E, nx, nx^2)`` — one ``(nx, nx^2)`` GEMM
+      per element, batched by ``np.matmul``;
+    * ``us``: ``D @ u`` over the last two axes (``E*nx`` stacked GEMMs);
+    * ``ut``: ``u @ D^T`` over the last two axes.
+
+    The transposed phase mirrors them with ``D^T``, and the geometric
+    tensor is applied with in-place elementwise ufuncs through one
+    scratch buffer.  Elements are processed in cache-sized blocks
+    (:data:`BLOCK_DOFS`) so the six work arrays of a block stay hot
+    across all three phases — the software analogue of the paper's
+    on-chip buffer reuse.  A warm call with ``workspace`` performs
+    **zero** field-sized heap allocations.
+
+    Parameters
+    ----------
+    ref, u, g:
+        As :func:`repro.sem.operators.ax_local`.
+    out:
+        Optional preallocated result array ``(E, nx, nx, nx)``.
+    workspace:
+        Optional :class:`~repro.sem.workspace.SolverWorkspace` providing
+        the seven scratch fields; sized for ``(E, nx)``.
+    """
+    _check_shapes(ref, u, g)
+    d = ref.deriv
+    dt = d.T
+    num_e, nx = u.shape[0], ref.n_points
+    if not u.flags.c_contiguous:
+        u = np.ascontiguousarray(u)  # the reshape views below need it
+    block = max(1, min(num_e, BLOCK_DOFS // nx ** 3))
+    if workspace is not None:
+        workspace.require_local(num_e, nx)
+        bufs = (workspace.ur, workspace.us, workspace.ut,
+                workspace.wr, workspace.ws, workspace.wt, workspace.tmp)
+    else:
+        shape = (block, nx, nx, nx)
+        bufs = tuple(np.empty(shape) for _ in range(7))
+    if out is None:
+        out = np.empty_like(u)
+    # A non-contiguous ``out`` cannot serve as a matmul/reshape target;
+    # compute into a contiguous result and copy once at the end.
+    result = out if out.flags.c_contiguous else np.empty_like(u)
+
+    for start in range(0, num_e, block):
+        e = min(start + block, num_e) - start
+        ub = u[start:start + e]
+        gb = g[start:start + e]
+        ob = result[start:start + e]
+        ur, us, ut, wr, ws, wt, tmp = (buf[:e] for buf in bufs)
+
+        # Phase 1: reference-space gradient, dgemm-backed contractions.
+        # The r- and t-contractions collapse to single large GEMMs
+        # ((nx, nx) against a tall-skinny reshape); only the middle axis
+        # needs numpy's stacked-matmul batching.
+        np.matmul(d, ub.reshape(e, nx, nx * nx),
+                  out=ur.reshape(e, nx, nx * nx))
+        np.matmul(d, ub, out=us)
+        np.matmul(ub.reshape(e * nx * nx, nx), dt,
+                  out=ut.reshape(e * nx * nx, nx))
+
+        # Phase 2: symmetric geometric tensor, in place via one scratch.
+        g0, g1, g2, g3, g4, g5 = (gb[:, c] for c in range(6))
+        np.multiply(g0, ur, out=wr)
+        np.multiply(g1, us, out=tmp)
+        wr += tmp
+        np.multiply(g2, ut, out=tmp)
+        wr += tmp
+        np.multiply(g1, ur, out=ws)
+        np.multiply(g3, us, out=tmp)
+        ws += tmp
+        np.multiply(g4, ut, out=tmp)
+        ws += tmp
+        np.multiply(g2, ur, out=wt)
+        np.multiply(g4, us, out=tmp)
+        wt += tmp
+        np.multiply(g5, ut, out=tmp)
+        wt += tmp
+
+        # Phase 3: transposed derivative, accumulated into the output.
+        np.matmul(dt, wr.reshape(e, nx, nx * nx),
+                  out=ob.reshape(e, nx, nx * nx))
+        np.matmul(dt, ws, out=tmp)
+        ob += tmp
+        np.matmul(wt.reshape(e * nx * nx, nx), d,
+                  out=tmp.reshape(e * nx * nx, nx))
+        ob += tmp
+
+    if result is not out:
+        np.copyto(out, result)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def _ax_listing1(
+    ref: ReferenceElement,
+    u: NDArray[np.float64],
+    g: NDArray[np.float64],
+    out: NDArray[np.float64] | None = None,
+    workspace: SolverWorkspace | None = None,
+) -> NDArray[np.float64]:
+    """Registry adapter for the scalar Listing-1 reference kernel."""
+    w = ax_local_listing1(ref, u, g)
+    if out is not None:
+        np.copyto(out, w)
+        return out
+    return w
+
+
+def _ax_dense(
+    ref: ReferenceElement,
+    u: NDArray[np.float64],
+    g: NDArray[np.float64],
+    out: NDArray[np.float64] | None = None,
+    workspace: SolverWorkspace | None = None,
+) -> NDArray[np.float64]:
+    """Registry adapter for the densely assembled verification kernel."""
+    w = ax_local_dense(ref, u, g)
+    if out is not None:
+        np.copyto(out, w)
+        return out
+    return w
+
+
+_REGISTRY: dict[str, AxKernel] = {
+    "einsum": ax_local,
+    "matmul": ax_local_matmul,
+    "listing1": _ax_listing1,
+    "dense": _ax_dense,
+}
+
+#: The library's default hot-path kernel name.
+DEFAULT_AX_KERNEL: str = "einsum"
+
+
+def available_ax_kernels() -> tuple[str, ...]:
+    """Names currently registered, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_ax_kernel(name: str) -> AxKernel:
+    """Look up an ``Ax`` implementation by name.
+
+    Raises
+    ------
+    KeyError
+        For unknown names, listing the registered alternatives.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown ax kernel {name!r}; "
+            f"available: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def register_ax_kernel(
+    name: str, kernel: AxKernel, overwrite: bool = False
+) -> None:
+    """Register a custom kernel under ``name``.
+
+    The kernel must follow the uniform signature
+    ``kernel(ref, u, g, out=None, workspace=None)`` (extra capabilities
+    are probed with :func:`accepts_keyword`, so a plain
+    ``kernel(ref, u, g)`` callable also works — it just opts out of the
+    allocation-free path).
+    """
+    if not name:
+        raise ValueError("kernel name must be non-empty")
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(f"ax kernel {name!r} already registered")
+    if not callable(kernel):
+        raise TypeError(f"kernel must be callable, got {type(kernel)!r}")
+    _REGISTRY[name] = kernel
+
+
+def resolve_ax_backend(spec: "str | AxKernel") -> AxKernel:
+    """Turn a kernel name or callable into a callable backend."""
+    if isinstance(spec, str):
+        return get_ax_kernel(spec)
+    if not callable(spec):
+        raise TypeError(
+            f"ax backend must be a kernel name or callable, got {spec!r}"
+        )
+    return spec
+
+
+def accepts_keyword(fn: Callable, name: str) -> bool:
+    """True if ``fn`` can be called with keyword argument ``name``.
+
+    Used to probe backends for ``out=``/``workspace=`` support so plain
+    ``(ref, u, g)`` callables (e.g. the accelerator adapter) keep
+    working through the same dispatch sites.
+    """
+    try:
+        params = inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # builtins without introspection
+        return False
+    if name in params:
+        return True
+    return any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )

@@ -79,14 +79,15 @@ class NekboneCase:
     shape:
         Element box ``(ex, ey, ez)`` (Nekbone's processor-local brick).
     ax_backend:
-        Operator backend — the vectorized CPU kernel by default, the
-        FPGA simulator via
+        Operator backend — the vectorized CPU kernel by default, any
+        registry name (``"matmul"`` for the BLAS hot path; see
+        :mod:`repro.sem.kernels`), or the FPGA simulator via
         :meth:`repro.core.accel.SEMAccelerator.as_ax_backend`.
     """
 
     n: int
     shape: tuple[int, int, int]
-    ax_backend: AxBackend = ax_local
+    ax_backend: AxBackend | str = ax_local
     problem: PoissonProblem = field(init=False)
 
     def __post_init__(self) -> None:
@@ -113,8 +114,11 @@ class NekboneCase:
         diag = prob.jacobi_diagonal()
 
         start = time.perf_counter()
+        # The solve phase runs through the problem's workspace: zero
+        # field-sized allocations per CG iteration (Nekbone discipline).
         result = cg_solve(
-            prob.apply_A, b, precond_diag=diag, tol=tol, maxiter=iterations
+            prob.apply_A, b, precond_diag=diag, tol=tol, maxiter=iterations,
+            workspace=prob.workspace,
         )
         elapsed = time.perf_counter() - start
 
@@ -139,7 +143,7 @@ def element_sweep(
     n: int,
     element_counts: tuple[int, ...] = (1, 8, 27, 64),
     iterations: int = 20,
-    ax_backend: AxBackend = ax_local,
+    ax_backend: AxBackend | str = ax_local,
 ) -> list[NekboneReport]:
     """Nekbone's standard sweep: cubic boxes of growing element count.
 

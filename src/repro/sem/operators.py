@@ -6,12 +6,16 @@ Three functionally identical implementations are provided:
   (same loop structure, same flattened indexing, same accumulation order).
   Slow; the ground truth for the test-suite and for the accelerator
   simulator's numerics.
-* :func:`ax_local` — the production NumPy implementation (einsum tensor
-  contractions, vectorized over elements).  This is the "CPU baseline"
-  kernel of the library.
+* :func:`ax_local` — the einsum NumPy implementation (tensor
+  contractions, vectorized over elements), the library's historical
+  "CPU baseline" kernel.
 * :func:`ax_local_dense` — applies the densely assembled element matrix;
   only feasible for small ``N``, used to verify symmetry/positive
   semi-definiteness and the matrix-free implementations.
+
+The faster BLAS-backed hot-path kernel (``ax_local_matmul``) and the
+registry that selects implementations by name live in
+:mod:`repro.sem.kernels`.
 
 All take local fields shaped ``(E, nx, nx, nx)`` (see
 :mod:`repro.sem.mesh` for the index convention) and the geometric factors
@@ -20,10 +24,15 @@ All take local fields shaped ``(E, nx, nx, nx)`` (see
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 from numpy.typing import NDArray
 
 from repro.sem.element import ReferenceElement
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
+    from repro.sem.workspace import SolverWorkspace
 
 
 def _check_shapes(
@@ -43,6 +52,7 @@ def ax_local(
     u: NDArray[np.float64],
     g: NDArray[np.float64],
     out: NDArray[np.float64] | None = None,
+    workspace: "SolverWorkspace | None" = None,
 ) -> NDArray[np.float64]:
     """Vectorized ``w = D^T G D u`` per element (the paper's ``Ax``).
 
@@ -55,8 +65,13 @@ def ax_local(
     g:
         Geometric factors, shape ``(E, 6, nx, nx, nx)``.
     out:
-        Optional preallocated output array (same shape as ``u``); passing
-        it avoids one allocation per call in solver inner loops.
+        Optional preallocated output array (same shape as ``u``); the
+        final transposed-derivative contractions accumulate directly
+        into it, avoiding a separate result allocation per call.
+    workspace:
+        Optional :class:`~repro.sem.workspace.SolverWorkspace` supplying
+        the six gradient work arrays and the elementwise scratch, making
+        a warm call free of field-sized allocations.
 
     Returns
     -------
@@ -64,6 +79,40 @@ def ax_local(
     """
     _check_shapes(ref, u, g)
     d = ref.deriv
+    if workspace is not None:
+        workspace.require_local(u.shape[0], ref.n_points)
+        ur, us, ut = workspace.ur, workspace.us, workspace.ut
+        wr, ws, wt = workspace.wr, workspace.ws, workspace.wt
+        tmp = workspace.tmp
+        # Phase 1: reference-space gradient, into preallocated buffers.
+        np.einsum("il,eljk->eijk", d, u, out=ur, optimize=True)
+        np.einsum("jl,eilk->eijk", d, u, out=us, optimize=True)
+        np.einsum("kl,eijl->eijk", d, u, out=ut, optimize=True)
+        # Phase 2: symmetric geometric tensor, in place via one scratch.
+        np.multiply(g[:, 0], ur, out=wr)
+        np.multiply(g[:, 1], us, out=tmp)
+        wr += tmp
+        np.multiply(g[:, 2], ut, out=tmp)
+        wr += tmp
+        np.multiply(g[:, 1], ur, out=ws)
+        np.multiply(g[:, 3], us, out=tmp)
+        ws += tmp
+        np.multiply(g[:, 4], ut, out=tmp)
+        ws += tmp
+        np.multiply(g[:, 2], ur, out=wt)
+        np.multiply(g[:, 4], us, out=tmp)
+        wt += tmp
+        np.multiply(g[:, 5], ut, out=tmp)
+        wt += tmp
+        # Phase 3: transposed derivative accumulated into the output.
+        if out is None:
+            out = np.empty_like(u)
+        np.einsum("li,eljk->eijk", d, wr, out=out, optimize=True)
+        np.einsum("lj,eilk->eijk", d, ws, out=tmp, optimize=True)
+        out += tmp
+        np.einsum("lk,eijl->eijk", d, wt, out=tmp, optimize=True)
+        out += tmp
+        return out
     # Phase 1: reference-space gradient.
     ur = np.einsum("il,eljk->eijk", d, u, optimize=True)
     us = np.einsum("jl,eilk->eijk", d, u, optimize=True)
@@ -72,14 +121,14 @@ def ax_local(
     wr = g[:, 0] * ur + g[:, 1] * us + g[:, 2] * ut
     ws = g[:, 1] * ur + g[:, 3] * us + g[:, 4] * ut
     wt = g[:, 2] * ur + g[:, 4] * us + g[:, 5] * ut
-    # Phase 3: transposed derivative (weak-form divergence).
-    w = np.einsum("li,eljk->eijk", d, wr, optimize=True)
-    w += np.einsum("lj,eilk->eijk", d, ws, optimize=True)
-    w += np.einsum("lk,eijl->eijk", d, wt, optimize=True)
-    if out is not None:
-        np.copyto(out, w)
-        return out
-    return w
+    # Phase 3: transposed derivative (weak-form divergence), accumulated
+    # directly into the output so ``out=`` really saves the allocation.
+    if out is None:
+        out = np.empty_like(u)
+    np.einsum("li,eljk->eijk", d, wr, out=out, optimize=True)
+    out += np.einsum("lj,eilk->eijk", d, ws, optimize=True)
+    out += np.einsum("lk,eijl->eijk", d, wt, optimize=True)
+    return out
 
 
 def ax_local_listing1(

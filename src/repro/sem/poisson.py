@@ -19,8 +19,10 @@ from numpy.typing import NDArray
 from repro.sem.element import ReferenceElement
 from repro.sem.gather_scatter import GatherScatter
 from repro.sem.geometry import Geometry, geometric_factors
+from repro.sem.kernels import accepts_keyword, resolve_ax_backend
 from repro.sem.mesh import BoxMesh
 from repro.sem.operators import ax_local
+from repro.sem.workspace import SolverWorkspace
 
 AxBackend = Callable[
     [ReferenceElement, NDArray[np.float64], NDArray[np.float64]],
@@ -37,22 +39,36 @@ class PoissonProblem:
     mesh:
         The SEM mesh.
     ax_backend:
-        Local operator implementation; defaults to the vectorized
-        :func:`~repro.sem.operators.ax_local`.  The FPGA accelerator
-        simulator plugs in here (see
+        Local operator implementation — either a registry name
+        (``"einsum"``, ``"matmul"``, ``"listing1"``, ``"dense"``; see
+        :mod:`repro.sem.kernels`) or a callable.  Defaults to the
+        vectorized :func:`~repro.sem.operators.ax_local`.  The FPGA
+        accelerator simulator plugs in here (see
         :meth:`repro.core.accel.SEMAccelerator.as_ax_backend`).
+
+    The problem owns a :class:`~repro.sem.workspace.SolverWorkspace`
+    sized for its mesh; :meth:`apply_A` runs through it (and through the
+    backend's ``out=``/``workspace=`` keywords when supported) so the CG
+    hot path performs no field-sized allocations after warm-up.  The
+    shared buffers make one problem instance serve one solve at a time.
     """
 
     mesh: BoxMesh
-    ax_backend: AxBackend = ax_local
+    ax_backend: AxBackend | str = ax_local
     geometry: Geometry = field(init=False)
     gs: GatherScatter = field(init=False)
     interior: NDArray[np.bool_] = field(init=False, repr=False)
+    workspace: SolverWorkspace = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.geometry = geometric_factors(self.mesh)
         self.gs = GatherScatter.from_mesh(self.mesh)
         self.interior = ~self.mesh.boundary_mask()
+        self.ax_backend = resolve_ax_backend(self.ax_backend)
+        self.workspace = SolverWorkspace.for_mesh(self.mesh)
+        self._interior_f = self.interior.astype(np.float64)
+        self._ax_out = accepts_keyword(self.ax_backend, "out")
+        self._ax_ws = accepts_keyword(self.ax_backend, "workspace")
 
     # ------------------------------------------------------------------
     @property
@@ -66,18 +82,32 @@ class PoissonProblem:
         return self.mesh.n_global
 
     # ------------------------------------------------------------------
-    def apply_A(self, u_global: NDArray[np.float64]) -> NDArray[np.float64]:
+    def apply_A(
+        self,
+        u_global: NDArray[np.float64],
+        out: NDArray[np.float64] | None = None,
+    ) -> NDArray[np.float64]:
         """Global operator: mask -> scatter -> local Ax -> gather -> mask.
 
         The returned operator is symmetric positive definite on the
         interior DOFs (boundary rows/columns are identities times zero,
-        i.e. masked out), which CG requires.
+        i.e. masked out), which CG requires.  Every intermediate lives in
+        the problem's workspace; passing ``out`` (as
+        :func:`~repro.sem.cg.cg_solve` does) makes the whole application
+        allocation-free.
         """
-        u = np.where(self.interior, u_global, 0.0)
-        u_local = self.gs.scatter(u)
-        w_local = self.ax_backend(self.ref, u_local, self.geometry.g)
-        w = self.gs.gather(w_local)
-        w[~self.interior] = 0.0
+        ws = self.workspace
+        np.multiply(u_global, self._interior_f, out=ws.g_tmp)
+        self.gs.scatter(ws.g_tmp, out=ws.u_local)
+        if self._ax_out and self._ax_ws:
+            w_local = self.ax_backend(
+                self.ref, ws.u_local, self.geometry.g,
+                out=ws.w_local, workspace=ws,
+            )
+        else:
+            w_local = self.ax_backend(self.ref, ws.u_local, self.geometry.g)
+        w = self.gs.gather(w_local, out=out)
+        np.multiply(w, self._interior_f, out=w)
         return w
 
     def jacobi_diagonal(self) -> NDArray[np.float64]:

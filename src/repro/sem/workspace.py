@@ -1,0 +1,132 @@
+"""Preallocated solver workspaces for the allocation-free hot path.
+
+The paper's FPGA datapath wins by streaming DOFs through fixed on-chip
+buffers with zero redundant memory traffic; the CPU baseline should play
+by the same rules.  :class:`SolverWorkspace` preallocates every
+per-iteration temporary the solver stack needs for a fixed ``(E, nx)``
+local shape and global DOF count:
+
+* the six sum-factorization work arrays (``ur/us/ut``, ``wr/ws/wt``)
+  plus one elementwise scratch used by the ``Ax`` kernels
+  (:mod:`repro.sem.kernels`),
+* local scatter/gather buffers used by
+  :meth:`repro.sem.poisson.PoissonProblem.apply_A`,
+* the CG vectors (``x``, ``r``, ``z``, ``p``, ``ap`` and an axpy
+  scratch) consumed by :func:`repro.sem.cg.cg_solve`.
+
+One workspace serves one solve at a time (buffers are reused across
+calls, so it is not thread-safe).  After a warm-up call every kernel and
+CG iteration runs without any field-sized heap allocation — verified by
+the ``tracemalloc`` regression test in ``tests/sem/test_workspace.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.sem.mesh import BoxMesh
+
+#: Local (element-space) buffer names, all shaped ``(E, nx, nx, nx)``.
+LOCAL_BUFFERS: tuple[str, ...] = (
+    "ur", "us", "ut", "wr", "ws", "wt", "tmp", "u_local", "w_local",
+)
+
+#: Global (assembled-space) buffer names, all shaped ``(n_global,)``.
+GLOBAL_BUFFERS: tuple[str, ...] = (
+    "cg_x", "cg_r", "cg_z", "cg_p", "cg_ap", "cg_tmp", "cg_invm", "g_tmp",
+)
+
+
+@dataclass
+class SolverWorkspace:
+    """Every per-iteration temporary of the SEM solver stack, preallocated.
+
+    Parameters
+    ----------
+    num_elements:
+        Element count ``E`` of the local fields.
+    nx:
+        GLL points per direction (``N + 1``).
+    n_global:
+        Global DOF count; ``0`` builds a kernel-only workspace (no CG /
+        gather-scatter buffers).
+
+    Use :meth:`for_mesh` to size a workspace from a
+    :class:`~repro.sem.mesh.BoxMesh` in one call.
+    """
+
+    num_elements: int
+    nx: int
+    n_global: int = 0
+
+    ur: NDArray[np.float64] = field(init=False, repr=False)
+    us: NDArray[np.float64] = field(init=False, repr=False)
+    ut: NDArray[np.float64] = field(init=False, repr=False)
+    wr: NDArray[np.float64] = field(init=False, repr=False)
+    ws: NDArray[np.float64] = field(init=False, repr=False)
+    wt: NDArray[np.float64] = field(init=False, repr=False)
+    tmp: NDArray[np.float64] = field(init=False, repr=False)
+    u_local: NDArray[np.float64] = field(init=False, repr=False)
+    w_local: NDArray[np.float64] = field(init=False, repr=False)
+    cg_x: NDArray[np.float64] = field(init=False, repr=False)
+    cg_r: NDArray[np.float64] = field(init=False, repr=False)
+    cg_z: NDArray[np.float64] = field(init=False, repr=False)
+    cg_p: NDArray[np.float64] = field(init=False, repr=False)
+    cg_ap: NDArray[np.float64] = field(init=False, repr=False)
+    cg_tmp: NDArray[np.float64] = field(init=False, repr=False)
+    cg_invm: NDArray[np.float64] = field(init=False, repr=False)
+    g_tmp: NDArray[np.float64] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_elements < 1:
+            raise ValueError(
+                f"element count must be >= 1, got {self.num_elements}"
+            )
+        if self.nx < 2:
+            raise ValueError(f"nx must be >= 2, got {self.nx}")
+        if self.n_global < 0:
+            raise ValueError(f"n_global must be >= 0, got {self.n_global}")
+        shape = (self.num_elements, self.nx, self.nx, self.nx)
+        for name in LOCAL_BUFFERS:
+            setattr(self, name, np.empty(shape))
+        for name in GLOBAL_BUFFERS:
+            setattr(self, name, np.empty(self.n_global))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_mesh(cls, mesh: BoxMesh) -> "SolverWorkspace":
+        """Size a full workspace (kernel + CG buffers) from a mesh."""
+        e, nx = mesh.l2g.shape[0], mesh.l2g.shape[1]
+        return cls(num_elements=e, nx=nx, n_global=mesh.n_global)
+
+    @property
+    def local_shape(self) -> tuple[int, int, int, int]:
+        """``(E, nx, nx, nx)`` shape the local buffers were sized for."""
+        return (self.num_elements, self.nx, self.nx, self.nx)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the workspace buffers."""
+        local = len(LOCAL_BUFFERS) * self.num_elements * self.nx ** 3
+        return 8 * (local + len(GLOBAL_BUFFERS) * self.n_global)
+
+    # ------------------------------------------------------------------
+    def require_local(self, num_elements: int, nx: int) -> None:
+        """Raise unless the local buffers match ``(num_elements, nx)``."""
+        if (num_elements, nx) != (self.num_elements, self.nx):
+            raise ValueError(
+                f"workspace sized for (E={self.num_elements}, "
+                f"nx={self.nx}), got fields with (E={num_elements}, "
+                f"nx={nx})"
+            )
+
+    def require_global(self, n_global: int) -> None:
+        """Raise unless the global buffers hold ``n_global`` entries."""
+        if n_global != self.n_global:
+            raise ValueError(
+                f"workspace sized for {self.n_global} global DOFs, "
+                f"got {n_global}"
+            )

@@ -1,0 +1,72 @@
+"""Tests for the hot-path memoization of the accelerator model stack.
+
+``plan_datapath``/``synthesize`` are pure in their frozen-dataclass
+arguments and cached; ``SEMAccelerator.performance`` memoizes per
+element count so solver loops pay a dictionary lookup per iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.accel import AcceleratorConfig, SEMAccelerator
+from repro.core.accel.datapath import plan_datapath
+from repro.core.accel.synth import synthesize
+from repro.core.explore import best_design, enumerate_design_space
+from repro.hardware.fpga import STRATIX10_GX2800
+
+
+class TestCaches:
+    def test_plan_datapath_is_memoized(self):
+        cfg = AcceleratorConfig.banked(5)
+        assert plan_datapath(cfg) is plan_datapath(cfg)
+        # A distinct-but-equal config hits the same cache entry.
+        assert plan_datapath(AcceleratorConfig.banked(5)) is plan_datapath(cfg)
+
+    def test_synthesize_is_memoized(self):
+        cfg = AcceleratorConfig.banked(5)
+        assert synthesize(cfg, STRATIX10_GX2800) is synthesize(
+            cfg, STRATIX10_GX2800
+        )
+
+    def test_performance_memoized_per_element_count(self):
+        acc = SEMAccelerator(AcceleratorConfig.banked(5), STRATIX10_GX2800)
+        r1 = acc.performance(64)
+        assert acc.performance(64) is r1
+        assert acc.performance(128) is not r1
+        assert acc.performance(128).num_elements == 128
+
+    def test_cached_reports_match_fresh_accelerator(self):
+        cfg = AcceleratorConfig.banked(7)
+        a = SEMAccelerator(cfg, STRATIX10_GX2800)
+        warm = a.performance(4096)
+        fresh = SEMAccelerator(cfg, STRATIX10_GX2800).performance(4096)
+        assert warm.gflops == fresh.gflops
+        assert warm.cycles_total == fresh.cycles_total
+
+    def test_solver_loop_reuses_one_report(self):
+        """as_ax_backend's per-call report lookups are O(1) and identical."""
+        from repro.sem import BoxMesh, ReferenceElement, geometric_factors
+
+        ref = ReferenceElement.from_degree(3)
+        mesh = BoxMesh.build(ref, (2, 1, 1))
+        geo = geometric_factors(mesh)
+        rng = np.random.default_rng(0)
+        u = rng.standard_normal(mesh.l2g.shape)
+        acc = SEMAccelerator(AcceleratorConfig.banked(3), STRATIX10_GX2800)
+        backend = acc.as_ax_backend()
+        for _ in range(4):
+            backend(ref, u, geo.g)
+        assert len(acc.history) == 4
+        assert all(r is acc.history[0] for r in acc.history)
+
+    def test_design_space_sweep_consistent_after_caching(self):
+        points_a = enumerate_design_space(3, STRATIX10_GX2800)
+        points_b = enumerate_design_space(3, STRATIX10_GX2800)
+        assert len(points_a) == len(points_b)
+        for pa, pb in zip(points_a, points_b):
+            assert pa.config == pb.config
+            assert pa.gflops == pb.gflops
+            assert pa.power_w == pb.power_w
+        best = best_design(3, STRATIX10_GX2800)
+        assert best.feasible

@@ -75,3 +75,73 @@ class TestGatherScatter:
             gs.gather(np.zeros((1, 2, 2, 2)))
         with pytest.raises(ValueError, match="expected"):
             gs.scatter(np.zeros(3))
+
+
+class TestPrecomputedFastPath:
+    """The reduceat gather, out= buffers and construction-time caches."""
+
+    def test_gather_matches_bincount(self, gs3):
+        _, gs = gs3
+        rng = np.random.default_rng(7)
+        local = rng.standard_normal(gs.local_shape)
+        expected = np.bincount(
+            gs.l2g_flat, weights=local.reshape(-1), minlength=gs.n_global
+        )
+        assert np.allclose(gs.gather(local), expected, atol=1e-12)
+
+    def test_gather_out_parameter(self, gs3):
+        _, gs = gs3
+        rng = np.random.default_rng(8)
+        local = rng.standard_normal(gs.local_shape)
+        out = np.empty(gs.n_global)
+        result = gs.gather(local, out=out)
+        assert result is out
+        assert np.allclose(out, gs.gather(local), atol=1e-12)
+        with pytest.raises(ValueError, match="out"):
+            gs.gather(local, out=np.empty(gs.n_global + 1))
+
+    def test_scatter_out_parameter(self, gs3):
+        _, gs = gs3
+        rng = np.random.default_rng(9)
+        vg = rng.standard_normal(gs.n_global)
+        out = np.empty(gs.local_shape)
+        result = gs.scatter(vg, out=out)
+        assert result is out
+        assert np.array_equal(out, gs.scatter(vg))
+        with pytest.raises(ValueError, match="out"):
+            gs.scatter(vg, out=np.empty((1, 2, 2, 2)))
+
+    def test_multiplicity_returns_fresh_copy(self, gs3):
+        _, gs = gs3
+        m1 = gs.multiplicity()
+        m1 += 5.0
+        assert not np.array_equal(m1, gs.multiplicity())
+
+    def test_sparse_map_falls_back_to_bincount(self):
+        # Global id 1 is unused: reduceat cannot express the empty
+        # segment, so gather must take the bincount fallback.
+        gs = GatherScatter(
+            l2g_flat=np.array([0, 2, 2, 3, 0, 3, 3, 2], dtype=np.int64),
+            n_global=5,
+            local_shape=(1, 2, 2, 2),
+        )
+        local = np.arange(8, dtype=float).reshape(1, 2, 2, 2)
+        expected = np.bincount(
+            gs.l2g_flat, weights=local.reshape(-1), minlength=5
+        )
+        assert np.array_equal(gs.gather(local), expected)
+        out = np.empty(5)
+        assert np.array_equal(gs.gather(local, out=out), expected)
+        assert np.array_equal(
+            gs.multiplicity(), np.array([2.0, 0.0, 3.0, 3.0, 0.0])
+        )
+
+    def test_dot_on_sparse_map(self):
+        gs = GatherScatter(
+            l2g_flat=np.array([0, 2, 2, 0], dtype=np.int64),
+            n_global=4,
+            local_shape=(1, 1, 2, 2),
+        )
+        ones = np.ones((1, 1, 2, 2))
+        # Two populated global nodes, each counted once.
+        assert gs.dot(ones, ones) == pytest.approx(2.0)

@@ -1,0 +1,204 @@
+"""Tests for repro.sem.kernels (BLAS kernel + the named registry)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sem import (
+    BoxMesh,
+    ReferenceElement,
+    SolverWorkspace,
+    available_ax_kernels,
+    ax_local,
+    ax_local_dense,
+    ax_local_listing1,
+    ax_local_matmul,
+    geometric_factors,
+    get_ax_kernel,
+    register_ax_kernel,
+    resolve_ax_backend,
+)
+
+
+def random_fields(n: int, num_e: int = 3, seed: int = 0):
+    """Random fields + random (unstructured "curved") geometric factors."""
+    ref = ReferenceElement.from_degree(n)
+    nx = ref.n_points
+    rng = np.random.default_rng(seed)
+    u = rng.standard_normal((num_e, nx, nx, nx))
+    g = rng.standard_normal((num_e, 6, nx, nx, nx))
+    return ref, u, g
+
+
+class TestMatmulKernel:
+    @pytest.mark.parametrize("n", range(1, 9))
+    def test_matches_einsum_all_degrees(self, n):
+        ref, u, g = random_fields(n, seed=n)
+        w_e = ax_local(ref, u, g)
+        w_m = ax_local_matmul(ref, u, g)
+        scale = np.abs(w_e).max()
+        assert np.allclose(w_m, w_e, atol=1e-12 * max(scale, 1.0))
+
+    @pytest.mark.parametrize("n", range(1, 9))
+    def test_matches_listing1_all_degrees(self, n):
+        ref, u, g = random_fields(n, num_e=2, seed=10 + n)
+        w_ref = ax_local_listing1(ref, u, g)
+        w_m = ax_local_matmul(ref, u, g)
+        scale = np.abs(w_ref).max()
+        assert np.allclose(w_m, w_ref, atol=1e-12 * max(scale, 1.0))
+
+    @pytest.mark.parametrize("n", (1, 2, 3))
+    def test_matches_dense_small_degrees(self, n):
+        ref, u, g = random_fields(n, num_e=2, seed=20 + n)
+        w_d = ax_local_dense(ref, u, g)
+        w_m = ax_local_matmul(ref, u, g)
+        scale = np.abs(w_d).max()
+        assert np.allclose(w_m, w_d, atol=1e-10 * max(scale, 1.0))
+
+    def test_curved_geometry(self):
+        ref = ReferenceElement.from_degree(5)
+        mesh = BoxMesh.build(ref, (2, 2, 1)).deform(
+            lambda x, y, z: (
+                x + 0.04 * np.sin(np.pi * y),
+                y,
+                z + 0.03 * np.sin(np.pi * x),
+            )
+        )
+        geo = geometric_factors(mesh)
+        rng = np.random.default_rng(5)
+        u = rng.standard_normal(mesh.l2g.shape)
+        w_e = ax_local(ref, u, geo.g)
+        w_m = ax_local_matmul(ref, u, geo.g)
+        assert np.allclose(w_m, w_e, atol=1e-12 * np.abs(w_e).max())
+
+    def test_out_parameter_is_written_in_place(self):
+        ref, u, g = random_fields(4)
+        out = np.empty_like(u)
+        result = ax_local_matmul(ref, u, g, out=out)
+        assert result is out
+        assert np.allclose(out, ax_local(ref, u, g), atol=1e-11)
+
+    def test_noncontiguous_out(self):
+        ref, u, g = random_fields(3, num_e=2)
+        backing = np.empty((2,) + u.shape[1:] + (2,))
+        out = backing[..., 0]
+        assert not out.flags.c_contiguous
+        result = ax_local_matmul(ref, u, g, out=out)
+        assert result is out
+        assert np.allclose(out, ax_local(ref, u, g), atol=1e-11)
+
+    def test_workspace_path_matches(self):
+        ref, u, g = random_fields(6, num_e=4)
+        ws = SolverWorkspace(num_elements=4, nx=ref.n_points)
+        out = np.empty_like(u)
+        w = ax_local_matmul(ref, u, g, out=out, workspace=ws)
+        assert np.allclose(w, ax_local_matmul(ref, u, g), atol=1e-12)
+
+    def test_workspace_shape_mismatch_raises(self):
+        ref, u, g = random_fields(4, num_e=3)
+        ws = SolverWorkspace(num_elements=2, nx=ref.n_points)
+        with pytest.raises(ValueError, match="workspace sized for"):
+            ax_local_matmul(ref, u, g, workspace=ws)
+
+    def test_einsum_workspace_path_matches(self):
+        ref, u, g = random_fields(5, num_e=4)
+        ws = SolverWorkspace(num_elements=4, nx=ref.n_points)
+        out = np.empty_like(u)
+        w = ax_local(ref, u, g, out=out, workspace=ws)
+        assert np.allclose(w, ax_local(ref, u, g), atol=1e-12)
+
+
+class TestRegistry:
+    def test_builtin_names(self):
+        names = available_ax_kernels()
+        for name in ("einsum", "matmul", "listing1", "dense"):
+            assert name in names
+
+    def test_get_returns_callables(self):
+        assert get_ax_kernel("einsum") is ax_local
+        assert get_ax_kernel("matmul") is ax_local_matmul
+
+    def test_unknown_name_raises_with_alternatives(self):
+        with pytest.raises(KeyError, match="matmul"):
+            get_ax_kernel("nope")
+
+    def test_all_registered_kernels_agree(self):
+        ref, u, g = random_fields(3, num_e=2, seed=33)
+        w_ref = ax_local(ref, u, g)
+        scale = np.abs(w_ref).max()
+        for name in ("matmul", "listing1", "dense"):
+            w = get_ax_kernel(name)(ref, u, g)
+            assert np.allclose(w, w_ref, atol=1e-10 * max(scale, 1.0)), name
+
+    def test_adapters_honor_out(self):
+        ref, u, g = random_fields(2, num_e=2, seed=7)
+        for name in ("listing1", "dense"):
+            out = np.empty_like(u)
+            result = get_ax_kernel(name)(ref, u, g, out=out)
+            assert result is out
+
+    def test_register_and_overwrite_guard(self):
+        sentinel = lambda ref, u, g, out=None, workspace=None: u  # noqa: E731
+        register_ax_kernel("_test_sentinel", sentinel)
+        try:
+            assert get_ax_kernel("_test_sentinel") is sentinel
+            with pytest.raises(ValueError, match="already registered"):
+                register_ax_kernel("_test_sentinel", sentinel)
+            register_ax_kernel("_test_sentinel", sentinel, overwrite=True)
+        finally:
+            from repro.sem.kernels import _REGISTRY
+
+            _REGISTRY.pop("_test_sentinel", None)
+
+    def test_register_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            register_ax_kernel("", lambda *a, **k: None)
+        with pytest.raises(TypeError):
+            register_ax_kernel("_not_callable", 3)
+
+    def test_resolve_passes_callables_through(self):
+        assert resolve_ax_backend(ax_local) is ax_local
+        assert resolve_ax_backend("matmul") is ax_local_matmul
+        with pytest.raises(TypeError):
+            resolve_ax_backend(42)
+
+
+class TestProblemsSelectByName:
+    def test_poisson_by_name_matches_default(self):
+        from repro.sem import PoissonProblem, cg_solve, sine_manufactured
+
+        ref = ReferenceElement.from_degree(4)
+        mesh = BoxMesh.build(ref, (2, 2, 2))
+        by_name = PoissonProblem(mesh, ax_backend="matmul")
+        default = PoissonProblem(mesh)
+        _, forcing = sine_manufactured(mesh.extent)
+        b = default.rhs_from_forcing(forcing)
+        r1 = cg_solve(by_name.apply_A, b, tol=1e-10, maxiter=200)
+        r2 = cg_solve(default.apply_A, b, tol=1e-10, maxiter=200)
+        assert r1.converged and r2.converged
+        assert np.allclose(r1.x, r2.x, atol=1e-8)
+
+    def test_helmholtz_by_name_matches_default(self):
+        from repro.sem import HelmholtzProblem
+
+        ref = ReferenceElement.from_degree(3)
+        mesh = BoxMesh.build(ref, (2, 1, 1))
+        rng = np.random.default_rng(11)
+        v = rng.standard_normal(mesh.n_global)
+        w1 = HelmholtzProblem(mesh, ax_backend="matmul").apply(v)
+        w2 = HelmholtzProblem(mesh).apply(v)
+        assert np.allclose(w1, w2, atol=1e-11 * max(np.abs(w2).max(), 1.0))
+
+    def test_accelerator_kernel_by_name(self):
+        from repro.core.accel import AcceleratorConfig, SEMAccelerator
+        from repro.hardware.fpga import STRATIX10_GX2800
+
+        ref, u, g = random_fields(3, num_e=2, seed=2)
+        acc_e = SEMAccelerator(AcceleratorConfig.banked(3), STRATIX10_GX2800)
+        acc_m = SEMAccelerator(
+            AcceleratorConfig.banked(3), STRATIX10_GX2800, ax_kernel="matmul"
+        )
+        w_e, _ = acc_e.run(u, g)
+        w_m, _ = acc_m.run(u, g)
+        assert np.allclose(w_m, w_e, atol=1e-11 * max(np.abs(w_e).max(), 1.0))

@@ -1,0 +1,195 @@
+"""Tests for repro.sem.workspace (the allocation-free solver hot path)."""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.sem import (
+    BoxMesh,
+    PoissonProblem,
+    ReferenceElement,
+    SolverWorkspace,
+    ax_local_matmul,
+    cg_solve,
+    sine_manufactured,
+)
+
+
+class TestConstruction:
+    def test_for_mesh_sizes_everything(self):
+        ref = ReferenceElement.from_degree(3)
+        mesh = BoxMesh.build(ref, (2, 2, 1))
+        ws = SolverWorkspace.for_mesh(mesh)
+        assert ws.local_shape == mesh.l2g.shape
+        assert ws.n_global == mesh.n_global
+        assert ws.ur.shape == mesh.l2g.shape
+        assert ws.cg_p.shape == (mesh.n_global,)
+        assert ws.nbytes > 0
+
+    def test_kernel_only_workspace(self):
+        ws = SolverWorkspace(num_elements=4, nx=5)
+        assert ws.n_global == 0
+        assert ws.cg_x.shape == (0,)
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            SolverWorkspace(num_elements=0, nx=4)
+        with pytest.raises(ValueError):
+            SolverWorkspace(num_elements=1, nx=1)
+        with pytest.raises(ValueError):
+            SolverWorkspace(num_elements=1, nx=4, n_global=-1)
+
+    def test_require_helpers(self):
+        ws = SolverWorkspace(num_elements=2, nx=4, n_global=10)
+        ws.require_local(2, 4)
+        ws.require_global(10)
+        with pytest.raises(ValueError, match="workspace sized for"):
+            ws.require_local(3, 4)
+        with pytest.raises(ValueError, match="global"):
+            ws.require_global(11)
+
+
+class TestReuse:
+    def test_repeated_kernel_calls_are_consistent(self):
+        """The same workspace serves many calls without cross-talk."""
+        ref = ReferenceElement.from_degree(4)
+        nx = ref.n_points
+        rng = np.random.default_rng(0)
+        ws = SolverWorkspace(num_elements=3, nx=nx)
+        for seed in range(3):
+            rng = np.random.default_rng(seed)
+            u = rng.standard_normal((3, nx, nx, nx))
+            g = rng.standard_normal((3, 6, nx, nx, nx))
+            w_ws = ax_local_matmul(ref, u, g, workspace=ws)
+            w_fresh = ax_local_matmul(ref, u, g)
+            assert np.allclose(w_ws, w_fresh, atol=1e-12)
+
+    def test_cg_with_workspace_matches_without(self):
+        ref = ReferenceElement.from_degree(4)
+        mesh = BoxMesh.build(ref, (2, 2, 2))
+        prob = PoissonProblem(mesh, ax_backend="matmul")
+        _, forcing = sine_manufactured(mesh.extent)
+        b = prob.rhs_from_forcing(forcing)
+        diag = prob.jacobi_diagonal()
+        res_ws = cg_solve(
+            prob.apply_A, b, precond_diag=diag, tol=0.0, maxiter=25,
+            workspace=prob.workspace,
+        )
+        res_plain = cg_solve(
+            prob.apply_A, b, precond_diag=diag, tol=0.0, maxiter=25
+        )
+        assert res_ws.iterations == res_plain.iterations
+        assert np.allclose(res_ws.x, res_plain.x, rtol=1e-12, atol=1e-14)
+        assert res_ws.residual_history == pytest.approx(
+            res_plain.residual_history, rel=1e-10
+        )
+
+    def test_cg_result_survives_workspace_reuse(self):
+        """CGResult.x is copied out of the workspace buffers."""
+        ref = ReferenceElement.from_degree(2)
+        mesh = BoxMesh.build(ref, (2, 2, 2))
+        prob = PoissonProblem(mesh)
+        _, forcing = sine_manufactured(mesh.extent)
+        b = prob.rhs_from_forcing(forcing)
+        first = cg_solve(
+            prob.apply_A, b, tol=0.0, maxiter=5, workspace=prob.workspace
+        )
+        x_snapshot = first.x.copy()
+        cg_solve(
+            prob.apply_A, 2.0 * b, tol=0.0, maxiter=5,
+            workspace=prob.workspace,
+        )
+        assert np.array_equal(first.x, x_snapshot)
+
+    def test_cg_workspace_size_mismatch_raises(self):
+        ws = SolverWorkspace(num_elements=1, nx=3, n_global=7)
+        b = np.ones(9)
+        with pytest.raises(ValueError, match="global"):
+            cg_solve(lambda x: x, b, workspace=ws)
+
+    def test_cg_operator_accepting_out_but_returning_fresh_array(self):
+        """An ``out=``-accepting operator that ignores ``out`` and returns
+        a fresh array must still solve correctly (the return value wins)."""
+        rng = np.random.default_rng(3)
+        m = rng.standard_normal((12, 12))
+        a = m @ m.T + 12 * np.eye(12)
+        b = rng.standard_normal(12)
+
+        def op(x, out=None):
+            return a @ x  # never writes into out
+
+        result = cg_solve(op, b, tol=1e-12, maxiter=100)
+        assert result.converged
+        assert np.allclose(a @ result.x, b, atol=1e-9)
+
+
+class TestAllocationFree:
+    def test_cg_iterations_allocate_no_fields(self):
+        """tracemalloc regression: after warm-up, a CG solve's peak heap
+        growth stays below one field-sized array — i.e. zero per-iteration
+        field allocations in apply_A, gather-scatter, the kernel and the
+        CG vector updates."""
+        # Sized so one local field (256 KiB) dwarfs the constant-size
+        # internals that remain: numpy's ~64 KiB chunked ufunc buffer and
+        # the returned global iterate copy.
+        ref = ReferenceElement.from_degree(3)
+        mesh = BoxMesh.build(ref, (8, 8, 8))
+        prob = PoissonProblem(mesh, ax_backend="matmul")
+        _, forcing = sine_manufactured(mesh.extent)
+        b = prob.rhs_from_forcing(forcing)
+        diag = prob.jacobi_diagonal()
+        field_bytes = 8 * mesh.num_elements * ref.n_points ** 3
+
+        # Warm-up: first-touch every workspace buffer and numpy caches.
+        cg_solve(
+            prob.apply_A, b, precond_diag=diag, tol=0.0, maxiter=3,
+            workspace=prob.workspace,
+        )
+
+        tracemalloc.start()
+        try:
+            baseline = tracemalloc.get_traced_memory()[0]
+            tracemalloc.reset_peak()
+            result = cg_solve(
+                prob.apply_A, b, precond_diag=diag, tol=0.0, maxiter=30,
+                workspace=prob.workspace,
+            )
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+
+        assert result.iterations == 30
+        growth = peak - baseline
+        # The only allowed allocations are the returned iterate copy
+        # (n_global < E*nx^3 by construction) and O(iterations) floats.
+        assert growth < field_bytes, (
+            f"peak heap growth {growth} B >= one field ({field_bytes} B): "
+            "the hot path allocated per-iteration temporaries"
+        )
+
+    def test_matmul_kernel_is_allocation_free_with_out(self):
+        ref = ReferenceElement.from_degree(7)
+        nx = ref.n_points
+        num_e = 64
+        rng = np.random.default_rng(1)
+        u = rng.standard_normal((num_e, nx, nx, nx))
+        g = rng.standard_normal((num_e, 6, nx, nx, nx))
+        ws = SolverWorkspace(num_elements=num_e, nx=nx)
+        out = np.empty_like(u)
+        field_bytes = 8 * num_e * nx ** 3
+        ax_local_matmul(ref, u, g, out=out, workspace=ws)  # warm-up
+
+        tracemalloc.start()
+        try:
+            baseline = tracemalloc.get_traced_memory()[0]
+            tracemalloc.reset_peak()
+            for _ in range(5):
+                ax_local_matmul(ref, u, g, out=out, workspace=ws)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+
+        assert peak - baseline < field_bytes // 2
