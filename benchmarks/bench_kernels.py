@@ -19,7 +19,9 @@ from repro.sem import (
     ReferenceElement,
     SolverWorkspace,
     ax_local,
+    ax_local_matmul,
     cg_solve,
+    cg_solve_batched,
     geometric_factors,
     get_ax_kernel,
     sine_manufactured,
@@ -90,6 +92,79 @@ def test_bench_ax_local_matmul(benchmark, n):
     benchmark.extra_info["gflops_per_call"] = (
         flops_per_dof(n) * num_e * nx ** 3 / 1e9
     )
+
+
+@pytest.mark.parametrize("threads", (1, 2))
+def test_bench_ax_n7_e2048_threads(benchmark, threads):
+    """Thread-parallel element blocks at N=7, 2048 elements.
+
+    The element dimension is split into cache-sized blocks dispatched
+    across the workspace's persistent pool; ``threads=1`` is the
+    sequential reference.  Results are bit-identical across thread
+    counts; ``benchmarks/run_baseline.py`` records the ratio (NB: on a
+    single-vCPU benchmark host threading cannot beat 1.0x — the bench
+    exists to track the ratio wherever the suite runs).
+    """
+    ref = ReferenceElement.from_degree(7)
+    rng = np.random.default_rng(0)
+    num_e = 2048
+    nx = ref.n_points
+    u = rng.standard_normal((num_e, nx, nx, nx))
+    g = np.abs(rng.standard_normal((num_e, 6, nx, nx, nx))) + 0.5
+    ws = SolverWorkspace(num_elements=num_e, nx=nx, threads=threads)
+    out = np.empty_like(u)
+    result = benchmark(ax_local_matmul, ref, u, g, out, ws)
+    assert np.all(np.isfinite(result))
+    benchmark.extra_info["gflops_per_call"] = (
+        flops_per_dof(7) * num_e * nx ** 3 / 1e9
+    )
+
+
+def _serving_problem(n=3, shape=(2, 2, 2), batch=8):
+    """The multi-tenant serving case: B small Poisson systems, one mesh."""
+    ref = ReferenceElement.from_degree(n)
+    mesh = BoxMesh.build(ref, shape)
+    prob = PoissonProblem(mesh, ax_backend="matmul")
+    _, forcing = sine_manufactured(mesh.extent)
+    b0 = prob.rhs_from_forcing(forcing)
+    diag = prob.jacobi_diagonal()
+    # Distinct per-tenant right-hand sides sharing the discretization.
+    bs = np.stack([b0 * (1.0 + 0.3 * k) for k in range(batch)])
+    return prob, bs, diag
+
+
+def test_bench_cg_batched_b8(benchmark):
+    """Ten CG iterations of B=8 stacked systems through one warm
+    batched workspace (N=3, 8 elements — the serving shape)."""
+    prob, bs, diag = _serving_problem()
+    bws = prob.batch_workspace(bs.shape[0])
+
+    def run():
+        return cg_solve_batched(
+            prob.apply_A, bs, precond_diag=diag, tol=0.0, maxiter=10,
+            workspace=bws,
+        )
+
+    result = benchmark(run)
+    assert result.total_iterations == 10
+
+
+def test_bench_cg_sequential_b8(benchmark):
+    """The same eight systems solved one at a time through the warm
+    unbatched workspace — the baseline the batched path must beat."""
+    prob, bs, diag = _serving_problem()
+
+    def run():
+        return [
+            cg_solve(
+                prob.apply_A, bs[k], precond_diag=diag, tol=0.0,
+                maxiter=10, workspace=prob.workspace,
+            )
+            for k in range(bs.shape[0])
+        ]
+
+    results = benchmark(run)
+    assert all(r.iterations == 10 for r in results)
 
 
 def test_bench_gather_scatter(benchmark):

@@ -4,23 +4,50 @@
 Runs ``benchmarks/bench_kernels.py`` under pytest-benchmark with
 ``--benchmark-json``, then appends a ``derived`` section with the
 headline hot-path ratios (einsum vs matmul at the paper's N=7 reference
-shape) so future PRs have a perf trajectory to compare against:
+shape, thread-block and batched multi-RHS speedups) so future PRs have
+a perf trajectory to compare against:
 
-    python benchmarks/run_baseline.py [--out BENCH_kernels.json] [--fast]
+    python benchmarks/run_baseline.py [--out BENCH_kernels.json]
+                                      [--fast] [--history] [--compare]
+
+BLAS is pinned to one thread for the run (``OPENBLAS_NUM_THREADS=1``
+etc.), so the single-core numbers measure the kernels, not the BLAS
+pool, and the ``threads=`` benchmarks parallelize only through the
+library's own element-block pool.
 
 ``--fast`` caps benchmark rounds for a quick smoke run; omit it for the
-numbers you intend to commit.
+numbers you intend to commit.  ``--history`` appends this snapshot's
+``derived`` ratios to ``BENCH_history.json`` (a growing trajectory)
+instead of silently discarding the previous snapshot's.  ``--compare``
+exits non-zero if any derived speedup regressed by more than 20% vs the
+committed snapshot at ``--out``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import subprocess
 import sys
+import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Environment pins applied to the benchmark subprocess: one BLAS/OpenMP
+#: thread each, so wall-clock ratios isolate the library's own blocking
+#: and threading rather than the BLAS pool's.
+SINGLE_THREAD_ENV: dict[str, str] = {
+    "OPENBLAS_NUM_THREADS": "1",
+    "MKL_NUM_THREADS": "1",
+    "OMP_NUM_THREADS": "1",
+    "NUMEXPR_NUM_THREADS": "1",
+    "VECLIB_MAXIMUM_THREADS": "1",
+}
+
+#: Relative regression tolerance for ``--compare`` (on speedup ratios).
+REGRESSION_TOLERANCE: float = 0.20
 
 
 def run_benchmarks(out_path: pathlib.Path, fast: bool) -> None:
@@ -35,14 +62,13 @@ def run_benchmarks(out_path: pathlib.Path, fast: bool) -> None:
     if fast:
         cmd += ["--benchmark-max-time", "0.2", "--benchmark-min-rounds", "3"]
     env_path = str(REPO_ROOT / "src")
-    import os
-
     env = dict(os.environ)
     env["PYTHONPATH"] = (
         env_path + os.pathsep + env["PYTHONPATH"]
         if env.get("PYTHONPATH")
         else env_path
     )
+    env.update(SINGLE_THREAD_ENV)
     subprocess.run(cmd, check=True, env=env, cwd=REPO_ROOT)
 
 
@@ -56,9 +82,9 @@ def mean_of(data: dict, name: str) -> float | None:
 
 def derive(data: dict) -> dict:
     """Headline ratios tracked across PRs."""
+    derived: dict = {}
     einsum = mean_of(data, "test_bench_ax_n7_e512[einsum]")
     matmul = mean_of(data, "test_bench_ax_n7_e512[matmul]")
-    derived: dict = {}
     if einsum and matmul:
         derived["ax_n7_e512_einsum_s"] = einsum
         derived["ax_n7_e512_matmul_s"] = matmul
@@ -69,7 +95,53 @@ def derive(data: dict) -> dict:
         derived["cg10_einsum_s"] = cg_plain
         derived["cg10_workspace_matmul_s"] = cg_ws
         derived["cg10_workspace_speedup"] = cg_plain / cg_ws
+    t1 = mean_of(data, "test_bench_ax_n7_e2048_threads[1]")
+    t2 = mean_of(data, "test_bench_ax_n7_e2048_threads[2]")
+    if t1 and t2:
+        derived["ax_n7_e2048_threads1_s"] = t1
+        derived["ax_n7_e2048_threads2_s"] = t2
+        derived["ax_n7_e2048_threads2_speedup"] = t1 / t2
+    seq = mean_of(data, "test_bench_cg_sequential_b8")
+    bat = mean_of(data, "test_bench_cg_batched_b8")
+    if seq and bat:
+        derived["cg10_sequential_b8_s"] = seq
+        derived["cg10_batched_b8_s"] = bat
+        derived["cg10_batched_b8_speedup"] = seq / bat
     return derived
+
+
+def compare_derived(old: dict, new: dict) -> list[str]:
+    """Speedup keys that regressed by more than the tolerance."""
+    regressions = []
+    for key, old_value in old.items():
+        if not key.endswith("_speedup"):
+            continue
+        new_value = new.get(key)
+        if new_value is None:
+            regressions.append(f"{key}: missing from new snapshot")
+        elif new_value < (1.0 - REGRESSION_TOLERANCE) * float(old_value):
+            regressions.append(
+                f"{key}: {old_value:.3f} -> {new_value:.3f} "
+                f"(>{REGRESSION_TOLERANCE:.0%} regression)"
+            )
+    return regressions
+
+
+def append_history(history_path: pathlib.Path, derived: dict) -> None:
+    """Append one ``derived`` snapshot to the trajectory file."""
+    history: list = []
+    if history_path.exists():
+        history = json.loads(history_path.read_text())
+        if not isinstance(history, list):
+            raise ValueError(
+                f"{history_path} does not hold a history list; refusing to "
+                "overwrite it"
+            )
+    history.append({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "derived": derived,
+    })
+    history_path.write_text(json.dumps(history, indent=2) + "\n")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -82,8 +154,22 @@ def main(argv: list[str] | None = None) -> int:
         "--fast", action="store_true",
         help="smoke-run with capped rounds (do not commit these numbers)",
     )
+    parser.add_argument(
+        "--history", action="store_true",
+        help="append this snapshot's derived ratios to BENCH_history.json "
+             "(next to --out) instead of only overwriting the snapshot",
+    )
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="exit non-zero if a derived speedup regressed >20%% vs the "
+             "committed snapshot at --out",
+    )
     args = parser.parse_args(argv)
     out_path = pathlib.Path(args.out)
+
+    old_derived: dict = {}
+    if args.compare and out_path.exists():
+        old_derived = json.loads(out_path.read_text()).get("derived", {})
 
     run_benchmarks(out_path, args.fast)
 
@@ -99,14 +185,32 @@ def main(argv: list[str] | None = None) -> int:
     print(f"\nwrote {out_path}")
     for key, value in data["derived"].items():
         print(f"  {key}: {value:.6g}")
+
+    if args.history:
+        history_path = out_path.parent / "BENCH_history.json"
+        append_history(history_path, data["derived"])
+        print(f"appended derived ratios to {history_path}")
+
+    status = 0
+    if args.compare and old_derived:
+        regressions = compare_derived(old_derived, data["derived"])
+        for line in regressions:
+            print(f"REGRESSION: {line}")
+        # --fast rounds are too noisy to gate on (same policy as the 2x
+        # threshold below): report, but only full runs fail the build.
+        if regressions and not args.fast:
+            status = 1
+
     speedup = data["derived"].get("ax_n7_e512_matmul_speedup")
     if speedup is not None and speedup < 2.0:
         print(
             f"WARNING: matmul speedup {speedup:.2f}x is below the 2x "
             "acceptance threshold on this host"
         )
-        return 1
-    return 0
+        # --fast rounds are too noisy to gate on; full runs still fail.
+        if not args.fast:
+            status = status or 1
+    return status
 
 
 if __name__ == "__main__":

@@ -48,6 +48,8 @@ from repro.sem import (
     SolverWorkspace,
     PoissonProblem,
     cg_solve,
+    cg_solve_batched,
+    BatchedCGResult,
 )
 from repro.core import (
     KernelCost,
@@ -92,6 +94,8 @@ __all__ = [
     "SolverWorkspace",
     "PoissonProblem",
     "cg_solve",
+    "cg_solve_batched",
+    "BatchedCGResult",
     # core
     "KernelCost",
     "operational_intensity",

@@ -48,7 +48,7 @@ from repro.sem.kernels import (
 )
 from repro.sem.workspace import SolverWorkspace
 from repro.sem.poisson import PoissonProblem, sine_manufactured
-from repro.sem.cg import cg_solve, CGResult
+from repro.sem.cg import cg_solve, cg_solve_batched, CGResult, BatchedCGResult
 from repro.sem.helmholtz import HelmholtzProblem, cosine_manufactured
 from repro.sem.nekbone import (
     NekboneCase,
@@ -95,7 +95,9 @@ __all__ = [
     "PoissonProblem",
     "sine_manufactured",
     "cg_solve",
+    "cg_solve_batched",
     "CGResult",
+    "BatchedCGResult",
     "HelmholtzProblem",
     "cosine_manufactured",
     "NekboneCase",

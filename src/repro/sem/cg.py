@@ -15,6 +15,12 @@ callback accepts an ``out=`` keyword (as
 :meth:`repro.sem.poisson.PoissonProblem.apply_A` does), ``A p`` is also
 computed without allocating, so a warm iteration performs zero
 field-sized heap allocations.
+
+:func:`cg_solve_batched` extends the same discipline to a stacked
+``(B, n)`` block of right-hand sides: one operator application and one
+set of fused ``(B, n)`` vector updates per iteration serve all ``B``
+systems, with per-system convergence masking — the multi-tenant serving
+path (a ``(B, n)`` rhs passed to :func:`cg_solve` dispatches there).
 """
 
 from __future__ import annotations
@@ -58,7 +64,12 @@ class CGResult:
 
 
 def _operator_accepts_out(apply_A: Operator) -> bool:
-    """Probe the callback for ``out=`` support (see module docstring)."""
+    """Probe the callback for ``out=`` support (see module docstring).
+
+    Memoized through :func:`repro.sem.kernels.accepts_keyword`
+    (``functools.lru_cache``), so repeated short solves don't re-run
+    ``inspect.signature`` reflection on every call.
+    """
     from repro.sem.kernels import accepts_keyword
 
     return accepts_keyword(apply_A, "out")
@@ -72,7 +83,7 @@ def cg_solve(
     tol: float = 1e-10,
     maxiter: int = 1000,
     workspace: "SolverWorkspace | None" = None,
-) -> CGResult:
+) -> "CGResult | BatchedCGResult":
     """Solve ``A x = b`` for SPD ``A`` with (Jacobi-)preconditioned CG.
 
     Parameters
@@ -81,7 +92,10 @@ def cg_solve(
         Matrix-free operator callback.  If it accepts an ``out=``
         keyword, results are written into a preallocated buffer.
     b:
-        Right-hand side.
+        Right-hand side.  A stacked ``(B, n)`` block solves ``B``
+        independent systems at once through
+        :func:`cg_solve_batched` (returning its
+        :class:`BatchedCGResult`).
     x0:
         Initial guess (zeros if omitted).
     precond_diag:
@@ -108,11 +122,20 @@ def cg_solve(
     <= 0``), which indicates the operator is not SPD on this subspace.
     """
     b = np.asarray(b, dtype=np.float64)
+    if b.ndim == 2:
+        # Stacked multi-RHS block: hand off to the batched loop (one
+        # warm workspace carries all systems; see cg_solve_batched).
+        return cg_solve_batched(
+            apply_A, b, x0=x0, precond_diag=precond_diag, tol=tol,
+            maxiter=maxiter, workspace=workspace,
+        )
+    if b.ndim != 1:
+        raise ValueError(
+            f"rhs must be 1-D (or (B, n) for a batched solve), "
+            f"got shape {b.shape}"
+        )
     if workspace is not None:
-        if b.ndim != 1:
-            raise ValueError(
-                f"workspace solves need a 1-D rhs, got shape {b.shape}"
-            )
+        workspace.require_batch(1)
         workspace.require_global(b.shape[0])
         x, r, z_buf, p, ap, tmp = (
             workspace.cg_x, workspace.cg_r, workspace.cg_z,
@@ -199,4 +222,250 @@ def cg_solve(
         converged=converged,
         residual_norm=history[-1],
         residual_history=tuple(history),
+    )
+
+
+@dataclass(frozen=True)
+class BatchedCGResult:
+    """Outcome of a batched multi-RHS CG solve.
+
+    Attributes
+    ----------
+    x:
+        Final iterates, shape ``(B, n)``.
+    iterations:
+        Per-system iteration counts, shape ``(B,)`` — the iteration at
+        which each system first met its own residual criterion (the
+        total executed count for systems that never converged).
+    converged:
+        Per-system convergence flags, shape ``(B,)``.
+    residual_norm:
+        Final residual 2-norms, shape ``(B,)``.
+    residual_history:
+        Residual norms per iteration and system, shape
+        ``(total_iterations + 1, B)`` (frozen rows for systems that
+        converged early).
+    """
+
+    x: NDArray[np.float64]
+    iterations: NDArray[np.int64]
+    converged: NDArray[np.bool_]
+    residual_norm: NDArray[np.float64]
+    residual_history: NDArray[np.float64]
+
+    @property
+    def batch(self) -> int:
+        """Number of systems in the block."""
+        return self.x.shape[0]
+
+    @property
+    def all_converged(self) -> bool:
+        """True if every system met its residual criterion."""
+        return bool(np.all(self.converged))
+
+    @property
+    def total_iterations(self) -> int:
+        """Iterations the batched loop executed (the slowest system)."""
+        return self.residual_history.shape[0] - 1
+
+
+def cg_solve_batched(
+    apply_A: Operator,
+    b: NDArray[np.float64],
+    x0: NDArray[np.float64] | None = None,
+    precond_diag: NDArray[np.float64] | None = None,
+    tol: float = 1e-10,
+    maxiter: int = 1000,
+    workspace: "SolverWorkspace | None" = None,
+) -> BatchedCGResult:
+    """Solve ``B`` independent SPD systems ``A x_i = b_i`` in lockstep.
+
+    All ``B`` systems share the operator ``A`` (and optionally the
+    Jacobi diagonal), so every iteration applies the operator to one
+    stacked ``(B, n)`` block — the matrix-free SEM ``Ax`` then reads the
+    geometric factors once per element block for all systems, and the
+    CG vector updates run as single fused ``(B, n)`` ufuncs instead of
+    ``B`` separate Python-level loops.  This is the multi-tenant serving
+    primitive: one warm workspace amortizes geometry traffic and
+    dispatch overhead across every solve in flight.
+
+    Convergence is masked per system: each system stops updating
+    (``alpha_i = 0``) once its own residual criterion
+    ``||r_i|| <= tol * ||b_i||`` is met, while the remaining systems
+    iterate on — numerically equivalent to solving each system
+    separately to the same tolerance.
+
+    Parameters
+    ----------
+    apply_A:
+        Matrix-free operator callback; must accept a stacked ``(B, n)``
+        argument (as :meth:`repro.sem.poisson.PoissonProblem.apply_A`
+        does).  ``out=`` support is probed as in :func:`cg_solve`.
+    b:
+        Stacked right-hand sides, shape ``(B, n)``.
+    x0:
+        Optional stacked initial guesses, shape ``(B, n)`` (zeros if
+        omitted).
+    precond_diag:
+        Jacobi diagonal, shape ``(n,)`` (shared by all systems) or
+        ``(B, n)`` (per system).  Entries must be positive.
+    tol, maxiter:
+        As :func:`cg_solve`; the tolerance is applied per system.
+    workspace:
+        Optional :class:`~repro.sem.workspace.SolverWorkspace` built
+        with ``batch=B``; supplies every ``(B, n)`` CG vector plus the
+        per-system scalar buffers, making warm iterations free of
+        field-sized heap allocations.
+
+    Returns
+    -------
+    :class:`BatchedCGResult`.
+
+    Raises
+    ------
+    ValueError
+        On shape mismatches, non-positive preconditioner entries, or a
+        CG breakdown (``p_i^T A p_i <= 0`` on an active system).
+    """
+    b = np.asarray(b, dtype=np.float64)
+    if b.ndim != 2:
+        raise ValueError(f"batched rhs must be (B, n), got shape {b.shape}")
+    nb, n = b.shape
+    if nb < 1:
+        raise ValueError("batched rhs needs at least one system")
+    if workspace is not None:
+        workspace.require_batch(nb)
+        workspace.require_global(n)
+        # reshape(nb, -1) is a no-op view for a batch>1 workspace and
+        # lifts the unbatched (n,) buffers of a batch-of-one solve.
+        x, r, z_buf, p, ap, tmp = (
+            buf.reshape(nb, -1) for buf in (
+                workspace.cg_x, workspace.cg_r, workspace.cg_z,
+                workspace.cg_p, workspace.cg_ap, workspace.cg_tmp,
+            )
+        )
+        rz, pap, alpha, beta = (
+            workspace.cg_rz, workspace.cg_pap,
+            workspace.cg_alpha, workspace.cg_beta,
+        )
+        res, stop, active = (
+            workspace.cg_res, workspace.cg_stop, workspace.cg_active,
+        )
+    else:
+        x, r, z_buf, p, ap, tmp = (np.empty_like(b) for _ in range(6))
+        rz, pap, alpha, beta, res, stop = (np.empty(nb) for _ in range(6))
+        active = np.empty(nb, dtype=bool)
+    if x0 is None:
+        x.fill(0.0)
+    else:
+        x0 = np.asarray(x0, dtype=np.float64)
+        if x0.shape != b.shape:
+            raise ValueError(f"x0 shape {x0.shape} != b shape {b.shape}")
+        np.copyto(x, x0)
+    if precond_diag is not None:
+        md = np.asarray(precond_diag, dtype=np.float64)
+        if md.shape not in ((n,), (nb, n)):
+            raise ValueError(
+                f"preconditioner shape {md.shape} must be ({n},) "
+                f"or {(nb, n)}"
+            )
+        if np.any(md <= 0):
+            raise ValueError("Jacobi preconditioner has non-positive entries")
+        if workspace is not None:
+            inv_m = workspace.cg_invm
+            inv_m[...] = 1.0 / md  # broadcast a shared (n,) diagonal
+        else:
+            inv_m = np.broadcast_to(1.0 / md, b.shape)
+        z = z_buf
+    else:
+        inv_m = None
+        z = r  # unpreconditioned: z aliases r, no copy needed
+
+    out_ok = _operator_accepts_out(apply_A)
+
+    def apply_into(vec: NDArray[np.float64], dst: NDArray[np.float64]) -> None:
+        res_arr = apply_A(vec, out=dst) if out_ok else apply_A(vec)
+        if res_arr is not dst:
+            np.copyto(dst, res_arr)
+
+    def row_dots(
+        a_vec: NDArray[np.float64],
+        b_vec: NDArray[np.float64],
+        dst: NDArray[np.float64],
+    ) -> None:
+        # Fused per-system inner products without a (B, n) temporary.
+        np.multiply(a_vec, b_vec, out=tmp)
+        np.sum(tmp, axis=1, out=dst)
+
+    apply_into(x, ap)
+    np.subtract(b, ap, out=r)
+    if inv_m is not None:
+        np.multiply(r, inv_m, out=z)
+    np.copyto(p, z)
+    row_dots(r, z, rz)
+    row_dots(b, b, stop)
+    np.sqrt(stop, out=stop)  # ||b_i||
+    stop[...] = tol * np.where(stop > 0, stop, 1.0)
+
+    row_dots(r, r, res)
+    np.sqrt(res, out=res)
+    np.greater(res, stop, out=active)
+    iterations = np.zeros(nb, dtype=np.int64)
+    alpha.fill(0.0)
+    beta.fill(0.0)
+    history = [res.copy()]
+    it = 0
+    while bool(np.any(active)) and it < maxiter:
+        apply_into(p, ap)
+        row_dots(p, ap, pap)
+        bad = active & (pap <= 0.0)
+        if np.any(bad):
+            exhausted = bad & (np.abs(pap) < 1e-300)
+            if np.array_equal(bad, exhausted):
+                # Exact zero directions: those systems' subspaces are
+                # solved; freeze them and let the others continue.
+                active &= ~exhausted
+                iterations[exhausted] = it
+                if not np.any(active):
+                    break
+            else:
+                worst = float(pap[bad & ~exhausted].min())
+                raise ValueError(
+                    f"CG breakdown: p^T A p = {worst:g} <= 0 on an active "
+                    "system (operator not SPD?)"
+                )
+        # Masked step: converged systems get alpha = beta = 0, freezing
+        # their x and r exactly (bit-for-bit) while the rest iterate.
+        np.divide(rz, pap, out=alpha, where=active)
+        np.multiply(alpha, active, out=alpha)
+        np.multiply(p, alpha[:, None], out=tmp)
+        x += tmp
+        np.multiply(ap, alpha[:, None], out=tmp)
+        r -= tmp
+        if inv_m is not None:
+            np.multiply(r, inv_m, out=z)
+        row_dots(r, z, pap)  # pap now carries rz_new
+        np.divide(pap, rz, out=beta, where=active)
+        np.multiply(beta, active, out=beta)
+        np.copyto(rz, pap)
+        np.multiply(p, beta[:, None], out=p)
+        # Only active systems pick up the new search direction (frozen
+        # systems have beta = 0, so their p is simply parked at zero).
+        np.multiply(z, active[:, None], out=tmp)
+        p += tmp
+        it += 1
+        row_dots(r, r, res)
+        np.sqrt(res, out=res)
+        history.append(res.copy())
+        newly_done = active & (res <= stop)
+        iterations[newly_done] = it
+        active &= ~newly_done
+
+    iterations[active] = it  # systems that hit maxiter
+    return BatchedCGResult(
+        x=x.copy() if workspace is not None else x,
+        iterations=iterations,
+        converged=res <= stop,
+        residual_norm=res.copy(),
+        residual_history=np.stack(history),
     )

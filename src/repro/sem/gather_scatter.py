@@ -17,7 +17,9 @@ inner loop touches no setup work:
   three-operand reduction with no temporaries.
 
 ``gather``/``scatter`` accept ``out=`` so the allocation-free solver path
-(:mod:`repro.sem.workspace`) can reuse preallocated buffers; the cached
+(:mod:`repro.sem.workspace`) can reuse preallocated buffers, and both
+accept stacked ``(B, ...)`` blocks — one permuted copy and one segment
+sum serve all ``B`` systems of a batched multi-RHS solve.  The cached
 scratch makes the instance non-thread-safe (like the buffers themselves).
 """
 
@@ -60,6 +62,7 @@ class GatherScatter:
     _sorted_scratch: NDArray[np.float64] = field(
         init=False, repr=False, compare=False
     )
+    _batch_scratch: dict = field(init=False, repr=False, compare=False)
     _dense: bool = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -87,6 +90,7 @@ class GatherScatter:
             ("_mult", mult),
             ("_inv_mult_local", inv_mult_local),
             ("_sorted_scratch", np.empty(self.l2g_flat.shape[0])),
+            ("_batch_scratch", {}),
             ("_dense", dense),
         ):
             object.__setattr__(self, name, value)
@@ -101,6 +105,14 @@ class GatherScatter:
         )
 
     # ------------------------------------------------------------------
+    def _batched_scratch(self, batch: int) -> NDArray[np.float64]:
+        """Cached ``(batch, L)`` permutation scratch for stacked gathers."""
+        scratch = self._batch_scratch.get(batch)
+        if scratch is None:
+            scratch = np.empty((batch, self.l2g_flat.shape[0]))
+            self._batch_scratch[batch] = scratch
+        return scratch
+
     def gather(
         self,
         local: NDArray[np.float64],
@@ -111,34 +123,62 @@ class GatherScatter:
         Parameters
         ----------
         local:
-            Element-local field, shape ``local_shape``.
+            Element-local field, shape ``local_shape``, or a stacked
+            block ``(B,) + local_shape`` of independent systems.
         out:
-            Optional preallocated global vector of length ``n_global``.
+            Optional preallocated global vector of length ``n_global``
+            (``(B, n_global)`` for stacked input).
 
         Returns
         -------
-        Global vector of length ``n_global``.
+        Global vector of length ``n_global`` (``(B, n_global)`` when
+        stacked).
         """
-        if local.shape != self.local_shape:
+        batched = local.ndim == len(self.local_shape) + 1
+        if batched:
+            if local.shape[1:] != self.local_shape:
+                raise ValueError(
+                    f"expected (B,) + {self.local_shape}, got {local.shape}"
+                )
+            out_shape: tuple[int, ...] = (local.shape[0], self.n_global)
+        elif local.shape == self.local_shape:
+            out_shape = (self.n_global,)
+        else:
             raise ValueError(f"expected {self.local_shape}, got {local.shape}")
-        if out is not None and out.shape != (self.n_global,):
-            raise ValueError(
-                f"out must be ({self.n_global},), got {out.shape}"
-            )
+        if out is not None and out.shape != out_shape:
+            raise ValueError(f"out must be {out_shape}, got {out.shape}")
         if not self._dense:
             # Sparse maps (some global ids unused) fall back to bincount.
-            summed = np.bincount(
-                self.l2g_flat, weights=local.reshape(-1),
-                minlength=self.n_global,
-            )
+            rows = local.reshape(out_shape[:-1] + (-1,))
+            if batched:
+                summed = np.stack([
+                    np.bincount(
+                        self.l2g_flat, weights=row, minlength=self.n_global
+                    )
+                    for row in rows
+                ])
+            else:
+                summed = np.bincount(
+                    self.l2g_flat, weights=rows, minlength=self.n_global
+                )
             if out is None:
                 return summed
             np.copyto(out, summed)
             return out
         if out is None:
-            out = np.empty(self.n_global)
+            out = np.empty(out_shape)
         # mode="clip" skips numpy's defensive full-size bounce buffer;
         # the permutation is construction-time valid, so it never clips.
+        if batched:
+            # One permuted copy + one segment sum for all B systems: the
+            # permutation/index traffic is paid once per block.
+            scratch = self._batched_scratch(local.shape[0])
+            np.take(
+                local.reshape(local.shape[0], -1), self._perm, axis=1,
+                out=scratch, mode="clip",
+            )
+            np.add.reduceat(scratch, self._seg_starts, axis=1, out=out)
+            return out
         np.take(
             local.reshape(-1), self._perm, out=self._sorted_scratch,
             mode="clip",
@@ -151,7 +191,24 @@ class GatherScatter:
         global_vec: NDArray[np.float64],
         out: NDArray[np.float64] | None = None,
     ) -> NDArray[np.float64]:
-        """Copy global values out to element-local storage (``Q``)."""
+        """Copy global values out to element-local storage (``Q``).
+
+        Accepts a single global vector ``(n_global,)`` or a stacked
+        block ``(B, n_global)`` (returning ``(B,) + local_shape``).
+        """
+        if global_vec.ndim == 2 and global_vec.shape[1] == self.n_global:
+            out_shape: tuple[int, ...] = (
+                global_vec.shape[0],
+            ) + self.local_shape
+            if out is None:
+                return global_vec[:, self.l2g_flat].reshape(out_shape)
+            if out.shape != out_shape:
+                raise ValueError(f"out must be {out_shape}, got {out.shape}")
+            np.take(
+                global_vec, self.l2g_flat, axis=1,
+                out=out.reshape(global_vec.shape[0], -1), mode="clip",
+            )
+            return out
         if global_vec.shape != (self.n_global,):
             raise ValueError(
                 f"expected ({self.n_global},), got {global_vec.shape}"

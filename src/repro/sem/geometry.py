@@ -10,6 +10,14 @@ evaluated at each GLL point, with ``(p, q)`` in the order
 by Listing 1.  All derivatives are taken spectrally (apply ``D`` to the
 nodal coordinates), so curved elements are handled exactly at the
 discretization's own accuracy.
+
+Storage is split (SoA): the six components live in one C-contiguous
+``(6, E, nx, nx, nx)`` array (:attr:`Geometry.g_soa`) so each component
+is a single contiguous streamable operand — the software analogue of the
+paper's banked external-memory layout, and what lets the ``Ax`` kernels'
+``g[:, c]`` reads run without numpy's strided chunked-buffer path.  The
+historical interleaved ``(E, 6, nx, nx, nx)`` shape survives as the
+zero-copy compatibility view :attr:`Geometry.g`.
 """
 
 from __future__ import annotations
@@ -52,9 +60,11 @@ class Geometry:
 
     Attributes
     ----------
-    g:
-        Geometric factors, shape ``(E, 6, nx, nx, nx)`` in the
-        :data:`G_COMPONENTS` order.
+    g_soa:
+        Geometric factors in the split (SoA) layout, one C-contiguous
+        array of shape ``(6, E, nx, nx, nx)`` in the
+        :data:`G_COMPONENTS` order; ``g_soa[c]`` is a contiguous
+        component field.
     jac:
         Jacobian determinant ``|J|`` at every node, shape
         ``(E, nx, nx, nx)``; positive for valid meshes.
@@ -64,14 +74,64 @@ class Geometry:
         nodes counted once per element).
     """
 
-    g: NDArray[np.float64] = field(repr=False)
+    g_soa: NDArray[np.float64] = field(repr=False)
     jac: NDArray[np.float64] = field(repr=False)
     mass: NDArray[np.float64] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.g_soa.ndim != 5 or self.g_soa.shape[0] != 6:
+            raise ValueError(
+                f"g_soa must be (6, E, nx, nx, nx), got {self.g_soa.shape}"
+            )
+        if not self.g_soa.flags.c_contiguous:
+            object.__setattr__(
+                self, "g_soa", np.ascontiguousarray(self.g_soa)
+            )
+
+    @classmethod
+    def from_interleaved(
+        cls,
+        g: NDArray[np.float64],
+        jac: NDArray[np.float64],
+        mass: NDArray[np.float64],
+    ) -> "Geometry":
+        """Build from the historical ``(E, 6, nx, nx, nx)`` layout (copies)."""
+        if g.ndim != 5 or g.shape[1] != 6:
+            raise ValueError(
+                f"interleaved g must be (E, 6, nx, nx, nx), got {g.shape}"
+            )
+        g_soa = np.ascontiguousarray(g.transpose(1, 0, 2, 3, 4))
+        return cls(g_soa=g_soa, jac=jac, mass=mass)
+
+    @property
+    def g(self) -> NDArray[np.float64]:
+        """Zero-copy ``(E, 6, nx, nx, nx)`` compatibility view.
+
+        ``g[:, c]`` on this view *is* the contiguous ``g_soa[c]``, so
+        every historical consumer transparently gets the streaming
+        layout.
+        """
+        return self.g_soa.transpose(1, 0, 2, 3, 4)
+
+    def component(self, c: "int | str") -> NDArray[np.float64]:
+        """Contiguous ``(E, nx, nx, nx)`` view of one symmetric component.
+
+        ``c`` is an index into, or a name from, :data:`G_COMPONENTS`.
+        """
+        if isinstance(c, str):
+            try:
+                c = G_COMPONENTS.index(c)
+            except ValueError:
+                raise KeyError(
+                    f"unknown G component {c!r}; "
+                    f"available: {', '.join(G_COMPONENTS)}"
+                ) from None
+        return self.g_soa[c]
 
     @property
     def num_elements(self) -> int:
         """Number of elements the factors were computed for."""
-        return self.g.shape[0]
+        return self.g_soa.shape[1]
 
 
 def geometric_factors(mesh: BoxMesh) -> Geometry:
@@ -101,16 +161,16 @@ def geometric_factors(mesh: BoxMesh) -> Geometry:
     jinv = np.linalg.inv(jmat)  # jinv[..., p, m] = dr_p / dx_m
 
     scale = w3[None] * jac  # (E, nx, nx, nx)
-    g = np.empty((mesh.num_elements, 6) + jac.shape[1:])
+    g_soa = np.empty((6, mesh.num_elements) + jac.shape[1:])
     comp = 0
     for p in range(3):
         for q in range(p, 3):
-            g[:, comp] = scale * np.einsum(
+            g_soa[comp] = scale * np.einsum(
                 "...m,...m->...", jinv[..., p, :], jinv[..., q, :]
             )
             comp += 1
     mass = w3[None] * jac
-    return Geometry(g=g, jac=jac, mass=mass)
+    return Geometry(g_soa=g_soa, jac=jac, mass=mass)
 
 
 def affine_geometric_factors(
@@ -132,10 +192,10 @@ def affine_geometric_factors(
     w3 = ref.weights_3d()
     jac_const = hx * hy * hz / 8.0
     shape = (num_elements, nx, nx, nx)
-    g = np.zeros((num_elements, 6, nx, nx, nx))
-    g[:, 0] = w3[None] * (hy * hz) / (2.0 * hx)   # rr
-    g[:, 3] = w3[None] * (hx * hz) / (2.0 * hy)   # ss
-    g[:, 5] = w3[None] * (hx * hy) / (2.0 * hz)   # tt
+    g_soa = np.zeros((6,) + shape)
+    g_soa[0] = w3[None] * (hy * hz) / (2.0 * hx)   # rr
+    g_soa[3] = w3[None] * (hx * hz) / (2.0 * hy)   # ss
+    g_soa[5] = w3[None] * (hx * hy) / (2.0 * hz)   # tt
     jac = np.full(shape, jac_const)
     mass = w3[None] * jac
-    return Geometry(g=g, jac=jac, mass=mass)
+    return Geometry(g_soa=g_soa, jac=jac, mass=mass)

@@ -24,7 +24,7 @@ from repro.sem.kernels import accepts_keyword, resolve_ax_backend
 from repro.sem.mesh import BoxMesh
 from repro.sem.operators import ax_local
 from repro.sem.poisson import AxBackend
-from repro.sem.workspace import SolverWorkspace
+from repro.sem.workspace import SolverWorkspace, cached_batch_workspace
 
 
 @dataclass
@@ -43,15 +43,22 @@ class HelmholtzProblem:
         :mod:`repro.sem.kernels`) or a callable (the accelerator plugs
         in here; the mass term is a cheap diagonal axpy the paper's
         kernel leaves on the host).
+    threads:
+        Element-block worker threads for blocked kernels, carried by
+        the problem's workspaces (see
+        :func:`~repro.sem.kernels.ax_local_matmul`).
 
     Like :class:`~repro.sem.poisson.PoissonProblem`, the problem owns a
     :class:`~repro.sem.workspace.SolverWorkspace` and :meth:`apply` runs
-    allocation-free when the backend supports ``out=``/``workspace=``.
+    allocation-free when the backend supports ``out=``/``workspace=``;
+    a stacked ``(B, n)`` input runs all systems through the cached
+    batched workspace.
     """
 
     mesh: BoxMesh
     lam: float = 1.0
     ax_backend: AxBackend | str = ax_local
+    threads: int = 1
     geometry: Geometry = field(init=False)
     gs: GatherScatter = field(init=False)
     workspace: SolverWorkspace = field(init=False, repr=False)
@@ -62,7 +69,10 @@ class HelmholtzProblem:
         self.geometry = geometric_factors(self.mesh)
         self.gs = GatherScatter.from_mesh(self.mesh)
         self.ax_backend = resolve_ax_backend(self.ax_backend)
-        self.workspace = SolverWorkspace.for_mesh(self.mesh)
+        self.workspace = SolverWorkspace.for_mesh(
+            self.mesh, threads=self.threads
+        )
+        self._batch_workspaces: dict[int, SolverWorkspace] = {}
         self._ax_out = accepts_keyword(self.ax_backend, "out")
         self._ax_ws = accepts_keyword(self.ax_backend, "workspace")
 
@@ -77,13 +87,33 @@ class HelmholtzProblem:
         """Number of global DOFs (no boundary masking in BK5)."""
         return self.mesh.n_global
 
+    def batch_workspace(self, batch: int) -> SolverWorkspace:
+        """Cached workspace for ``batch`` stacked right-hand sides."""
+        return cached_batch_workspace(
+            self._batch_workspaces, self.mesh, batch, self.threads,
+            self.workspace,
+        )
+
     def apply(
         self,
         u_global: NDArray[np.float64],
         out: NDArray[np.float64] | None = None,
     ) -> NDArray[np.float64]:
-        """Apply ``A + lam B`` globally (scatter, local op, gather)."""
-        ws = self.workspace
+        """Apply ``A + lam B`` globally (scatter, local op, gather).
+
+        Accepts a single global vector or a stacked ``(B, n)`` block
+        (a batch of one runs the single-system path on its only row).
+        """
+        if u_global.ndim == 2 and u_global.shape[0] == 1:
+            if out is not None:
+                self.apply(u_global[0], out=out[0])
+                return out
+            return self.apply(u_global[0])[None]
+        batched = u_global.ndim == 2
+        ws = (
+            self.batch_workspace(u_global.shape[0])
+            if batched else self.workspace
+        )
         self.gs.scatter(u_global, out=ws.u_local)
         if self._ax_out and self._ax_ws:
             w_local = self.ax_backend(
@@ -91,10 +121,23 @@ class HelmholtzProblem:
                 out=ws.w_local, workspace=ws,
             )
             # The mass-term axpy reuses the elementwise scratch, which the
-            # kernel is done with by the time it returns.
-            np.multiply(self.geometry.mass, ws.u_local, out=ws.tmp)
-            np.multiply(ws.tmp, self.lam, out=ws.tmp)
-            w_local += ws.tmp
+            # kernel is done with by the time it returns.  The scratch is
+            # single-system even for batched workspaces, so a stacked
+            # block sweeps the axpy one system at a time.
+            num_e = self.mesh.num_elements
+            tmp = ws.tmp[:num_e]
+            rows = w_local if batched else (w_local,)
+            u_rows = ws.u_local if batched else (ws.u_local,)
+            for w_row, u_row in zip(rows, u_rows):
+                np.multiply(self.geometry.mass, u_row, out=tmp)
+                np.multiply(tmp, self.lam, out=tmp)
+                w_row += tmp
+        elif batched:
+            w_local = ws.w_local
+            for b in range(u_global.shape[0]):
+                wb = self.ax_backend(self.ref, ws.u_local[b], self.geometry.g)
+                np.copyto(w_local[b], wb)
+                w_local[b] += self.lam * self.geometry.mass * ws.u_local[b]
         else:
             w_local = self.ax_backend(self.ref, ws.u_local, self.geometry.g)
             w_local = w_local + self.lam * self.geometry.mass * ws.u_local

@@ -8,7 +8,13 @@ implementation by name:
 * :func:`ax_local_matmul` — sum factorization recast as stacked
   ``(nx, nx) @ (nx, nx^2)`` matrix products via reshapes, so all three
   derivative phases hit BLAS ``dgemm`` (≈2.5x the einsum kernel at the
-  paper's headline ``N = 7`` with a warm workspace).
+  paper's headline ``N = 7`` with a warm workspace).  Elements are
+  processed in cache-sized blocks that can be dispatched across a
+  persistent thread pool (``threads=``) — BLAS and large-array ufuncs
+  release the GIL, and each block owns disjoint output/scratch rows, so
+  the threaded result is bit-identical to the sequential one.  A stacked
+  ``(B, E, nx, nx, nx)`` input runs all ``B`` systems through each
+  element block while its geometry is hot (the multi-RHS serving path).
 * the registry — :func:`get_ax_kernel`, :func:`register_ax_kernel`,
   :func:`available_ax_kernels`, :func:`resolve_ax_backend` — through
   which :class:`~repro.sem.poisson.PoissonProblem`,
@@ -18,12 +24,15 @@ implementation by name:
 Every registered kernel has the uniform signature
 ``kernel(ref, u, g, out=None, workspace=None)``; ``workspace`` is a
 :class:`~repro.sem.workspace.SolverWorkspace` whose scratch buffers make
-the call allocation-free after warm-up.
+the call allocation-free after warm-up.  Kernels may additionally accept
+``threads=`` (probed with :func:`accepts_keyword`, like ``out=``).
 """
 
 from __future__ import annotations
 
+import functools
 import inspect
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
 
 import numpy as np
@@ -36,7 +45,7 @@ from repro.sem.operators import (
     ax_local_dense,
     ax_local_listing1,
 )
-from repro.sem.workspace import SolverWorkspace
+from repro.sem.workspace import FUSED_BATCH_DOFS, SolverWorkspace
 
 #: Uniform kernel signature: ``(ref, u, g, out=None, workspace=None)``.
 AxKernel = Callable[..., NDArray[np.float64]]
@@ -48,12 +57,163 @@ AxKernel = Callable[..., NDArray[np.float64]]
 BLOCK_DOFS: int = 16384
 
 
+@functools.lru_cache(maxsize=None)
+def _fallback_executor(threads: int) -> ThreadPoolExecutor:
+    """Shared pool for threaded kernel calls without a workspace.
+
+    Keyed by worker count and kept for the process lifetime (the key
+    space is bounded by distinct thread counts, and an evicted executor
+    would leak its idle workers), so ad-hoc
+    ``ax_local_matmul(..., threads=k)`` calls don't pay pool startup;
+    workspace-backed calls use the workspace's own persistent pool.
+    """
+    return ThreadPoolExecutor(max_workers=threads, thread_name_prefix="sem-ax")
+
+
+def _ax_gradient_phase(
+    d: NDArray[np.float64],
+    dt: NDArray[np.float64],
+    uf: NDArray[np.float64],
+    ur: NDArray[np.float64],
+    us: NDArray[np.float64],
+    ut: NDArray[np.float64],
+    r_shape: tuple[int, ...],
+    t_shape: tuple[int, ...],
+) -> None:
+    """Phase 1: reference-space gradient, dgemm-backed contractions.
+
+    The r- and t-contractions collapse to large GEMMs ((nx, nx) against
+    a tall-skinny reshape); only the middle axis needs numpy's
+    stacked-matmul batching.  ``uf`` and the scratch are stacked
+    ``(rows, nx, nx, nx)`` views (one block, or a whole folded batch).
+    """
+    np.matmul(d, uf.reshape(r_shape), out=ur.reshape(r_shape))
+    np.matmul(d, uf, out=us)
+    np.matmul(uf.reshape(t_shape), dt, out=ut.reshape(t_shape))
+
+
+def _ax_geometric_phase(
+    gc: tuple[NDArray[np.float64], ...],
+    ur: NDArray[np.float64],
+    us: NDArray[np.float64],
+    ut: NDArray[np.float64],
+    wr: NDArray[np.float64],
+    ws: NDArray[np.float64],
+    wt: NDArray[np.float64],
+    tmp: NDArray[np.float64],
+) -> None:
+    """Phase 2: symmetric geometric tensor, in place via one scratch.
+
+    ``gc`` holds the six components ``(rr, rs, rt, ss, st, tt)``; each
+    must broadcast against the gradient arrays (equal shapes for the
+    per-system sweep, an extra leading batch axis on ``ur``/... for the
+    fused sweep).  With the SoA layout every component is contiguous.
+    """
+    g0, g1, g2, g3, g4, g5 = gc
+    np.multiply(g0, ur, out=wr)
+    np.multiply(g1, us, out=tmp)
+    wr += tmp
+    np.multiply(g2, ut, out=tmp)
+    wr += tmp
+    np.multiply(g1, ur, out=ws)
+    np.multiply(g3, us, out=tmp)
+    ws += tmp
+    np.multiply(g4, ut, out=tmp)
+    ws += tmp
+    np.multiply(g2, ur, out=wt)
+    np.multiply(g4, us, out=tmp)
+    wt += tmp
+    np.multiply(g5, ut, out=tmp)
+    wt += tmp
+
+
+def _ax_divergence_phase(
+    d: NDArray[np.float64],
+    dt: NDArray[np.float64],
+    of: NDArray[np.float64],
+    wr: NDArray[np.float64],
+    ws: NDArray[np.float64],
+    wt: NDArray[np.float64],
+    tmp: NDArray[np.float64],
+    r_shape: tuple[int, ...],
+    t_shape: tuple[int, ...],
+) -> None:
+    """Phase 3: transposed derivative, accumulated into the output."""
+    np.matmul(dt, wr.reshape(r_shape), out=of.reshape(r_shape))
+    np.matmul(dt, ws, out=tmp)
+    of += tmp
+    np.matmul(wt.reshape(t_shape), d, out=tmp.reshape(t_shape))
+    of += tmp
+
+
+def _ax_matmul_block(
+    d: NDArray[np.float64],
+    dt: NDArray[np.float64],
+    ub: NDArray[np.float64],
+    gb: NDArray[np.float64],
+    ob: NDArray[np.float64],
+    bufs: tuple[NDArray[np.float64], ...],
+) -> None:
+    """``w = D^T G D u`` on one element block (all phases, dgemm-backed).
+
+    ``ub``/``ob`` are contiguous ``(e, nx, nx, nx)`` slices of one
+    system; ``gb`` is the block's ``(e, 6, nx, nx, nx)`` geometry.  All
+    seven scratch arrays in ``bufs`` match ``ub``'s shape.  Everything
+    is a view: blocks own disjoint rows, so concurrent calls are safe.
+    """
+    nx = d.shape[0]
+    ur, us, ut, wr, ws, wt, tmp = bufs
+    e = ub.shape[0]
+    r_shape = (e, nx, nx * nx)
+    t_shape = (e * nx * nx, nx)
+    _ax_gradient_phase(d, dt, ub, ur, us, ut, r_shape, t_shape)
+    _ax_geometric_phase(
+        tuple(gb[:, c] for c in range(6)), ur, us, ut, wr, ws, wt, tmp
+    )
+    _ax_divergence_phase(d, dt, ob, wr, ws, wt, tmp, r_shape, t_shape)
+
+
+def _ax_matmul_fused_batch(
+    d: NDArray[np.float64],
+    dt: NDArray[np.float64],
+    u: NDArray[np.float64],
+    g: NDArray[np.float64],
+    result: NDArray[np.float64],
+    bufs: tuple[NDArray[np.float64], ...],
+) -> None:
+    """All-systems fused sweep for small stacked blocks.
+
+    ``u``/``result`` are contiguous ``(B, E, nx, nx, nx)``; the GEMM
+    phases fold ``(B, E)`` into one stacked-matmul axis (identical
+    per-element dgemms, ~B× fewer dispatches) and the geometric phase
+    broadcasts each ``(E, ...)`` component across the batch axis.  Only
+    used when the whole block fits the cache budget
+    (:data:`~repro.sem.workspace.FUSED_BATCH_DOFS`); results are
+    bit-identical to the per-system sweep.
+    """
+    nx = d.shape[0]
+    nb, e = u.shape[0], u.shape[1]
+    fold = (nb * e, nx, nx, nx)
+    uf, rf = u.reshape(fold), result.reshape(fold)
+    ur, us, ut, wr, ws, wt, tmp = (buf.reshape(fold) for buf in bufs)
+    r_shape = (nb * e, nx, nx * nx)
+    t_shape = (nb * e * nx * nx, nx)
+    _ax_gradient_phase(d, dt, uf, ur, us, ut, r_shape, t_shape)
+    bshape = (nb, e) + (nx,) * 3
+    _ax_geometric_phase(
+        tuple(g[:, c] for c in range(6)),
+        *(x.reshape(bshape) for x in (ur, us, ut, wr, ws, wt, tmp)),
+    )
+    _ax_divergence_phase(d, dt, rf, wr, ws, wt, tmp, r_shape, t_shape)
+
+
 def ax_local_matmul(
     ref: ReferenceElement,
     u: NDArray[np.float64],
     g: NDArray[np.float64],
     out: NDArray[np.float64] | None = None,
     workspace: SolverWorkspace | None = None,
+    threads: int | None = None,
 ) -> NDArray[np.float64]:
     """``w = D^T G D u`` with every derivative phase as a BLAS ``dgemm``.
 
@@ -76,76 +236,110 @@ def ax_local_matmul(
     Parameters
     ----------
     ref, u, g:
-        As :func:`repro.sem.operators.ax_local`.
+        As :func:`repro.sem.operators.ax_local`; ``u`` may also be a
+        stacked multi-system block ``(B, E, nx, nx, nx)`` sharing one
+        geometry, in which case each element block sweeps all ``B``
+        systems while its geometric factors and scratch stay
+        cache-resident — per-system results are bit-identical to ``B``
+        separate calls.
     out:
-        Optional preallocated result array ``(E, nx, nx, nx)``.
+        Optional preallocated result array, same shape as ``u``.
     workspace:
         Optional :class:`~repro.sem.workspace.SolverWorkspace` providing
-        the seven scratch fields; sized for ``(E, nx)``.
+        the seven scratch fields; sized for ``(E, nx)`` (and the batch
+        size for stacked inputs).
+    threads:
+        Element-block worker threads.  ``None`` (default) follows the
+        workspace's ``threads`` setting (``1`` without a workspace);
+        ``k > 1`` dispatches blocks onto a persistent pool — the
+        workspace's own, or a shared module-level one.  Blocks write
+        disjoint rows, so the result is bit-identical to ``threads=1``.
     """
     _check_shapes(ref, u, g)
     d = ref.deriv
     dt = d.T
-    num_e, nx = u.shape[0], ref.n_points
+    batched = u.ndim == 5
+    num_b = u.shape[0] if batched else 1
+    num_e, nx = u.shape[-4], ref.n_points
+    if threads is None:
+        threads = workspace.threads if workspace is not None else 1
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
     if not u.flags.c_contiguous:
         u = np.ascontiguousarray(u)  # the reshape views below need it
+    # Block sizing is per system: a batched input sweeps its systems one
+    # at a time inside each element block, so the cache-resident work
+    # set (scratch + geometry slice) never grows with B.
     block = max(1, min(num_e, BLOCK_DOFS // nx ** 3))
     if workspace is not None:
         workspace.require_local(num_e, nx)
-        bufs = (workspace.ur, workspace.us, workspace.ut,
-                workspace.wr, workspace.ws, workspace.wt, workspace.tmp)
+        ws_bufs = (workspace.ur, workspace.us, workspace.ut,
+                   workspace.wr, workspace.ws, workspace.wt, workspace.tmp)
     else:
-        shape = (block, nx, nx, nx)
-        bufs = tuple(np.empty(shape) for _ in range(7))
+        ws_bufs = None
     if out is None:
         out = np.empty_like(u)
     # A non-contiguous ``out`` cannot serve as a matmul/reshape target;
     # compute into a contiguous result and copy once at the end.
     result = out if out.flags.c_contiguous else np.empty_like(u)
 
-    for start in range(0, num_e, block):
-        e = min(start + block, num_e) - start
-        ub = u[start:start + e]
-        gb = g[start:start + e]
-        ob = result[start:start + e]
-        ur, us, ut, wr, ws, wt, tmp = (buf[:e] for buf in bufs)
+    if batched and num_b * num_e * nx ** 3 <= FUSED_BATCH_DOFS:
+        # Small stacked blocks are dispatch-bound, not bandwidth-bound:
+        # fuse all systems into single GEMM/ufunc sweeps.
+        rows = num_b * num_e
+        if ws_bufs is not None and ws_bufs[0].shape[0] >= rows:
+            bufs = tuple(buf[:rows] for buf in ws_bufs)
+        else:
+            bufs = tuple(np.empty((rows, nx, nx, nx)) for _ in range(7))
+        _ax_matmul_fused_batch(d, dt, u, g, result, bufs)
+        if result is not out:
+            np.copyto(out, result)
+        return out
 
-        # Phase 1: reference-space gradient, dgemm-backed contractions.
-        # The r- and t-contractions collapse to single large GEMMs
-        # ((nx, nx) against a tall-skinny reshape); only the middle axis
-        # needs numpy's stacked-matmul batching.
-        np.matmul(d, ub.reshape(e, nx, nx * nx),
-                  out=ur.reshape(e, nx, nx * nx))
-        np.matmul(d, ub, out=us)
-        np.matmul(ub.reshape(e * nx * nx, nx), dt,
-                  out=ut.reshape(e * nx * nx, nx))
+    def run_block(
+        start: int, scratch: tuple[NDArray[np.float64], ...] | None
+    ) -> None:
+        stop = min(start + block, num_e)
+        e = stop - start
+        if scratch is None:
+            # Threaded call without a workspace: each task owns fresh
+            # block scratch, keeping tasks data-independent.
+            bufs = tuple(
+                np.empty((e, nx, nx, nx)) for _ in range(7)
+            )
+        elif scratch is ws_bufs:
+            # Workspace buffers are full-size: slice the block's own
+            # rows so concurrent blocks never share scratch.
+            bufs = tuple(buf[start:stop] for buf in scratch)
+        else:
+            # Sequential reusable scratch, sized for one block.
+            bufs = tuple(buf[:e] for buf in scratch)
+        gb = g[start:stop]
+        if batched:
+            # The multi-RHS sweep: the block's geometry and scratch stay
+            # hot while every system streams through, and each system
+            # runs the exact op sequence of an unbatched call.
+            for b in range(num_b):
+                _ax_matmul_block(
+                    d, dt, u[b, start:stop], gb, result[b, start:stop], bufs
+                )
+        else:
+            _ax_matmul_block(d, dt, u[start:stop], gb, result[start:stop], bufs)
 
-        # Phase 2: symmetric geometric tensor, in place via one scratch.
-        g0, g1, g2, g3, g4, g5 = (gb[:, c] for c in range(6))
-        np.multiply(g0, ur, out=wr)
-        np.multiply(g1, us, out=tmp)
-        wr += tmp
-        np.multiply(g2, ut, out=tmp)
-        wr += tmp
-        np.multiply(g1, ur, out=ws)
-        np.multiply(g3, us, out=tmp)
-        ws += tmp
-        np.multiply(g4, ut, out=tmp)
-        ws += tmp
-        np.multiply(g2, ur, out=wt)
-        np.multiply(g4, us, out=tmp)
-        wt += tmp
-        np.multiply(g5, ut, out=tmp)
-        wt += tmp
-
-        # Phase 3: transposed derivative, accumulated into the output.
-        np.matmul(dt, wr.reshape(e, nx, nx * nx),
-                  out=ob.reshape(e, nx, nx * nx))
-        np.matmul(dt, ws, out=tmp)
-        ob += tmp
-        np.matmul(wt.reshape(e * nx * nx, nx), d,
-                  out=tmp.reshape(e * nx * nx, nx))
-        ob += tmp
+    starts = range(0, num_e, block)
+    if threads > 1 and len(starts) > 1:
+        pool = (
+            workspace.executor
+            if workspace is not None and workspace.executor is not None
+            else _fallback_executor(threads)
+        )
+        list(pool.map(lambda s: run_block(s, ws_bufs), starts))
+    else:
+        scratch = ws_bufs
+        if scratch is None:
+            scratch = tuple(np.empty((block, nx, nx, nx)) for _ in range(7))
+        for start in starts:
+            run_block(start, scratch)
 
     if result is not out:
         np.copyto(out, result)
@@ -155,6 +349,21 @@ def ax_local_matmul(
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
+def _batched_rows(
+    kernel: Callable[..., NDArray[np.float64]],
+    ref: ReferenceElement,
+    u: NDArray[np.float64],
+    g: NDArray[np.float64],
+    out: NDArray[np.float64] | None,
+) -> NDArray[np.float64]:
+    """Run an unbatched reference kernel over each system of a block."""
+    if out is None:
+        out = np.empty_like(u)
+    for b in range(u.shape[0]):
+        np.copyto(out[b], kernel(ref, u[b], g))
+    return out
+
+
 def _ax_listing1(
     ref: ReferenceElement,
     u: NDArray[np.float64],
@@ -163,6 +372,8 @@ def _ax_listing1(
     workspace: SolverWorkspace | None = None,
 ) -> NDArray[np.float64]:
     """Registry adapter for the scalar Listing-1 reference kernel."""
+    if u.ndim == 5:
+        return _batched_rows(ax_local_listing1, ref, u, g, out)
     w = ax_local_listing1(ref, u, g)
     if out is not None:
         np.copyto(out, w)
@@ -178,6 +389,8 @@ def _ax_dense(
     workspace: SolverWorkspace | None = None,
 ) -> NDArray[np.float64]:
     """Registry adapter for the densely assembled verification kernel."""
+    if u.ndim == 5:
+        return _batched_rows(ax_local_dense, ref, u, g, out)
     w = ax_local_dense(ref, u, g)
     if out is not None:
         np.copyto(out, w)
@@ -249,13 +462,8 @@ def resolve_ax_backend(spec: "str | AxKernel") -> AxKernel:
     return spec
 
 
-def accepts_keyword(fn: Callable, name: str) -> bool:
-    """True if ``fn`` can be called with keyword argument ``name``.
-
-    Used to probe backends for ``out=``/``workspace=`` support so plain
-    ``(ref, u, g)`` callables (e.g. the accelerator adapter) keep
-    working through the same dispatch sites.
-    """
+@functools.lru_cache(maxsize=512)
+def _accepts_keyword_cached(fn: Callable, name: str) -> bool:
     try:
         params = inspect.signature(fn).parameters
     except (TypeError, ValueError):  # builtins without introspection
@@ -265,3 +473,24 @@ def accepts_keyword(fn: Callable, name: str) -> bool:
     return any(
         p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
     )
+
+
+def accepts_keyword(fn: Callable, name: str) -> bool:
+    """True if ``fn`` can be called with keyword argument ``name``.
+
+    Used to probe backends for ``out=``/``workspace=``/``threads=``
+    support so plain ``(ref, u, g)`` callables (e.g. the accelerator
+    adapter) keep working through the same dispatch sites.  Probes are
+    memoized (``signature`` reflection is slow relative to a short
+    solve); bound methods are probed through their underlying function
+    so the cache never pins the bound instance (e.g. a whole
+    ``PoissonProblem`` behind ``prob.apply_A``), and unhashable
+    callables fall back to direct inspection.
+    """
+    # Keyword acceptance is identical for a bound method and its
+    # underlying function (binding only consumes the first positional).
+    fn = getattr(fn, "__func__", fn)
+    try:
+        return _accepts_keyword_cached(fn, name)
+    except TypeError:
+        return _accepts_keyword_cached.__wrapped__(fn, name)

@@ -83,17 +83,23 @@ class NekboneCase:
         registry name (``"matmul"`` for the BLAS hot path; see
         :mod:`repro.sem.kernels`), or the FPGA simulator via
         :meth:`repro.core.accel.SEMAccelerator.as_ax_backend`.
+    threads:
+        Element-block worker threads for blocked kernels, forwarded to
+        the underlying :class:`~repro.sem.poisson.PoissonProblem`.
     """
 
     n: int
     shape: tuple[int, int, int]
     ax_backend: AxBackend | str = ax_local
+    threads: int = 1
     problem: PoissonProblem = field(init=False)
 
     def __post_init__(self) -> None:
         ref = ReferenceElement.from_degree(self.n)
         mesh = BoxMesh.build(ref, self.shape)
-        self.problem = PoissonProblem(mesh, ax_backend=self.ax_backend)
+        self.problem = PoissonProblem(
+            mesh, ax_backend=self.ax_backend, threads=self.threads
+        )
 
     @property
     def num_elements(self) -> int:

@@ -38,12 +38,25 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
 def _check_shapes(
     ref: ReferenceElement, u: NDArray[np.float64], g: NDArray[np.float64]
 ) -> None:
+    """Validate ``(E, nx, nx, nx)`` or batched ``(B, E, nx, nx, nx)`` fields.
+
+    The geometry is always per-element, ``(E, 6, nx, nx, nx)`` — a
+    batched field block shares it across all ``B`` systems.
+    """
     nx = ref.n_points
-    if u.ndim != 4 or u.shape[1:] != (nx, nx, nx):
+    if u.ndim == 5:
+        if u.shape[2:] != (nx, nx, nx):
+            raise ValueError(
+                f"batched u must be (B, E, {nx}, {nx}, {nx}), got {u.shape}"
+            )
+        num_e = u.shape[1]
+    elif u.ndim == 4 and u.shape[1:] == (nx, nx, nx):
+        num_e = u.shape[0]
+    else:
         raise ValueError(f"u must be (E, {nx}, {nx}, {nx}), got {u.shape}")
-    if g.shape != (u.shape[0], 6, nx, nx, nx):
+    if g.shape != (num_e, 6, nx, nx, nx):
         raise ValueError(
-            f"g must be ({u.shape[0]}, 6, {nx}, {nx}, {nx}), got {g.shape}"
+            f"g must be ({num_e}, 6, {nx}, {nx}, {nx}), got {g.shape}"
         )
 
 
@@ -61,7 +74,8 @@ def ax_local(
     ref:
         Reference element providing the differentiation matrix ``D``.
     u:
-        Input nodal fields, shape ``(E, nx, nx, nx)``.
+        Input nodal fields, shape ``(E, nx, nx, nx)``, or a stacked
+        multi-system block ``(B, E, nx, nx, nx)`` sharing one geometry.
     g:
         Geometric factors, shape ``(E, 6, nx, nx, nx)``.
     out:
@@ -79,15 +93,30 @@ def ax_local(
     """
     _check_shapes(ref, u, g)
     d = ref.deriv
+    # One einsum spelling serves both layouts: "b" is the stacked-system
+    # axis of a batched ``(B, E, ...)`` block, absent otherwise.
+    pre = "b" if u.ndim == 5 else ""
     if workspace is not None:
-        workspace.require_local(u.shape[0], ref.n_points)
-        ur, us, ut = workspace.ur, workspace.us, workspace.ut
-        wr, ws, wt = workspace.wr, workspace.ws, workspace.wt
-        tmp = workspace.tmp
+        workspace.require_local(u.shape[-4], ref.n_points)
+        if u.ndim == 5:
+            # The workspace kernel scratch is single-system; sweep the
+            # stacked block one system at a time through it (results are
+            # identical to B separate calls).
+            if out is None:
+                out = np.empty_like(u)
+            for b in range(u.shape[0]):
+                ax_local(ref, u[b], g, out=out[b], workspace=workspace)
+            return out
+        # Slice the scratch row count to this field block (a batched
+        # workspace may hold more rows for the fused kernel path).
+        ne = u.shape[0]
+        ur, us, ut = workspace.ur[:ne], workspace.us[:ne], workspace.ut[:ne]
+        wr, ws, wt = workspace.wr[:ne], workspace.ws[:ne], workspace.wt[:ne]
+        tmp = workspace.tmp[:ne]
         # Phase 1: reference-space gradient, into preallocated buffers.
-        np.einsum("il,eljk->eijk", d, u, out=ur, optimize=True)
-        np.einsum("jl,eilk->eijk", d, u, out=us, optimize=True)
-        np.einsum("kl,eijl->eijk", d, u, out=ut, optimize=True)
+        np.einsum(f"il,{pre}eljk->{pre}eijk", d, u, out=ur, optimize=True)
+        np.einsum(f"jl,{pre}eilk->{pre}eijk", d, u, out=us, optimize=True)
+        np.einsum(f"kl,{pre}eijl->{pre}eijk", d, u, out=ut, optimize=True)
         # Phase 2: symmetric geometric tensor, in place via one scratch.
         np.multiply(g[:, 0], ur, out=wr)
         np.multiply(g[:, 1], us, out=tmp)
@@ -107,16 +136,16 @@ def ax_local(
         # Phase 3: transposed derivative accumulated into the output.
         if out is None:
             out = np.empty_like(u)
-        np.einsum("li,eljk->eijk", d, wr, out=out, optimize=True)
-        np.einsum("lj,eilk->eijk", d, ws, out=tmp, optimize=True)
+        np.einsum(f"li,{pre}eljk->{pre}eijk", d, wr, out=out, optimize=True)
+        np.einsum(f"lj,{pre}eilk->{pre}eijk", d, ws, out=tmp, optimize=True)
         out += tmp
-        np.einsum("lk,eijl->eijk", d, wt, out=tmp, optimize=True)
+        np.einsum(f"lk,{pre}eijl->{pre}eijk", d, wt, out=tmp, optimize=True)
         out += tmp
         return out
     # Phase 1: reference-space gradient.
-    ur = np.einsum("il,eljk->eijk", d, u, optimize=True)
-    us = np.einsum("jl,eilk->eijk", d, u, optimize=True)
-    ut = np.einsum("kl,eijl->eijk", d, u, optimize=True)
+    ur = np.einsum(f"il,{pre}eljk->{pre}eijk", d, u, optimize=True)
+    us = np.einsum(f"jl,{pre}eilk->{pre}eijk", d, u, optimize=True)
+    ut = np.einsum(f"kl,{pre}eijl->{pre}eijk", d, u, optimize=True)
     # Phase 2: apply the symmetric geometric tensor.
     wr = g[:, 0] * ur + g[:, 1] * us + g[:, 2] * ut
     ws = g[:, 1] * ur + g[:, 3] * us + g[:, 4] * ut
@@ -125,9 +154,9 @@ def ax_local(
     # directly into the output so ``out=`` really saves the allocation.
     if out is None:
         out = np.empty_like(u)
-    np.einsum("li,eljk->eijk", d, wr, out=out, optimize=True)
-    out += np.einsum("lj,eilk->eijk", d, ws, optimize=True)
-    out += np.einsum("lk,eijl->eijk", d, wt, optimize=True)
+    np.einsum(f"li,{pre}eljk->{pre}eijk", d, wr, out=out, optimize=True)
+    out += np.einsum(f"lj,{pre}eilk->{pre}eijk", d, ws, optimize=True)
+    out += np.einsum(f"lk,{pre}eijl->{pre}eijk", d, wt, optimize=True)
     return out
 
 

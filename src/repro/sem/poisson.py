@@ -22,7 +22,7 @@ from repro.sem.geometry import Geometry, geometric_factors
 from repro.sem.kernels import accepts_keyword, resolve_ax_backend
 from repro.sem.mesh import BoxMesh
 from repro.sem.operators import ax_local
-from repro.sem.workspace import SolverWorkspace
+from repro.sem.workspace import SolverWorkspace, cached_batch_workspace
 
 AxBackend = Callable[
     [ReferenceElement, NDArray[np.float64], NDArray[np.float64]],
@@ -45,16 +45,24 @@ class PoissonProblem:
         vectorized :func:`~repro.sem.operators.ax_local`.  The FPGA
         accelerator simulator plugs in here (see
         :meth:`repro.core.accel.SEMAccelerator.as_ax_backend`).
+    threads:
+        Element-block worker threads for blocked kernels (see
+        :func:`~repro.sem.kernels.ax_local_matmul`); carried by the
+        problem's workspaces, so every solve through them inherits it.
 
     The problem owns a :class:`~repro.sem.workspace.SolverWorkspace`
     sized for its mesh; :meth:`apply_A` runs through it (and through the
     backend's ``out=``/``workspace=`` keywords when supported) so the CG
     hot path performs no field-sized allocations after warm-up.  The
-    shared buffers make one problem instance serve one solve at a time.
+    shared buffers make one problem instance serve one solve at a time —
+    though that one solve may carry a stacked ``(B, n)`` block of
+    right-hand sides through :meth:`batch_workspace` and
+    :func:`~repro.sem.cg.cg_solve_batched`.
     """
 
     mesh: BoxMesh
     ax_backend: AxBackend | str = ax_local
+    threads: int = 1
     geometry: Geometry = field(init=False)
     gs: GatherScatter = field(init=False)
     interior: NDArray[np.bool_] = field(init=False, repr=False)
@@ -65,7 +73,10 @@ class PoissonProblem:
         self.gs = GatherScatter.from_mesh(self.mesh)
         self.interior = ~self.mesh.boundary_mask()
         self.ax_backend = resolve_ax_backend(self.ax_backend)
-        self.workspace = SolverWorkspace.for_mesh(self.mesh)
+        self.workspace = SolverWorkspace.for_mesh(
+            self.mesh, threads=self.threads
+        )
+        self._batch_workspaces: dict[int, SolverWorkspace] = {}
         self._interior_f = self.interior.astype(np.float64)
         self._ax_out = accepts_keyword(self.ax_backend, "out")
         self._ax_ws = accepts_keyword(self.ax_backend, "workspace")
@@ -82,6 +93,18 @@ class PoissonProblem:
         return self.mesh.n_global
 
     # ------------------------------------------------------------------
+    def batch_workspace(self, batch: int) -> SolverWorkspace:
+        """The problem's workspace for ``batch`` stacked right-hand sides.
+
+        Sized once per distinct ``batch`` and cached, so repeated
+        batched solves stay warm; ``batch=1`` returns the problem's own
+        :attr:`workspace`.  Shares the problem's ``threads`` setting.
+        """
+        return cached_batch_workspace(
+            self._batch_workspaces, self.mesh, batch, self.threads,
+            self.workspace,
+        )
+
     def apply_A(
         self,
         u_global: NDArray[np.float64],
@@ -95,8 +118,21 @@ class PoissonProblem:
         the problem's workspace; passing ``out`` (as
         :func:`~repro.sem.cg.cg_solve` does) makes the whole application
         allocation-free.
+
+        A stacked ``(B, n)`` input applies the operator to all ``B``
+        systems at once through the cached batched workspace — the path
+        :func:`~repro.sem.cg.cg_solve_batched` drives.  A batch of one
+        runs the single-system path on its only row.
         """
-        ws = self.workspace
+        if u_global.ndim == 2 and u_global.shape[0] == 1:
+            if out is not None:
+                self.apply_A(u_global[0], out=out[0])
+                return out
+            return self.apply_A(u_global[0])[None]
+        ws = (
+            self.batch_workspace(u_global.shape[0])
+            if u_global.ndim == 2 else self.workspace
+        )
         np.multiply(u_global, self._interior_f, out=ws.g_tmp)
         self.gs.scatter(ws.g_tmp, out=ws.u_local)
         if self._ax_out and self._ax_ws:
@@ -104,6 +140,15 @@ class PoissonProblem:
                 self.ref, ws.u_local, self.geometry.g,
                 out=ws.w_local, workspace=ws,
             )
+        elif u_global.ndim == 2:
+            # Plain (ref, u, g) backends (e.g. the accelerator adapter)
+            # see one system at a time.
+            w_local = ws.w_local
+            for b in range(u_global.shape[0]):
+                np.copyto(
+                    w_local[b],
+                    self.ax_backend(self.ref, ws.u_local[b], self.geometry.g),
+                )
         else:
             w_local = self.ax_backend(self.ref, ws.u_local, self.geometry.g)
         w = self.gs.gather(w_local, out=out)

@@ -14,14 +14,30 @@ local shape and global DOF count:
 * the CG vectors (``x``, ``r``, ``z``, ``p``, ``ap`` and an axpy
   scratch) consumed by :func:`repro.sem.cg.cg_solve`.
 
-One workspace serves one solve at a time (buffers are reused across
-calls, so it is not thread-safe).  After a warm-up call every kernel and
-CG iteration runs without any field-sized heap allocation — verified by
-the ``tracemalloc`` regression test in ``tests/sem/test_workspace.py``.
+Two serving knobs extend the workspace beyond one solve at a time:
+
+* ``threads`` — the workspace owns a persistent
+  :class:`~concurrent.futures.ThreadPoolExecutor` that the blocked
+  kernels dispatch element blocks onto.  BLAS ``dgemm`` and numpy's
+  large-array ufuncs release the GIL, so threads (not processes) give
+  real parallelism, and each block writes disjoint output/scratch rows
+  so the result is bit-identical to the sequential path.
+* ``batch`` — sizes every buffer with a leading ``(B, ...)`` system
+  dimension so one warm workspace carries ``B`` independent right-hand
+  sides through :func:`repro.sem.cg.cg_solve_batched`, amortizing the
+  geometry traffic across all of them.
+
+One workspace serves one (possibly batched) solve at a time — buffers
+are reused across calls, so concurrent *solves* must not share a
+workspace (the internal element-block threads are safe because they own
+disjoint rows).  After a warm-up call every kernel and CG iteration runs
+without any field-sized heap allocation — verified by the
+``tracemalloc`` regression tests in ``tests/sem/test_workspace.py``.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,14 +45,39 @@ from numpy.typing import NDArray
 
 from repro.sem.mesh import BoxMesh
 
-#: Local (element-space) buffer names, all shaped ``(E, nx, nx, nx)``.
-LOCAL_BUFFERS: tuple[str, ...] = (
-    "ur", "us", "ut", "wr", "ws", "wt", "tmp", "u_local", "w_local",
+#: Kernel scratch names, shaped ``(scratch_rows, nx, nx, nx)``: for
+#: large batched problems the blocked ``Ax`` kernels sweep one system's
+#: element block at a time (geometry stays cache-hot across the batch),
+#: so the scratch keeps single-system row count; only small batched
+#: problems (``batch * E * nx^3 <= FUSED_BATCH_DOFS``) size it
+#: ``batch * E`` so the fused all-systems GEMM path has room.
+KERNEL_SCRATCH_BUFFERS: tuple[str, ...] = (
+    "ur", "us", "ut", "wr", "ws", "wt", "tmp",
 )
 
-#: Global (assembled-space) buffer names, all shaped ``(n_global,)``.
+#: Largest stacked-block DOF count (``batch * E * nx^3``) for which the
+#: batched kernels fuse all systems into single GEMM/ufunc sweeps (and
+#: the workspace allocates full-batch scratch).  Beyond it, fusing would
+#: blow the cache and the memory budget; the kernels fall back to the
+#: per-system element-block sweep.
+FUSED_BATCH_DOFS: int = 32768
+
+#: Local field buffer names, shaped ``(E, nx, nx, nx)`` for
+#: ``batch == 1`` and ``(batch, E, nx, nx, nx)`` otherwise.
+LOCAL_FIELD_BUFFERS: tuple[str, ...] = ("u_local", "w_local")
+
+#: All local (element-space) buffer names.
+LOCAL_BUFFERS: tuple[str, ...] = KERNEL_SCRATCH_BUFFERS + LOCAL_FIELD_BUFFERS
+
+#: Global (assembled-space) buffer names, shaped ``(n_global,)`` for
+#: ``batch == 1`` and ``(batch, n_global)`` otherwise.
 GLOBAL_BUFFERS: tuple[str, ...] = (
     "cg_x", "cg_r", "cg_z", "cg_p", "cg_ap", "cg_tmp", "cg_invm", "g_tmp",
+)
+
+#: Per-system scalar buffers of the batched CG loop, shaped ``(batch,)``.
+BATCH_SCALAR_BUFFERS: tuple[str, ...] = (
+    "cg_rz", "cg_pap", "cg_alpha", "cg_beta", "cg_res", "cg_stop",
 )
 
 
@@ -53,6 +94,18 @@ class SolverWorkspace:
     n_global:
         Global DOF count; ``0`` builds a kernel-only workspace (no CG /
         gather-scatter buffers).
+    batch:
+        Number of independent right-hand sides the buffers carry at
+        once.  ``1`` (the default) keeps the historical unbatched
+        shapes; ``B > 1`` prepends a system axis to the local field and
+        global (CG) buffers for :func:`repro.sem.cg.cg_solve_batched`.
+        The kernel scratch stays single-system — the blocked kernels
+        sweep the batch one system at a time per element block, reusing
+        the same cache-resident scratch and geometry.
+    threads:
+        Element-block worker threads for the blocked ``Ax`` kernels.
+        ``1`` runs sequentially; ``k > 1`` lazily spins up a persistent
+        pool reused across calls (see :attr:`executor`).
 
     Use :meth:`for_mesh` to size a workspace from a
     :class:`~repro.sem.mesh.BoxMesh` in one call.
@@ -61,6 +114,8 @@ class SolverWorkspace:
     num_elements: int
     nx: int
     n_global: int = 0
+    batch: int = 1
+    threads: int = 1
 
     ur: NDArray[np.float64] = field(init=False, repr=False)
     us: NDArray[np.float64] = field(init=False, repr=False)
@@ -79,6 +134,13 @@ class SolverWorkspace:
     cg_tmp: NDArray[np.float64] = field(init=False, repr=False)
     cg_invm: NDArray[np.float64] = field(init=False, repr=False)
     g_tmp: NDArray[np.float64] = field(init=False, repr=False)
+    cg_rz: NDArray[np.float64] = field(init=False, repr=False)
+    cg_pap: NDArray[np.float64] = field(init=False, repr=False)
+    cg_alpha: NDArray[np.float64] = field(init=False, repr=False)
+    cg_beta: NDArray[np.float64] = field(init=False, repr=False)
+    cg_res: NDArray[np.float64] = field(init=False, repr=False)
+    cg_stop: NDArray[np.float64] = field(init=False, repr=False)
+    cg_active: NDArray[np.bool_] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.num_elements < 1:
@@ -89,29 +151,88 @@ class SolverWorkspace:
             raise ValueError(f"nx must be >= 2, got {self.nx}")
         if self.n_global < 0:
             raise ValueError(f"n_global must be >= 0, got {self.n_global}")
-        shape = (self.num_elements, self.nx, self.nx, self.nx)
-        for name in LOCAL_BUFFERS:
-            setattr(self, name, np.empty(shape))
+        if self.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {self.batch}")
+        if self.threads < 1:
+            raise ValueError(f"threads must be >= 1, got {self.threads}")
+        scratch_rows = self.num_elements
+        if (
+            self.batch > 1
+            and self.batch * self.num_elements * self.nx ** 3
+            <= FUSED_BATCH_DOFS
+        ):
+            scratch_rows = self.batch * self.num_elements
+        scratch_shape = (scratch_rows, self.nx, self.nx, self.nx)
+        local_shape: tuple[int, ...] = (
+            self.num_elements, self.nx, self.nx, self.nx
+        )
+        global_shape: tuple[int, ...] = (self.n_global,)
+        if self.batch > 1:
+            local_shape = (self.batch,) + local_shape
+            global_shape = (self.batch,) + global_shape
+        for name in KERNEL_SCRATCH_BUFFERS:
+            setattr(self, name, np.empty(scratch_shape))
+        for name in LOCAL_FIELD_BUFFERS:
+            setattr(self, name, np.empty(local_shape))
         for name in GLOBAL_BUFFERS:
-            setattr(self, name, np.empty(self.n_global))
+            setattr(self, name, np.empty(global_shape))
+        for name in BATCH_SCALAR_BUFFERS:
+            setattr(self, name, np.empty(self.batch))
+        self.cg_active = np.empty(self.batch, dtype=bool)
+        self._executor: ThreadPoolExecutor | None = None
 
     # ------------------------------------------------------------------
     @classmethod
-    def for_mesh(cls, mesh: BoxMesh) -> "SolverWorkspace":
+    def for_mesh(
+        cls, mesh: BoxMesh, batch: int = 1, threads: int = 1
+    ) -> "SolverWorkspace":
         """Size a full workspace (kernel + CG buffers) from a mesh."""
         e, nx = mesh.l2g.shape[0], mesh.l2g.shape[1]
-        return cls(num_elements=e, nx=nx, n_global=mesh.n_global)
+        return cls(
+            num_elements=e, nx=nx, n_global=mesh.n_global,
+            batch=batch, threads=threads,
+        )
 
     @property
-    def local_shape(self) -> tuple[int, int, int, int]:
-        """``(E, nx, nx, nx)`` shape the local buffers were sized for."""
-        return (self.num_elements, self.nx, self.nx, self.nx)
+    def local_shape(self) -> tuple[int, ...]:
+        """Shape the local buffers were sized for (batch axis if ``> 1``)."""
+        shape = (self.num_elements, self.nx, self.nx, self.nx)
+        return (self.batch,) + shape if self.batch > 1 else shape
 
     @property
     def nbytes(self) -> int:
         """Total bytes held by the workspace buffers."""
-        local = len(LOCAL_BUFFERS) * self.num_elements * self.nx ** 3
-        return 8 * (local + len(GLOBAL_BUFFERS) * self.n_global)
+        field = self.num_elements * self.nx ** 3
+        scratch = len(KERNEL_SCRATCH_BUFFERS) * self.ur.shape[0] * self.nx ** 3
+        per_system = (
+            len(LOCAL_FIELD_BUFFERS) * field
+            + len(GLOBAL_BUFFERS) * self.n_global
+        )
+        return 8 * (
+            scratch + self.batch * per_system
+            + (len(BATCH_SCALAR_BUFFERS) + 1) * self.batch
+        )
+
+    @property
+    def executor(self) -> ThreadPoolExecutor | None:
+        """The persistent element-block pool (``None`` when sequential).
+
+        Created lazily on first use and reused across kernel calls /
+        CG iterations, so the solver hot path never pays thread startup.
+        """
+        if self.threads <= 1:
+            return None
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.threads, thread_name_prefix="sem-ax"
+            )
+        return self._executor
+
+    def shutdown(self) -> None:
+        """Tear down the worker pool (idempotent; buffers stay valid)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
 
     # ------------------------------------------------------------------
     def require_local(self, num_elements: int, nx: int) -> None:
@@ -130,3 +251,35 @@ class SolverWorkspace:
                 f"workspace sized for {self.n_global} global DOFs, "
                 f"got {n_global}"
             )
+
+    def require_batch(self, batch: int) -> None:
+        """Raise unless the buffers carry exactly ``batch`` systems."""
+        if batch != self.batch:
+            raise ValueError(
+                f"workspace sized for batch={self.batch}, "
+                f"got a block of {batch} systems"
+            )
+
+
+def cached_batch_workspace(
+    cache: "dict[int, SolverWorkspace]",
+    mesh: BoxMesh,
+    batch: int,
+    threads: int,
+    base: "SolverWorkspace",
+) -> "SolverWorkspace":
+    """Shared per-problem cache of batched workspaces.
+
+    ``batch == 1`` returns the problem's own ``base`` workspace; larger
+    batches are sized once per distinct ``batch`` and reused, so
+    repeated batched solves stay warm.  Used by
+    :class:`~repro.sem.poisson.PoissonProblem` and
+    :class:`~repro.sem.helmholtz.HelmholtzProblem`.
+    """
+    if batch == 1:
+        return base
+    ws = cache.get(batch)
+    if ws is None:
+        ws = SolverWorkspace.for_mesh(mesh, batch=batch, threads=threads)
+        cache[batch] = ws
+    return ws

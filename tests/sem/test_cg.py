@@ -95,3 +95,157 @@ class TestCG:
         res = cg_solve(lambda v: a @ v, b)
         assert isinstance(res, CGResult)
         assert res.residual_norm == res.residual_history[-1]
+
+
+class TestBatchedCG:
+    """Batched multi-RHS CG (cg_solve_batched) vs per-system solves."""
+
+    def _stacked_system(self, n=24, batch=5, seed=4, cond=50.0):
+        a, _, _ = spd_system(n, seed=seed, cond=cond)
+        rng = np.random.default_rng(seed + 1)
+        bs = rng.standard_normal((batch, n))
+        return a, bs
+
+    def test_matches_sequential_solves(self):
+        from repro.sem.cg import cg_solve_batched
+
+        a, bs = self._stacked_system()
+        res = cg_solve_batched(lambda v: v @ a.T, bs, tol=1e-12, maxiter=500)
+        assert res.all_converged
+        for k in range(bs.shape[0]):
+            single = cg_solve(lambda v: a @ v, bs[k], tol=1e-12, maxiter=500)
+            # dgemm (stacked) vs dgemv (single) accumulate differently,
+            # so counts may differ by one step at the tolerance edge.
+            assert abs(int(res.iterations[k]) - single.iterations) <= 1
+            assert np.allclose(res.x[k], single.x, atol=1e-9)
+
+    def test_per_system_convergence_masking(self):
+        """Systems of very different difficulty each meet their own
+        tolerance; easy systems freeze while hard ones iterate on."""
+        from repro.sem.cg import cg_solve_batched
+
+        rng = np.random.default_rng(9)
+        n = 30
+        q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+        a_easy = q @ np.diag(np.linspace(1.0, 2.0, n)) @ q.T
+        a_hard = q @ np.diag(np.geomspace(1.0, 1e5, n)) @ q.T
+
+        # Shared operator: block-diagonal over systems via per-row matmul.
+        mats = [a_easy, a_hard, a_hard]
+        bs = rng.standard_normal((3, n))
+
+        def apply_block(v, out=None):
+            res = np.stack([mats[i] @ v[i] for i in range(3)])
+            if out is not None:
+                np.copyto(out, res)
+                return out
+            return res
+
+        res = cg_solve_batched(apply_block, bs, tol=1e-10, maxiter=2000)
+        assert res.all_converged
+        assert res.iterations[0] < res.iterations[1]
+        for i in range(3):
+            r = bs[i] - mats[i] @ res.x[i]
+            assert np.linalg.norm(r) <= 1e-10 * np.linalg.norm(bs[i]) * 1.01
+
+    def test_frozen_system_stays_bit_identical(self):
+        """Once a system converges its iterate must not move at all."""
+        from repro.sem.cg import cg_solve_batched
+
+        rng = np.random.default_rng(12)
+        n = 16
+        q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+        a_easy = q @ np.diag(np.linspace(1.0, 1.5, n)) @ q.T
+        a_hard = q @ np.diag(np.geomspace(1.0, 1e6, n)) @ q.T
+        mats = [a_easy, a_hard]
+        bs = rng.standard_normal((2, n))
+
+        def apply_block(v):
+            return np.stack([mats[i] @ v[i] for i in range(2)])
+
+        loose = cg_solve_batched(apply_block, bs, tol=1e-8, maxiter=30)
+        assert loose.converged[0] and not loose.converged[1]
+        # Re-run with enough iterations for both; the easy system's
+        # answer must be unchanged bit for bit (masked updates are 0).
+        full = cg_solve_batched(apply_block, bs, tol=1e-8, maxiter=5000)
+        assert full.all_converged
+        assert np.array_equal(loose.x[0], full.x[0])
+
+    def test_zero_rhs_row_converges_immediately(self):
+        from repro.sem.cg import cg_solve_batched
+
+        a, bs = self._stacked_system(batch=3)
+        bs[1] = 0.0
+        res = cg_solve_batched(lambda v: v @ a.T, bs, tol=1e-12, maxiter=500)
+        assert res.all_converged
+        assert res.iterations[1] == 0
+        assert np.array_equal(res.x[1], np.zeros(bs.shape[1]))
+
+    def test_jacobi_preconditioning_shared_and_per_system(self):
+        from repro.sem.cg import cg_solve_batched
+
+        a, bs = self._stacked_system(cond=1e4, batch=3)
+        diag = np.diag(a).copy()
+        shared = cg_solve_batched(
+            lambda v: v @ a.T, bs, precond_diag=diag, tol=1e-10, maxiter=2000
+        )
+        per_system = cg_solve_batched(
+            lambda v: v @ a.T, bs,
+            precond_diag=np.tile(diag, (3, 1)),
+            tol=1e-10, maxiter=2000,
+        )
+        assert shared.all_converged and per_system.all_converged
+        assert np.allclose(shared.x, per_system.x, atol=1e-12)
+
+    def test_initial_guess_respected(self):
+        from repro.sem.cg import cg_solve_batched
+
+        a, _, _ = spd_system(18, seed=6)
+        x_true = np.random.default_rng(7).standard_normal((4, 18))
+        bs = x_true @ a.T
+        res = cg_solve_batched(
+            lambda v: v @ a.T, bs, x0=x_true.copy(), tol=1e-10
+        )
+        assert res.all_converged
+        assert np.array_equal(res.iterations, np.zeros(4, dtype=np.int64))
+
+    def test_maxiter_reports_unconverged_systems(self):
+        from repro.sem.cg import cg_solve_batched
+
+        a, bs = self._stacked_system(cond=1e8, seed=2)
+        res = cg_solve_batched(lambda v: v @ a.T, bs, tol=1e-14, maxiter=2)
+        assert not res.all_converged
+        assert np.all(res.iterations[~res.converged] == 2)
+        assert res.residual_history.shape == (3, bs.shape[0])
+
+    def test_non_spd_operator_raises(self):
+        from repro.sem.cg import cg_solve_batched
+
+        with pytest.raises(ValueError, match="breakdown"):
+            cg_solve_batched(lambda v: -v, np.ones((2, 5)))
+
+    def test_shape_validation(self):
+        from repro.sem.cg import cg_solve_batched
+
+        a, bs = self._stacked_system()
+        with pytest.raises(ValueError, match="batched rhs"):
+            cg_solve_batched(lambda v: v, np.ones(5))
+        with pytest.raises(ValueError, match="x0 shape"):
+            cg_solve_batched(lambda v: v @ a.T, bs, x0=np.ones(bs.shape[1]))
+        with pytest.raises(ValueError, match="preconditioner shape"):
+            cg_solve_batched(
+                lambda v: v @ a.T, bs, precond_diag=np.ones(3)
+            )
+        with pytest.raises(ValueError, match="non-positive"):
+            cg_solve_batched(
+                lambda v: v @ a.T, bs, precond_diag=np.zeros(bs.shape[1])
+            )
+
+    def test_cg_solve_dispatches_stacked_rhs(self):
+        from repro.sem.cg import BatchedCGResult
+
+        a, bs = self._stacked_system()
+        res = cg_solve(lambda v: v @ a.T, bs, tol=1e-12, maxiter=500)
+        assert isinstance(res, BatchedCGResult)
+        assert res.batch == bs.shape[0]
+        assert res.all_converged

@@ -145,3 +145,66 @@ class TestPrecomputedFastPath:
         ones = np.ones((1, 1, 2, 2))
         # Two populated global nodes, each counted once.
         assert gs.dot(ones, ones) == pytest.approx(2.0)
+
+
+class TestBatched:
+    """Stacked (B, ...) gather/scatter — the multi-RHS serving path."""
+
+    def test_batched_gather_matches_per_system(self, gs3):
+        mesh, gs = gs3
+        rng = np.random.default_rng(7)
+        local = rng.standard_normal((4,) + gs.local_shape)
+        batched = gs.gather(local)
+        assert batched.shape == (4, gs.n_global)
+        for b in range(4):
+            assert np.array_equal(batched[b], gs.gather(local[b]))
+
+    def test_batched_scatter_matches_per_system(self, gs3):
+        mesh, gs = gs3
+        rng = np.random.default_rng(8)
+        vec = rng.standard_normal((3, gs.n_global))
+        batched = gs.scatter(vec)
+        assert batched.shape == (3,) + gs.local_shape
+        for b in range(3):
+            assert np.array_equal(batched[b], gs.scatter(vec[b]))
+
+    def test_batched_out_parameters(self, gs3):
+        mesh, gs = gs3
+        rng = np.random.default_rng(9)
+        local = rng.standard_normal((2,) + gs.local_shape)
+        out_g = np.empty((2, gs.n_global))
+        assert gs.gather(local, out=out_g) is out_g
+        out_l = np.empty((2,) + gs.local_shape)
+        assert gs.scatter(out_g, out=out_l) is out_l
+        for b in range(2):
+            assert np.array_equal(out_l[b], gs.scatter(out_g[b]))
+
+    def test_batched_shape_validation(self, gs3):
+        mesh, gs = gs3
+        with pytest.raises(ValueError, match="expected"):
+            gs.gather(np.ones((2, 3, 3, 3, 3)))
+        with pytest.raises(ValueError, match="out must be"):
+            gs.gather(
+                np.ones((2,) + gs.local_shape), out=np.empty(gs.n_global)
+            )
+        with pytest.raises(ValueError, match="out must be"):
+            gs.scatter(
+                np.ones((2, gs.n_global)), out=np.empty(gs.local_shape)
+            )
+
+    def test_batched_gather_on_sparse_map(self):
+        l2g = np.array([0, 2, 2, 5, 0, 1, 1, 5], dtype=np.int64)
+        gs = GatherScatter(l2g_flat=l2g, n_global=7, local_shape=(1, 2, 2, 2))
+        local = np.arange(16, dtype=float).reshape(2, 1, 2, 2, 2)
+        batched = gs.gather(local)
+        for b in range(2):
+            expect = np.bincount(l2g, weights=local[b].reshape(-1), minlength=7)
+            assert np.array_equal(batched[b], expect)
+
+    def test_batched_scratch_is_cached(self, gs3):
+        mesh, gs = gs3
+        local = np.ones((2,) + gs.local_shape)
+        gs.gather(local)
+        first = gs._batch_scratch[2]
+        gs.gather(local)
+        assert gs._batch_scratch[2] is first

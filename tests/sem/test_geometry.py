@@ -92,3 +92,79 @@ class TestCurvedFactors:
 
     def test_num_elements_property(self, curved_geo3, curved_mesh3):
         assert curved_geo3.num_elements == curved_mesh3.num_elements
+
+
+class TestSoALayout:
+    """The split (SoA) geometry storage and its compatibility view."""
+
+    def test_g_soa_is_contiguous_component_major(self, curved_geo3):
+        g_soa = curved_geo3.g_soa
+        assert g_soa.flags.c_contiguous
+        assert g_soa.shape[0] == 6
+        for c in range(6):
+            assert g_soa[c].flags.c_contiguous
+
+    def test_g_view_matches_soa_and_shares_memory(self, curved_geo3):
+        geo = curved_geo3
+        g = geo.g
+        assert g.shape[0] == geo.num_elements and g.shape[1] == 6
+        for c in range(6):
+            comp = g[:, c]
+            assert comp.flags.c_contiguous  # the point of the layout
+            assert np.shares_memory(comp, geo.g_soa)
+            assert np.array_equal(comp, geo.g_soa[c])
+
+    def test_component_accessor(self, curved_geo3):
+        from repro.sem.geometry import G_COMPONENTS
+
+        geo = curved_geo3
+        for c, name in enumerate(G_COMPONENTS):
+            assert geo.component(c) is geo.g_soa[c] or np.array_equal(
+                geo.component(c), geo.g_soa[c]
+            )
+            assert np.array_equal(geo.component(name), geo.g_soa[c])
+        with pytest.raises(KeyError, match="available"):
+            geo.component("zz")
+
+    def test_from_interleaved_round_trip(self, curved_geo3):
+        from repro.sem.geometry import Geometry
+
+        geo = curved_geo3
+        rebuilt = Geometry.from_interleaved(
+            np.array(geo.g), geo.jac, geo.mass
+        )
+        assert np.array_equal(rebuilt.g_soa, geo.g_soa)
+        assert rebuilt.num_elements == geo.num_elements
+
+    def test_bad_shapes_rejected(self, ref3):
+        from repro.sem.geometry import Geometry
+
+        with pytest.raises(ValueError, match="g_soa"):
+            Geometry(
+                g_soa=np.zeros((5, 2, 4, 4, 4)),
+                jac=np.ones((2, 4, 4, 4)),
+                mass=np.ones((2, 4, 4, 4)),
+            )
+        with pytest.raises(ValueError, match="interleaved"):
+            Geometry.from_interleaved(
+                np.zeros((2, 5, 4, 4, 4)),
+                np.ones((2, 4, 4, 4)),
+                np.ones((2, 4, 4, 4)),
+            )
+
+    def test_all_kernels_match_on_soa_geometry(self, ref3):
+        """Every registered kernel consumes the SoA-backed view."""
+        from repro.sem import available_ax_kernels, get_ax_kernel
+        from repro.sem.operators import ax_local
+
+        mesh = BoxMesh.build(ref3, (2, 2, 1)).deform(
+            lambda x, y, z: (x + 0.03 * np.sin(np.pi * y), y, z)
+        )
+        geo = geometric_factors(mesh)
+        rng = np.random.default_rng(17)
+        u = rng.standard_normal(mesh.l2g.shape)
+        w_ref = ax_local(ref3, u, geo.g)
+        scale = max(np.abs(w_ref).max(), 1.0)
+        for name in available_ax_kernels():
+            w = get_ax_kernel(name)(ref3, u, geo.g)
+            assert np.allclose(w, w_ref, atol=1e-10 * scale), name

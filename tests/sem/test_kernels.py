@@ -202,3 +202,238 @@ class TestProblemsSelectByName:
         w_e, _ = acc_e.run(u, g)
         w_m, _ = acc_m.run(u, g)
         assert np.allclose(w_m, w_e, atol=1e-11 * max(np.abs(w_e).max(), 1.0))
+
+
+class TestThreads:
+    """Thread-parallel element blocks: bit-identical, pool reuse."""
+
+    def _fields(self, n=5, num_e=40, seed=3):
+        return random_fields(n, num_e=num_e, seed=seed)
+
+    def test_threaded_matches_sequential_bit_for_bit(self):
+        ref, u, g = self._fields()
+        w1 = ax_local_matmul(ref, u, g, threads=1)
+        for k in (2, 3, 4):
+            wk = ax_local_matmul(ref, u, g, threads=k)
+            assert np.array_equal(wk, w1), f"threads={k} diverged"
+
+    def test_threaded_workspace_matches_and_reuses_pool(self):
+        ref, u, g = self._fields()
+        ws = SolverWorkspace(num_elements=40, nx=ref.n_points, threads=2)
+        w1 = ax_local_matmul(ref, u, g, threads=1)
+        w2 = ax_local_matmul(ref, u, g, workspace=ws)
+        assert np.array_equal(w2, w1)
+        pool = ws.executor
+        assert pool is not None
+        ax_local_matmul(ref, u, g, workspace=ws)
+        assert ws.executor is pool  # persistent, not respawned
+        ws.shutdown()
+        assert ws._executor is None
+
+    def test_threads_argument_overrides_workspace(self):
+        ref, u, g = self._fields()
+        ws = SolverWorkspace(num_elements=40, nx=ref.n_points, threads=1)
+        w = ax_local_matmul(ref, u, g, workspace=ws, threads=3)
+        assert np.array_equal(w, ax_local_matmul(ref, u, g))
+
+    def test_invalid_threads_raise(self):
+        ref, u, g = self._fields()
+        with pytest.raises(ValueError, match="threads"):
+            ax_local_matmul(ref, u, g, threads=0)
+        with pytest.raises(ValueError, match="threads"):
+            SolverWorkspace(num_elements=2, nx=4, threads=0)
+
+    def test_threaded_batched_matches(self):
+        ref, u, g = self._fields(num_e=48)
+        rng = np.random.default_rng(8)
+        ub = rng.standard_normal((3,) + u.shape)
+        w1 = ax_local_matmul(ref, ub, g, threads=1)
+        w2 = ax_local_matmul(ref, ub, g, threads=2)
+        assert np.array_equal(w2, w1)
+
+    def test_problem_threads_plumbing(self):
+        from repro.sem import PoissonProblem, HelmholtzProblem, NekboneCase
+
+        ref = ReferenceElement.from_degree(3)
+        mesh = BoxMesh.build(ref, (2, 2, 1))
+        prob = PoissonProblem(mesh, ax_backend="matmul", threads=2)
+        assert prob.workspace.threads == 2
+        assert prob.batch_workspace(4).threads == 2
+        helm = HelmholtzProblem(mesh, ax_backend="matmul", threads=2)
+        assert helm.workspace.threads == 2
+        case = NekboneCase(3, (2, 1, 1), ax_backend="matmul", threads=2)
+        assert case.problem.workspace.threads == 2
+
+    def test_threaded_solve_matches_single_thread(self):
+        from repro.sem import PoissonProblem, cg_solve, sine_manufactured
+
+        ref = ReferenceElement.from_degree(4)
+        mesh = BoxMesh.build(ref, (3, 2, 2))
+        p1 = PoissonProblem(mesh, ax_backend="matmul", threads=1)
+        p2 = PoissonProblem(mesh, ax_backend="matmul", threads=2)
+        _, forcing = sine_manufactured(mesh.extent)
+        b = p1.rhs_from_forcing(forcing)
+        r1 = cg_solve(p1.apply_A, b, tol=0.0, maxiter=15, workspace=p1.workspace)
+        r2 = cg_solve(p2.apply_A, b, tol=0.0, maxiter=15, workspace=p2.workspace)
+        assert np.array_equal(r1.x, r2.x)
+
+    def test_accelerator_threads_plumbing(self):
+        from repro.core.accel import AcceleratorConfig, SEMAccelerator
+        from repro.hardware.fpga import STRATIX10_GX2800
+
+        ref, u, g = random_fields(3, num_e=4, seed=5)
+        acc1 = SEMAccelerator(
+            AcceleratorConfig.banked(3), STRATIX10_GX2800, ax_kernel="matmul"
+        )
+        acc2 = SEMAccelerator(
+            AcceleratorConfig.banked(3), STRATIX10_GX2800,
+            ax_kernel="matmul", threads=2,
+        )
+        w1, _ = acc1.run(u, g)
+        w2, _ = acc2.run(u, g)
+        assert np.array_equal(w1, w2)
+        with pytest.raises(ValueError, match="threads"):
+            SEMAccelerator(
+                AcceleratorConfig.banked(3), STRATIX10_GX2800, threads=0
+            )
+
+
+class TestBatchedKernels:
+    """Stacked (B, E, ...) inputs through every registered kernel."""
+
+    def test_matmul_batched_bit_identical_per_system(self):
+        ref, u, g = random_fields(4, num_e=6, seed=21)
+        rng = np.random.default_rng(22)
+        ub = rng.standard_normal((3,) + u.shape)
+        wb = ax_local_matmul(ref, ub, g)
+        for b in range(3):
+            assert np.array_equal(wb[b], ax_local_matmul(ref, ub[b], g))
+
+    def test_matmul_batched_workspace_fused_and_nested(self):
+        from repro.sem.workspace import FUSED_BATCH_DOFS
+
+        ref = ReferenceElement.from_degree(4)
+        nx = ref.n_points
+        rng = np.random.default_rng(23)
+        # Small case -> fused all-systems path.
+        e_small = 4
+        g_s = rng.standard_normal((e_small, 6, nx, nx, nx))
+        ub_s = rng.standard_normal((2, e_small, nx, nx, nx))
+        ws_s = SolverWorkspace(num_elements=e_small, nx=nx, batch=2)
+        assert 2 * e_small * nx ** 3 <= FUSED_BATCH_DOFS
+        w_s = ax_local_matmul(ref, ub_s, g_s, workspace=ws_s)
+        for b in range(2):
+            assert np.array_equal(w_s[b], ax_local_matmul(ref, ub_s[b], g_s))
+        # Large case -> per-system element-block sweep.
+        e_big = FUSED_BATCH_DOFS // nx ** 3 + 8
+        g_b = rng.standard_normal((e_big, 6, nx, nx, nx))
+        ub_b = rng.standard_normal((2, e_big, nx, nx, nx))
+        ws_b = SolverWorkspace(num_elements=e_big, nx=nx, batch=2)
+        w_b = ax_local_matmul(ref, ub_b, g_b, workspace=ws_b)
+        for b in range(2):
+            assert np.array_equal(w_b[b], ax_local_matmul(ref, ub_b[b], g_b))
+
+    def test_all_registered_kernels_accept_batched(self):
+        ref, u, g = random_fields(2, num_e=2, seed=24)
+        rng = np.random.default_rng(25)
+        ub = rng.standard_normal((2,) + u.shape)
+        w_ref = np.stack([ax_local(ref, ub[b], g) for b in range(2)])
+        scale = max(np.abs(w_ref).max(), 1.0)
+        for name in available_ax_kernels():
+            w = get_ax_kernel(name)(ref, ub, g)
+            assert w.shape == ub.shape, name
+            assert np.allclose(w, w_ref, atol=1e-10 * scale), name
+
+    def test_batched_shape_validation(self):
+        ref, u, g = random_fields(3, num_e=2)
+        with pytest.raises(ValueError, match="batched u"):
+            ax_local_matmul(ref, u[None, :, :, :, :-1], g)
+        with pytest.raises(ValueError, match="g must be"):
+            ax_local_matmul(ref, u[None], g[:1])
+
+
+class TestRegistryErrorPaths:
+    """The registry's failure modes, exercised explicitly."""
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError) as exc:
+            get_ax_kernel("no_such_kernel")
+        message = str(exc.value)
+        assert "no_such_kernel" in message
+        for name in ("einsum", "matmul", "listing1", "dense"):
+            assert name in message
+
+    def test_duplicate_register_without_overwrite_raises(self):
+        sentinel = lambda ref, u, g, out=None, workspace=None: u  # noqa: E731
+        register_ax_kernel("_dup_probe", sentinel)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_ax_kernel("_dup_probe", lambda *a, **k: None)
+            # The failed registration must not clobber the original.
+            assert get_ax_kernel("_dup_probe") is sentinel
+        finally:
+            from repro.sem.kernels import _REGISTRY
+
+            _REGISTRY.pop("_dup_probe", None)
+
+    def test_builtin_names_cannot_be_shadowed_silently(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_ax_kernel("matmul", lambda *a, **k: None)
+        assert get_ax_kernel("matmul") is ax_local_matmul
+
+    def test_resolve_with_raw_callable_passes_through(self):
+        def raw(ref, u, g):
+            return u
+
+        assert resolve_ax_backend(raw) is raw
+
+    def test_resolve_rejects_non_callables(self):
+        for bad in (42, None, [], {"name": "matmul"}):
+            with pytest.raises(TypeError, match="callable"):
+                resolve_ax_backend(bad)
+
+    def test_resolve_unknown_name_raises_keyerror(self):
+        with pytest.raises(KeyError, match="available"):
+            resolve_ax_backend("not_registered")
+
+    def test_accepts_keyword_caching_and_fallback(self):
+        from repro.sem.kernels import accepts_keyword
+
+        assert accepts_keyword(ax_local_matmul, "threads")
+        assert accepts_keyword(ax_local_matmul, "out")
+        assert not accepts_keyword(lambda ref, u, g: u, "out")
+
+        def kwargs_sink(*args, **kwargs):
+            return None
+
+        assert accepts_keyword(kwargs_sink, "anything")
+        # Repeated probes hit the lru_cache (same result, no re-reflection).
+        from repro.sem.kernels import _accepts_keyword_cached
+
+        _accepts_keyword_cached.cache_clear()
+        accepts_keyword(ax_local_matmul, "out")
+        first = _accepts_keyword_cached.cache_info()
+        accepts_keyword(ax_local_matmul, "out")
+        second = _accepts_keyword_cached.cache_info()
+        assert second.hits == first.hits + 1
+
+
+def test_accepts_keyword_does_not_pin_bound_instances():
+    """The probe cache must key on the underlying function, not the
+    bound method, so probing prob.apply_A never keeps the problem (and
+    its workspaces) alive."""
+    import gc
+    import weakref
+
+    from repro.sem.kernels import accepts_keyword
+
+    class Holder:
+        def op(self, x, out=None):
+            return x
+
+    h = Holder()
+    assert accepts_keyword(h.op, "out")
+    ref_h = weakref.ref(h)
+    del h
+    gc.collect()
+    assert ref_h() is None, "accepts_keyword cache pinned the instance"
