@@ -167,6 +167,26 @@ def test_bench_cg_sequential_b8(benchmark):
     assert all(r.iterations == 10 for r in results)
 
 
+def test_bench_serve_throughput_b8(benchmark):
+    """Eight independent requests through SolveService (max_batch=8):
+    the end-to-end serving number — micro-batching overhead included —
+    that must sustain >= 1.5x the solves/s of the sequential baseline
+    above (``serve_throughput`` in BENCH_kernels.json)."""
+    from repro.serve import SolveService
+
+    prob, bs, _ = _serving_problem()
+    svc = SolveService(prob, max_batch=8, tol=0.0, maxiter=10)
+
+    def run():
+        return svc.solve_many(bs)
+
+    results = benchmark(run)
+    assert all(r.iterations == 10 for r in results)
+    # run_baseline.py derives solves/s from this, not a hardcoded count.
+    benchmark.extra_info["requests_per_round"] = int(bs.shape[0])
+    svc.close()
+
+
 def test_bench_gather_scatter(benchmark):
     """Direct-stiffness round trip on a 4x4x4 mesh at N=7."""
     ref = ReferenceElement.from_degree(7)

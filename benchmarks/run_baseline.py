@@ -72,12 +72,18 @@ def run_benchmarks(out_path: pathlib.Path, fast: bool) -> None:
     subprocess.run(cmd, check=True, env=env, cwd=REPO_ROOT)
 
 
-def mean_of(data: dict, name: str) -> float | None:
-    """Mean runtime of the benchmark with exactly this name."""
+def bench_of(data: dict, name: str) -> dict | None:
+    """The benchmark record with exactly this name."""
     for bench in data.get("benchmarks", []):
         if bench["name"] == name:
-            return float(bench["stats"]["mean"])
+            return bench
     return None
+
+
+def mean_of(data: dict, name: str) -> float | None:
+    """Mean runtime of the benchmark with exactly this name."""
+    bench = bench_of(data, name)
+    return float(bench["stats"]["mean"]) if bench else None
 
 
 def derive(data: dict) -> dict:
@@ -107,6 +113,19 @@ def derive(data: dict) -> dict:
         derived["cg10_sequential_b8_s"] = seq
         derived["cg10_batched_b8_s"] = bat
         derived["cg10_batched_b8_speedup"] = seq / bat
+    srv_bench = bench_of(data, "test_bench_serve_throughput_b8")
+    if seq and srv_bench:
+        srv = float(srv_bench["stats"]["mean"])
+        requests = float(
+            srv_bench.get("extra_info", {}).get("requests_per_round", 8)
+        )
+        derived["serve_b8_s"] = srv
+        # End-to-end requests/second through the micro-batching service
+        # (the benchmark records how many requests each round serves)...
+        derived["serve_throughput"] = requests / srv
+        # ...and the headline ratio vs the same requests solved
+        # sequentially by warm cg_solve (acceptance floor: 1.5x).
+        derived["serve_throughput_speedup"] = seq / srv
     return derived
 
 
@@ -208,6 +227,14 @@ def main(argv: list[str] | None = None) -> int:
             "acceptance threshold on this host"
         )
         # --fast rounds are too noisy to gate on; full runs still fail.
+        if not args.fast:
+            status = status or 1
+    serve = data["derived"].get("serve_throughput_speedup")
+    if serve is not None and serve < 1.5:
+        print(
+            f"WARNING: serve throughput {serve:.2f}x sequential is below "
+            "the 1.5x acceptance threshold on this host"
+        )
         if not args.fast:
             status = status or 1
     return status

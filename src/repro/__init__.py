@@ -10,6 +10,12 @@ The package provides four layers:
     Nekbone/Nek5000 (Listing 1 of the paper), gather-scatter and a
     Jacobi-preconditioned conjugate-gradient solver.
 
+``repro.serve``
+    The multi-tenant serving layer: a dynamic micro-batching
+    :class:`~repro.serve.SolveService` that coalesces independent solve
+    requests into warm batched CG dispatches, with workspace pooling,
+    backpressure and throughput stats.
+
 ``repro.hls``
     A small high-level-synthesis modeling substrate: loop nests, unrolling,
     on-chip-memory arbitration analysis and initiation-interval scheduling.
@@ -51,6 +57,7 @@ from repro.sem import (
     cg_solve_batched,
     BatchedCGResult,
 )
+from repro.serve import SolveService, SolveTicket
 from repro.core import (
     KernelCost,
     operational_intensity,
@@ -96,6 +103,9 @@ __all__ = [
     "cg_solve",
     "cg_solve_batched",
     "BatchedCGResult",
+    # serve
+    "SolveService",
+    "SolveTicket",
     # core
     "KernelCost",
     "operational_intensity",

@@ -19,8 +19,16 @@ field-sized heap allocations.
 :func:`cg_solve_batched` extends the same discipline to a stacked
 ``(B, n)`` block of right-hand sides: one operator application and one
 set of fused ``(B, n)`` vector updates per iteration serve all ``B``
-systems, with per-system convergence masking — the multi-tenant serving
-path (a ``(B, n)`` rhs passed to :func:`cg_solve` dispatches there).
+systems, with per-system convergence masking and (optionally)
+per-system ``tol``/``maxiter`` — the multi-tenant serving path (a
+``(B, n)`` rhs passed to :func:`cg_solve` dispatches there).
+
+Both paths accumulate their inner products with the same fused
+``multiply`` + pairwise-``sum`` sequence (rather than BLAS ``ddot``,
+whose accumulation order differs in the last ulp), so a system solved
+inside a stacked block is **bit-identical** to the same system solved
+alone — the property the micro-batching serving layer
+(:mod:`repro.serve`) is built on.
 """
 
 from __future__ import annotations
@@ -48,7 +56,9 @@ class CGResult:
     iterations:
         Number of iterations executed.
     converged:
-        True if the residual criterion was met before ``maxiter``.
+        True if the residual criterion was met before ``maxiter``, or if
+        the Krylov subspace was exhausted (exact-zero search direction),
+        in which case the iterate is the exact solution on that subspace.
     residual_norm:
         Final preconditioned residual 2-norm.
     residual_history:
@@ -103,8 +113,10 @@ def cg_solve(
         Entries must be positive.
     tol:
         Relative tolerance on ``||r||_2 / ||b||_2`` (absolute if ``b = 0``).
+        A ``(B,)`` array is accepted only with a stacked rhs (per-system
+        tolerances; see :func:`cg_solve_batched`).
     maxiter:
-        Iteration cap.
+        Iteration cap (``(B,)`` array accepted only with a stacked rhs).
     workspace:
         Optional :class:`~repro.sem.workspace.SolverWorkspace` supplying
         the five CG vectors plus scratch (sized for ``b``).  The
@@ -134,6 +146,14 @@ def cg_solve(
             f"rhs must be 1-D (or (B, n) for a batched solve), "
             f"got shape {b.shape}"
         )
+    if np.ndim(tol) != 0 or np.ndim(maxiter) != 0:
+        raise ValueError(
+            "per-system tol/maxiter arrays require a stacked (B, n) rhs"
+        )
+    if not np.isfinite(tol):
+        # A NaN tolerance would silently diverge from the batched path
+        # (whose active-mask comparison treats NaN as "already done").
+        raise ValueError(f"tol must be finite, got {tol}")
     if workspace is not None:
         workspace.require_batch(1)
         workspace.require_global(b.shape[0])
@@ -176,25 +196,37 @@ def cg_solve(
         if res is not dst:
             np.copyto(dst, res)
 
+    def fused_dot(
+        a_vec: NDArray[np.float64], b_vec: NDArray[np.float64]
+    ) -> float:
+        # multiply + pairwise sum, not BLAS ddot: the exact accumulation
+        # the batched loop's row_dots performs, so a solve here is
+        # bit-identical to the same system inside a stacked block.  (It
+        # also avoids np.linalg.norm's x*x field-sized temporary.)
+        np.multiply(a_vec, b_vec, out=tmp)
+        return float(np.sum(tmp))
+
     apply_into(x, ap)
     np.subtract(b, ap, out=r)
     if inv_m is not None:
         np.multiply(r, inv_m, out=z)
     np.copyto(p, z)
-    rz = float(np.dot(r, z))
-    # sqrt(dot) instead of np.linalg.norm: norm materializes an x*x
-    # temporary, which would be the hot loop's only field-sized alloc.
-    b_norm = float(np.sqrt(np.dot(b.reshape(-1), b.reshape(-1))))
+    rz = fused_dot(r, z)
+    b_norm = float(np.sqrt(fused_dot(b, b)))
     stop = tol * (b_norm if b_norm > 0 else 1.0)
 
-    history = [float(np.sqrt(np.dot(r.reshape(-1), r.reshape(-1))))]
+    history = [float(np.sqrt(fused_dot(r, r)))]
     converged = history[0] <= stop
     it = 0
     while not converged and it < maxiter:
         apply_into(p, ap)
-        pap = float(np.dot(p, ap))
+        pap = fused_dot(p, ap)
         if pap <= 0.0:
-            if abs(pap) < 1e-300:  # exact zero direction: solved subspace
+            if abs(pap) < 1e-300:
+                # Exact zero direction: the Krylov subspace is exhausted
+                # and the iterate solves the system on it exactly —
+                # report convergence (matching cg_solve_batched).
+                converged = True
                 break
             raise ValueError(
                 f"CG breakdown: p^T A p = {pap:g} <= 0 (operator not SPD?)"
@@ -206,13 +238,13 @@ def cg_solve(
         r -= tmp
         if inv_m is not None:
             np.multiply(r, inv_m, out=z)
-        rz_new = float(np.dot(r, z))
+        rz_new = fused_dot(r, z)
         beta = rz_new / rz
         rz = rz_new
         np.multiply(p, beta, out=p)
         p += z
         it += 1
-        res = float(np.sqrt(np.dot(r.reshape(-1), r.reshape(-1))))
+        res = float(np.sqrt(fused_dot(r, r)))
         history.append(res)
         converged = res <= stop
 
@@ -238,7 +270,10 @@ class BatchedCGResult:
         which each system first met its own residual criterion (the
         total executed count for systems that never converged).
     converged:
-        Per-system convergence flags, shape ``(B,)``.
+        Per-system convergence flags, shape ``(B,)``.  A system frozen
+        by the exact-zero-direction breakdown path (its Krylov subspace
+        is exhausted and exactly solved) counts as converged even when
+        its residual criterion was never met.
     residual_norm:
         Final residual 2-norms, shape ``(B,)``.
     residual_history:
@@ -311,6 +346,11 @@ def cg_solve_batched(
         ``(B, n)`` (per system).  Entries must be positive.
     tol, maxiter:
         As :func:`cg_solve`; the tolerance is applied per system.
+        Either may also be a ``(B,)`` array giving each system its own
+        request-level tolerance / iteration cap: a system freezes
+        (bit-identically, ``alpha_i = 0``) once it meets *its* criterion
+        or exhausts *its* cap, so heterogeneous requests coalesced into
+        one stacked solve finish exactly as if solved separately.
     workspace:
         Optional :class:`~repro.sem.workspace.SolverWorkspace` built
         with ``batch=B``; supplies every ``(B, n)`` CG vector plus the
@@ -333,6 +373,28 @@ def cg_solve_batched(
     nb, n = b.shape
     if nb < 1:
         raise ValueError("batched rhs needs at least one system")
+    tol_arr = np.asarray(tol, dtype=np.float64)
+    if tol_arr.ndim not in (0, 1) or (
+        tol_arr.ndim == 1 and tol_arr.shape != (nb,)
+    ):
+        raise ValueError(
+            f"tol must be a scalar or ({nb},), got shape {tol_arr.shape}"
+        )
+    if not np.all(np.isfinite(tol_arr)):
+        # NaN poisons the res > stop active mask (comparisons with NaN
+        # are False), freezing that system at 0 iterations where the
+        # sequential path would have iterated — reject it loudly.
+        raise ValueError("tol entries must be finite")
+    miter = np.asarray(maxiter, dtype=np.int64)
+    if miter.ndim not in (0, 1) or (
+        miter.ndim == 1 and miter.shape != (nb,)
+    ):
+        raise ValueError(
+            f"maxiter must be a scalar or ({nb},), got shape {miter.shape}"
+        )
+    if miter.size and miter.min() < 0:
+        raise ValueError("maxiter entries must be >= 0")
+    iter_cap = int(miter.max()) if miter.size else 0
     if workspace is not None:
         workspace.require_batch(nb)
         workspace.require_global(n)
@@ -405,17 +467,23 @@ def cg_solve_batched(
     row_dots(r, z, rz)
     row_dots(b, b, stop)
     np.sqrt(stop, out=stop)  # ||b_i||
-    stop[...] = tol * np.where(stop > 0, stop, 1.0)
+    stop[...] = tol_arr * np.where(stop > 0, stop, 1.0)
 
     row_dots(r, r, res)
     np.sqrt(res, out=res)
     np.greater(res, stop, out=active)
+    if miter.ndim:
+        active &= miter > 0  # zero-cap requests never start iterating
     iterations = np.zeros(nb, dtype=np.int64)
+    # Systems frozen by subspace exhaustion are solved on their Krylov
+    # subspace even though their residual criterion never fires; they
+    # are folded into the returned ``converged``.
+    exhausted_total = np.zeros(nb, dtype=bool)
     alpha.fill(0.0)
     beta.fill(0.0)
     history = [res.copy()]
     it = 0
-    while bool(np.any(active)) and it < maxiter:
+    while bool(np.any(active)) and it < iter_cap:
         apply_into(p, ap)
         row_dots(p, ap, pap)
         bad = active & (pap <= 0.0)
@@ -425,6 +493,7 @@ def cg_solve_batched(
                 # Exact zero directions: those systems' subspaces are
                 # solved; freeze them and let the others continue.
                 active &= ~exhausted
+                exhausted_total |= exhausted
                 iterations[exhausted] = it
                 if not np.any(active):
                     break
@@ -460,12 +529,18 @@ def cg_solve_batched(
         newly_done = active & (res <= stop)
         iterations[newly_done] = it
         active &= ~newly_done
+        if miter.ndim:
+            # Per-request iteration caps: freeze systems at their own
+            # maxiter (their x is already exactly the capped iterate).
+            capped = active & (it >= miter)
+            iterations[capped] = it
+            active &= ~capped
 
     iterations[active] = it  # systems that hit maxiter
     return BatchedCGResult(
         x=x.copy() if workspace is not None else x,
         iterations=iterations,
-        converged=res <= stop,
+        converged=(res <= stop) | exhausted_total,
         residual_norm=res.copy(),
         residual_history=np.stack(history),
     )

@@ -106,12 +106,19 @@ class GatherScatter:
 
     # ------------------------------------------------------------------
     def _batched_scratch(self, batch: int) -> NDArray[np.float64]:
-        """Cached ``(batch, L)`` permutation scratch for stacked gathers."""
-        scratch = self._batch_scratch.get(batch)
-        if scratch is None:
+        """Cached ``(batch, L)`` permutation scratch for stacked gathers.
+
+        A single buffer sized for the largest batch ever seen is kept and
+        sliced for smaller ones, so a service whose batch sizes vary
+        (micro-batching fills whatever is pending) holds exactly one
+        scratch array instead of one dead field-sized buffer per distinct
+        batch size.
+        """
+        scratch = self._batch_scratch.get("buf")
+        if scratch is None or scratch.shape[0] < batch:
             scratch = np.empty((batch, self.l2g_flat.shape[0]))
-            self._batch_scratch[batch] = scratch
-        return scratch
+            self._batch_scratch["buf"] = scratch
+        return scratch[:batch]
 
     def gather(
         self,
@@ -147,6 +154,12 @@ class GatherScatter:
             raise ValueError(f"expected {self.local_shape}, got {local.shape}")
         if out is not None and out.shape != out_shape:
             raise ValueError(f"out must be {out_shape}, got {out.shape}")
+        if out is not None and not out.flags.c_contiguous:
+            # A non-contiguous ``out`` cannot back the take/reduceat fast
+            # paths; compute into a contiguous result and copy once
+            # (mirrors ax_local_matmul's handling of non-contiguous out).
+            np.copyto(out, self.gather(local))
+            return out
         if not self._dense:
             # Sparse maps (some global ids unused) fall back to bincount.
             rows = local.reshape(out_shape[:-1] + (-1,))
@@ -204,6 +217,17 @@ class GatherScatter:
                 return global_vec[:, self.l2g_flat].reshape(out_shape)
             if out.shape != out_shape:
                 raise ValueError(f"out must be {out_shape}, got {out.shape}")
+            if not out.flags.c_contiguous:
+                # ``out.reshape`` would silently *copy* for a
+                # non-contiguous target, dropping the result; take into
+                # the contiguous scratch and copy once instead.
+                scratch = self._batched_scratch(global_vec.shape[0])
+                np.take(
+                    global_vec, self.l2g_flat, axis=1, out=scratch,
+                    mode="clip",
+                )
+                np.copyto(out, scratch.reshape(out_shape))
+                return out
             np.take(
                 global_vec, self.l2g_flat, axis=1,
                 out=out.reshape(global_vec.shape[0], -1), mode="clip",
@@ -219,6 +243,15 @@ class GatherScatter:
             raise ValueError(
                 f"out must be {self.local_shape}, got {out.shape}"
             )
+        if not out.flags.c_contiguous:
+            # Same hazard as the batched branch: reshape of a
+            # non-contiguous ``out`` is a copy, not a view.
+            np.take(
+                global_vec, self.l2g_flat, out=self._sorted_scratch,
+                mode="clip",
+            )
+            np.copyto(out, self._sorted_scratch.reshape(self.local_shape))
+            return out
         np.take(global_vec, self.l2g_flat, out=out.reshape(-1), mode="clip")
         return out
 

@@ -75,6 +75,7 @@ class HelmholtzProblem:
         self._batch_workspaces: dict[int, SolverWorkspace] = {}
         self._ax_out = accepts_keyword(self.ax_backend, "out")
         self._ax_ws = accepts_keyword(self.ax_backend, "workspace")
+        self._precond_diag: NDArray[np.float64] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -86,6 +87,20 @@ class HelmholtzProblem:
     def n_dofs(self) -> int:
         """Number of global DOFs (no boundary masking in BK5)."""
         return self.mesh.n_global
+
+    @property
+    def operator(self) -> Callable[..., NDArray[np.float64]]:
+        """The global SPD operator callback (:meth:`apply`) — the
+        uniform protocol shared with
+        :class:`~repro.sem.poisson.PoissonProblem`."""
+        return self.apply
+
+    def precond_diag(self) -> NDArray[np.float64]:
+        """The Jacobi diagonal (:meth:`diagonal`), computed once and
+        cached; treat the returned array as read-only."""
+        if self._precond_diag is None:
+            self._precond_diag = self.diagonal()
+        return self._precond_diag
 
     def batch_workspace(self, batch: int) -> SolverWorkspace:
         """Cached workspace for ``batch`` stacked right-hand sides."""

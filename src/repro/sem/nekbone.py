@@ -106,6 +106,32 @@ class NekboneCase:
         """Total elements of the case."""
         return self.problem.mesh.num_elements
 
+    # ------------------------------------------------------------------
+    # Solver-facing protocol (delegated to the underlying problem) so a
+    # NekboneCase can be handed directly to repro.serve.SolveService.
+    @property
+    def n_dofs(self) -> int:
+        """Global DOF count of the underlying problem."""
+        return self.problem.n_dofs
+
+    @property
+    def operator(self):
+        """The global SPD operator callback (``problem.apply_A``)."""
+        return self.problem.operator
+
+    @property
+    def workspace(self):
+        """The underlying problem's unbatched workspace."""
+        return self.problem.workspace
+
+    def precond_diag(self):
+        """Cached Jacobi diagonal of the underlying problem."""
+        return self.problem.precond_diag()
+
+    def batch_workspace(self, batch: int):
+        """Cached batched workspace of the underlying problem."""
+        return self.problem.batch_workspace(batch)
+
     def run(self, iterations: int = 100, tol: float = 0.0) -> tuple[NekboneReport, CGResult]:
         """Execute the solve phase and report Nekbone-style metrics.
 
@@ -117,7 +143,7 @@ class NekboneCase:
         prob = self.problem
         _, forcing = sine_manufactured(prob.mesh.extent)
         b = prob.rhs_from_forcing(forcing)
-        diag = prob.jacobi_diagonal()
+        diag = prob.precond_diag()
 
         start = time.perf_counter()
         # The solve phase runs through the problem's workspace: zero

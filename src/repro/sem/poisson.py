@@ -80,6 +80,7 @@ class PoissonProblem:
         self._interior_f = self.interior.astype(np.float64)
         self._ax_out = accepts_keyword(self.ax_backend, "out")
         self._ax_ws = accepts_keyword(self.ax_backend, "workspace")
+        self._precond_diag: NDArray[np.float64] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -91,6 +92,28 @@ class PoissonProblem:
     def n_dofs(self) -> int:
         """Number of global DOFs (including masked boundary nodes)."""
         return self.mesh.n_global
+
+    @property
+    def operator(self) -> Callable[..., NDArray[np.float64]]:
+        """The global SPD operator callback (:meth:`apply_A`).
+
+        The uniform solver-facing protocol shared with
+        :class:`~repro.sem.helmholtz.HelmholtzProblem` (whose operator
+        method is named ``apply``); the serving layer
+        (:mod:`repro.serve`) binds problems through this property.
+        """
+        return self.apply_A
+
+    def precond_diag(self) -> NDArray[np.float64]:
+        """The Jacobi diagonal, computed once and cached.
+
+        Repeated solves (and every batch a :class:`repro.serve.SolveService`
+        dispatches) reuse one assembled diagonal instead of regathering
+        it; treat the returned array as read-only.
+        """
+        if self._precond_diag is None:
+            self._precond_diag = self.jacobi_diagonal()
+        return self._precond_diag
 
     # ------------------------------------------------------------------
     def batch_workspace(self, batch: int) -> SolverWorkspace:

@@ -33,10 +33,18 @@ workspace (the internal element-block threads are safe because they own
 disjoint rows).  After a warm-up call every kernel and CG iteration runs
 without any field-sized heap allocation — verified by the
 ``tracemalloc`` regression tests in ``tests/sem/test_workspace.py``.
+
+A threaded workspace owns real OS threads, so it supports deterministic
+teardown three ways: ``with SolverWorkspace(...) as ws:`` (the pool is
+shut down on block exit), an explicit :meth:`SolverWorkspace.shutdown`,
+and — as a safety net for pooled workspaces dropped without either — a
+``weakref.finalize`` that stops the workers when the workspace is
+garbage collected.
 """
 
 from __future__ import annotations
 
+import weakref
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -44,6 +52,15 @@ import numpy as np
 from numpy.typing import NDArray
 
 from repro.sem.mesh import BoxMesh
+
+
+def _shutdown_pool(pool: ThreadPoolExecutor) -> None:
+    """Finalizer target: must not hold a reference back to the workspace.
+
+    ``wait=False`` because a GC-triggered finalizer may run from an
+    arbitrary thread; the workers exit as soon as their queue drains.
+    """
+    pool.shutdown(wait=False)
 
 #: Kernel scratch names, shaped ``(scratch_rows, nx, nx, nx)``: for
 #: large batched problems the blocked ``Ax`` kernels sweep one system's
@@ -180,6 +197,7 @@ class SolverWorkspace:
             setattr(self, name, np.empty(self.batch))
         self.cg_active = np.empty(self.batch, dtype=bool)
         self._executor: ThreadPoolExecutor | None = None
+        self._finalizer: weakref.finalize | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -208,10 +226,11 @@ class SolverWorkspace:
             len(LOCAL_FIELD_BUFFERS) * field
             + len(GLOBAL_BUFFERS) * self.n_global
         )
+        # cg_active is the lone bool buffer: 1 byte per system, not 8.
         return 8 * (
             scratch + self.batch * per_system
-            + (len(BATCH_SCALAR_BUFFERS) + 1) * self.batch
-        )
+            + len(BATCH_SCALAR_BUFFERS) * self.batch
+        ) + self.batch
 
     @property
     def executor(self) -> ThreadPoolExecutor | None:
@@ -226,13 +245,34 @@ class SolverWorkspace:
             self._executor = ThreadPoolExecutor(
                 max_workers=self.threads, thread_name_prefix="sem-ax"
             )
+            # The pool's worker threads would otherwise outlive a
+            # workspace nobody remembered to shut down (each thread
+            # pins its interpreter slot until exit); tie teardown to
+            # this workspace's lifetime.
+            self._finalizer = weakref.finalize(
+                self, _shutdown_pool, self._executor
+            )
         return self._executor
 
     def shutdown(self) -> None:
-        """Tear down the worker pool (idempotent; buffers stay valid)."""
+        """Tear down the worker pool (idempotent; buffers stay valid).
+
+        Also runs on ``with``-block exit (:meth:`__exit__`) and, as a
+        last resort, from a ``weakref.finalize`` when the workspace is
+        garbage collected.
+        """
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+
+    def __enter__(self) -> "SolverWorkspace":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
 
     # ------------------------------------------------------------------
     def require_local(self, num_elements: int, nx: int) -> None:

@@ -1,0 +1,39 @@
+"""Micro-batched solve serving on top of the batched CG primitive.
+
+The serving layer the ROADMAP's "heavy traffic" north star calls for:
+:class:`SolveService` accepts independent single-RHS solve requests
+(from scripts via :meth:`SolveService.solve_many`, or from concurrent
+client threads via :meth:`SolveService.submit` with a background
+dispatcher) and dynamically coalesces them — up to ``max_batch``
+requests, waiting at most ``max_wait`` — into warm
+:func:`~repro.sem.cg.cg_solve_batched` dispatches through a pooled
+cache of batched workspaces.  Per-request results are bit-identical to
+sequential warm :func:`~repro.sem.cg.cg_solve` calls; batching is
+purely a throughput decision.
+
+Quick taste::
+
+    from repro.sem import BoxMesh, PoissonProblem, ReferenceElement
+    from repro.serve import SolveService
+
+    problem = PoissonProblem(mesh, ax_backend="matmul")
+    with SolveService(problem, max_batch=8, background=True) as svc:
+        tickets = [svc.submit(b, tol=1e-10) for b in request_stream]
+        results = [t.result() for t in tickets]
+        print(svc.stats.solves_per_second, svc.stats.batch_histogram)
+"""
+
+from repro.serve.pool import WorkspacePool
+from repro.serve.scheduler import MicroBatcher, QueueClosed
+from repro.serve.service import SolveService, SolveTicket
+from repro.serve.stats import ServiceStats, StatsSnapshot
+
+__all__ = [
+    "SolveService",
+    "SolveTicket",
+    "WorkspacePool",
+    "MicroBatcher",
+    "QueueClosed",
+    "ServiceStats",
+    "StatsSnapshot",
+]

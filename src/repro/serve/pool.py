@@ -1,0 +1,77 @@
+"""Exclusive leases over a problem's cache of batched solver workspaces.
+
+A :class:`~repro.sem.workspace.SolverWorkspace` serves one (possibly
+stacked) solve at a time — its buffers are reused in place, so two
+concurrent solves through the same problem would corrupt each other.
+:class:`WorkspacePool` wraps the problem's own
+:func:`~repro.sem.workspace.cached_batch_workspace` cache (one warm
+workspace per distinct batch size, sharing the problem's ``threads=``
+setting) with the one thing the cache itself doesn't provide: mutual
+exclusion.  The micro-batching service leases a workspace around every
+stacked dispatch; scripted callers can do the same around manual
+batched solves.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.sem.workspace import SolverWorkspace
+
+
+class WorkspacePool:
+    """Serialized access to one problem's batched-workspace cache.
+
+    Parameters
+    ----------
+    problem:
+        Any object with ``batch_workspace(batch) -> SolverWorkspace``
+        (:class:`~repro.sem.poisson.PoissonProblem`,
+        :class:`~repro.sem.helmholtz.HelmholtzProblem`, or
+        :class:`~repro.sem.nekbone.NekboneCase`).
+
+    The pool does not pre-size anything: workspaces materialize lazily
+    per distinct batch size on first lease (warm thereafter), exactly as
+    the problem's own cache behaves.
+    """
+
+    def __init__(self, problem) -> None:
+        self._problem = problem
+        self._lock = threading.Lock()
+        self._leased: dict[int, SolverWorkspace] = {}
+
+    @contextmanager
+    def lease(self, batch: int) -> Iterator[SolverWorkspace]:
+        """Exclusive use of the warm workspace for ``batch`` systems.
+
+        Held for the whole stacked solve: the underlying buffers (and
+        the problem's shared single-system workspace for ``batch == 1``)
+        admit exactly one solve at a time.
+        """
+        with self._lock:
+            ws = self._problem.batch_workspace(batch)
+            self._leased[batch] = ws
+            yield ws
+
+    # ------------------------------------------------------------------
+    @property
+    def sizes(self) -> tuple[int, ...]:
+        """Batch sizes this pool has leased so far (sorted)."""
+        return tuple(sorted(self._leased))
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by every workspace leased through this pool."""
+        return sum(ws.nbytes for ws in self._leased.values())
+
+    def shutdown(self) -> None:
+        """Shut down the worker pools of every leased workspace.
+
+        Buffers stay valid and executors respawn lazily on next use, so
+        this is safe even if the problem keeps being used afterwards.
+        """
+        with self._lock:
+            for ws in self._leased.values():
+                ws.shutdown()

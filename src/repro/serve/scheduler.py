@@ -1,0 +1,162 @@
+"""Dynamic micro-batching queue: coalesce requests into stacked blocks.
+
+The core serving trade-off (Karp et al.'s host-device flow, and every
+inference server since): latency wants each request dispatched the
+moment it arrives, throughput wants requests stacked so one warm batched
+solve amortizes geometry traffic and dispatch overhead across all of
+them.  :class:`MicroBatcher` implements the standard compromise — a
+dispatch fires as soon as ``max_batch`` requests are pending, or
+``max_wait`` seconds after the oldest pending request arrived, whichever
+comes first.
+
+The batcher is a plain thread-safe data structure (one condition
+variable, one deque); the policy loop that calls :meth:`take_batch`
+lives in :class:`~repro.serve.service.SolveService`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class QueueClosed(RuntimeError):
+    """Raised by :meth:`MicroBatcher.put` after :meth:`MicroBatcher.close`."""
+
+
+class MicroBatcher(Generic[T]):
+    """Bounded request queue with coalescing (batch-at-a-time) pops.
+
+    Parameters
+    ----------
+    max_batch:
+        Largest number of items a single :meth:`take_batch` returns.
+    max_wait:
+        Seconds :meth:`take_batch` lingers after the first pending item
+        for more to coalesce.  ``0.0`` pops whatever is pending
+        immediately (pure opportunistic batching).
+    max_pending:
+        Backpressure bound: :meth:`put` blocks while this many items are
+        queued.  ``None`` leaves the queue unbounded (the synchronous
+        front-end drains inline, so it cannot grow past ``max_batch``
+        there).
+    """
+
+    def __init__(
+        self,
+        max_batch: int,
+        max_wait: float = 0.0,
+        max_pending: int | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        if max_pending is not None and max_pending < max_batch:
+            raise ValueError(
+                f"max_pending ({max_pending}) must be >= max_batch "
+                f"({max_batch}) or the queue could never fill a batch"
+            )
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self.max_pending = max_pending
+        # Each entry carries its arrival time so the linger deadline is
+        # anchored to the *oldest pending request*, not to whenever the
+        # dispatcher got around to looking.
+        self._items: deque[tuple[float, T]] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, item: T) -> int:
+        """Enqueue one item, blocking while the queue is at capacity.
+
+        Returns the queue depth including the new item.  Raises
+        :class:`QueueClosed` if the batcher has been closed (including
+        while blocked on backpressure).
+        """
+        with self._cond:
+            while (
+                not self._closed
+                and self.max_pending is not None
+                and len(self._items) >= self.max_pending
+            ):
+                self._cond.wait()
+            if self._closed:
+                raise QueueClosed("submit on a closed solve service")
+            self._items.append((time.monotonic(), item))
+            self._cond.notify_all()
+            return len(self._items)
+
+    def take_batch(self) -> list[T]:
+        """Block until a batch is ready and pop up to ``max_batch`` items.
+
+        A batch is ready when ``max_batch`` items are pending, or the
+        oldest pending item has waited ``max_wait`` since it was
+        enqueued (so time the dispatcher spent solving the previous
+        batch counts against the linger), or the batcher is closed
+        (drain mode).  Returns ``[]`` only when closed *and* empty —
+        the dispatcher's exit signal.
+        """
+        with self._cond:
+            while not self._items and not self._closed:
+                self._cond.wait()
+            while (
+                self._items
+                and len(self._items) < self.max_batch
+                and not self._closed
+            ):
+                # Linger for stragglers: this is the "dynamic" in
+                # dynamic micro-batching.  The deadline is the oldest
+                # item's arrival + max_wait, the documented per-request
+                # latency bound.
+                remaining = self._items[0][0] + self.max_wait \
+                    - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
+            batch = [
+                self._items.popleft()[1]
+                for _ in range(min(self.max_batch, len(self._items)))
+            ]
+            if batch:
+                # Space freed: wake producers blocked on backpressure.
+                self._cond.notify_all()
+            return batch
+
+    def take_batch_nowait(self) -> list[T]:
+        """Pop up to ``max_batch`` pending items without blocking.
+
+        The synchronous front-end's drain primitive: returns ``[]``
+        immediately when nothing is pending.
+        """
+        with self._cond:
+            batch = [
+                self._items.popleft()[1]
+                for _ in range(min(self.max_batch, len(self._items)))
+            ]
+            if batch:
+                self._cond.notify_all()
+            return batch
+
+    def close(self) -> None:
+        """Stop accepting new items; pending items remain poppable.
+
+        Producers blocked in :meth:`put` are woken and raise
+        :class:`QueueClosed`; :meth:`take_batch` keeps returning pending
+        batches until the queue is drained, then returns ``[]``.
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

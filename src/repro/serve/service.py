@@ -1,0 +1,374 @@
+"""The dynamic micro-batching solve service.
+
+The paper frames the FPGA SEM accelerator as a device an application
+streams solves through; Nekbone — its CPU baseline — is the Jacobi-CG
+loop this repo runs allocation-free and batched.  PR 2 built the batched
+primitive (:func:`repro.sem.cg.cg_solve_batched`, one warm workspace
+carrying ``B`` stacked right-hand sides); this module builds the thing
+that *feeds* it: a service that accepts independent single-RHS solve
+requests from any number of client threads and dynamically coalesces
+them into stacked batched solves.
+
+Guarantees:
+
+* **Bit-identical results.**  Both CG paths accumulate with the same
+  fused multiply + pairwise-sum reductions and the batched kernels sweep
+  systems through the identical op sequence, so every request's
+  :class:`~repro.sem.cg.CGResult` is bit-for-bit what a sequential
+  warm :func:`~repro.sem.cg.cg_solve` would have produced — batching is
+  purely a throughput decision, invisible to numerics.
+* **Per-request parameters.**  ``tol`` and ``maxiter`` ride with each
+  request; heterogeneous requests coalesce into one stacked solve via
+  the per-system stopping criteria of
+  :func:`~repro.sem.cg.cg_solve_batched`.
+* **Backpressure.**  ``max_pending`` bounds the queue; ``submit``
+  blocks (never drops) when clients outrun the solver.
+
+Two front-ends share the machinery:
+
+* :meth:`SolveService.solve_many` — synchronous, for scripts: submit a
+  block of requests, drain inline, get ordered results.
+* ``background=True`` — a dispatcher thread batches concurrent
+  :meth:`SolveService.submit` calls from many clients, firing a batch
+  when ``max_batch`` requests are pending or ``max_wait`` seconds after
+  the oldest arrived.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.sem.cg import CGResult, cg_solve_batched
+from repro.serve.pool import WorkspacePool
+from repro.serve.scheduler import MicroBatcher
+from repro.serve.stats import ServiceStats, StatsSnapshot
+
+#: Attributes the solver-facing problem protocol requires
+#: (PoissonProblem, HelmholtzProblem and NekboneCase all provide them).
+_PROTOCOL = ("operator", "precond_diag", "batch_workspace", "n_dofs")
+
+
+class SolveTicket:
+    """Handle to one submitted request; resolves to a
+    :class:`~repro.sem.cg.CGResult`.
+
+    Tickets are created by :meth:`SolveService.submit` and resolved by
+    whichever thread executes the batch containing the request (the
+    background dispatcher, or a client draining synchronously).  A thin
+    veneer over :class:`concurrent.futures.Future`, which already has
+    the cross-thread resolve/wait/re-raise semantics needed here.
+    """
+
+    __slots__ = ("_future",)
+
+    def __init__(self) -> None:
+        self._future: Future[CGResult] = Future()
+
+    def done(self) -> bool:
+        """True once the request has been solved (or failed)."""
+        return self._future.done()
+
+    def result(self, timeout: float | None = None) -> CGResult:
+        """Block until resolved and return the request's
+        :class:`~repro.sem.cg.CGResult`.
+
+        Raises ``TimeoutError`` if ``timeout`` elapses first, or
+        re-raises the batch's exception if the solve failed.
+        """
+        return self._future.result(timeout)
+
+    # Called by the service only.
+    def _resolve(self, result: CGResult) -> None:
+        self._future.set_result(result)
+
+    def _fail(self, error: BaseException) -> None:
+        self._future.set_exception(error)
+
+
+@dataclass
+class _Request:
+    """One queued solve: the copied rhs plus its request-level knobs."""
+
+    ticket: SolveTicket
+    b: NDArray[np.float64]
+    tol: float
+    maxiter: int
+
+
+@dataclass
+class SolveService:
+    """Dynamic micro-batching front-end over one SEM problem.
+
+    Parameters
+    ----------
+    problem:
+        A :class:`~repro.sem.poisson.PoissonProblem`,
+        :class:`~repro.sem.helmholtz.HelmholtzProblem` or
+        :class:`~repro.sem.nekbone.NekboneCase` (anything exposing
+        ``operator`` / ``precond_diag()`` / ``batch_workspace()`` /
+        ``n_dofs``).  The service inherits the problem's ``threads=``
+        setting through its workspaces — thread over element blocks,
+        batch over requests.
+    max_batch:
+        Largest number of requests coalesced into one stacked solve.
+    max_wait:
+        Latency bound on coalescing: the background dispatcher fires a
+        partial batch once the *oldest* pending request has waited this
+        many seconds since arrival (time spent solving the previous
+        batch counts).  Ignored by the synchronous front-end, which
+        drains on demand.
+    max_pending:
+        Backpressure bound on queued requests; ``submit`` blocks while
+        the queue is full.  Defaults to ``4 * max_batch`` in background
+        mode, unbounded otherwise (the synchronous front-end drains
+        inline, so its queue cannot grow past ``max_batch``).
+    tol / maxiter:
+        Service-level defaults for requests that don't override them.
+    precondition:
+        Use the problem's cached Jacobi diagonal (default) or solve
+        unpreconditioned.
+    background:
+        Spawn the dispatcher thread.  Without it, batches fire inside
+        ``submit`` whenever ``max_batch`` requests are pending, and
+        :meth:`flush` / :meth:`solve_many` drain the rest.
+
+    Close the service (or use it as a context manager) to drain the
+    queue and stop the dispatcher; tickets submitted before ``close``
+    are always resolved.
+    """
+
+    problem: object
+    max_batch: int = 8
+    max_wait: float = 1e-3
+    max_pending: int | None = None
+    tol: float = 1e-10
+    maxiter: int = 1000
+    precondition: bool = True
+    background: bool = False
+
+    stats_accumulator: ServiceStats = field(
+        init=False, repr=False, default_factory=ServiceStats
+    )
+
+    def __post_init__(self) -> None:
+        missing = [a for a in _PROTOCOL if not hasattr(self.problem, a)]
+        if missing:
+            raise TypeError(
+                f"problem {type(self.problem).__name__} lacks the solver "
+                f"protocol attribute(s) {missing}; expected a "
+                "PoissonProblem, HelmholtzProblem or NekboneCase"
+            )
+        if self.max_pending is None and self.background:
+            self.max_pending = 4 * self.max_batch
+        self._operator = self.problem.operator
+        self._diag = (
+            self.problem.precond_diag() if self.precondition else None
+        )
+        self._n = int(self.problem.n_dofs)
+        self._pool = WorkspacePool(self.problem)
+        self._batcher: MicroBatcher[_Request] = MicroBatcher(
+            max_batch=self.max_batch,
+            max_wait=self.max_wait,
+            max_pending=self.max_pending,
+        )
+        self._dispatcher: threading.Thread | None = None
+        if self.background:
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop,
+                name="sem-serve-dispatch",
+                daemon=True,
+            )
+            self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        b: NDArray[np.float64],
+        tol: float | None = None,
+        maxiter: int | None = None,
+    ) -> SolveTicket:
+        """Queue one right-hand side for solving; returns its ticket.
+
+        Thread-safe; blocks when the queue is at ``max_pending``
+        (backpressure) and raises ``QueueClosed`` after :meth:`close`.
+        The rhs is copied at submission, so callers may reuse their
+        buffer immediately.
+        """
+        b = np.array(b, dtype=np.float64)  # snapshot: caller may mutate
+        if b.shape != (self._n,):
+            raise ValueError(
+                f"rhs must have shape ({self._n},), got {b.shape}"
+            )
+        # Validate request knobs HERE, not in the batched solve: a bad
+        # value must bounce off the offending caller, never fail the
+        # innocent requests coalesced into the same batch.
+        tol_val = self.tol if tol is None else float(tol)
+        if not np.isfinite(tol_val) or tol_val < 0:
+            raise ValueError(f"tol must be finite and >= 0, got {tol_val}")
+        maxiter_val = self.maxiter if maxiter is None else int(maxiter)
+        if maxiter_val < 0:
+            raise ValueError(f"maxiter must be >= 0, got {maxiter_val}")
+        request = _Request(
+            ticket=SolveTicket(),
+            b=b,
+            tol=tol_val,
+            maxiter=maxiter_val,
+        )
+        depth = self._batcher.put(request)
+        self.stats_accumulator.record_submit(depth)
+        if self._dispatcher is None and depth >= self.max_batch:
+            # Synchronous mode: the submitting client pays for the
+            # full batch it just completed.
+            self._drain(once=True)
+        return request.ticket
+
+    def flush(self) -> None:
+        """Solve everything pending on the caller's thread.
+
+        The synchronous complement to the background dispatcher: after a
+        burst of :meth:`submit` calls, one ``flush`` resolves every
+        outstanding ticket (partial batches included).  Safe to call in
+        background mode too (client and dispatcher simply split the
+        queue between them).
+        """
+        self._drain(once=False)
+
+    def solve_many(
+        self,
+        bs,
+        tol: float | None = None,
+        maxiter: int | None = None,
+    ) -> list[CGResult]:
+        """Solve a block of right-hand sides; results in input order.
+
+        The scripted front-end: equivalent to submitting every row and
+        waiting on every ticket, with the batches solved inline (or by
+        the dispatcher in background mode).  ``bs`` is an ``(M, n)``
+        array or a sequence of ``(n,)`` vectors; ``M`` may exceed
+        ``max_batch`` — the service chunks it.
+        """
+        tickets = [self.submit(b, tol=tol, maxiter=maxiter) for b in bs]
+        if self._dispatcher is None:
+            self.flush()
+        return [t.result() for t in tickets]
+
+    @property
+    def stats(self) -> StatsSnapshot:
+        """A consistent snapshot of the service counters."""
+        return self.stats_accumulator.snapshot()
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently pending (not yet dispatched)."""
+        return len(self._batcher)
+
+    def close(self) -> None:
+        """Drain pending requests, resolve their tickets, stop serving.
+
+        Idempotent.  Further ``submit`` calls raise ``QueueClosed``.
+        """
+        self._batcher.close()
+        if self._dispatcher is not None:
+            self._dispatcher.join()
+            self._dispatcher = None
+        self._drain(once=False)  # foreground leftovers (no-op otherwise)
+        self._pool.shutdown()
+
+    def __enter__(self) -> "SolveService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self._batcher.take_batch()
+            if batch:
+                self._solve_batch(batch)
+            elif self._batcher.closed:
+                return
+            # else: another thread drained the queue first; wait again.
+
+    def _drain(self, once: bool) -> None:
+        """Pop-and-solve pending batches on the calling thread.
+
+        Safe from any number of threads: pops are serialized by the
+        batcher's lock and solves by the workspace pool's lease.
+        """
+        while True:
+            batch = self._batcher.take_batch_nowait()
+            if not batch:
+                return
+            self._solve_batch(batch)
+            if once:
+                return
+
+    def _solve_batch(self, batch: list[_Request]) -> None:
+        """One stacked dispatch: solve ``len(batch)`` requests at once.
+
+        The batch is already popped from the queue, so every ticket in
+        it MUST leave here resolved or failed — batch assembly included
+        in the guarded region, else an allocation failure would strand
+        tickets forever.  ``KeyboardInterrupt``/``SystemExit`` still
+        fail the tickets (their waiters unblock) but propagate to the
+        caller instead of being swallowed into ticket state.
+        """
+        start = time.perf_counter()
+        nb = len(batch)
+        try:
+            bs = np.stack([req.b for req in batch])
+            tols = np.array([req.tol for req in batch])
+            maxiters = np.array(
+                [req.maxiter for req in batch], dtype=np.int64
+            )
+            with self._pool.lease(nb) as ws:
+                res = cg_solve_batched(
+                    self._operator, bs, precond_diag=self._diag,
+                    tol=tols, maxiter=maxiters, workspace=ws,
+                )
+        except BaseException as exc:  # resolve tickets even on breakdown
+            for req in batch:
+                req.ticket._fail(exc)
+            self.stats_accumulator.record_batch(
+                nb, time.perf_counter() - start, len(self._batcher),
+                failed=True,
+            )
+            if not isinstance(exc, Exception):
+                raise  # interrupts abort the drain/dispatch loop
+            return
+        for k, req in enumerate(batch):
+            req.ticket._resolve(_outcome_row(res, k))
+        self.stats_accumulator.record_batch(
+            nb, time.perf_counter() - start, len(self._batcher),
+        )
+
+
+def _outcome_row(res, k: int) -> CGResult:
+    """Extract system ``k`` of a batched result as a ``CGResult``.
+
+    The residual history is truncated to the system's own live prefix
+    (rows past its convergence are frozen repeats), so every field is
+    exactly what a sequential solve of that system would have reported —
+    bit for bit.
+    """
+    iterations = int(res.iterations[k])
+    return CGResult(
+        x=res.x[k].copy(),
+        iterations=iterations,
+        converged=bool(res.converged[k]),
+        residual_norm=float(res.residual_norm[k]),
+        residual_history=tuple(
+            float(v) for v in res.residual_history[: iterations + 1, k]
+        ),
+    )

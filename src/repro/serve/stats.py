@@ -1,0 +1,134 @@
+"""Service-side counters for the micro-batching solve service.
+
+The paper's serving story is throughput: how many solves per second the
+device sustains when the host keeps its pipeline full.  The stats here
+make that observable on the CPU substrate — every
+:class:`~repro.serve.service.SolveService` owns a :class:`ServiceStats`
+accumulator and exposes immutable :class:`StatsSnapshot` views of it
+(queue depth, the batch-size histogram that shows how well coalescing is
+working, and solves per second).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """Immutable view of a service's counters at one instant.
+
+    Attributes
+    ----------
+    submitted / completed / failed:
+        Request counts.  ``failed`` counts requests whose batch raised
+        (e.g. a CG breakdown); their tickets re-raise the error.
+    batches:
+        Number of stacked ``cg_solve_batched`` dispatches executed.
+    batch_histogram:
+        ``{batch_size: count}`` — the coalescing fingerprint.  All mass
+        at 1 means micro-batching never kicked in; mass at ``max_batch``
+        means the pipeline stayed full.
+    queue_depth / max_queue_depth:
+        Pending requests now / high-water mark.
+    busy_seconds:
+        Total wall time spent inside batched solves.
+    wall_seconds:
+        Wall time from the first submission to the latest completion.
+    """
+
+    submitted: int
+    completed: int
+    failed: int
+    batches: int
+    batch_histogram: dict[int, int]
+    queue_depth: int
+    max_queue_depth: int
+    busy_seconds: float
+    wall_seconds: float
+
+    @property
+    def solves_per_second(self) -> float:
+        """Completed requests per wall-clock second (first submit to
+        latest completion); ``0.0`` before anything completes."""
+        if self.completed == 0 or self.wall_seconds <= 0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average number of requests coalesced per dispatch."""
+        if self.batches == 0:
+            return 0.0
+        return (self.completed + self.failed) / self.batches
+
+
+@dataclass
+class ServiceStats:
+    """Thread-safe accumulator behind :class:`StatsSnapshot`.
+
+    All mutators take the internal lock; :meth:`snapshot` returns a
+    consistent frozen copy.  Submissions may come from any client
+    thread, completions from the dispatcher (or a flushing client).
+    """
+
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _submitted: int = 0
+    _completed: int = 0
+    _failed: int = 0
+    _batches: int = 0
+    _histogram: dict[int, int] = field(default_factory=dict, repr=False)
+    _queue_depth: int = 0
+    _max_queue_depth: int = 0
+    _busy_seconds: float = 0.0
+    _first_submit: float | None = None
+    _last_done: float | None = None
+
+    def record_submit(self, queue_depth: int) -> None:
+        """One request entered the queue (``queue_depth`` includes it)."""
+        with self._lock:
+            self._submitted += 1
+            self._queue_depth = queue_depth
+            self._max_queue_depth = max(self._max_queue_depth, queue_depth)
+            if self._first_submit is None:
+                self._first_submit = time.perf_counter()
+
+    def record_batch(
+        self,
+        size: int,
+        seconds: float,
+        queue_depth: int,
+        failed: bool = False,
+    ) -> None:
+        """One stacked dispatch of ``size`` requests finished."""
+        with self._lock:
+            self._batches += 1
+            self._histogram[size] = self._histogram.get(size, 0) + 1
+            self._busy_seconds += seconds
+            self._queue_depth = queue_depth
+            if failed:
+                self._failed += size
+            else:
+                self._completed += size
+            self._last_done = time.perf_counter()
+
+    def snapshot(self) -> StatsSnapshot:
+        """A consistent frozen copy of every counter."""
+        with self._lock:
+            if self._first_submit is None or self._last_done is None:
+                wall = 0.0
+            else:
+                wall = max(0.0, self._last_done - self._first_submit)
+            return StatsSnapshot(
+                submitted=self._submitted,
+                completed=self._completed,
+                failed=self._failed,
+                batches=self._batches,
+                batch_histogram=dict(self._histogram),
+                queue_depth=self._queue_depth,
+                max_queue_depth=self._max_queue_depth,
+                busy_seconds=self._busy_seconds,
+                wall_seconds=wall,
+            )

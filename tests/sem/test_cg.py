@@ -249,3 +249,136 @@ class TestBatchedCG:
         assert isinstance(res, BatchedCGResult)
         assert res.batch == bs.shape[0]
         assert res.all_converged
+
+
+class TestPerSystemStopping:
+    """Per-request tol/maxiter arrays in one stacked solve."""
+
+    def _stacked_system(self, n=24, batch=4, seed=4, cond=200.0):
+        a, _, _ = spd_system(n, seed=seed, cond=cond)
+        rng = np.random.default_rng(seed + 1)
+        return a, rng.standard_normal((batch, n))
+
+    def test_per_system_tol(self):
+        from repro.sem.cg import cg_solve_batched
+
+        a, bs = self._stacked_system()
+        tols = np.array([1e-2, 1e-12, 1e-6, 1e-9])
+        res = cg_solve_batched(lambda v: v @ a.T, bs, tol=tols, maxiter=500)
+        assert res.all_converged
+        # The loose system freezes first, the tight one last.
+        assert res.iterations[0] < res.iterations[1]
+        b_norms = np.linalg.norm(bs, axis=1)
+        assert np.all(res.residual_norm <= tols * b_norms)
+
+    def test_per_system_maxiter_caps_and_freezes_exactly(self):
+        from repro.sem.cg import cg_solve_batched
+
+        a, bs = self._stacked_system(cond=1e8)
+        caps = np.array([3, 50, 7, 50])
+        res = cg_solve_batched(
+            lambda v: v @ a.T, bs, tol=1e-14, maxiter=caps
+        )
+        assert np.all(res.iterations <= caps)
+        assert int(res.iterations[0]) == 3 and int(res.iterations[2]) == 7
+        # A capped system's iterate is bit-identical to the same system
+        # in a homogeneous run with that cap: masked freezing makes each
+        # system's trajectory independent of its batchmates.
+        homo = cg_solve_batched(
+            lambda v: v @ a.T, bs, tol=1e-14, maxiter=3
+        )
+        assert np.array_equal(res.x[0], homo.x[0])
+
+    def test_zero_maxiter_entry_never_iterates(self):
+        from repro.sem.cg import cg_solve_batched
+
+        a, bs = self._stacked_system()
+        res = cg_solve_batched(
+            lambda v: v @ a.T, bs, tol=1e-10,
+            maxiter=np.array([0, 100, 100, 100]),
+        )
+        assert int(res.iterations[0]) == 0
+        assert not res.converged[0]
+        assert np.array_equal(res.x[0], np.zeros(bs.shape[1]))
+        assert res.converged[1:].all()
+
+    def test_array_shape_validation(self):
+        from repro.sem.cg import cg_solve_batched
+
+        a, bs = self._stacked_system()
+        with pytest.raises(ValueError, match="tol must be"):
+            cg_solve_batched(lambda v: v @ a.T, bs, tol=np.ones(3))
+        with pytest.raises(ValueError, match="maxiter must be"):
+            cg_solve_batched(
+                lambda v: v @ a.T, bs, maxiter=np.array([1, 2])
+            )
+        with pytest.raises(ValueError, match=">= 0"):
+            cg_solve_batched(
+                lambda v: v @ a.T, bs, maxiter=np.array([1, -2, 3, 4])
+            )
+        with pytest.raises(ValueError, match="stacked"):
+            cg_solve(lambda v: a @ v, bs[0], tol=np.array([1e-8] * 4))
+
+    def test_nan_tol_rejected_in_both_paths(self):
+        """NaN poisons the batched active mask (res > NaN is False), so
+        the two documented-bit-identical paths would silently diverge;
+        both must reject it instead."""
+        from repro.sem.cg import cg_solve_batched
+
+        a, bs = self._stacked_system()
+        with pytest.raises(ValueError, match="finite"):
+            cg_solve(lambda v: a @ v, bs[0], tol=float("nan"))
+        with pytest.raises(ValueError, match="finite"):
+            cg_solve_batched(lambda v: v @ a.T, bs, tol=float("nan"))
+        with pytest.raises(ValueError, match="finite"):
+            cg_solve_batched(
+                lambda v: v @ a.T, bs,
+                tol=np.array([1e-8, np.nan, 1e-8, 1e-8]),
+            )
+
+
+class TestExhaustedSubspace:
+    """Exact-zero-direction freezes report converged: the iterate is the
+    exact solution on the (exhausted) Krylov subspace."""
+
+    def test_batched_exhausted_system_reports_converged(self):
+        from repro.sem.cg import cg_solve_batched
+
+        # System 1's operator is identically zero (maximally singular):
+        # its one-dimensional Krylov subspace is exhausted on the first
+        # direction, where the starting iterate is already optimal.
+        mats = [np.eye(6), np.zeros((6, 6))]
+        bs = np.stack([np.ones(6), np.arange(1.0, 7.0)])
+
+        def apply_block(v):
+            return np.stack([mats[i] @ v[i] for i in range(2)])
+
+        res = cg_solve_batched(apply_block, bs, tol=1e-12, maxiter=50)
+        assert bool(res.converged[0]) and bool(res.converged[1])
+        assert res.all_converged
+        # The frozen system never moved (x0 = 0 is subspace-optimal)...
+        assert np.array_equal(res.x[1], np.zeros(6))
+        # ...and its residual criterion genuinely never fired, so the
+        # flag comes from the exhausted mask, not the final res <= stop.
+        assert res.residual_norm[1] > 1e-12 * np.linalg.norm(bs[1])
+
+    def test_batched_exhausted_does_not_stall_batchmates(self):
+        from repro.sem.cg import cg_solve_batched
+
+        a, x_true, b = spd_system(12, cond=10.0)
+        mats = [np.zeros((12, 12)), a]
+        bs = np.stack([b, b])
+
+        def apply_block(v):
+            return np.stack([mats[i] @ v[i] for i in range(2)])
+
+        res = cg_solve_batched(apply_block, bs, tol=1e-12, maxiter=100)
+        assert res.all_converged
+        assert np.allclose(res.x[1], x_true, atol=1e-8)
+
+    def test_single_exhausted_reports_converged(self):
+        res = cg_solve(lambda v: np.zeros_like(v), np.ones(5),
+                       tol=1e-12, maxiter=50)
+        assert res.converged
+        assert res.iterations == 0
+        assert np.array_equal(res.x, np.zeros(5))

@@ -201,10 +201,72 @@ class TestBatched:
             expect = np.bincount(l2g, weights=local[b].reshape(-1), minlength=7)
             assert np.array_equal(batched[b], expect)
 
+    def test_noncontiguous_out_regression(self, gs3):
+        """Silent-corruption regression: a non-contiguous ``out=`` used
+        to receive ``out.reshape(-1)`` — a *copy* — so results were
+        dropped and stale memory returned.  Fortran-ordered and
+        padded-slice targets must now round-trip exactly."""
+        mesh, gs = gs3
+        rng = np.random.default_rng(7)
+        local = rng.standard_normal(gs.local_shape)
+        g = gs.gather(local)
+        expect_scatter = gs.scatter(g)
+
+        # Fortran-ordered scatter target (reshape(-1) would copy).
+        out_f = np.full(gs.local_shape, np.nan, order="F")
+        assert not out_f.flags.c_contiguous
+        assert gs.scatter(g, out=out_f) is out_f
+        assert np.array_equal(out_f, expect_scatter)
+
+        # Sliced (padded last axis) scatter target.
+        slab = np.full(gs.local_shape[:-1] + (gs.local_shape[-1] + 1,),
+                       np.nan)
+        out_s = slab[..., :-1]
+        assert not out_s.flags.c_contiguous
+        assert gs.scatter(g, out=out_s) is out_s
+        assert np.array_equal(out_s, expect_scatter)
+
+        # Strided gather target (every other column of a slab).
+        gbuf = np.full((gs.n_global, 2), np.nan)
+        out_g = gbuf[:, 0]
+        assert not out_g.flags.c_contiguous
+        assert gs.gather(local, out=out_g) is out_g
+        assert np.array_equal(out_g, g)
+
+    def test_noncontiguous_out_batched_regression(self, gs3):
+        """Same hazard on the stacked (B, ...) paths."""
+        mesh, gs = gs3
+        rng = np.random.default_rng(8)
+        local = rng.standard_normal((3,) + gs.local_shape)
+        g = gs.gather(local)
+        expect_scatter = gs.scatter(g)
+
+        out_f = np.full((3,) + gs.local_shape, np.nan, order="F")
+        assert gs.scatter(g, out=out_f) is out_f
+        assert np.array_equal(out_f, expect_scatter)
+
+        gout_f = np.full((3, gs.n_global), np.nan, order="F")
+        assert not gout_f.flags.c_contiguous
+        assert gs.gather(local, out=gout_f) is gout_f
+        assert np.array_equal(gout_f, g)
+
     def test_batched_scratch_is_cached(self, gs3):
         mesh, gs = gs3
         local = np.ones((2,) + gs.local_shape)
         gs.gather(local)
-        first = gs._batch_scratch[2]
+        first = gs._batch_scratch["buf"]
         gs.gather(local)
-        assert gs._batch_scratch[2] is first
+        assert gs._batch_scratch["buf"] is first
+
+    def test_batched_scratch_is_bounded(self, gs3):
+        """One buffer sized for the largest batch ever seen — varying
+        batch sizes must not accumulate dead field-sized arrays."""
+        mesh, gs = gs3
+        for batch in (2, 5, 3, 7, 4, 6):
+            gs.gather(np.ones((batch,) + gs.local_shape))
+        assert list(gs._batch_scratch.keys()) == ["buf"]
+        assert gs._batch_scratch["buf"].shape[0] == 7
+        # Smaller batches reuse (a view of) the large buffer.
+        big = gs._batch_scratch["buf"]
+        gs.gather(np.ones((3,) + gs.local_shape))
+        assert gs._batch_scratch["buf"] is big

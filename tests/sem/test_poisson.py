@@ -52,6 +52,34 @@ class TestOperator:
         u2[~problem5.interior] += 10.0
         assert np.allclose(problem5.apply_A(u), problem5.apply_A(u2))
 
+    def test_noncontiguous_out_through_operator(self, problem5):
+        """The batched-CG-path regression: apply_A into a
+        Fortran-ordered / sliced ``out`` (as a serving layer slicing
+        views out of pooled buffers would pass) must receive the real
+        result, single and stacked."""
+        rng = np.random.default_rng(5)
+        u = rng.standard_normal(problem5.n_dofs)
+        expect = problem5.apply_A(u)
+        out_f = np.full((problem5.n_dofs, 2), np.nan)[:, 0]
+        assert not out_f.flags.c_contiguous
+        assert problem5.apply_A(u, out=out_f) is out_f
+        assert np.array_equal(out_f, expect)
+
+        stacked = rng.standard_normal((3, problem5.n_dofs))
+        expect_b = problem5.apply_A(stacked)
+        out_b = np.full((3, problem5.n_dofs), np.nan, order="F")
+        assert not out_b.flags.c_contiguous
+        assert problem5.apply_A(stacked, out=out_b) is out_b
+        assert np.array_equal(out_b, expect_b)
+
+    def test_precond_diag_cached(self, problem5):
+        d1 = problem5.precond_diag()
+        assert d1 is problem5.precond_diag()  # one assembly, reused
+        assert np.array_equal(d1, problem5.jacobi_diagonal())
+
+    def test_operator_property_is_apply_A(self, problem5):
+        assert problem5.operator == problem5.apply_A
+
     def test_jacobi_diagonal_matches_operator(self, problem5):
         # diag(A)[i] = e_i^T A e_i for a sample of interior nodes.
         diag = problem5.jacobi_diagonal()

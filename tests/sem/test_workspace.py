@@ -242,6 +242,70 @@ class TestBatchedWorkspace:
         ws2.shutdown()
         ws2.shutdown()  # idempotent
 
+    def test_context_manager_shuts_down_pool(self):
+        with SolverWorkspace(num_elements=2, nx=4, threads=2) as ws:
+            pool = ws.executor
+            assert pool is not None
+            pool.submit(lambda: 42).result()
+        assert ws._executor is None
+        assert ws._finalizer is None
+        # Buffers stay valid and the pool respawns lazily on next use.
+        assert ws.executor is not None
+        ws.shutdown()
+
+    def test_finalizer_stops_workers_on_gc(self):
+        """A dropped threaded workspace must not leak its pool's
+        threads: the weakref.finalize shuts the executor down."""
+        import gc
+        import threading
+        import time
+
+        ws = SolverWorkspace(num_elements=2, nx=4, threads=2)
+        ws.executor.submit(lambda: None).result()
+        assert any(
+            t.name.startswith("sem-ax") for t in threading.enumerate()
+        )
+        finalizer = ws._finalizer
+        assert finalizer is not None and finalizer.alive
+        del ws
+        gc.collect()
+        assert not finalizer.alive
+        # shutdown(wait=False): give the woken workers a beat to exit.
+        for _ in range(50):
+            if not any(
+                t.name.startswith("sem-ax") for t in threading.enumerate()
+            ):
+                break
+            time.sleep(0.02)
+        assert not any(
+            t.name.startswith("sem-ax") for t in threading.enumerate()
+        )
+
+    def test_explicit_shutdown_detaches_finalizer(self):
+        ws = SolverWorkspace(num_elements=2, nx=4, threads=2)
+        assert ws.executor is not None
+        finalizer = ws._finalizer
+        ws.shutdown()
+        assert not finalizer.alive
+
+    def test_nbytes_matches_actual_buffer_bytes(self):
+        """nbytes must equal the real total — the 1-byte bool buffer
+        (cg_active) used to be billed at 8 bytes per entry."""
+        from repro.sem.workspace import (
+            BATCH_SCALAR_BUFFERS, GLOBAL_BUFFERS, LOCAL_BUFFERS,
+        )
+
+        for kwargs in (
+            dict(num_elements=2, nx=4, n_global=10, batch=3),
+            dict(num_elements=3, nx=3, n_global=7),
+            dict(num_elements=4, nx=5),
+        ):
+            ws = SolverWorkspace(**kwargs)
+            names = LOCAL_BUFFERS + GLOBAL_BUFFERS + BATCH_SCALAR_BUFFERS
+            actual = sum(getattr(ws, n).nbytes for n in names)
+            actual += ws.cg_active.nbytes
+            assert ws.nbytes == actual
+
 
 class TestBatchedAllocationFree:
     def test_batched_cg_iterations_allocate_no_fields(self):

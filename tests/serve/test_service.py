@@ -1,0 +1,394 @@
+"""Tests for repro.serve (micro-batching solve service)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.sem import (
+    BoxMesh,
+    HelmholtzProblem,
+    NekboneCase,
+    PoissonProblem,
+    ReferenceElement,
+    cg_solve,
+    cosine_manufactured,
+    sine_manufactured,
+)
+from repro.serve import (
+    MicroBatcher,
+    QueueClosed,
+    ServiceStats,
+    SolveService,
+    WorkspacePool,
+)
+
+
+@pytest.fixture(scope="module")
+def serving_problem():
+    """The N=3/E=8 serving shape with a bank of tenant right-hand sides."""
+    ref = ReferenceElement.from_degree(3)
+    mesh = BoxMesh.build(ref, (2, 2, 2))
+    prob = PoissonProblem(mesh, ax_backend="matmul")
+    _, forcing = sine_manufactured(mesh.extent)
+    b0 = prob.rhs_from_forcing(forcing)
+    bank = [b0 * (1.0 + 0.3 * k) for k in range(24)]
+    return prob, bank
+
+
+def sequential_solve(prob, b, tol=1e-10, maxiter=200):
+    """The reference: one warm sequential solve on the problem."""
+    return cg_solve(
+        prob.apply_A, b, precond_diag=prob.precond_diag(), tol=tol,
+        maxiter=maxiter, workspace=prob.workspace,
+    )
+
+
+def assert_same_result(got, want):
+    """Bit-for-bit CGResult equality (the serving contract)."""
+    assert np.array_equal(got.x, want.x)
+    assert got.iterations == want.iterations
+    assert got.converged == want.converged
+    assert got.residual_norm == want.residual_norm
+    assert got.residual_history == want.residual_history
+
+
+class TestMicroBatcher:
+    def test_take_fires_at_max_batch(self):
+        mb = MicroBatcher(max_batch=3, max_wait=60.0)
+        for k in range(5):
+            mb.put(k)
+        assert mb.take_batch() == [0, 1, 2]  # no linger: batch is full
+        assert mb.take_batch_nowait() == [3, 4]
+        assert mb.take_batch_nowait() == []
+
+    def test_take_waits_at_most_max_wait(self):
+        mb = MicroBatcher(max_batch=8, max_wait=0.05)
+        mb.put("only")
+        t0 = time.monotonic()
+        assert mb.take_batch() == ["only"]
+        assert time.monotonic() - t0 < 1.0
+
+    def test_backpressure_blocks_then_admits(self):
+        mb = MicroBatcher(max_batch=2, max_wait=0.0, max_pending=2)
+        mb.put(1)
+        mb.put(2)
+        admitted = []
+
+        def producer():
+            mb.put(3)
+            admitted.append(True)
+
+        t = threading.Thread(target=producer)
+        t.start()
+        time.sleep(0.05)
+        assert not admitted  # blocked on the full queue
+        assert mb.take_batch_nowait() == [1, 2]
+        t.join(timeout=5)
+        assert admitted
+        assert mb.take_batch_nowait() == [3]
+
+    def test_close_wakes_blocked_producer(self):
+        mb = MicroBatcher(max_batch=1, max_pending=1)
+        mb.put(1)
+        errors = []
+
+        def producer():
+            try:
+                mb.put(2)
+            except QueueClosed:
+                errors.append("closed")
+
+        t = threading.Thread(target=producer)
+        t.start()
+        time.sleep(0.05)
+        mb.close()
+        t.join(timeout=5)
+        assert errors == ["closed"]
+        # Pending items survive close (drain mode), then [] signals done.
+        assert mb.take_batch() == [1]
+        assert mb.take_batch() == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(max_batch=0)
+        with pytest.raises(ValueError, match="max_wait"):
+            MicroBatcher(max_batch=1, max_wait=-1.0)
+        with pytest.raises(ValueError, match="max_pending"):
+            MicroBatcher(max_batch=4, max_pending=2)
+
+
+class TestWorkspacePool:
+    def test_lease_returns_problem_cache(self, serving_problem):
+        prob, _ = serving_problem
+        pool = WorkspacePool(prob)
+        with pool.lease(1) as ws:
+            assert ws is prob.workspace
+        with pool.lease(4) as ws4:
+            assert ws4.batch == 4
+        with pool.lease(4) as again:
+            assert again is ws4  # warm reuse
+        assert pool.sizes == (1, 4)
+        assert pool.nbytes >= ws4.nbytes
+
+    def test_lease_is_exclusive(self, serving_problem):
+        prob, _ = serving_problem
+        pool = WorkspacePool(prob)
+        order = []
+
+        def worker(tag):
+            with pool.lease(2):
+                order.append(("enter", tag))
+                time.sleep(0.03)
+                order.append(("exit", tag))
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Strict nesting: every enter is immediately followed by its exit.
+        for i in range(0, len(order), 2):
+            assert order[i][0] == "enter" and order[i + 1][0] == "exit"
+            assert order[i][1] == order[i + 1][1]
+
+
+class TestSolveServiceSync:
+    def test_solve_many_bit_identical_to_sequential(self, serving_problem):
+        prob, bank = serving_problem
+        with SolveService(prob, max_batch=8, tol=1e-10, maxiter=200) as svc:
+            results = svc.solve_many(bank[:20])
+            for b, got in zip(bank[:20], results):
+                assert_same_result(got, sequential_solve(prob, b))
+            stats = svc.stats
+            assert stats.submitted == stats.completed == 20
+            # 20 requests at max_batch=8 coalesce as 8 + 8 + 4.
+            assert stats.batch_histogram == {8: 2, 4: 1}
+            assert stats.queue_depth == 0
+
+    def test_submit_flush_and_partial_batches(self, serving_problem):
+        prob, bank = serving_problem
+        svc = SolveService(prob, max_batch=4)
+        tickets = [svc.submit(b) for b in bank[:3]]
+        assert not any(t.done() for t in tickets)  # below max_batch
+        svc.flush()
+        assert all(t.done() for t in tickets)
+        assert svc.stats.batch_histogram == {3: 1}
+        svc.close()
+
+    def test_submit_autodrains_at_max_batch(self, serving_problem):
+        prob, bank = serving_problem
+        svc = SolveService(prob, max_batch=2)
+        t1 = svc.submit(bank[0])
+        assert not t1.done()
+        t2 = svc.submit(bank[1])  # fills the batch: solved inline
+        assert t1.done() and t2.done()
+        svc.close()
+
+    def test_per_request_tol_and_maxiter(self, serving_problem):
+        prob, bank = serving_problem
+        with SolveService(prob, max_batch=8) as svc:
+            specs = [(1e-4, 200), (1e-10, 200), (1e-8, 5), (1e-12, 200)]
+            tickets = [
+                svc.submit(bank[k], tol=tol, maxiter=mi)
+                for k, (tol, mi) in enumerate(specs)
+            ]
+            svc.flush()
+            for k, (tol, mi) in enumerate(specs):
+                want = sequential_solve(prob, bank[k], tol=tol, maxiter=mi)
+                assert_same_result(tickets[k].result(), want)
+
+    def test_rhs_snapshot_at_submit(self, serving_problem):
+        prob, bank = serving_problem
+        with SolveService(prob, max_batch=4) as svc:
+            b = bank[0].copy()
+            ticket = svc.submit(b)
+            b[:] = 0.0  # caller reuses its buffer before the solve fires
+            svc.flush()
+            assert_same_result(ticket.result(), sequential_solve(prob, bank[0]))
+
+    def test_shape_validation(self, serving_problem):
+        prob, _ = serving_problem
+        with SolveService(prob) as svc:
+            with pytest.raises(ValueError, match="rhs must have shape"):
+                svc.submit(np.ones(prob.n_dofs + 1))
+
+    def test_bad_request_knobs_bounce_at_submit(self, serving_problem):
+        """An invalid tol/maxiter must fail the offending caller at
+        submit time — never poison the batchmates it would have been
+        coalesced with."""
+        prob, bank = serving_problem
+        with SolveService(prob, max_batch=4) as svc:
+            good = svc.submit(bank[0])
+            with pytest.raises(ValueError, match="maxiter must be"):
+                svc.submit(bank[1], maxiter=-1)
+            with pytest.raises(ValueError, match="tol must be"):
+                svc.submit(bank[1], tol=float("nan"))
+            with pytest.raises(ValueError, match="tol must be"):
+                svc.submit(bank[1], tol=-1e-8)
+            svc.flush()
+            assert_same_result(good.result(), sequential_solve(prob, bank[0]))
+
+    def test_non_protocol_problem_rejected(self):
+        with pytest.raises(TypeError, match="solver.*protocol"):
+            SolveService(object())
+
+    def test_failure_propagates_to_every_ticket(self, serving_problem):
+        prob, _ = serving_problem
+
+        class Boom(RuntimeError):
+            pass
+
+        def bad_operator(v, out=None):
+            raise Boom("operator exploded")
+
+        # Build a real service, then break its operator: the tickets of
+        # the failing batch must re-raise, and stats count the failures.
+        svc = SolveService(prob, max_batch=4)
+        svc._operator = bad_operator
+        t1 = svc.submit(np.ones(prob.n_dofs))
+        t2 = svc.submit(np.ones(prob.n_dofs))
+        svc.flush()
+        for t in (t1, t2):
+            with pytest.raises(Boom):
+                t.result()
+        assert svc.stats.failed == 2 and svc.stats.completed == 0
+        svc.close()
+
+    def test_ticket_timeout(self, serving_problem):
+        prob, bank = serving_problem
+        svc = SolveService(prob, max_batch=8)
+        ticket = svc.submit(bank[0])
+        with pytest.raises(TimeoutError):
+            ticket.result(timeout=0.01)  # nothing drains a partial batch
+        svc.close()  # close() drains: the ticket resolves after all
+        assert ticket.done()
+
+
+class TestSolveServiceBackground:
+    def test_concurrent_submitters_bit_identical(self, serving_problem):
+        """The acceptance-concurrency test: N client threads submit
+        through the dispatcher; every result matches a sequential warm
+        cg_solve bit for bit."""
+        prob, bank = serving_problem
+        n_clients, per_client = 4, 6
+        results: dict[tuple[int, int], object] = {}
+        with SolveService(
+            prob, max_batch=8, max_wait=0.01, background=True,
+            tol=1e-10, maxiter=200,
+        ) as svc:
+            def client(cid):
+                for j in range(per_client):
+                    b = bank[(cid * per_client + j) % len(bank)]
+                    results[(cid, j)] = svc.submit(b).result(timeout=60)
+
+            threads = [
+                threading.Thread(target=client, args=(cid,))
+                for cid in range(n_clients)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = svc.stats
+        assert stats.completed == n_clients * per_client
+        assert stats.failed == 0
+        for (cid, j), got in results.items():
+            b = bank[(cid * per_client + j) % len(bank)]
+            assert_same_result(got, sequential_solve(prob, b))
+
+    def test_dispatcher_fires_partial_batch_after_max_wait(
+        self, serving_problem
+    ):
+        prob, bank = serving_problem
+        with SolveService(
+            prob, max_batch=8, max_wait=0.02, background=True
+        ) as svc:
+            ticket = svc.submit(bank[0])
+            got = ticket.result(timeout=30)  # resolves without a flush
+        assert_same_result(got, sequential_solve(prob, bank[0]))
+
+    def test_backpressure_bounds_queue(self, serving_problem):
+        prob, bank = serving_problem
+        with SolveService(
+            prob, max_batch=2, max_wait=0.001, max_pending=4,
+            background=True,
+        ) as svc:
+            tickets = [svc.submit(bank[k % len(bank)]) for k in range(32)]
+            for t in tickets:
+                t.result(timeout=60)
+            assert svc.stats.max_queue_depth <= 4
+
+    def test_submit_after_close_raises(self, serving_problem):
+        prob, bank = serving_problem
+        svc = SolveService(prob, background=True)
+        svc.close()
+        with pytest.raises(QueueClosed):
+            svc.submit(bank[0])
+
+    def test_close_resolves_pending(self, serving_problem):
+        prob, bank = serving_problem
+        svc = SolveService(prob, max_batch=8, max_wait=30.0, background=True)
+        tickets = [svc.submit(b) for b in bank[:3]]
+        svc.close()  # drains the lingering partial batch
+        for t, b in zip(tickets, bank[:3]):
+            assert_same_result(t.result(), sequential_solve(prob, b))
+
+
+class TestOtherProblems:
+    def test_helmholtz_service(self):
+        ref = ReferenceElement.from_degree(2)
+        mesh = BoxMesh.build(ref, (2, 2, 1))
+        prob = HelmholtzProblem(mesh, lam=1.0, ax_backend="matmul")
+        _, forcing = cosine_manufactured(mesh.extent, lam=1.0)
+        b = prob.rhs_from_function(forcing)
+        with SolveService(prob, max_batch=4) as svc:
+            results = svc.solve_many([b, 2.0 * b, -0.5 * b])
+        for scale, got in zip((1.0, 2.0, -0.5), results):
+            want = cg_solve(
+                prob.apply, scale * b, precond_diag=prob.precond_diag(),
+                tol=1e-10, maxiter=1000, workspace=prob.workspace,
+            )
+            assert_same_result(got, want)
+
+    def test_nekbone_case_service(self):
+        case = NekboneCase(3, (2, 2, 1), ax_backend="matmul")
+        _, forcing = sine_manufactured(case.problem.mesh.extent)
+        b = case.problem.rhs_from_forcing(forcing)
+        with SolveService(case, max_batch=2) as svc:
+            results = svc.solve_many([b, 3.0 * b])
+        want = cg_solve(
+            case.operator, b, precond_diag=case.precond_diag(),
+            tol=1e-10, maxiter=1000, workspace=case.workspace,
+        )
+        assert_same_result(results[0], want)
+
+
+class TestStats:
+    def test_snapshot_consistency(self):
+        stats = ServiceStats()
+        snap0 = stats.snapshot()
+        assert snap0.solves_per_second == 0.0
+        assert snap0.mean_batch_size == 0.0
+        stats.record_submit(queue_depth=1)
+        stats.record_submit(queue_depth=2)
+        stats.record_batch(2, 0.5, queue_depth=0)
+        snap = stats.snapshot()
+        assert snap.submitted == 2 and snap.completed == 2
+        assert snap.batches == 1 and snap.batch_histogram == {2: 1}
+        assert snap.max_queue_depth == 2 and snap.queue_depth == 0
+        assert snap.busy_seconds == pytest.approx(0.5)
+        assert snap.mean_batch_size == 2.0
+        assert snap.solves_per_second > 0
+
+    def test_failed_batches_counted_separately(self):
+        stats = ServiceStats()
+        stats.record_submit(1)
+        stats.record_batch(1, 0.1, queue_depth=0, failed=True)
+        snap = stats.snapshot()
+        assert snap.failed == 1 and snap.completed == 0
