@@ -187,6 +187,35 @@ def test_bench_serve_throughput_b8(benchmark):
     svc.close()
 
 
+def test_bench_serve_sharded_throughput_b16(benchmark):
+    """Sixteen independent requests through a K=2 ShardedSolveService
+    (round-robin, max_batch=8): the horizontally-scaled serving number.
+
+    On the 1-vCPU benchmark host the two replicas timeshare one core,
+    so the fleet cannot beat a single service — the gate in
+    ``run_baseline.py`` only requires it not to fall behind (>= 0.9x
+    the single-service solves/s); on a multi-core host each replica's
+    dispatcher and BLAS own a core and the ratio is tracked like the
+    ``threads2`` benchmark (``serve_sharded_vs_single_speedup`` in
+    ``BENCH_kernels.json``)."""
+    from repro.serve import ShardedSolveService
+
+    prob, bs, _ = _serving_problem(batch=16)
+    svc = ShardedSolveService(
+        prob, replicas=2, policy="round-robin", max_batch=8,
+        max_wait=0.05, tol=0.0, maxiter=10,
+    )
+
+    def run():
+        return svc.solve_many(bs)
+
+    results = benchmark(run)
+    assert all(r.iterations == 10 for r in results)
+    benchmark.extra_info["requests_per_round"] = int(bs.shape[0])
+    benchmark.extra_info["replicas"] = 2
+    svc.close()
+
+
 def test_bench_gather_scatter(benchmark):
     """Direct-stiffness round trip on a 4x4x4 mesh at N=7."""
     ref = ReferenceElement.from_degree(7)

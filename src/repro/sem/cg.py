@@ -125,13 +125,25 @@ def cg_solve(
 
     Returns
     -------
-    :class:`CGResult`.
+    CGResult
+        The final iterate with its convergence record (or a
+        :class:`BatchedCGResult` when ``b`` was a stacked block).
 
     Raises
     ------
     ValueError
-        On non-positive preconditioner entries or a breakdown (``p^T A p
-    <= 0``), which indicates the operator is not SPD on this subspace.
+        On shape mismatches, non-positive preconditioner entries, a
+        non-finite ``tol``, or a breakdown (``p^T A p <= 0``), which
+        indicates the operator is not SPD on this subspace.
+
+    Notes
+    -----
+    Not thread-safe per workspace: the solve mutates the workspace's
+    (or the operator's own) buffers in place, so one
+    workspace/problem admits one solve at a time.  Concurrent solves
+    need distinct problems (see
+    :meth:`repro.sem.poisson.PoissonProblem.clone`) or serialized
+    access (:class:`repro.serve.pool.WorkspacePool`).
     """
     b = np.asarray(b, dtype=np.float64)
     if b.ndim == 2:
@@ -359,13 +371,22 @@ def cg_solve_batched(
 
     Returns
     -------
-    :class:`BatchedCGResult`.
+    BatchedCGResult
+        Per-system iterates, iteration counts, convergence flags and
+        the stacked residual history.
 
     Raises
     ------
     ValueError
-        On shape mismatches, non-positive preconditioner entries, or a
+        On shape mismatches, non-positive preconditioner entries,
+        non-finite ``tol`` entries, negative ``maxiter`` entries, or a
         CG breakdown (``p_i^T A p_i <= 0`` on an active system).
+
+    Notes
+    -----
+    Not thread-safe per workspace (same rule as :func:`cg_solve`): the
+    stacked buffers are mutated in place, so one batched workspace
+    carries one stacked solve at a time.
     """
     b = np.asarray(b, dtype=np.float64)
     if b.ndim != 2:

@@ -25,6 +25,7 @@ scratch makes the instance non-thread-safe (like the buffers themselves).
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -103,6 +104,34 @@ class GatherScatter:
             n_global=mesh.n_global,
             local_shape=mesh.l2g.shape,
         )
+
+    def replicate(self) -> "GatherScatter":
+        """A twin operator sharing the immutable caches, with fresh scratch.
+
+        The sort permutation, segment boundaries and multiplicities are
+        construction-time constants and safely shared between instances;
+        the permutation scratch buffers are mutated per call, so each
+        replica gets its own.  This is the cheap-clone primitive behind
+        the problems' ``clone()``: ``K`` solve replicas pay the l2g sort
+        once instead of ``K`` times.
+
+        Returns
+        -------
+        GatherScatter
+            A new instance that is safe to use concurrently with
+            ``self`` (each owns private scratch; the shared caches are
+            read-only).
+        """
+        # Shallow copy shares every cache by default (future fields
+        # included); only the per-call scratch is replaced.  The class
+        # is frozen, so the scratch overrides go through
+        # object.__setattr__ like the construction-time caches do.
+        twin = copy.copy(self)
+        object.__setattr__(
+            twin, "_sorted_scratch", np.empty_like(self._sorted_scratch)
+        )
+        object.__setattr__(twin, "_batch_scratch", {})
+        return twin
 
     # ------------------------------------------------------------------
     def _batched_scratch(self, batch: int) -> NDArray[np.float64]:

@@ -11,6 +11,7 @@ boundary conditions, with the same backend-injection hook as
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -101,6 +102,32 @@ class HelmholtzProblem:
         if self._precond_diag is None:
             self._precond_diag = self.diagonal()
         return self._precond_diag
+
+    def clone(self) -> "HelmholtzProblem":
+        """A solve replica sharing this problem's immutable state.
+
+        Mirrors :meth:`repro.sem.poisson.PoissonProblem.clone`: the
+        mesh, geometry, resolved backend and force-computed Jacobi
+        diagonal are shared read-only; the gather-scatter operator is
+        :meth:`~repro.sem.gather_scatter.GatherScatter.replicate`-d
+        (private scratch) and the workspaces are fresh, so the replica
+        can solve concurrently with ``self``.
+
+        Returns
+        -------
+        HelmholtzProblem
+            An independent-solve replica of this problem.
+        """
+        # Share-by-default shallow copy + explicit mutable resets, so
+        # future fields are shared automatically (see PoissonProblem).
+        twin = copy.copy(self)
+        twin._precond_diag = self.precond_diag()
+        twin.gs = self.gs.replicate()
+        twin.workspace = SolverWorkspace.for_mesh(
+            self.mesh, threads=self.threads
+        )
+        twin._batch_workspaces = {}
+        return twin
 
     def batch_workspace(self, batch: int) -> SolverWorkspace:
         """Cached workspace for ``batch`` stacked right-hand sides."""

@@ -15,6 +15,7 @@ the gather-scatter additions counted once per interface DOF).
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import dataclass, field
 
@@ -131,6 +132,24 @@ class NekboneCase:
     def batch_workspace(self, batch: int):
         """Cached batched workspace of the underlying problem."""
         return self.problem.batch_workspace(batch)
+
+    def clone(self) -> "NekboneCase":
+        """A solve replica delegating to ``problem.clone()``.
+
+        The replica's :class:`~repro.sem.poisson.PoissonProblem` shares
+        the source's immutable geometry/gather-scatter state but owns
+        fresh workspaces, so a
+        :class:`repro.serve.shard.ShardedSolveService` can solve through
+        ``K`` Nekbone replicas concurrently.
+
+        Returns
+        -------
+        NekboneCase
+            An independent-solve replica of this case.
+        """
+        twin = copy.copy(self)
+        twin.problem = self.problem.clone()
+        return twin
 
     def run(self, iterations: int = 100, tol: float = 0.0) -> tuple[NekboneReport, CGResult]:
         """Execute the solve phase and report Nekbone-style metrics.

@@ -10,6 +10,7 @@ manufactured solution for verification.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -114,6 +115,42 @@ class PoissonProblem:
         if self._precond_diag is None:
             self._precond_diag = self.jacobi_diagonal()
         return self._precond_diag
+
+    def clone(self) -> "PoissonProblem":
+        """A solve replica sharing this problem's immutable state.
+
+        Sharding (:class:`repro.serve.shard.ShardedSolveService`) needs
+        ``K`` problem instances that can each carry one solve at a time
+        *concurrently* — but rebuilding geometry and the gather-scatter
+        sort per replica would multiply setup cost and memory for data
+        that never changes.  The clone therefore shares everything
+        immutable — mesh, :class:`~repro.sem.geometry.Geometry`, the
+        Dirichlet mask, the resolved backend, and the (force-computed)
+        Jacobi diagonal — while owning the mutable per-solve state: a
+        fresh :class:`~repro.sem.workspace.SolverWorkspace`, an empty
+        batched-workspace cache, and a
+        :meth:`~repro.sem.gather_scatter.GatherScatter.replicate` twin
+        with private permutation scratch.
+
+        Returns
+        -------
+        PoissonProblem
+            A replica that is safe to solve through concurrently with
+            ``self`` (no mutable buffers are shared).
+        """
+        # Share-by-default via a shallow copy, then replace exactly the
+        # mutable per-solve state: fields added later are shared
+        # automatically instead of silently dropped.
+        twin = copy.copy(self)
+        # Force the diagonal once on the source so every replica shares
+        # a single assembled (read-only) array.
+        twin._precond_diag = self.precond_diag()
+        twin.gs = self.gs.replicate()
+        twin.workspace = SolverWorkspace.for_mesh(
+            self.mesh, threads=self.threads
+        )
+        twin._batch_workspaces = {}
+        return twin
 
     # ------------------------------------------------------------------
     def batch_workspace(self, batch: int) -> SolverWorkspace:

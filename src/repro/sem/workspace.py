@@ -126,6 +126,16 @@ class SolverWorkspace:
 
     Use :meth:`for_mesh` to size a workspace from a
     :class:`~repro.sem.mesh.BoxMesh` in one call.
+
+    Thread safety
+    -------------
+    One workspace admits one (possibly batched) solve at a time — the
+    buffers are reused in place across calls.  The *internal*
+    element-block threads are safe (each block owns disjoint
+    output/scratch rows); it is concurrent *solves* that must not share
+    a workspace.  Give each concurrent solver its own workspace (the
+    problems' ``clone()`` does exactly this) or serialize access
+    through :class:`repro.serve.pool.WorkspacePool`.
     """
 
     num_elements: int
@@ -310,11 +320,29 @@ def cached_batch_workspace(
 ) -> "SolverWorkspace":
     """Shared per-problem cache of batched workspaces.
 
-    ``batch == 1`` returns the problem's own ``base`` workspace; larger
-    batches are sized once per distinct ``batch`` and reused, so
-    repeated batched solves stay warm.  Used by
-    :class:`~repro.sem.poisson.PoissonProblem` and
-    :class:`~repro.sem.helmholtz.HelmholtzProblem`.
+    Parameters
+    ----------
+    cache:
+        The problem's private ``{batch: workspace}`` dict, mutated in
+        place on a miss.
+    mesh:
+        Mesh the workspaces are sized for.
+    batch:
+        Requested stacked-system count.
+    threads:
+        Element-block worker threads every created workspace carries.
+    base:
+        The problem's own unbatched workspace, returned for
+        ``batch == 1``.
+
+    Returns
+    -------
+    SolverWorkspace
+        Warm workspace for ``batch`` systems; sized once per distinct
+        ``batch`` and reused, so repeated batched solves stay warm.
+        Used by :class:`~repro.sem.poisson.PoissonProblem` and
+        :class:`~repro.sem.helmholtz.HelmholtzProblem`.  Not locked —
+        callers serialize access (one solve per workspace at a time).
     """
     if batch == 1:
         return base

@@ -1,39 +1,73 @@
 """Micro-batched solve serving on top of the batched CG primitive.
 
-The serving layer the ROADMAP's "heavy traffic" north star calls for:
-:class:`SolveService` accepts independent single-RHS solve requests
-(from scripts via :meth:`SolveService.solve_many`, or from concurrent
-client threads via :meth:`SolveService.submit` with a background
-dispatcher) and dynamically coalesces them — up to ``max_batch``
-requests, waiting at most ``max_wait`` — into warm
-:func:`~repro.sem.cg.cg_solve_batched` dispatches through a pooled
-cache of batched workspaces.  Per-request results are bit-identical to
-sequential warm :func:`~repro.sem.cg.cg_solve` calls; batching is
-purely a throughput decision.
+The serving layer the ROADMAP's "heavy traffic" north star calls for,
+in three tiers:
+
+* :class:`SolveService` — one warm queue: accepts independent
+  single-RHS solve requests (from scripts via
+  :meth:`SolveService.solve_many`, or from concurrent client threads
+  via :meth:`SolveService.submit` with a background dispatcher) and
+  dynamically coalesces them — up to ``max_batch`` requests, waiting at
+  most ``max_wait`` — into warm
+  :func:`~repro.sem.cg.cg_solve_batched` dispatches through a pooled
+  cache of batched workspaces.
+* :class:`ShardedSolveService` — K replica services (one problem clone,
+  workspace pool and dispatcher thread each) behind a pluggable router:
+  ``tenant`` (consistent hashing — a tenant's requests batch together),
+  ``least-loaded`` or ``round-robin``, with watermark rebalancing and
+  aggregate fleet stats.
+* :class:`AsyncSolveService` — an asyncio facade over either: ``await
+  svc.solve(b)`` suspends the coroutine until the dispatcher resolves
+  the ticket (``loop.call_soon_threadsafe``, no busy-waiting).
+
+Per-request results are bit-identical to sequential warm
+:func:`~repro.sem.cg.cg_solve` calls at every tier; batching, sharding
+and async delivery are purely throughput decisions.
 
 Quick taste::
 
     from repro.sem import BoxMesh, PoissonProblem, ReferenceElement
-    from repro.serve import SolveService
+    from repro.serve import ShardedSolveService
 
     problem = PoissonProblem(mesh, ax_backend="matmul")
-    with SolveService(problem, max_batch=8, background=True) as svc:
-        tickets = [svc.submit(b, tol=1e-10) for b in request_stream]
+    with ShardedSolveService(problem, replicas=2, policy="tenant") as svc:
+        tickets = [svc.submit(b, key=tenant) for tenant, b in stream]
         results = [t.result() for t in tickets]
-        print(svc.stats.solves_per_second, svc.stats.batch_histogram)
+        print(svc.stats.solves_per_second, svc.queue_depths)
+
+See ``docs/serving.md`` for the full tour (single solve -> warm
+workspace -> batched -> service -> sharded/async).
 """
 
+from repro.serve.asyncio_front import AsyncSolveService
 from repro.serve.pool import WorkspacePool
-from repro.serve.scheduler import MicroBatcher, QueueClosed
+from repro.serve.scheduler import (
+    LeastLoadedRouter,
+    MicroBatcher,
+    QueueClosed,
+    RoundRobinRouter,
+    Router,
+    TenantRouter,
+    resolve_router,
+)
 from repro.serve.service import SolveService, SolveTicket
-from repro.serve.stats import ServiceStats, StatsSnapshot
+from repro.serve.shard import ShardedSolveService
+from repro.serve.stats import ServiceStats, StatsSnapshot, merge_snapshots
 
 __all__ = [
     "SolveService",
+    "ShardedSolveService",
+    "AsyncSolveService",
     "SolveTicket",
     "WorkspacePool",
     "MicroBatcher",
     "QueueClosed",
+    "Router",
+    "TenantRouter",
+    "LeastLoadedRouter",
+    "RoundRobinRouter",
+    "resolve_router",
     "ServiceStats",
     "StatsSnapshot",
+    "merge_snapshots",
 ]

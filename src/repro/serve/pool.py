@@ -35,6 +35,14 @@ class WorkspacePool:
     The pool does not pre-size anything: workspaces materialize lazily
     per distinct batch size on first lease (warm thereafter), exactly as
     the problem's own cache behaves.
+
+    Thread safety
+    -------------
+    Fully thread-safe: one internal lock serializes leases, so any
+    number of dispatcher/client threads can contend for the problem's
+    workspaces — exactly one solve runs through them at a time.  In a
+    sharded deployment each replica owns its own pool over its own
+    problem clone, so replicas never serialize against each other.
     """
 
     def __init__(self, problem) -> None:
@@ -49,6 +57,18 @@ class WorkspacePool:
         Held for the whole stacked solve: the underlying buffers (and
         the problem's shared single-system workspace for ``batch == 1``)
         admit exactly one solve at a time.
+
+        Parameters
+        ----------
+        batch:
+            Number of stacked systems the leased workspace must carry.
+
+        Yields
+        ------
+        ~repro.sem.workspace.SolverWorkspace
+            The problem's cached workspace for ``batch``, exclusively
+            held until the ``with`` block exits.  Blocks while another
+            thread holds any lease from this pool.
         """
         with self._lock:
             ws = self._problem.batch_workspace(batch)

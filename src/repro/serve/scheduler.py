@@ -12,14 +12,26 @@ comes first.
 The batcher is a plain thread-safe data structure (one condition
 variable, one deque); the policy loop that calls :meth:`take_batch`
 lives in :class:`~repro.serve.service.SolveService`.
+
+This module also hosts the *routing* policies of the sharded service
+(:class:`~repro.serve.shard.ShardedSolveService`): given ``K`` replica
+queues, a :class:`Router` decides which replica a request lands on —
+:class:`TenantRouter` (consistent hashing, so one tenant's requests
+always meet in the same queue and coalesce into the same batches),
+:class:`LeastLoadedRouter` (live queue depths), and
+:class:`RoundRobinRouter`.  Routers are small, thread-safe, and
+stateless apart from their own counters, so one instance serves any
+number of concurrent submitters.
 """
 
 from __future__ import annotations
 
+import bisect
+import hashlib
 import threading
 import time
 from collections import deque
-from typing import Generic, TypeVar
+from typing import Generic, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -44,6 +56,14 @@ class MicroBatcher(Generic[T]):
         queued.  ``None`` leaves the queue unbounded (the synchronous
         front-end drains inline, so it cannot grow past ``max_batch``
         there).
+
+    Thread safety
+    -------------
+    Fully thread-safe: every method takes the single internal condition
+    variable, so any number of producers (``put``) and consumers
+    (``take_batch`` / ``take_batch_nowait``) may run concurrently.
+    ``len(batcher)`` is an instantaneous sample, valid the moment it is
+    read.
     """
 
     def __init__(
@@ -82,9 +102,22 @@ class MicroBatcher(Generic[T]):
     def put(self, item: T) -> int:
         """Enqueue one item, blocking while the queue is at capacity.
 
-        Returns the queue depth including the new item.  Raises
-        :class:`QueueClosed` if the batcher has been closed (including
-        while blocked on backpressure).
+        Parameters
+        ----------
+        item:
+            The request to enqueue; stamped with its arrival time so the
+            linger deadline anchors to the oldest pending item.
+
+        Returns
+        -------
+        int
+            The queue depth including the new item.
+
+        Raises
+        ------
+        QueueClosed
+            If the batcher has been closed (including while blocked on
+            backpressure).
         """
         with self._cond:
             while (
@@ -106,8 +139,13 @@ class MicroBatcher(Generic[T]):
         oldest pending item has waited ``max_wait`` since it was
         enqueued (so time the dispatcher spent solving the previous
         batch counts against the linger), or the batcher is closed
-        (drain mode).  Returns ``[]`` only when closed *and* empty —
-        the dispatcher's exit signal.
+        (drain mode).
+
+        Returns
+        -------
+        list
+            Up to ``max_batch`` items in arrival order; ``[]`` only
+            when closed *and* empty — the dispatcher's exit signal.
         """
         with self._cond:
             while not self._items and not self._closed:
@@ -138,8 +176,13 @@ class MicroBatcher(Generic[T]):
     def take_batch_nowait(self) -> list[T]:
         """Pop up to ``max_batch`` pending items without blocking.
 
-        The synchronous front-end's drain primitive: returns ``[]``
-        immediately when nothing is pending.
+        The synchronous front-end's drain primitive.
+
+        Returns
+        -------
+        list
+            Up to ``max_batch`` items in arrival order; ``[]``
+            immediately when nothing is pending.
         """
         with self._cond:
             batch = [
@@ -160,3 +203,226 @@ class MicroBatcher(Generic[T]):
         with self._cond:
             self._closed = True
             self._cond.notify_all()
+
+
+# ----------------------------------------------------------------------
+# Shard routing policies
+# ----------------------------------------------------------------------
+class Router:
+    """Base class of the shard routing policies.
+
+    A router maps one request onto one of ``replicas`` queues.  The
+    sharded service calls :meth:`pick` on every submit, passing the
+    request's routing key (may be ``None``) and the live per-replica
+    queue depths.
+
+    Thread safety
+    -------------
+    :meth:`pick` may be called from any number of client threads
+    concurrently; subclasses guard their mutable state (the round-robin
+    cursor) with a lock.  The ``depths`` argument is a point-in-time
+    sample — a router must tolerate it being slightly stale.
+
+    Attributes
+    ----------
+    uses_depths:
+        Whether :meth:`pick` reads ``depths``.  Policies that don't
+        (round-robin, keyed tenant picks) advertise ``False`` so the
+        sharded service can skip sampling every replica queue — K lock
+        acquisitions — on the hot submit path.  Defaults to ``True``
+        (custom routers are assumed to want depths unless they opt
+        out).
+    """
+
+    #: Conservative default: unknown subclasses get real depths.
+    uses_depths: bool = True
+
+    def __init__(self, replicas: int) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+
+    def pick(self, key: object | None, depths: Sequence[int]) -> int:
+        """Choose the replica index for one request.
+
+        Parameters
+        ----------
+        key:
+            The request's routing key (tenant id); ``None`` when the
+            caller didn't supply one.
+        depths:
+            Live queue depth of each replica, ``len(depths) ==
+            replicas``.
+
+        Returns
+        -------
+        int
+            Replica index in ``[0, replicas)``.
+        """
+        raise NotImplementedError
+
+
+class RoundRobinRouter(Router):
+    """Cycle through the replicas in submission order.
+
+    The baseline policy: perfectly even spread, no affinity — a tenant's
+    consecutive requests land on different replicas, so they batch with
+    strangers rather than with each other.
+    """
+
+    uses_depths = False
+
+    def __init__(self, replicas: int) -> None:
+        super().__init__(replicas)
+        self._lock = threading.Lock()
+        self._next = 0
+
+    def pick(self, key: object | None, depths: Sequence[int]) -> int:
+        """Return the next replica in rotation (keys are ignored)."""
+        with self._lock:
+            chosen = self._next
+            self._next = (chosen + 1) % self.replicas
+            return chosen
+
+
+class LeastLoadedRouter(Router):
+    """Route each request to the replica with the shallowest queue.
+
+    Balances instantaneous load: a replica stalled on a slow batch
+    accumulates depth and stops receiving new work until it drains.
+    Ties break toward the lowest replica index, so an idle fleet fills
+    replica 0 first (keeping partial batches together instead of
+    spraying single-request batches across all replicas).
+    """
+
+    def pick(self, key: object | None, depths: Sequence[int]) -> int:
+        """Return the index of the minimum entry of ``depths``."""
+        return min(range(self.replicas), key=depths.__getitem__)
+
+
+class TenantRouter(Router):
+    """Consistent-hash routing: one tenant's requests share one replica.
+
+    The serving win of sharding comes from *affinity*: requests that
+    coalesce well (same tenant, similar tolerances, arriving together)
+    should meet in the same replica's queue.  The router hashes the
+    request key onto a ring of ``vnodes`` virtual points per replica
+    (the classic consistent-hashing construction), so
+
+    * the same key always lands on the same replica — its requests
+      batch together, and
+    * resizing the fleet remaps only ``~1/K`` of the keyspace instead
+      of reshuffling every tenant (the ring, not ``hash % K``, is what
+      buys this).
+
+    The hash is :func:`hashlib.blake2b` over the key's stable byte
+    encoding — deliberately *not* Python's builtin ``hash``, whose
+    per-process salting (``PYTHONHASHSEED``) would move every tenant on
+    restart.
+
+    Parameters
+    ----------
+    replicas:
+        Number of replica queues.
+    vnodes:
+        Virtual points per replica on the ring; more points smooth the
+        keyspace split across replicas.
+    fallback:
+        Policy for requests submitted *without* a key; defaults to a
+        private :class:`RoundRobinRouter`.
+    """
+
+    def __init__(
+        self,
+        replicas: int,
+        vnodes: int = 64,
+        fallback: Router | None = None,
+    ) -> None:
+        super().__init__(replicas)
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        ring = [
+            (_stable_hash(f"replica-{r}:vnode-{v}"), r)
+            for r in range(replicas)
+            for v in range(vnodes)
+        ]
+        ring.sort()
+        self._points = [point for point, _ in ring]
+        self._owners = [owner for _, owner in ring]
+        self._fallback = fallback or RoundRobinRouter(replicas)
+        # Keyed picks never read depths; keyless ones defer to the
+        # fallback, so depth sampling is only worth it if IT wants them.
+        self.uses_depths = self._fallback.uses_depths
+
+    def pick(self, key: object | None, depths: Sequence[int]) -> int:
+        """Return the ring owner of ``key`` (fallback policy if ``None``)."""
+        if key is None:
+            return self._fallback.pick(None, depths)
+        idx = bisect.bisect_right(self._points, _stable_hash(key))
+        if idx == len(self._points):  # wrap past the last ring point
+            idx = 0
+        return self._owners[idx]
+
+
+def _stable_hash(key: object) -> int:
+    """A process-stable 64-bit hash of an arbitrary routing key.
+
+    ``bytes`` keys hash as-is, ``str`` by UTF-8 encoding, everything
+    else through ``repr`` (stable for ints, tuples of ints/strs, and
+    the usual tenant-id shapes).
+    """
+    if isinstance(key, bytes):
+        raw = key
+    elif isinstance(key, str):
+        raw = key.encode("utf-8")
+    else:
+        raw = repr(key).encode("utf-8")
+    return int.from_bytes(hashlib.blake2b(raw, digest_size=8).digest(), "big")
+
+
+#: Routing policy names accepted by the sharded service.
+ROUTING_POLICIES: tuple[str, ...] = ("tenant", "least-loaded", "round-robin")
+
+
+def resolve_router(
+    policy: "str | Router", replicas: int
+) -> Router:
+    """Turn a policy name (or a ready :class:`Router`) into a router.
+
+    Parameters
+    ----------
+    policy:
+        ``"tenant"``, ``"least-loaded"``, ``"round-robin"``, or an
+        already-constructed :class:`Router` (which must be sized for
+        ``replicas``).
+    replicas:
+        Number of replica queues the router will address.
+
+    Returns
+    -------
+    Router
+        The routing policy instance.
+
+    Raises
+    ------
+    ValueError
+        For an unknown policy name or a :class:`Router` instance sized
+        for a different replica count.
+    """
+    if isinstance(policy, Router):
+        if policy.replicas != replicas:
+            raise ValueError(
+                f"router is sized for {policy.replicas} replicas, "
+                f"service has {replicas}"
+            )
+        return policy
+    if policy == "tenant":
+        return TenantRouter(replicas)
+    if policy == "least-loaded":
+        return LeastLoadedRouter(replicas)
+    if policy == "round-robin":
+        return RoundRobinRouter(replicas)
+    raise ValueError(
+        f"unknown routing policy {policy!r}; expected one of "
+        f"{ROUTING_POLICIES} or a Router instance"
+    )

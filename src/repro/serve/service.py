@@ -40,6 +40,7 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 from numpy.typing import NDArray
@@ -75,13 +76,49 @@ class SolveTicket:
         return self._future.done()
 
     def result(self, timeout: float | None = None) -> CGResult:
-        """Block until resolved and return the request's
-        :class:`~repro.sem.cg.CGResult`.
+        """Block until resolved and return the request's result.
 
-        Raises ``TimeoutError`` if ``timeout`` elapses first, or
-        re-raises the batch's exception if the solve failed.
+        Parameters
+        ----------
+        timeout:
+            Seconds to wait; ``None`` waits indefinitely.
+
+        Returns
+        -------
+        ~repro.sem.cg.CGResult
+            The request's solve outcome.
+
+        Raises
+        ------
+        TimeoutError
+            If ``timeout`` elapses before the request resolves.
+        Exception
+            Re-raises the batch's exception if the solve failed.
         """
         return self._future.result(timeout)
+
+    def exception(
+        self, timeout: float | None = None
+    ) -> BaseException | None:
+        """Block until resolved and return the failure (or ``None``).
+
+        The non-raising twin of :meth:`result`: callers that need to
+        inspect a failed batch's error without a ``try``/``except`` (the
+        asyncio front-end's transfer callback) read it here.
+        """
+        return self._future.exception(timeout)
+
+    def add_done_callback(self, fn: "Callable[[SolveTicket], None]") -> None:
+        """Invoke ``fn(ticket)`` once the request resolves or fails.
+
+        The callback runs on whichever thread resolves the ticket (the
+        background dispatcher or a draining client) — or immediately on
+        the calling thread if the ticket is already done — so it must be
+        cheap and must not block.  This is the hand-off point the
+        asyncio front-end uses to re-enter the event loop via
+        ``loop.call_soon_threadsafe``.
+        """
+        self._future.add_done_callback(lambda _f: fn(self))
 
     # Called by the service only.
     def _resolve(self, result: CGResult) -> None:
@@ -141,6 +178,18 @@ class SolveService:
     Close the service (or use it as a context manager) to drain the
     queue and stop the dispatcher; tickets submitted before ``close``
     are always resolved.
+
+    Thread safety
+    -------------
+    :meth:`submit`, :meth:`flush`, :meth:`solve_many`, :attr:`stats`
+    and :meth:`close` are safe from any number of threads: the queue is
+    a lock-protected :class:`~repro.serve.scheduler.MicroBatcher`,
+    solves serialize through the :class:`~repro.serve.pool.WorkspacePool`
+    lease, and stats snapshots are cut under the accumulator's lock.
+    The *problem* itself is single-solve (shared workspace buffers) —
+    which is exactly what the pool enforces; use
+    :class:`~repro.serve.shard.ShardedSolveService` for solve-level
+    parallelism across problem clones.
     """
 
     problem: object
@@ -177,6 +226,10 @@ class SolveService:
             max_wait=self.max_wait,
             max_pending=self.max_pending,
         )
+        # Snapshots sample the live queue length inside the stats lock,
+        # so concurrent submitters/dispatchers can never leave a stale
+        # depth behind (see ServiceStats.depth_fn).
+        self.stats_accumulator.depth_fn = self._batcher.__len__
         self._dispatcher: threading.Thread | None = None
         if self.background:
             self._dispatcher = threading.Thread(
@@ -197,10 +250,36 @@ class SolveService:
     ) -> SolveTicket:
         """Queue one right-hand side for solving; returns its ticket.
 
+        Parameters
+        ----------
+        b:
+            Right-hand side of shape ``(n_dofs,)``.  Copied at
+            submission, so callers may reuse their buffer immediately.
+        tol / maxiter:
+            Per-request overrides of the service defaults; each request
+            keeps its own stopping criteria inside whatever batch it
+            coalesces into.
+
+        Returns
+        -------
+        SolveTicket
+            Resolves to the request's :class:`~repro.sem.cg.CGResult`.
+
+        Raises
+        ------
+        ValueError
+            On a bad rhs shape or invalid ``tol``/``maxiter`` — bounced
+            off the offending caller here, never allowed to poison the
+            innocent batchmates a bad value would have coalesced with.
+        ~repro.serve.scheduler.QueueClosed
+            After :meth:`close`.
+
+        Notes
+        -----
         Thread-safe; blocks when the queue is at ``max_pending``
-        (backpressure) and raises ``QueueClosed`` after :meth:`close`.
-        The rhs is copied at submission, so callers may reuse their
-        buffer immediately.
+        (backpressure).  In synchronous mode (no background dispatcher)
+        the submitter whose request fills a batch pays for solving it
+        inline.
         """
         b = np.array(b, dtype=np.float64)  # snapshot: caller may mutate
         if b.shape != (self._n,):
@@ -222,8 +301,17 @@ class SolveService:
             tol=tol_val,
             maxiter=maxiter_val,
         )
-        depth = self._batcher.put(request)
-        self.stats_accumulator.record_submit(depth)
+        # Count the submission BEFORE enqueueing: once the request is in
+        # the queue a background dispatcher may solve and record it
+        # immediately, and a snapshot cut in between must never show
+        # more completions than submissions.
+        self.stats_accumulator.record_submit()
+        try:
+            depth = self._batcher.put(request)
+        except BaseException:
+            self.stats_accumulator.record_rejected()
+            raise
+        self.stats_accumulator.record_depth(depth)
         if self._dispatcher is None and depth >= self.max_batch:
             # Synchronous mode: the submitting client pays for the
             # full batch it just completed.
@@ -251,9 +339,21 @@ class SolveService:
 
         The scripted front-end: equivalent to submitting every row and
         waiting on every ticket, with the batches solved inline (or by
-        the dispatcher in background mode).  ``bs`` is an ``(M, n)``
-        array or a sequence of ``(n,)`` vectors; ``M`` may exceed
-        ``max_batch`` — the service chunks it.
+        the dispatcher in background mode).
+
+        Parameters
+        ----------
+        bs:
+            ``(M, n)`` array or sequence of ``(n,)`` vectors; ``M`` may
+            exceed ``max_batch`` — the service chunks it.
+        tol / maxiter:
+            Shared per-request overrides of the service defaults.
+
+        Returns
+        -------
+        list of ~repro.sem.cg.CGResult
+            One result per input row, in input order, each bit-identical
+            to a sequential warm solve of that row.
         """
         tickets = [self.submit(b, tol=tol, maxiter=maxiter) for b in bs]
         if self._dispatcher is None:
@@ -338,20 +438,24 @@ class SolveService:
                     tol=tols, maxiter=maxiters, workspace=ws,
                 )
         except BaseException as exc:  # resolve tickets even on breakdown
-            for req in batch:
-                req.ticket._fail(exc)
+            # Stats first, tickets second: a client that has seen its
+            # ticket resolve must also see itself counted in the next
+            # snapshot (the inverse order would let snapshots trail the
+            # results they describe).
             self.stats_accumulator.record_batch(
                 nb, time.perf_counter() - start, len(self._batcher),
                 failed=True,
             )
+            for req in batch:
+                req.ticket._fail(exc)
             if not isinstance(exc, Exception):
                 raise  # interrupts abort the drain/dispatch loop
             return
-        for k, req in enumerate(batch):
-            req.ticket._resolve(_outcome_row(res, k))
         self.stats_accumulator.record_batch(
             nb, time.perf_counter() - start, len(self._batcher),
         )
+        for k, req in enumerate(batch):
+            req.ticket._resolve(_outcome_row(res, k))
 
 
 def _outcome_row(res, k: int) -> CGResult:

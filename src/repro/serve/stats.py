@@ -6,7 +6,20 @@ make that observable on the CPU substrate — every
 :class:`~repro.serve.service.SolveService` owns a :class:`ServiceStats`
 accumulator and exposes immutable :class:`StatsSnapshot` views of it
 (queue depth, the batch-size histogram that shows how well coalescing is
-working, and solves per second).
+working, and solves per second).  Sharded services
+(:class:`~repro.serve.shard.ShardedSolveService`) aggregate one snapshot
+per replica into a fleet view with :func:`merge_snapshots`.
+
+Thread safety
+-------------
+Every mutator and :meth:`ServiceStats.snapshot` take the accumulator's
+internal lock, so a snapshot is always a *consistent* cut: the batch
+histogram always sums to ``completed + failed``, never to a value read
+mid-update.  The live queue depth is sampled through
+:attr:`ServiceStats.depth_fn` inside that same critical section — the
+depth reported by a snapshot is the queue's length at snapshot time,
+not a stale value recorded by whichever dispatcher thread last touched
+the counters.
 """
 
 from __future__ import annotations
@@ -14,6 +27,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import Callable, Iterable
 
 
 @dataclass(frozen=True)
@@ -32,11 +46,17 @@ class StatsSnapshot:
         at 1 means micro-batching never kicked in; mass at ``max_batch``
         means the pipeline stayed full.
     queue_depth / max_queue_depth:
-        Pending requests now / high-water mark.
+        Pending requests at snapshot time / high-water mark.
     busy_seconds:
         Total wall time spent inside batched solves.
     wall_seconds:
         Wall time from the first submission to the latest completion.
+    first_submit / last_done:
+        ``time.perf_counter()`` stamps of the first submission and the
+        latest completion (``None`` before any traffic).  Comparable
+        only within one process; :func:`merge_snapshots` uses them to
+        compute the true fleet activity window even when replicas were
+        busy at disjoint times.
     """
 
     submitted: int
@@ -48,6 +68,8 @@ class StatsSnapshot:
     max_queue_depth: int
     busy_seconds: float
     wall_seconds: float
+    first_submit: float | None = None
+    last_done: float | None = None
 
     @property
     def solves_per_second(self) -> float:
@@ -65,14 +87,105 @@ class StatsSnapshot:
         return (self.completed + self.failed) / self.batches
 
 
+def merge_snapshots(snapshots: Iterable[StatsSnapshot]) -> StatsSnapshot:
+    """Aggregate per-replica snapshots into one fleet-level snapshot.
+
+    Counters and busy time sum across replicas, the batch histograms
+    merge, queue depth sums (total requests pending anywhere), the
+    high-water mark takes the per-replica maximum, and ``wall_seconds``
+    spans the true fleet activity window — earliest ``first_submit`` to
+    latest ``last_done`` across replicas — so replicas busy at
+    *disjoint* times are not double-credited (falling back to the
+    longest per-replica wall for snapshots without stamps).
+    Consequently ``solves_per_second`` of the merged snapshot reads as
+    aggregate fleet throughput.
+
+    Parameters
+    ----------
+    snapshots:
+        Any iterable of :class:`StatsSnapshot` (typically one per
+        replica, each internally consistent).  An empty iterable yields
+        an all-zero snapshot.
+
+    Returns
+    -------
+    StatsSnapshot
+        The aggregate view.  Note that the *set* of snapshots is not
+        atomic across replicas — each replica's cut is consistent, but
+        replica A's may be microseconds older than replica B's.
+    """
+    submitted = completed = failed = batches = 0
+    histogram: dict[int, int] = {}
+    queue_depth = max_queue_depth = 0
+    busy = wall = 0.0
+    firsts: list[float] = []
+    lasts: list[float] = []
+    for snap in snapshots:
+        submitted += snap.submitted
+        completed += snap.completed
+        failed += snap.failed
+        batches += snap.batches
+        for size, count in snap.batch_histogram.items():
+            histogram[size] = histogram.get(size, 0) + count
+        queue_depth += snap.queue_depth
+        max_queue_depth = max(max_queue_depth, snap.max_queue_depth)
+        busy += snap.busy_seconds
+        wall = max(wall, snap.wall_seconds)
+        if snap.first_submit is not None:
+            firsts.append(snap.first_submit)
+        if snap.last_done is not None:
+            lasts.append(snap.last_done)
+    if firsts and lasts:
+        # The true fleet window: replicas active at disjoint times must
+        # not inflate solves/s (max-of-walls would credit 200 solves
+        # spread over 6 s as if they fit in the busiest 1 s window).
+        wall = max(wall, max(lasts) - min(firsts))
+    first_submit = min(firsts) if firsts else None
+    last_done = max(lasts) if lasts else None
+    # Per-replica high-water marks don't sum (they peaked at different
+    # times), but the fleet mark must at least cover what is pending
+    # right now, or the merged snapshot would contradict itself
+    # (queue_depth > max_queue_depth).
+    max_queue_depth = max(max_queue_depth, queue_depth)
+    return StatsSnapshot(
+        submitted=submitted,
+        completed=completed,
+        failed=failed,
+        batches=batches,
+        batch_histogram=histogram,
+        queue_depth=queue_depth,
+        max_queue_depth=max_queue_depth,
+        busy_seconds=busy,
+        wall_seconds=wall,
+        first_submit=first_submit,
+        last_done=last_done,
+    )
+
+
 @dataclass
 class ServiceStats:
     """Thread-safe accumulator behind :class:`StatsSnapshot`.
 
+    Parameters
+    ----------
+    depth_fn:
+        Optional zero-argument callable returning the *live* pending
+        count (e.g. ``lambda: len(batcher)``).  When set, snapshots
+        report the queue depth sampled inside the stats lock at snapshot
+        time; without it they fall back to the depth recorded by the
+        last mutator — which can be stale when many threads interleave
+        ``submit`` and batch completion (two threads may record depths
+        in the opposite order they were observed).
+
+    Thread safety
+    -------------
     All mutators take the internal lock; :meth:`snapshot` returns a
-    consistent frozen copy.  Submissions may come from any client
+    consistent frozen copy (histogram mass always equals
+    ``completed + failed``).  Submissions may come from any client
     thread, completions from the dispatcher (or a flushing client).
     """
+
+    depth_fn: Callable[[], int] | None = None
 
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
     _submitted: int = 0
@@ -86,14 +199,53 @@ class ServiceStats:
     _first_submit: float | None = None
     _last_done: float | None = None
 
-    def record_submit(self, queue_depth: int) -> None:
-        """One request entered the queue (``queue_depth`` includes it)."""
+    def record_submit(self, queue_depth: int | None = None) -> None:
+        """One request is being submitted.
+
+        Call *before* the request is enqueued: counting first guarantees
+        no snapshot ever shows ``completed + failed > submitted``, which
+        could otherwise happen if a fast dispatcher solved the request
+        between its enqueue and its accounting.  Follow up with
+        :meth:`record_depth` once the enqueue reports the depth (or pass
+        ``queue_depth`` directly when the depth is already known), and
+        roll back with :meth:`record_rejected` if the enqueue raises.
+
+        Parameters
+        ----------
+        queue_depth:
+            Optional queue depth including the request; feeds the
+            high-water mark (and the fallback depth when no
+            :attr:`depth_fn` is configured).
+        """
         with self._lock:
             self._submitted += 1
-            self._queue_depth = queue_depth
-            self._max_queue_depth = max(self._max_queue_depth, queue_depth)
+            if queue_depth is not None:
+                self._queue_depth = queue_depth
+                self._max_queue_depth = max(
+                    self._max_queue_depth, queue_depth
+                )
             if self._first_submit is None:
                 self._first_submit = time.perf_counter()
+
+    def record_depth(self, queue_depth: int) -> None:
+        """Feed one observed queue depth into the high-water mark."""
+        with self._lock:
+            self._queue_depth = queue_depth
+            self._max_queue_depth = max(self._max_queue_depth, queue_depth)
+
+    def record_rejected(self) -> None:
+        """Roll back one :meth:`record_submit` whose enqueue failed
+        (e.g. the queue was closed while the producer blocked).
+
+        If the rejected request was the only traffic ever seen, the
+        wall-clock anchor is reset too — otherwise a phantom first
+        submission would stretch ``wall_seconds`` (and deflate
+        ``solves_per_second``) for the accumulator's lifetime.
+        """
+        with self._lock:
+            self._submitted -= 1
+            if self._submitted == 0 and self._batches == 0:
+                self._first_submit = None
 
     def record_batch(
         self,
@@ -102,7 +254,21 @@ class ServiceStats:
         queue_depth: int,
         failed: bool = False,
     ) -> None:
-        """One stacked dispatch of ``size`` requests finished."""
+        """One stacked dispatch of ``size`` requests finished.
+
+        Parameters
+        ----------
+        size:
+            Number of requests in the dispatched batch.
+        seconds:
+            Wall time the batched solve took.
+        queue_depth:
+            Pending count observed after the batch was popped (fallback
+            depth when no :attr:`depth_fn` is configured).
+        failed:
+            True when the batch raised — its ``size`` requests count as
+            failed instead of completed.
+        """
         with self._lock:
             self._batches += 1
             self._histogram[size] = self._histogram.get(size, 0) + 1
@@ -115,20 +281,39 @@ class ServiceStats:
             self._last_done = time.perf_counter()
 
     def snapshot(self) -> StatsSnapshot:
-        """A consistent frozen copy of every counter."""
+        """A consistent frozen copy of every counter.
+
+        Returns
+        -------
+        StatsSnapshot
+            All counters cut under one lock acquisition; the queue depth
+            is the live :attr:`depth_fn` sample (taken inside the same
+            critical section) when one is configured.
+        """
         with self._lock:
             if self._first_submit is None or self._last_done is None:
                 wall = 0.0
             else:
                 wall = max(0.0, self._last_done - self._first_submit)
+            depth = (
+                int(self.depth_fn())
+                if self.depth_fn is not None
+                else self._queue_depth
+            )
+            # Persist a live sample that tops the recorded high-water
+            # mark, so the mark never shrinks between successive
+            # snapshots (it is a monotone peak, not a rolling view).
+            self._max_queue_depth = max(self._max_queue_depth, depth)
             return StatsSnapshot(
                 submitted=self._submitted,
                 completed=self._completed,
                 failed=self._failed,
                 batches=self._batches,
                 batch_histogram=dict(self._histogram),
-                queue_depth=self._queue_depth,
+                queue_depth=depth,
                 max_queue_depth=self._max_queue_depth,
                 busy_seconds=self._busy_seconds,
                 wall_seconds=wall,
+                first_submit=self._first_submit,
+                last_done=self._last_done,
             )

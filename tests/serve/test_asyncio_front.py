@@ -1,0 +1,225 @@
+"""Tests for repro.serve.asyncio_front (the asyncio serving facade)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.sem import (
+    BoxMesh,
+    PoissonProblem,
+    ReferenceElement,
+    cg_solve,
+    sine_manufactured,
+)
+from repro.serve import (
+    AsyncSolveService,
+    QueueClosed,
+    ShardedSolveService,
+    SolveService,
+)
+
+
+@pytest.fixture(scope="module")
+def serving_problem():
+    ref = ReferenceElement.from_degree(3)
+    mesh = BoxMesh.build(ref, (2, 2, 2))
+    prob = PoissonProblem(mesh, ax_backend="matmul")
+    _, forcing = sine_manufactured(mesh.extent)
+    b0 = prob.rhs_from_forcing(forcing)
+    bank = [b0 * (1.0 + 0.3 * k) for k in range(16)]
+    return prob, bank
+
+
+def sequential_solve(prob, b, tol=1e-10, maxiter=200):
+    return cg_solve(
+        prob.apply_A, b, precond_diag=prob.precond_diag(), tol=tol,
+        maxiter=maxiter, workspace=prob.workspace,
+    )
+
+
+def assert_same_result(got, want):
+    assert np.array_equal(got.x, want.x)
+    assert got.iterations == want.iterations
+    assert got.residual_history == want.residual_history
+
+
+class TestAsyncSolve:
+    def test_solve_bit_identical(self, serving_problem):
+        prob, bank = serving_problem
+
+        async def run():
+            svc = SolveService(
+                prob.clone(), max_batch=8, max_wait=0.002, background=True,
+            )
+            async with AsyncSolveService(svc) as asvc:
+                return await asvc.solve(bank[0], tol=1e-10, maxiter=200)
+
+        got = asyncio.run(run())
+        assert_same_result(got, sequential_solve(prob, bank[0]))
+
+    def test_solve_many_coalesces_and_matches(self, serving_problem):
+        prob, bank = serving_problem
+
+        async def run():
+            svc = SolveService(
+                prob.clone(), max_batch=8, max_wait=0.05, background=True,
+            )
+            async with AsyncSolveService(svc) as asvc:
+                results = await asvc.solve_many(
+                    bank[:8], tol=1e-10, maxiter=200
+                )
+                return results, asvc.stats
+
+        results, stats = asyncio.run(run())
+        for b, got in zip(bank[:8], results):
+            assert_same_result(got, sequential_solve(prob, b))
+        # All eight were submitted before any await on results, so they
+        # coalesced into one full batch — async costs no batching.
+        assert stats.batch_histogram == {8: 1}
+
+    def test_sharded_backend_with_keys(self, serving_problem):
+        prob, bank = serving_problem
+
+        async def run():
+            svc = ShardedSolveService(
+                prob.clone(), replicas=2, policy="tenant", max_wait=0.002,
+            )
+            async with AsyncSolveService(svc) as asvc:
+                keys = [f"tenant-{k % 3}" for k in range(12)]
+                results = await asvc.solve_many(bank[:12], keys=keys)
+                return results, svc.routed
+
+        results, routed = asyncio.run(run())
+        for b, got in zip(bank[:12], results):
+            assert_same_result(got, sequential_solve(prob, b))
+        assert sum(routed) == 12
+
+    def test_error_propagates_to_future(self, serving_problem):
+        prob, _ = serving_problem
+
+        class Boom(RuntimeError):
+            pass
+
+        async def run():
+            svc = SolveService(
+                prob.clone(), max_batch=2, max_wait=0.002, background=True,
+            )
+            svc._operator = lambda v, out=None: (_ for _ in ()).throw(
+                Boom("operator exploded")
+            )
+            async with AsyncSolveService(svc) as asvc:
+                with pytest.raises(Boom):
+                    await asvc.solve(np.ones(prob.n_dofs))
+
+        asyncio.run(run())
+
+    def test_submit_after_close_raises(self, serving_problem):
+        prob, bank = serving_problem
+
+        async def run():
+            asvc = AsyncSolveService(
+                SolveService(prob.clone(), background=True)
+            )
+            await asvc.aclose()
+            with pytest.raises(QueueClosed):
+                await asvc.submit(bank[0])
+            await asvc.aclose()  # idempotent
+
+        asyncio.run(run())
+
+    def test_non_service_rejected(self):
+        with pytest.raises(TypeError, match="SolveService"):
+            AsyncSolveService(object())
+
+    def test_foreground_service_rejected(self, serving_problem):
+        """A foreground service would strand awaited partial batches
+        forever (nothing flushes on the asyncio side) — refuse it at
+        construction instead of hanging at await time."""
+        prob, _ = serving_problem
+        svc = SolveService(prob.clone(), max_batch=8, background=False)
+        try:
+            with pytest.raises(ValueError, match="background"):
+                AsyncSolveService(svc)
+        finally:
+            svc.close()
+
+    def test_keys_length_mismatch(self, serving_problem):
+        prob, bank = serving_problem
+
+        async def run():
+            async with AsyncSolveService(
+                SolveService(prob.clone(), background=True)
+            ) as asvc:
+                with pytest.raises(ValueError, match="keys length"):
+                    await asvc.solve_many(bank[:3], keys=["a"])
+
+        asyncio.run(run())
+
+
+class TestAsyncCancellation:
+    def test_cancelled_future_does_not_poison_batch(self, serving_problem):
+        """The acceptance test: cancel one request's future while its
+        batch lingers; the batch still solves, every *other* request
+        resolves bit-identically, and the cancelled future stays
+        cancelled (its result is dropped, not delivered)."""
+        prob, bank = serving_problem
+
+        async def run():
+            # Huge max_wait parks the partial batch until close() drains.
+            svc = SolveService(
+                prob.clone(), max_batch=8, max_wait=30.0, background=True,
+            )
+            async with AsyncSolveService(svc) as asvc:
+                futures = [await asvc.submit(b) for b in bank[:4]]
+                futures[1].cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await futures[1]
+                # aclose (via the context manager) drains the batch —
+                # but gather the survivors first to prove they resolve.
+                await asvc.aclose()
+                survivors = await asyncio.gather(
+                    futures[0], futures[2], futures[3]
+                )
+                return survivors, futures[1], svc.stats
+
+        survivors, cancelled, stats = asyncio.run(run())
+        for b, got in zip(
+            (bank[0], bank[2], bank[3]), survivors
+        ):
+            assert_same_result(got, sequential_solve(prob, b))
+        assert cancelled.cancelled()
+        # The batch solved all four requests — the cancelled one was
+        # dropped at delivery, not yanked from the stacked solve.
+        assert stats.completed == 4
+        assert stats.failed == 0
+
+    def test_many_in_flight_with_scattered_cancels(self, serving_problem):
+        prob, bank = serving_problem
+
+        async def run():
+            svc = ShardedSolveService(
+                prob.clone(), replicas=2, policy="round-robin",
+                max_batch=4, max_wait=0.05,
+            )
+            async with AsyncSolveService(svc) as asvc:
+                futures = [
+                    await asvc.submit(bank[k % len(bank)]) for k in range(12)
+                ]
+                for k in (1, 5, 9):
+                    futures[k].cancel()
+                done = await asyncio.gather(
+                    *(futures[k] for k in range(12) if k not in (1, 5, 9))
+                )
+                await asvc.aclose()  # settle batches holding only cancels
+                return done, svc.stats
+
+        done, stats = asyncio.run(run())
+        keep = [k for k in range(12) if k not in (1, 5, 9)]
+        for k, got in zip(keep, done):
+            assert_same_result(
+                got, sequential_solve(prob, bank[k % len(bank)])
+            )
+        assert stats.completed == 12  # cancelled ones still solved

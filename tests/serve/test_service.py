@@ -24,6 +24,7 @@ from repro.serve import (
     ServiceStats,
     SolveService,
     WorkspacePool,
+    merge_snapshots,
 )
 
 
@@ -392,3 +393,134 @@ class TestStats:
         stats.record_batch(1, 0.1, queue_depth=0, failed=True)
         snap = stats.snapshot()
         assert snap.failed == 1 and snap.completed == 0
+
+    def test_depth_fn_gives_live_queue_depth(self):
+        """Snapshots sample the configured depth provider (inside the
+        lock) instead of trusting whatever a mutator last recorded."""
+        live = {"depth": 0}
+        stats = ServiceStats(depth_fn=lambda: live["depth"])
+        stats.record_submit(queue_depth=1)  # recorded value: 1
+        live["depth"] = 5  # the queue moved on since
+        snap = stats.snapshot()
+        assert snap.queue_depth == 5
+        assert snap.max_queue_depth == 5  # high-water mark keeps up
+        live["depth"] = 0  # queue drained
+        drained = stats.snapshot()
+        assert drained.queue_depth == 0
+        assert drained.max_queue_depth == 5  # the peak never shrinks
+
+    def test_record_rejected_rolls_back_submit(self):
+        stats = ServiceStats()
+        stats.record_submit()
+        stats.record_rejected()
+        snap = stats.snapshot()
+        assert snap.submitted == 0
+        # The phantom first-submit stamp is rolled back too, so a later
+        # real request anchors the wall window, not the rejected one.
+        assert snap.first_submit is None
+        stats.record_submit()
+        stats.record_batch(1, 0.1, queue_depth=0)
+        assert stats.snapshot().wall_seconds < 0.1
+
+    def test_service_queue_depth_is_live(self, serving_problem):
+        prob, bank = serving_problem
+        svc = SolveService(prob, max_batch=8)
+        for b in bank[:3]:
+            svc.submit(b)
+        assert svc.stats.queue_depth == 3
+        svc.flush()
+        assert svc.stats.queue_depth == 0
+        svc.close()
+
+    def test_merge_snapshots_aggregates(self):
+        a = ServiceStats()
+        a.record_submit(1)
+        a.record_submit(2)
+        a.record_batch(2, 0.25, queue_depth=0)
+        b = ServiceStats()
+        b.record_submit(1)
+        b.record_batch(1, 0.5, queue_depth=0, failed=True)
+        snap_a, snap_b = a.snapshot(), b.snapshot()
+        merged = merge_snapshots([snap_a, snap_b])
+        assert merged.submitted == 3
+        assert merged.completed == 2 and merged.failed == 1
+        assert merged.batches == 2
+        assert merged.batch_histogram == {2: 1, 1: 1}
+        assert merged.busy_seconds == pytest.approx(0.75)
+        # The fleet window spans earliest submit -> latest completion
+        # across snapshots (offset replica windows must not inflate
+        # solves/s), never shorter than any single replica's window.
+        assert merged.wall_seconds == pytest.approx(
+            max(snap_a.last_done, snap_b.last_done)
+            - min(snap_a.first_submit, snap_b.first_submit)
+        )
+        assert merged.wall_seconds >= max(
+            snap_a.wall_seconds, snap_b.wall_seconds
+        )
+        assert merged.mean_batch_size == 1.5
+        empty = merge_snapshots([])
+        assert empty.submitted == 0 and empty.solves_per_second == 0.0
+
+    def test_merge_keeps_high_water_above_live_depth(self):
+        """Summed fleet depth can exceed every per-replica peak; the
+        merged mark must cover it (queue_depth <= max_queue_depth is
+        part of the snapshot contract)."""
+        replicas = []
+        for _ in range(2):
+            s = ServiceStats()
+            s.record_submit(queue_depth=5)
+            replicas.append(s.snapshot())
+        merged = merge_snapshots(replicas)
+        assert merged.queue_depth == 10
+        assert merged.max_queue_depth >= merged.queue_depth
+
+    def test_snapshot_consistent_under_submit_hammer(self, serving_problem):
+        """The stats-race regression test: client threads hammer submit
+        while the main thread polls snapshots.  Every snapshot must be
+        an internally consistent cut — the histogram mass must equal
+        ``completed + failed`` exactly (a torn read would catch a batch
+        counted in one but not yet the other), and counters must be
+        monotonic."""
+        prob, bank = serving_problem
+        n_clients, per_client = 4, 40
+        tickets: list = []
+        tickets_lock = threading.Lock()
+        with SolveService(
+            prob, max_batch=4, max_wait=0.0005, background=True,
+            tol=0.0,
+        ) as svc:
+            def client(cid):
+                for j in range(per_client):
+                    t = svc.submit(bank[(cid + j) % len(bank)], maxiter=2)
+                    with tickets_lock:
+                        tickets.append(t)
+
+            threads = [
+                threading.Thread(target=client, args=(cid,))
+                for cid in range(n_clients)
+            ]
+            for t in threads:
+                t.start()
+            last_completed = 0
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                snap = svc.stats
+                mass = sum(
+                    size * count
+                    for size, count in snap.batch_histogram.items()
+                )
+                assert mass == snap.completed + snap.failed
+                assert snap.completed >= last_completed  # monotonic
+                last_completed = snap.completed
+                assert snap.submitted >= snap.completed + snap.failed
+                assert 0 <= snap.queue_depth <= snap.max_queue_depth
+                if snap.completed == n_clients * per_client:
+                    break
+            for t in threads:
+                t.join()
+            for t in tickets:
+                t.result(timeout=60)
+            final = svc.stats
+        assert final.completed == n_clients * per_client
+        assert final.failed == 0
+        assert final.queue_depth == 0
