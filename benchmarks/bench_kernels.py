@@ -216,6 +216,41 @@ def test_bench_serve_sharded_throughput_b16(benchmark):
     svc.close()
 
 
+def test_bench_serve_procshard_throughput_b16(benchmark):
+    """Sixteen independent requests through a K=2
+    ProcessShardedSolveService (round-robin, max_batch=8): the
+    process-level horizontally-scaled serving number, pipe transfer and
+    cross-process dispatch included.
+
+    On the 1-vCPU benchmark host the two worker processes timeshare one
+    core *and* pay the request/result pipe hop (requests travel in one
+    block message per worker and results come back in coalesced
+    ``done_block`` sweeps, but every cross-process wake-up still costs
+    a context switch on the only core), so the fleet cannot beat a
+    single in-process service — measured band ~0.65-0.78x here; the
+    gate in ``run_baseline.py`` only requires >= 0.6x.  On a multi-core
+    host each worker owns a core including its Python dispatch (the
+    ceiling the thread-shard cannot pass), and the ratio is tracked
+    like ``threads2`` (``serve_procshard_vs_single_speedup`` in
+    ``BENCH_kernels.json``)."""
+    from repro.serve import ProcessShardedSolveService
+
+    prob, bs, _ = _serving_problem(batch=16)
+    svc = ProcessShardedSolveService(
+        prob, workers=2, policy="round-robin", max_batch=8,
+        max_wait=0.05, tol=0.0, maxiter=10,
+    )
+
+    def run():
+        return svc.solve_many(bs)
+
+    results = benchmark(run)
+    assert all(r.iterations == 10 for r in results)
+    benchmark.extra_info["requests_per_round"] = int(bs.shape[0])
+    benchmark.extra_info["workers"] = 2
+    svc.close()
+
+
 def test_bench_gather_scatter(benchmark):
     """Direct-stiffness round trip on a 4x4x4 mesh at N=7."""
     ref = ReferenceElement.from_degree(7)

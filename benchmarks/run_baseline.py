@@ -145,6 +145,26 @@ def derive(data: dict) -> dict:
                 derived["serve_sharded_throughput"]
                 / derived["serve_throughput"]
             )
+    proc_bench = bench_of(data, "test_bench_serve_procshard_throughput_b16")
+    if proc_bench:
+        proc = float(proc_bench["stats"]["mean"])
+        proc_requests = float(
+            proc_bench.get("extra_info", {}).get("requests_per_round", 16)
+        )
+        derived["serve_procshard_b16_s"] = proc
+        # Requests/second through the K=2 process-sharded service
+        # (shared-memory geometry, per-worker pipes)...
+        derived["serve_procshard_throughput"] = proc_requests / proc
+        if "serve_throughput" in derived:
+            # ...vs the single-service solves/s.  Two worker processes
+            # timesharing this 1-vCPU host also pay the pipe hop, so
+            # the floor (0.6x, below) only demands the process
+            # boundary stay cheap; multi-core hosts record the real
+            # scaling, which is the point of tracking the ratio.
+            derived["serve_procshard_vs_single_speedup"] = (
+                derived["serve_procshard_throughput"]
+                / derived["serve_throughput"]
+            )
     return derived
 
 
@@ -262,6 +282,19 @@ def main(argv: list[str] | None = None) -> int:
             f"WARNING: sharded serve throughput {sharded:.2f}x the single "
             "service is below the 0.9x floor (the K=2 fleet must not fall "
             "behind one replica, even timesharing a single-core host)"
+        )
+        if not args.fast:
+            status = status or 1
+    procshard = data["derived"].get("serve_procshard_vs_single_speedup")
+    if procshard is not None and procshard < 0.6:
+        print(
+            f"WARNING: process-sharded serve throughput {procshard:.2f}x "
+            "the single service is below the 0.6x floor (two worker "
+            "processes timeshare this host's single core and pay the "
+            "request/result pipe hop — the measured band here is "
+            "~0.65-0.78x; the floor only demands that the process "
+            "boundary stay cheap, the ratio itself is tracked for "
+            "multi-core hosts like threads2/sharded)"
         )
         if not args.fast:
             status = status or 1

@@ -40,6 +40,7 @@ from repro.sem.operators import (
 from repro.sem.gather_scatter import GatherScatter
 from repro.sem.kernels import (
     ax_local_matmul,
+    ax_kernel_name,
     get_ax_kernel,
     register_ax_kernel,
     available_ax_kernels,
@@ -54,6 +55,18 @@ from repro.sem.nekbone import (
     NekboneCase,
     NekboneReport,
     element_sweep,
+)
+from repro.sem.shared import (
+    SharedArrayManifest,
+    attach_shared_arrays,
+    export_shared_arrays,
+)
+from repro.sem.spec import (
+    ProblemSpec,
+    SharedProblemExport,
+    problem_spec,
+    export_shared_problem,
+    rebuild,
 )
 
 __all__ = [
@@ -85,6 +98,7 @@ __all__ = [
     "helmholtz_local",
     "ax_flops",
     "ax_local_matmul",
+    "ax_kernel_name",
     "get_ax_kernel",
     "register_ax_kernel",
     "available_ax_kernels",
@@ -103,4 +117,12 @@ __all__ = [
     "NekboneCase",
     "NekboneReport",
     "element_sweep",
+    "SharedArrayManifest",
+    "attach_shared_arrays",
+    "export_shared_arrays",
+    "ProblemSpec",
+    "SharedProblemExport",
+    "problem_spec",
+    "export_shared_problem",
+    "rebuild",
 ]

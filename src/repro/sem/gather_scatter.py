@@ -35,6 +35,23 @@ from repro.sem.mesh import BoxMesh
 
 
 @dataclass(frozen=True)
+class SharedGatherScatter:
+    """Picklable handle to a :meth:`GatherScatter.export_shared` export.
+
+    Carries the :class:`~repro.sem.shared.SharedArrayManifest` of the
+    operator's construction-time caches plus the scalar state
+    (:attr:`n_global`, :attr:`local_shape`, the reduceat-eligibility
+    flag) that :meth:`GatherScatter.attach_shared` needs to rebuild an
+    instance without re-running the l2g sort.
+    """
+
+    arrays: object  # SharedArrayManifest (kept loose to avoid a cycle)
+    n_global: int
+    local_shape: tuple[int, int, int, int]
+    dense: bool
+
+
+@dataclass(frozen=True)
 class GatherScatter:
     """Bound gather-scatter operator for a fixed mesh topology.
 
@@ -132,6 +149,72 @@ class GatherScatter:
         )
         object.__setattr__(twin, "_batch_scratch", {})
         return twin
+
+    # ------------------------------------------------------------------
+    # Shared-memory protocol (process-level sharding)
+    # ------------------------------------------------------------------
+    def export_shared(self) -> "tuple[object, SharedGatherScatter]":
+        """Export the construction-time caches into one shared block.
+
+        The l2g map, sort permutation, segment boundaries and (inverse)
+        multiplicities are the operator's immutable state — together
+        they rival the geometry in size (two ``E * nx^3`` int64 arrays
+        plus two float arrays of the same length).  Worker processes
+        attach them zero-copy via :meth:`attach_shared` instead of
+        paying the stable sort ``K`` times.
+
+        Returns
+        -------
+        (SharedMemory, SharedGatherScatter)
+            The owning handle (``close()`` + ``unlink()`` is the
+            caller's job) and the picklable handle workers attach from.
+        """
+        from repro.sem.shared import export_shared_arrays
+
+        shm, manifest = export_shared_arrays({
+            "l2g_flat": self.l2g_flat,
+            "perm": self._perm,
+            "seg_starts": self._seg_starts,
+            "mult": self._mult,
+            "inv_mult_local": self._inv_mult_local,
+        })
+        handle = SharedGatherScatter(
+            arrays=manifest,
+            n_global=self.n_global,
+            local_shape=tuple(self.local_shape),
+            dense=self._dense,
+        )
+        return shm, handle
+
+    @classmethod
+    def attach_shared(cls, handle: SharedGatherScatter) -> "GatherScatter":
+        """Rebuild an operator over an exported block, zero-copy.
+
+        Skips :meth:`__post_init__` entirely — no bincount, no argsort —
+        and views the shared caches read-only; only the per-call
+        permutation scratch is freshly allocated (it is mutable, so it
+        must be private per process, exactly as in :meth:`replicate`).
+        The shared mapping's lifetime is tied to the returned object.
+        """
+        from repro.sem.shared import attach_shared_arrays
+
+        shm, views = attach_shared_arrays(handle.arrays)
+        gs = cls.__new__(cls)
+        for name, value in (
+            ("l2g_flat", views["l2g_flat"]),
+            ("n_global", int(handle.n_global)),
+            ("local_shape", tuple(handle.local_shape)),
+            ("_perm", views["perm"]),
+            ("_seg_starts", views["seg_starts"]),
+            ("_mult", views["mult"]),
+            ("_inv_mult_local", views["inv_mult_local"]),
+            ("_sorted_scratch", np.empty(views["l2g_flat"].shape[0])),
+            ("_batch_scratch", {}),
+            ("_dense", bool(handle.dense)),
+            ("_shm", shm),
+        ):
+            object.__setattr__(gs, name, value)
+        return gs
 
     # ------------------------------------------------------------------
     def _batched_scratch(self, batch: int) -> NDArray[np.float64]:

@@ -133,6 +133,55 @@ class Geometry:
         """Number of elements the factors were computed for."""
         return self.g_soa.shape[1]
 
+    # ------------------------------------------------------------------
+    # Shared-memory protocol (process-level sharding)
+    # ------------------------------------------------------------------
+    def export_shared(self):
+        """Export the geometric arrays into one shared-memory block.
+
+        The geometry is the largest immutable array set a solve carries
+        (``g_soa`` alone is ``6 * E * nx^3`` doubles); the process-level
+        shard (:class:`repro.serve.procshard.ProcessShardedSolveService`)
+        exports it once and every worker attaches the same physical
+        pages instead of recomputing or copying per process.
+
+        Returns
+        -------
+        (SharedMemory, SharedArrayManifest)
+            The owning handle (the caller must eventually ``close()`` +
+            ``unlink()`` it) and the picklable manifest that
+            :meth:`attach_shared` consumes in any process.
+        """
+        from repro.sem.shared import export_shared_arrays
+
+        return export_shared_arrays(
+            {"g_soa": self.g_soa, "jac": self.jac, "mass": self.mass}
+        )
+
+    @classmethod
+    def attach_shared(cls, manifest) -> "Geometry":
+        """Rebuild a :class:`Geometry` over an exported block, zero-copy.
+
+        The returned instance's arrays are read-only views into the
+        shared pages (a stray in-place write raises instead of
+        corrupting every attached process); the shared-memory mapping's
+        lifetime is tied to the returned object.
+
+        Parameters
+        ----------
+        manifest:
+            The :class:`~repro.sem.shared.SharedArrayManifest` from
+            :meth:`export_shared`.
+        """
+        from repro.sem.shared import attach_shared_arrays
+
+        shm, views = attach_shared_arrays(manifest)
+        geo = cls(g_soa=views["g_soa"], jac=views["jac"], mass=views["mass"])
+        # Keep the mapping alive exactly as long as the views are
+        # reachable (frozen dataclass: bypass the frozen __setattr__).
+        object.__setattr__(geo, "_shm", shm)
+        return geo
+
 
 def geometric_factors(mesh: BoxMesh) -> Geometry:
     """Compute :class:`Geometry` for every element of ``mesh``.

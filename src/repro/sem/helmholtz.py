@@ -12,7 +12,7 @@ boundary conditions, with the same backend-injection hook as
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -60,15 +60,22 @@ class HelmholtzProblem:
     lam: float = 1.0
     ax_backend: AxBackend | str = ax_local
     threads: int = 1
+    # Spec/rebuild hand-off (see repro.sem.spec.ProblemParts), as in
+    # PoissonProblem: adopt prebuilt (possibly shared-memory) state.
+    _parts: InitVar["object | None"] = None
     geometry: Geometry = field(init=False)
     gs: GatherScatter = field(init=False)
     workspace: SolverWorkspace = field(init=False, repr=False)
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, _parts: "object | None" = None) -> None:
         if self.lam <= 0:
             raise ValueError(f"lam must be > 0 for an SPD system, got {self.lam}")
-        self.geometry = geometric_factors(self.mesh)
-        self.gs = GatherScatter.from_mesh(self.mesh)
+        if _parts is not None:
+            self.geometry = _parts.geometry
+            self.gs = _parts.gather_scatter
+        else:
+            self.geometry = geometric_factors(self.mesh)
+            self.gs = GatherScatter.from_mesh(self.mesh)
         self.ax_backend = resolve_ax_backend(self.ax_backend)
         self.workspace = SolverWorkspace.for_mesh(
             self.mesh, threads=self.threads
@@ -76,7 +83,9 @@ class HelmholtzProblem:
         self._batch_workspaces: dict[int, SolverWorkspace] = {}
         self._ax_out = accepts_keyword(self.ax_backend, "out")
         self._ax_ws = accepts_keyword(self.ax_backend, "workspace")
-        self._precond_diag: NDArray[np.float64] | None = None
+        self._precond_diag: NDArray[np.float64] | None = (
+            None if _parts is None else _parts.precond_diag
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -128,6 +137,20 @@ class HelmholtzProblem:
         )
         twin._batch_workspaces = {}
         return twin
+
+    def spec(self):
+        """A picklable :class:`~repro.sem.spec.ProblemSpec` (see
+        :meth:`repro.sem.poisson.PoissonProblem.spec`)."""
+        from repro.sem.spec import problem_spec
+
+        return problem_spec(self)
+
+    def export_shared(self):
+        """Export immutable arrays for worker fleets (see
+        :meth:`repro.sem.poisson.PoissonProblem.export_shared`)."""
+        from repro.sem.spec import export_shared_problem
+
+        return export_shared_problem(self)
 
     def batch_workspace(self, batch: int) -> SolverWorkspace:
         """Cached workspace for ``batch`` stacked right-hand sides."""

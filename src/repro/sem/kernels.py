@@ -451,6 +451,21 @@ def register_ax_kernel(
     _REGISTRY[name] = kernel
 
 
+def ax_kernel_name(kernel: AxKernel) -> "str | None":
+    """The registry name of a kernel callable, or ``None`` if unregistered.
+
+    The inverse of :func:`get_ax_kernel`, used where a backend must be
+    *serialized by name* rather than by reference — the picklable
+    :class:`~repro.sem.spec.ProblemSpec` a worker process rebuilds its
+    problem from stores the name, so the worker resolves the identical
+    registered kernel instead of pickling a closure.
+    """
+    for name, registered in _REGISTRY.items():
+        if registered is kernel:
+            return name
+    return None
+
+
 def resolve_ax_backend(spec: "str | AxKernel") -> AxKernel:
     """Turn a kernel name or callable into a callable backend."""
     if isinstance(spec, str):

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import copy
 import time
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 
 from repro.core.cost import flops_per_dof
 from repro.sem.cg import CGResult, cg_solve
@@ -93,9 +93,16 @@ class NekboneCase:
     shape: tuple[int, int, int]
     ax_backend: AxBackend | str = ax_local
     threads: int = 1
+    # Spec/rebuild hand-off: a pre-built underlying problem (typically
+    # one whose immutable state is attached from shared memory) adopted
+    # instead of constructing a fresh one.
+    _problem: InitVar["PoissonProblem | None"] = None
     problem: PoissonProblem = field(init=False)
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, _problem: "PoissonProblem | None" = None) -> None:
+        if _problem is not None:
+            self.problem = _problem
+            return
         ref = ReferenceElement.from_degree(self.n)
         mesh = BoxMesh.build(ref, self.shape)
         self.problem = PoissonProblem(
@@ -150,6 +157,20 @@ class NekboneCase:
         twin = copy.copy(self)
         twin.problem = self.problem.clone()
         return twin
+
+    def spec(self):
+        """A picklable :class:`~repro.sem.spec.ProblemSpec` (see
+        :meth:`repro.sem.poisson.PoissonProblem.spec`)."""
+        from repro.sem.spec import problem_spec
+
+        return problem_spec(self)
+
+    def export_shared(self):
+        """Export immutable arrays for worker fleets (see
+        :meth:`repro.sem.poisson.PoissonProblem.export_shared`)."""
+        from repro.sem.spec import export_shared_problem
+
+        return export_shared_problem(self)
 
     def run(self, iterations: int = 100, tol: float = 0.0) -> tuple[NekboneReport, CGResult]:
         """Execute the solve phase and report Nekbone-style metrics.

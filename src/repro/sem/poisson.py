@@ -11,7 +11,7 @@ manufactured solution for verification.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -64,14 +64,22 @@ class PoissonProblem:
     mesh: BoxMesh
     ax_backend: AxBackend | str = ax_local
     threads: int = 1
+    # The spec/rebuild hand-off (see repro.sem.spec.ProblemParts):
+    # prebuilt immutable state — typically shared-memory views attached
+    # by a worker process — adopted instead of recomputed.
+    _parts: InitVar["object | None"] = None
     geometry: Geometry = field(init=False)
     gs: GatherScatter = field(init=False)
     interior: NDArray[np.bool_] = field(init=False, repr=False)
     workspace: SolverWorkspace = field(init=False, repr=False)
 
-    def __post_init__(self) -> None:
-        self.geometry = geometric_factors(self.mesh)
-        self.gs = GatherScatter.from_mesh(self.mesh)
+    def __post_init__(self, _parts: "object | None" = None) -> None:
+        if _parts is not None:
+            self.geometry = _parts.geometry
+            self.gs = _parts.gather_scatter
+        else:
+            self.geometry = geometric_factors(self.mesh)
+            self.gs = GatherScatter.from_mesh(self.mesh)
         self.interior = ~self.mesh.boundary_mask()
         self.ax_backend = resolve_ax_backend(self.ax_backend)
         self.workspace = SolverWorkspace.for_mesh(
@@ -81,7 +89,9 @@ class PoissonProblem:
         self._interior_f = self.interior.astype(np.float64)
         self._ax_out = accepts_keyword(self.ax_backend, "out")
         self._ax_ws = accepts_keyword(self.ax_backend, "workspace")
-        self._precond_diag: NDArray[np.float64] | None = None
+        self._precond_diag: NDArray[np.float64] | None = (
+            None if _parts is None else _parts.precond_diag
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -151,6 +161,32 @@ class PoissonProblem:
         )
         twin._batch_workspaces = {}
         return twin
+
+    def spec(self):
+        """A picklable :class:`~repro.sem.spec.ProblemSpec` of this problem.
+
+        :func:`~repro.sem.spec.rebuild` re-runs the deterministic
+        construction from it in any process (bit-identical solves).
+        Deformed meshes and unregistered backend callables are rejected
+        — use :meth:`export_shared` for the former.
+        """
+        from repro.sem.spec import problem_spec
+
+        return problem_spec(self)
+
+    def export_shared(self):
+        """Export the immutable arrays to shared memory for worker fleets.
+
+        Returns a :class:`~repro.sem.spec.SharedProblemExport` whose
+        ``spec`` rebuilds this problem in any process with the geometry,
+        gather-scatter caches, coordinates, quadrature arrays and
+        Jacobi diagonal attached zero-copy — one physical copy across
+        every worker.  The caller owns the export: ``close()`` it when
+        the fleet is done.
+        """
+        from repro.sem.spec import export_shared_problem
+
+        return export_shared_problem(self)
 
     # ------------------------------------------------------------------
     def batch_workspace(self, batch: int) -> SolverWorkspace:

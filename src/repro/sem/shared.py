@@ -1,0 +1,225 @@
+"""Shared-memory export/attach of the SEM layer's immutable arrays.
+
+The paper's core observation is that SEM throughput is bound by how well
+the memory system is exploited, not by FLOPs — and the serving analogue
+of that observation is that a fleet of worker *processes* should share
+one physical copy of the large immutable state (geometric factors,
+gather-scatter sort caches, nodal coordinates) rather than rebuild or
+duplicate it per worker.  This module is the substrate for that sharing:
+
+* :func:`export_shared_arrays` packs a dict of numpy arrays into one
+  POSIX shared-memory block (:class:`multiprocessing.shared_memory.
+  SharedMemory`) and returns a **picklable** :class:`SharedArrayManifest`
+  describing where each array lives;
+* :func:`attach_shared_arrays` maps the block in any process and
+  returns zero-copy, read-only numpy views onto the same physical pages.
+
+Ownership protocol
+------------------
+The *exporting* process owns the block: it keeps the returned
+``SharedMemory`` handle and must eventually ``close()`` + ``unlink()``
+it (:class:`repro.sem.spec.SharedProblemExport` and
+:class:`repro.serve.procshard.ProcessShardedSolveService` do this on
+``close``).  *Attaching* processes only ever ``close()`` their mapping —
+:func:`attach_shared_arrays` unregisters the attachment from the
+``multiprocessing`` resource tracker so a worker exiting can never tear
+the block down under the exporter (the stdlib tracker would otherwise
+unlink segments it saw, destroying the fleet's shared state when the
+first worker dies).
+
+Attached views are marked non-writeable: the shared state is immutable
+by contract, and a stray in-place write in one worker corrupting every
+other worker's geometry is exactly the class of bug the flag turns into
+an immediate ``ValueError``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+from numpy.typing import NDArray
+
+#: Byte alignment of each packed array inside a block (cache-line sized,
+#: so attached views start aligned like a fresh np.empty would).
+_ALIGN: int = 64
+
+
+@dataclass(frozen=True)
+class SharedArrayManifest:
+    """Picklable description of arrays packed into one shared block.
+
+    Attributes
+    ----------
+    block:
+        The ``SharedMemory`` name (the file under ``/dev/shm`` on
+        Linux); every attacher maps this one block.
+    nbytes:
+        Total block size in bytes.
+    entries:
+        One ``(key, offset, shape, dtype_str)`` record per packed
+        array, in packing order.
+    creator_pid:
+        PID of the exporting process.  Attaches from *other* processes
+        are untracked from the resource tracker (they must never unlink
+        the block); an attach inside the exporting process keeps the
+        exporter's own tracker registration intact.
+    """
+
+    block: str
+    nbytes: int
+    entries: tuple[tuple[str, int, tuple[int, ...], str], ...]
+    creator_pid: int = -1
+
+    @property
+    def keys(self) -> tuple[str, ...]:
+        """The packed array names, in packing order."""
+        return tuple(key for key, _, _, _ in self.entries)
+
+
+def _aligned(offset: int) -> int:
+    """Round ``offset`` up to the next :data:`_ALIGN` boundary."""
+    return -(-offset // _ALIGN) * _ALIGN
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Remove an *attached* block from this process's resource tracker.
+
+    The stdlib registers every ``SharedMemory`` with the
+    ``multiprocessing`` resource tracker, which unlinks whatever it
+    tracked when the process exits.  That is correct for the exporting
+    owner and catastrophic for attachers: a worker exiting (or crashing)
+    would destroy the block every other worker is still mapping.  Only
+    the exporter may unlink; attachers are untracked here.
+    """
+    try:  # pragma: no cover - exercised indirectly; stdlib-internal name
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        # Tracker layouts differ across Python patch versions; failing
+        # to untrack degrades to a spurious unlink warning at worker
+        # exit, never to corruption.
+        pass
+
+
+def unlink_shared_block(shm: shared_memory.SharedMemory) -> None:
+    """Unlink an exported block, keeping the resource tracker balanced.
+
+    Worker attaches may have stripped the name from a *shared* tracker
+    (spawned children inherit the exporter's tracker process, where
+    registrations dedupe into one set — see :func:`_untrack`), in which
+    case a bare ``unlink()`` would make the tracker log a spurious
+    ``KeyError``.  Re-registering first is idempotent when the entry
+    survived and restores it when it didn't, so the unlink's internal
+    unregistration always finds its entry.  ``FileNotFoundError`` (an
+    already-unlinked block) is swallowed — unlink is idempotent here.
+    """
+    try:  # pragma: no cover - stdlib-internal name, see _untrack
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(shm._name, "shared_memory")
+    except Exception:
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def export_shared_arrays(
+    arrays: "dict[str, NDArray]",
+) -> tuple[shared_memory.SharedMemory, SharedArrayManifest]:
+    """Pack ``arrays`` into one newly created shared-memory block.
+
+    Parameters
+    ----------
+    arrays:
+        ``{key: array}`` to export.  Each array is copied once into the
+        block (C-contiguous); the originals are left untouched.
+
+    Returns
+    -------
+    (SharedMemory, SharedArrayManifest)
+        The owning handle (caller must eventually ``close()`` +
+        ``unlink()`` it) and the picklable manifest attachers consume.
+
+    Raises
+    ------
+    ValueError
+        If ``arrays`` is empty (an empty export is always a caller bug).
+    """
+    if not arrays:
+        raise ValueError("export_shared_arrays needs at least one array")
+    packed: list[tuple[str, int, tuple[int, ...], str, NDArray]] = []
+    offset = 0
+    for key, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        offset = _aligned(offset)
+        packed.append((key, offset, arr.shape, arr.dtype.str, arr))
+        offset += arr.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    try:
+        for key, off, shape, dtype_str, arr in packed:
+            view = np.ndarray(
+                shape, dtype=np.dtype(dtype_str), buffer=shm.buf, offset=off
+            )
+            view[...] = arr
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    manifest = SharedArrayManifest(
+        block=shm.name,
+        nbytes=shm.size,
+        entries=tuple(
+            (key, off, tuple(shape), dtype_str)
+            for key, off, shape, dtype_str, _ in packed
+        ),
+        creator_pid=os.getpid(),
+    )
+    return shm, manifest
+
+
+def attach_shared_arrays(
+    manifest: SharedArrayManifest,
+) -> tuple[shared_memory.SharedMemory, "dict[str, NDArray]"]:
+    """Map a manifest's block and return read-only zero-copy views.
+
+    Parameters
+    ----------
+    manifest:
+        A :class:`SharedArrayManifest` produced by
+        :func:`export_shared_arrays` (typically received pickled from
+        the exporting process).
+
+    Returns
+    -------
+    (SharedMemory, dict[str, NDArray])
+        The mapping handle — it must stay referenced as long as any view
+        is in use (callers tie it to the owning object's lifetime) — and
+        one non-writeable view per manifest entry.  No bytes are copied.
+
+    Raises
+    ------
+    FileNotFoundError
+        If the block no longer exists (the exporter unlinked it).
+    """
+    shm = shared_memory.SharedMemory(name=manifest.block, create=False)
+    if manifest.creator_pid != os.getpid():
+        # A foreign attacher must never let its resource tracker unlink
+        # the exporter's block.  An in-process attach is left tracked:
+        # the tracker's cache is a set, so the attach deduped against
+        # the exporter's own registration and untracking here would
+        # strip it — unbalancing the exporter's eventual unlink.
+        _untrack(shm)
+    views: dict[str, NDArray] = {}
+    for key, off, shape, dtype_str in manifest.entries:
+        view = np.ndarray(
+            shape, dtype=np.dtype(dtype_str), buffer=shm.buf, offset=off
+        )
+        view.flags.writeable = False
+        views[key] = view
+    return shm, views

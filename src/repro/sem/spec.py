@@ -1,0 +1,346 @@
+"""Picklable problem specs: rebuild a solve-identical problem anywhere.
+
+A problem object (:class:`~repro.sem.poisson.PoissonProblem`,
+:class:`~repro.sem.helmholtz.HelmholtzProblem`,
+:class:`~repro.sem.nekbone.NekboneCase`) is deliberately *not*
+picklable-by-value — it owns thread pools, scratch buffers and resolved
+callables.  Process-level sharding
+(:class:`repro.serve.procshard.ProcessShardedSolveService`) instead
+ships a :class:`ProblemSpec`: a tiny frozen description (kind, degree,
+element box, backend *name*, threads) plus optional shared-memory
+manifests for the large immutable arrays.  :func:`rebuild` turns the
+spec back into a warm problem in any process; with manifests attached,
+the rebuilt problem's geometry, gather-scatter caches, nodal
+coordinates, quadrature arrays and Jacobi diagonal are zero-copy views
+onto the exporter's physical pages — ``K`` workers, one copy of
+``g_soa``.
+
+Bit-identity is the contract, twice over: a problem rebuilt from a
+plain spec re-runs the identical deterministic construction, and a
+problem rebuilt from a *shared* export doesn't even recompute — it
+reads the exporter's own arrays, so there is nothing left to differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.sem.element import ReferenceElement
+from repro.sem.gather_scatter import GatherScatter, SharedGatherScatter
+from repro.sem.geometry import Geometry
+from repro.sem.helmholtz import HelmholtzProblem
+from repro.sem.kernels import ax_kernel_name
+from repro.sem.mesh import BoxMesh
+from repro.sem.nekbone import NekboneCase
+from repro.sem.poisson import PoissonProblem
+from repro.sem.shared import (
+    SharedArrayManifest,
+    attach_shared_arrays,
+    export_shared_arrays,
+)
+
+#: Problem kinds a spec can describe (the serving protocol's problems).
+PROBLEM_KINDS: tuple[str, ...] = ("poisson", "helmholtz", "nekbone")
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """Frozen, picklable description of one SEM problem.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`PROBLEM_KINDS`.
+    degree / shape / extent:
+        The discretization: polynomial degree and the element box.
+    ax_backend:
+        Kernel *registry name* (``"einsum"``, ``"matmul"``, ...) — never
+        a callable, so the spec pickles by value and the rebuilding
+        process resolves the identical registered kernel.
+    threads:
+        Element-block worker threads of the rebuilt workspaces.
+    lam:
+        Helmholtz coefficient (``None`` for the other kinds).
+    geometry / gather_scatter / extras:
+        Optional shared-memory handles (set by
+        :func:`export_shared_problem`): the
+        :class:`~repro.sem.shared.SharedArrayManifest` of the geometric
+        factors, the :class:`~repro.sem.gather_scatter.
+        SharedGatherScatter` of the sort caches, and a manifest with the
+        nodal coordinates, reference-element quadrature arrays
+        (``points``/``weights``/``deriv``) and the assembled Jacobi
+        diagonal.  ``None`` means :func:`rebuild` recomputes instead of
+        attaching.
+    """
+
+    kind: str
+    degree: int
+    shape: tuple[int, int, int]
+    extent: tuple[float, float, float]
+    ax_backend: str
+    threads: int = 1
+    lam: float | None = None
+    geometry: SharedArrayManifest | None = None
+    gather_scatter: SharedGatherScatter | None = None
+    extras: SharedArrayManifest | None = None
+
+    @property
+    def shared_blocks(self) -> tuple[str, ...]:
+        """Names of the shared-memory blocks this spec attaches to."""
+        names = []
+        if self.geometry is not None:
+            names.append(self.geometry.block)
+        if self.gather_scatter is not None:
+            names.append(self.gather_scatter.arrays.block)
+        if self.extras is not None:
+            names.append(self.extras.block)
+        return tuple(names)
+
+
+@dataclass(frozen=True)
+class ProblemParts:
+    """Prebuilt immutable state handed to a problem's constructor.
+
+    The ``_parts`` hand-off of :func:`rebuild` (mirroring
+    ``ShardedSolveService``'s ``_problems``): when present, the problem
+    adopts these instead of recomputing, so attached shared-memory state
+    flows into the ordinary constructors without a second code path.
+    """
+
+    geometry: Geometry
+    gather_scatter: GatherScatter
+    precond_diag: NDArray | None = None
+
+
+@dataclass
+class SharedProblemExport:
+    """One problem exported for process-level sharing.
+
+    The exporting process keeps this object: :attr:`spec` is the
+    picklable hand-off for workers (:func:`rebuild` attaches its
+    manifests), :attr:`blocks` are the owning ``SharedMemory`` handles.
+    Call :meth:`close` exactly once when the fleet is done — it unmaps
+    *and unlinks* the blocks, which is the exporter's job alone
+    (attachers are untracked; see :mod:`repro.sem.shared`).
+    """
+
+    spec: ProblemSpec
+    blocks: tuple
+
+    @property
+    def block_names(self) -> tuple[str, ...]:
+        """The shared blocks' names (``/dev/shm`` entries on Linux)."""
+        return tuple(shm.name for shm in self.blocks)
+
+    def close(self, unlink: bool = True) -> None:
+        """Unmap (and by default unlink) every exported block.  Idempotent."""
+        from repro.sem.shared import unlink_shared_block
+
+        for shm in self.blocks:
+            try:
+                shm.close()
+            except (OSError, BufferError):  # pragma: no cover - teardown race
+                pass
+            if unlink:
+                unlink_shared_block(shm)
+        self.blocks = ()
+
+
+def _classify(problem) -> tuple[str, object]:
+    """``(kind, inner_problem)`` of a protocol problem, or raise."""
+    if isinstance(problem, NekboneCase):
+        return "nekbone", problem.problem
+    if isinstance(problem, PoissonProblem):
+        return "poisson", problem
+    if isinstance(problem, HelmholtzProblem):
+        return "helmholtz", problem
+    raise TypeError(
+        f"problem {type(problem).__name__} has no spec; expected a "
+        "PoissonProblem, HelmholtzProblem or NekboneCase"
+    )
+
+
+def _base_spec(problem) -> ProblemSpec:
+    """The shared-manifest-free spec fields of ``problem``."""
+    kind, inner = _classify(problem)
+    name = ax_kernel_name(inner.ax_backend)
+    if name is None:
+        raise ValueError(
+            "problem's ax backend is not a registered kernel; a picklable "
+            "spec needs a registry name (register the callable with "
+            "repro.sem.kernels.register_ax_kernel first)"
+        )
+    mesh = inner.mesh
+    return ProblemSpec(
+        kind=kind,
+        degree=mesh.ref.degree,
+        shape=tuple(mesh.shape),
+        extent=tuple(mesh.extent),
+        ax_backend=name,
+        threads=int(inner.threads),
+        lam=float(problem.lam) if kind == "helmholtz" else None,
+    )
+
+
+def problem_spec(problem) -> ProblemSpec:
+    """A plain (no shared memory) picklable spec of ``problem``.
+
+    :func:`rebuild` re-runs the deterministic construction from this
+    spec, so the mesh must be reproducible from ``(degree, shape,
+    extent)`` — a deformed mesh is rejected here (its coordinates only
+    travel through :func:`export_shared_problem`, which ships them in
+    shared memory).
+
+    Raises
+    ------
+    TypeError
+        For non-protocol problems.
+    ValueError
+        For an unregistered backend callable or a deformed mesh.
+    """
+    spec = _base_spec(problem)
+    _, inner = _classify(problem)
+    pristine = BoxMesh.build(inner.mesh.ref, spec.shape, spec.extent)
+    if not np.array_equal(pristine.coords, inner.mesh.coords):
+        raise ValueError(
+            "mesh coordinates are not reproducible from (degree, shape, "
+            "extent) — the mesh was deformed; use export_shared(), which "
+            "ships the coordinates in shared memory"
+        )
+    return spec
+
+
+def export_shared_problem(problem) -> SharedProblemExport:
+    """Export ``problem``'s immutable arrays and return spec + blocks.
+
+    Three blocks are created: the geometric factors
+    (:meth:`~repro.sem.geometry.Geometry.export_shared`), the
+    gather-scatter caches (:meth:`~repro.sem.gather_scatter.
+    GatherScatter.export_shared`), and an extras block with the nodal
+    coordinates, the reference element's quadrature arrays and the
+    (force-computed) Jacobi diagonal.  Every worker that
+    :func:`rebuild`-s the returned spec attaches these same blocks —
+    one physical copy of the big arrays across the whole fleet,
+    deformed meshes included (the coordinates ride along).
+
+    Returns
+    -------
+    SharedProblemExport
+        Keep it for the fleet's lifetime; ``close()`` unlinks the blocks.
+    """
+    spec = _base_spec(problem)
+    _, inner = _classify(problem)
+    blocks: list = []
+    try:
+        geo_shm, geo_manifest = inner.geometry.export_shared()
+        blocks.append(geo_shm)
+        gs_shm, gs_handle = inner.gs.export_shared()
+        blocks.append(gs_shm)
+        ref = inner.mesh.ref
+        extras_shm, extras_manifest = export_shared_arrays({
+            "coords": inner.mesh.coords,
+            "ref_points": ref.points,
+            "ref_weights": ref.weights,
+            "ref_deriv": ref.deriv,
+            "precond_diag": problem.precond_diag(),
+        })
+        blocks.append(extras_shm)
+    except BaseException:
+        for shm in blocks:
+            shm.close()
+            shm.unlink()
+        raise
+    spec = replace(
+        spec,
+        geometry=geo_manifest,
+        gather_scatter=gs_handle,
+        extras=extras_manifest,
+    )
+    return SharedProblemExport(spec=spec, blocks=tuple(blocks))
+
+
+def rebuild(spec: ProblemSpec):
+    """Reconstruct a warm, solve-identical problem from a spec.
+
+    With shared manifests the big arrays are attached zero-copy
+    (read-only views whose mappings live as long as the objects holding
+    them); without, the deterministic construction is re-run.  Either
+    way the rebuilt problem's solves are bit-identical to the source
+    problem's — the process-shard's serving contract rests on this.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`ProblemSpec` (typically received pickled from the
+        exporting process).
+
+    Returns
+    -------
+    PoissonProblem | HelmholtzProblem | NekboneCase
+        Per ``spec.kind``, ready to solve through.
+
+    Raises
+    ------
+    ValueError
+        For an unknown kind or a spec with only one of the
+        geometry/gather-scatter manifests.
+    """
+    if spec.kind not in PROBLEM_KINDS:
+        raise ValueError(
+            f"unknown problem kind {spec.kind!r}; expected one of "
+            f"{PROBLEM_KINDS}"
+        )
+    if (spec.geometry is None) != (spec.gather_scatter is None):
+        raise ValueError(
+            "spec must carry both the geometry and gather-scatter "
+            "manifests (or neither)"
+        )
+    extras_shm = extras = None
+    if spec.extras is not None:
+        extras_shm, extras = attach_shared_arrays(spec.extras)
+    if extras is not None and "ref_points" in extras:
+        ref = ReferenceElement(
+            degree=spec.degree,
+            points=extras["ref_points"],
+            weights=extras["ref_weights"],
+            deriv=extras["ref_deriv"],
+        )
+    else:
+        ref = ReferenceElement.from_degree(spec.degree)
+    mesh = BoxMesh.build(ref, spec.shape, spec.extent)
+    if extras is not None and "coords" in extras:
+        mesh = replace(mesh, coords=extras["coords"])
+    if extras_shm is not None:
+        # Tie the extras mapping to the object holding its views.
+        object.__setattr__(mesh, "_shm", extras_shm)
+
+    parts = None
+    if spec.geometry is not None:
+        parts = ProblemParts(
+            geometry=Geometry.attach_shared(spec.geometry),
+            gather_scatter=GatherScatter.attach_shared(spec.gather_scatter),
+            precond_diag=(
+                extras["precond_diag"]
+                if extras is not None and "precond_diag" in extras
+                else None
+            ),
+        )
+
+    if spec.kind == "helmholtz":
+        return HelmholtzProblem(
+            mesh, lam=spec.lam, ax_backend=spec.ax_backend,
+            threads=spec.threads, _parts=parts,
+        )
+    poisson = PoissonProblem(
+        mesh, ax_backend=spec.ax_backend, threads=spec.threads,
+        _parts=parts,
+    )
+    if spec.kind == "poisson":
+        return poisson
+    return NekboneCase(
+        n=spec.degree, shape=spec.shape, ax_backend=spec.ax_backend,
+        threads=spec.threads, _problem=poisson,
+    )

@@ -44,6 +44,7 @@ garbage collected.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -311,6 +312,11 @@ class SolverWorkspace:
             )
 
 
+#: Reserved key under which each workspace cache stores its creation
+#: lock (ints are the batch-size keys, so a str can never collide).
+_CACHE_LOCK_KEY: str = "__create_lock__"
+
+
 def cached_batch_workspace(
     cache: "dict[int, SolverWorkspace]",
     mesh: BoxMesh,
@@ -324,7 +330,8 @@ def cached_batch_workspace(
     ----------
     cache:
         The problem's private ``{batch: workspace}`` dict, mutated in
-        place on a miss.
+        place on a miss (a per-cache creation lock is also stashed in
+        it, under a reserved non-``int`` key).
     mesh:
         Mesh the workspaces are sized for.
     batch:
@@ -341,13 +348,34 @@ def cached_batch_workspace(
         Warm workspace for ``batch`` systems; sized once per distinct
         ``batch`` and reused, so repeated batched solves stay warm.
         Used by :class:`~repro.sem.poisson.PoissonProblem` and
-        :class:`~repro.sem.helmholtz.HelmholtzProblem`.  Not locked —
-        callers serialize access (one solve per workspace at a time).
+        :class:`~repro.sem.helmholtz.HelmholtzProblem`.
+
+    Notes
+    -----
+    Creation is guarded by a per-cache lock: two threads racing an
+    unseen batch size through ``problem.batch_workspace(B)`` directly
+    (the workspace pool serializes its own callers, bare problems
+    don't) must materialize exactly *one* workspace — the losing
+    duplicate of the old check-then-insert race stranded a thread-pool
+    executor until ``weakref.finalize`` fired.  The lock covers only
+    construction; *use* of the returned workspace is still the caller's
+    to serialize (one solve per workspace at a time).
     """
     if batch == 1:
         return base
     ws = cache.get(batch)
-    if ws is None:
-        ws = SolverWorkspace.for_mesh(mesh, batch=batch, threads=threads)
-        cache[batch] = ws
+    if ws is not None:
+        return ws
+    lock = cache.get(_CACHE_LOCK_KEY)
+    if lock is None:
+        # setdefault is atomic under the GIL: every racer converges on
+        # one lock even when the cache starts empty.
+        lock = cache.setdefault(_CACHE_LOCK_KEY, threading.Lock())
+    with lock:
+        ws = cache.get(batch)
+        if ws is None:
+            ws = SolverWorkspace.for_mesh(
+                mesh, batch=batch, threads=threads
+            )
+            cache[batch] = ws
     return ws

@@ -16,6 +16,12 @@ in three tiers:
   ``tenant`` (consistent hashing — a tenant's requests batch together),
   ``least-loaded`` or ``round-robin``, with watermark rebalancing and
   aggregate fleet stats.
+* :class:`ProcessShardedSolveService` — the same routing surface over K
+  worker *processes*, each rebuilding the problem from a picklable spec
+  with the big immutable arrays attached zero-copy from shared memory
+  (one physical copy of the geometry across the fleet); lifts the
+  pure-Python dispatch ceiling the thread-shard hits on many-core
+  hosts.
 * :class:`AsyncSolveService` — an asyncio facade over either: ``await
   svc.solve(b)`` suspends the coroutine until the dispatcher resolves
   the ticket (``loop.call_soon_threadsafe``, no busy-waiting).
@@ -41,6 +47,7 @@ workspace -> batched -> service -> sharded/async).
 
 from repro.serve.asyncio_front import AsyncSolveService
 from repro.serve.pool import WorkspacePool
+from repro.serve.procshard import ProcessShardedSolveService, WorkerCrashed
 from repro.serve.scheduler import (
     LeastLoadedRouter,
     MicroBatcher,
@@ -52,11 +59,18 @@ from repro.serve.scheduler import (
 )
 from repro.serve.service import SolveService, SolveTicket
 from repro.serve.shard import ShardedSolveService
-from repro.serve.stats import ServiceStats, StatsSnapshot, merge_snapshots
+from repro.serve.stats import (
+    ServiceStats,
+    StatsSnapshot,
+    merge_snapshots,
+    perf_epoch_offset,
+)
 
 __all__ = [
     "SolveService",
     "ShardedSolveService",
+    "ProcessShardedSolveService",
+    "WorkerCrashed",
     "AsyncSolveService",
     "SolveTicket",
     "WorkspacePool",
@@ -70,4 +84,5 @@ __all__ = [
     "ServiceStats",
     "StatsSnapshot",
     "merge_snapshots",
+    "perf_epoch_offset",
 ]

@@ -48,6 +48,14 @@ class WorkspacePool:
     def __init__(self, problem) -> None:
         self._problem = problem
         self._lock = threading.Lock()
+        # The lease registry gets its own tiny mutex: sizes/nbytes must
+        # not iterate the dict while a first-time lease inserts into it
+        # (RuntimeError: dictionary changed size during iteration), but
+        # they must also not serialize behind the *lease* lock — that
+        # one is held for the length of an entire solve, and stats
+        # introspection stalling for seconds behind a solve is its own
+        # bug.
+        self._registry_lock = threading.Lock()
         self._leased: dict[int, SolverWorkspace] = {}
 
     @contextmanager
@@ -72,26 +80,43 @@ class WorkspacePool:
         """
         with self._lock:
             ws = self._problem.batch_workspace(batch)
-            self._leased[batch] = ws
+            with self._registry_lock:
+                self._leased[batch] = ws
             yield ws
 
     # ------------------------------------------------------------------
     @property
     def sizes(self) -> tuple[int, ...]:
-        """Batch sizes this pool has leased so far (sorted)."""
-        return tuple(sorted(self._leased))
+        """Batch sizes this pool has leased so far (sorted).
+
+        Guarded by the registry lock (never the lease lock), so a
+        snapshot racing a first-time lease sees a consistent dict
+        without waiting out an in-flight solve.
+        """
+        with self._registry_lock:
+            return tuple(sorted(self._leased))
 
     @property
     def nbytes(self) -> int:
-        """Bytes held by every workspace leased through this pool."""
-        return sum(ws.nbytes for ws in self._leased.values())
+        """Bytes held by every workspace leased through this pool.
+
+        Locked like :attr:`sizes` (``ws.nbytes`` runs Python arithmetic
+        mid-iteration, giving the GIL every chance to interleave a
+        mutating lease).
+        """
+        with self._registry_lock:
+            return sum(ws.nbytes for ws in self._leased.values())
 
     def shutdown(self) -> None:
         """Shut down the worker pools of every leased workspace.
 
         Buffers stay valid and executors respawn lazily on next use, so
         this is safe even if the problem keeps being used afterwards.
+        Takes the lease lock, so it waits out an in-flight solve rather
+        than stopping its executor mid-flight.
         """
         with self._lock:
-            for ws in self._leased.values():
+            with self._registry_lock:
+                workspaces = list(self._leased.values())
+            for ws in workspaces:
                 ws.shutdown()

@@ -1,0 +1,903 @@
+"""Process-level sharded serving over shared-memory geometry.
+
+:class:`~repro.serve.shard.ShardedSolveService` replicates *within* one
+process: its replicas' BLAS and large ufuncs release the GIL, but the
+pure-Python dispatch path — routing, ticket resolution, stats — still
+serializes on it, which caps scaling on many-core hosts.
+:class:`ProcessShardedSolveService` lifts that ceiling: ``K`` worker
+*processes*, each running a warm in-process
+:class:`~repro.serve.service.SolveService` (own GIL, own dispatcher
+thread, own workspace pool) over a problem rebuilt from a picklable
+:class:`~repro.sem.spec.ProblemSpec`.
+
+The paper's core observation — SEM throughput is bound by how well the
+memory system is exploited, not by FLOPs — shapes the design: the big
+immutable arrays (``Geometry.g_soa``, the gather-scatter
+sort-permutation/segment/multiplicity caches, nodal coordinates,
+quadrature arrays, the Jacobi diagonal) are exported **once** into
+``multiprocessing.shared_memory`` blocks and attached zero-copy by
+every worker.  ``K`` processes, one physical copy of the geometry —
+instead of ``K`` rebuilt or pickled duplicates.
+
+Routing reuses the thread-shard's machinery unchanged
+(:class:`~repro.serve.scheduler.TenantRouter` /
+:class:`~repro.serve.scheduler.LeastLoadedRouter` /
+:class:`~repro.serve.scheduler.RoundRobinRouter`, plus the
+``queue_watermark`` + ``on_overload`` diversion); requests travel over
+per-worker pipes and a parent-side reader bridges replies back into
+:class:`~repro.serve.service.SolveTicket`\\ s, so the client API is
+identical to the in-process shard's.  Because every worker rebuilds the
+*same* problem from the *same* shared arrays and runs the identical CG
+path, per-request results are bit-identical to a sequential warm
+:func:`~repro.sem.cg.cg_solve` under every routing policy — the same
+contract the in-process shard tests.
+
+Guarantees:
+
+* **Drain-on-close.**  ``close()`` closes every worker's queue, waits
+  for each to drain and resolve every in-flight ticket, then joins the
+  processes and unlinks the shared blocks.  Submits after close raise
+  :class:`~repro.serve.scheduler.QueueClosed`.
+* **Crash surfacing.**  A worker that dies (killed, OOM, segfault)
+  fails its in-flight tickets with :class:`WorkerCrashed` and
+  subsequent submits routed to it raise — requests never hang on a
+  dead process.
+* **Meaningful fleet stats.**  Workers ship
+  :class:`~repro.serve.stats.StatsSnapshot`\\ s whose
+  ``perf_counter`` stamps are rebased onto the parent's clock at
+  transfer time (:func:`~repro.serve.stats.perf_epoch_offset`), so the
+  merged ``solves_per_second`` spans the true fleet window.
+
+On a single-core host the fleet cannot beat one service (the benchmark
+gate only requires it not to fall far behind — pipes and process
+scheduling are paid from one core's budget); on a multi-core host each
+worker owns a core *including its Python dispatch*, which is exactly
+the scaling the in-process shard could not reach.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import threading
+from typing import Sequence
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.sem.cg import CGResult
+from repro.serve.scheduler import (
+    QueueClosed,
+    Router,
+    pick_with_diversion,
+    resolve_router,
+)
+from repro.serve.service import SolveTicket, check_request
+from repro.serve.shard import OverloadHook, _UNSET
+from repro.serve.stats import (
+    StatsSnapshot,
+    merge_snapshots,
+    perf_epoch_offset,
+)
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died with requests in flight (or was targeted
+    by a submit after dying).  Carries no result — the request was
+    lost with the worker; resubmit to a healthy fleet."""
+
+
+def _sendable_error(exc: BaseException) -> BaseException:
+    """``exc`` if it survives pickling, else a faithful ``RuntimeError``.
+
+    Ticket failures cross the process boundary by value; an unpicklable
+    exception (e.g. one holding a lock or a workspace) must degrade to
+    its message, never take down the reply channel.
+    """
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _worker_info(problem, spec) -> dict:
+    """Introspection payload for the parent's ``worker_info`` (tests
+    prove the zero-copy sharing through it)."""
+    inner = getattr(problem, "problem", problem)
+    geo = inner.geometry
+    shm = getattr(geo, "_shm", None)
+    return {
+        "pid": os.getpid(),
+        "n_dofs": int(problem.n_dofs),
+        "geometry_block": None if shm is None else shm.name,
+        "g_soa_writeable": bool(geo.g_soa.flags.writeable),
+        "shared_blocks": tuple(spec.shared_blocks),
+    }
+
+
+def _worker_main(spec, conn, service_kwargs: dict) -> None:
+    """Worker-process entry point: rebuild, serve, drain, exit.
+
+    Protocol (tuples over the pipe; parent -> worker):
+    ``("solve_block", [(req_id, b, tol, maxiter), ...])``,
+    ``("stats", token)``, ``("info", token)``, ``("flush", token)``,
+    ``("close",)``.  Worker -> parent: ``("ready", pid)`` /
+    ``("fatal", exc)`` once at startup, then ``("done_block",
+    [(req_id, ok, CGResult | exc), ...])`` blocks of results,
+    ``("stats", token, snapshot, clock_offset)``, ``("info", token,
+    dict)``, ``("flushed", token)``, and ``("bye",)`` after a graceful
+    drain.
+
+    Traffic is deliberately *blocked* in both directions: on a host
+    where the solves themselves take fractions of a millisecond, one
+    pipe message (pickle + syscall + a cross-process wakeup) per
+    request would dominate; grouping requests per worker and sweeping
+    finished results into coalesced ``done_block`` messages keeps the
+    process boundary off the critical path.
+    """
+    import queue
+
+    from repro.sem.spec import rebuild
+    from repro.serve.service import SolveService
+
+    try:
+        problem = rebuild(spec)
+        svc = SolveService(problem, background=True, **service_kwargs)
+    except BaseException as exc:
+        try:
+            conn.send(("fatal", _sendable_error(exc)))
+        except OSError:
+            pass
+        conn.close()
+        return
+
+    send_lock = threading.Lock()
+
+    def send(msg) -> None:
+        # Serialized: the result pump runs beside this loop's control
+        # replies, and Connection.send is not thread-safe.  A vanished
+        # parent is not an error worth dying loudly for — the worker
+        # just finishes draining and exits.
+        with send_lock:
+            try:
+                conn.send(msg)
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+
+    # Finished results flow through a local queue to a pump thread that
+    # sweeps everything available into one done_block per send — while
+    # one message is in flight, later completions pile up and ride the
+    # next one (opportunistic coalescing, exactly like micro-batching).
+    results: "queue.SimpleQueue" = queue.SimpleQueue()
+
+    #: Seconds the pump lingers for the next finished result before
+    #: shipping the block: tickets of one stacked solve resolve
+    #: microseconds apart, so this tiny linger folds a whole batch into
+    #: one pipe message at a sub-millisecond delivery-latency cost.
+    pump_linger = 2e-4
+
+    def pump() -> None:
+        while True:
+            item = results.get()
+            block = [item]
+            while True:
+                try:
+                    block.append(results.get(timeout=pump_linger))
+                except queue.Empty:
+                    break
+            stop = any(entry is None for entry in block)
+            entries = [entry for entry in block if entry is not None]
+            if entries:
+                send(("done_block", entries))
+            if stop:
+                return
+
+    pump_thread = threading.Thread(
+        target=pump, name="sem-procshard-pump", daemon=True
+    )
+    pump_thread.start()
+
+    def report(req_id: int, ticket) -> None:
+        exc = ticket.exception()
+        if exc is None:
+            results.put((req_id, True, ticket.result()))
+        else:
+            results.put((req_id, False, _sendable_error(exc)))
+
+    send(("ready", os.getpid()))
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                return  # parent died; finally drains and exits
+            tag = msg[0]
+            if tag == "solve_block":
+                block = msg[1]
+                try:
+                    # Bulk ingest: one queue-lock acquisition and one
+                    # dispatcher wake-up for the whole block.  Closure
+                    # mid-block is reported through the tickets, so
+                    # every req_id gets exactly one reply either way.
+                    tickets = svc.submit_block(
+                        [(b, tol, mi) for _, b, tol, mi in block]
+                    )
+                except BaseException as exc:
+                    # All-or-nothing failure (validation): nothing was
+                    # enqueued; report every item.
+                    error = _sendable_error(exc)
+                    for req_id, *_ in block:
+                        results.put((req_id, False, error))
+                else:
+                    for (req_id, *_), ticket in zip(block, tickets):
+                        ticket.add_done_callback(
+                            lambda t, rid=req_id: report(rid, t)
+                        )
+            elif tag == "stats":
+                send(("stats", msg[1], svc.stats, perf_epoch_offset()))
+            elif tag == "info":
+                send(("info", msg[1], _worker_info(problem, spec)))
+            elif tag == "flush":
+                svc.flush()
+                send(("flushed", msg[1]))
+            elif tag == "close":
+                # Drain: close() resolves every pending ticket (their
+                # callbacks enqueue the remaining results), then the
+                # pump flushes and exits before "bye" goes out — the
+                # parent's reader can trust bye to mean "nothing in
+                # flight".
+                svc.close()
+                results.put(None)
+                pump_thread.join()
+                send(("bye",))
+                return
+    finally:
+        try:
+            svc.close()
+        except Exception:
+            pass
+        results.put(None)
+        pump_thread.join(timeout=5.0)
+        conn.close()
+
+
+class _Reply:
+    """Parent-side slot for one worker request/response exchange."""
+
+    __slots__ = ("event", "payload", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.payload: tuple = ()
+        self.error: BaseException | None = None
+
+
+class _Worker:
+    """Parent-side handle: process, pipe, in-flight bookkeeping."""
+
+    __slots__ = (
+        "index", "process", "conn", "send_lock", "state_lock", "seq",
+        "pending", "replies", "alive", "close_sent", "reader", "fatal",
+    )
+
+    def __init__(self, index: int, process, conn) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        # send_lock serializes writers on the pipe; state_lock guards
+        # the bookkeeping.  They are distinct so the reader thread is
+        # never blocked behind a writer stuck on a full pipe (which
+        # would deadlock backpressure: the worker unclogs the pipe only
+        # if the reader keeps consuming its results).
+        self.send_lock = threading.Lock()
+        self.state_lock = threading.Lock()
+        self.seq = 0
+        self.pending: dict[int, SolveTicket] = {}
+        self.replies: dict[int, _Reply] = {}
+        self.alive = True
+        self.close_sent = False
+        self.reader: threading.Thread | None = None
+        self.fatal: BaseException | None = None
+
+
+class ProcessShardedSolveService:
+    """Route solve requests across ``K`` worker *processes*.
+
+    Parameters
+    ----------
+    problem:
+        A :class:`~repro.sem.poisson.PoissonProblem`,
+        :class:`~repro.sem.helmholtz.HelmholtzProblem` or
+        :class:`~repro.sem.nekbone.NekboneCase` — anything providing
+        the spec protocol (``export_shared()``, ``n_dofs``).  Its
+        immutable arrays are exported to shared memory once; every
+        worker rebuilds a solve-identical problem attached to the same
+        physical pages.  The parent's problem instance itself is *not*
+        used to solve — it is the template.
+    workers:
+        Number of worker processes (``K >= 1``), one per core being the
+        intended deployment.
+    policy:
+        ``"tenant"``, ``"least-loaded"``, ``"round-robin"``, or a ready
+        :class:`~repro.serve.scheduler.Router` sized for ``workers`` —
+        the same policies, with the same semantics, as the in-process
+        :class:`~repro.serve.shard.ShardedSolveService`.
+    max_batch / max_wait / max_pending / tol / maxiter / precondition:
+        Forwarded to every worker's in-process
+        :class:`~repro.serve.service.SolveService`; omitted knobs take
+        that dataclass's own defaults (the ``_UNSET`` pattern shared
+        with the thread-shard, so there is exactly one set of
+        defaults).
+    queue_watermark / on_overload:
+        Watermark diversion, as in the thread-shard.  Depths here count
+        *in-flight* requests per worker (submitted, not yet resolved) —
+        the parent cannot cheaply observe a worker's internal queue, and
+        in-flight is the quantity backpressure actually acts on.
+    start_method:
+        ``multiprocessing`` start method (default ``"spawn"``: workers
+        import fresh and attach the shared blocks explicitly, proving
+        zero-copy sharing rather than inheriting pages by fork
+        accident; ``"fork"``/``"forkserver"`` also work).
+
+    Thread safety
+    -------------
+    :meth:`submit` / :meth:`solve_many` / :attr:`stats` / :meth:`close`
+    are safe from any number of client threads.  Backpressure is
+    end-to-end: a worker at ``max_pending`` stops reading its pipe, the
+    pipe fills, and the submitting client blocks in ``send``.
+
+    Examples
+    --------
+    >>> svc = ProcessShardedSolveService(problem, workers=2)
+    >>> ticket = svc.submit(b, key="tenant-42")   # doctest: +SKIP
+    >>> svc.close()
+    """
+
+    #: Seconds to wait for a worker's startup handshake (spawn imports
+    #: numpy + this library from scratch).
+    HANDSHAKE_TIMEOUT: float = 120.0
+    #: Seconds to wait for a stats/info/flush reply.
+    REPLY_TIMEOUT: float = 60.0
+    #: Seconds to wait for a worker to drain and exit on close before
+    #: it is terminated forcefully.
+    JOIN_TIMEOUT: float = 60.0
+
+    def __init__(
+        self,
+        problem: object,
+        workers: int = 2,
+        policy: "str | Router" = "tenant",
+        max_batch: "int | object" = _UNSET,
+        max_wait: "float | object" = _UNSET,
+        max_pending: "int | None | object" = _UNSET,
+        tol: "float | object" = _UNSET,
+        maxiter: "int | object" = _UNSET,
+        precondition: "bool | object" = _UNSET,
+        queue_watermark: int | None = None,
+        on_overload: OverloadHook | None = None,
+        start_method: str = "spawn",
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_watermark is not None and queue_watermark < 1:
+            raise ValueError(
+                f"queue_watermark must be >= 1, got {queue_watermark}"
+            )
+        if not hasattr(problem, "export_shared"):
+            raise TypeError(
+                f"problem {type(problem).__name__} lacks export_shared(); "
+                "process sharding rebuilds workers from a shared-memory "
+                "spec (PoissonProblem, HelmholtzProblem and NekboneCase "
+                "all provide it)"
+            )
+        self.workers = workers
+        self.policy = (
+            policy if isinstance(policy, str) else type(policy).__name__
+        )
+        self.queue_watermark = queue_watermark
+        self.on_overload = on_overload
+        self._router = resolve_router(policy, workers)
+        self._least_loaded = resolve_router("least-loaded", workers)
+        self._lock = threading.Lock()
+        self._routed = [0] * workers
+        self._rebalanced = 0
+        self._closed = False
+        self._torn_down = False
+        self._n = int(problem.n_dofs)
+        # One set of service defaults: SolveService's own (see
+        # ShardedSolveService, which this mirrors knob for knob).
+        self._forwarded = {
+            name: value
+            for name, value in (
+                ("max_batch", max_batch), ("max_wait", max_wait),
+                ("max_pending", max_pending), ("tol", tol),
+                ("maxiter", maxiter), ("precondition", precondition),
+            )
+            if value is not _UNSET
+        }
+        # Validate the forwarded knobs parent-side with SolveService's
+        # own constructor (the single source of validation truth): a
+        # bad max_batch must raise here as a plain ValueError, not as a
+        # worker-startup failure relayed across a process boundary.
+        from repro.serve.service import SolveService
+
+        SolveService(problem, background=False, **self._forwarded).close()
+        self._export = problem.export_shared()
+        self._workers: tuple[_Worker, ...] = ()
+        ctx = multiprocessing.get_context(start_method)
+        started: list[_Worker] = []
+        try:
+            for index in range(workers):
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(self._export.spec, child_conn, self._forwarded),
+                    name=f"sem-procshard-{index}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                started.append(_Worker(index, process, parent_conn))
+            for w in started:
+                self._handshake(w)
+            for w in started:
+                w.reader = threading.Thread(
+                    target=self._reader_loop, args=(w,),
+                    name=f"sem-procshard-reader-{w.index}", daemon=True,
+                )
+                w.reader.start()
+        except BaseException:
+            for w in started:
+                if w.process.is_alive():
+                    w.process.terminate()
+                w.process.join(timeout=5.0)
+                w.conn.close()
+            self._export.close(unlink=True)
+            raise
+        self._workers = tuple(started)
+
+    # ------------------------------------------------------------------
+    # Construction / teardown plumbing
+    # ------------------------------------------------------------------
+    def _handshake(self, w: _Worker) -> None:
+        """Consume the worker's startup message or fail construction."""
+        if not w.conn.poll(self.HANDSHAKE_TIMEOUT):
+            raise RuntimeError(
+                f"worker {w.index} did not report ready within "
+                f"{self.HANDSHAKE_TIMEOUT:.0f}s"
+            )
+        try:
+            msg = w.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise RuntimeError(
+                f"worker {w.index} exited during startup"
+            ) from exc
+        if msg[0] == "fatal":
+            raise RuntimeError(
+                f"worker {w.index} failed to build its service"
+            ) from msg[1]
+        if msg[0] != "ready":
+            raise RuntimeError(
+                f"worker {w.index} sent unexpected startup message "
+                f"{msg[0]!r}"
+            )
+
+    def _reader_loop(self, w: _Worker) -> None:
+        """Drain one worker's pipe, resolving tickets and replies.
+
+        Exits on ``bye`` (graceful) or EOF (crash / parent-initiated
+        teardown); either way every ticket and reply still registered
+        is failed, so no client ever hangs on a dead worker.
+        """
+        try:
+            while True:
+                try:
+                    msg = w.conn.recv()
+                except (EOFError, OSError):
+                    break
+                tag = msg[0]
+                if tag == "done_block":
+                    for req_id, ok, payload in msg[1]:
+                        with w.state_lock:
+                            ticket = w.pending.pop(req_id, None)
+                        if ticket is not None:
+                            if ok:
+                                ticket._resolve(payload)
+                            else:
+                                ticket._fail(payload)
+                elif tag in ("stats", "info", "flushed"):
+                    with w.state_lock:
+                        reply = w.replies.pop(msg[1], None)
+                    if reply is not None:
+                        reply.payload = msg[2:]
+                        reply.event.set()
+                elif tag == "bye":
+                    break
+        finally:
+            with w.state_lock:
+                w.alive = False
+                pending = list(w.pending.values())
+                w.pending.clear()
+                replies = list(w.replies.values())
+                w.replies.clear()
+            if pending or replies:
+                error = WorkerCrashed(
+                    f"worker {w.index} (pid {w.process.pid}) exited with "
+                    f"{len(pending)} request(s) in flight"
+                )
+                for ticket in pending:
+                    ticket._fail(error)
+                for reply in replies:
+                    reply.error = error
+                    reply.event.set()
+
+    def _request(self, w: _Worker, tag: str) -> tuple:
+        """One control round-trip (stats/info/flush) with a worker."""
+        reply = _Reply()
+        with w.send_lock:
+            with w.state_lock:
+                if not w.alive:
+                    raise WorkerCrashed(
+                        f"worker {w.index} is not alive"
+                    )
+                token = w.seq
+                w.seq += 1
+                w.replies[token] = reply
+            try:
+                w.conn.send((tag, token))
+            except (OSError, ValueError) as exc:
+                with w.state_lock:
+                    w.replies.pop(token, None)
+                raise WorkerCrashed(
+                    f"worker {w.index} pipe is closed"
+                ) from exc
+        if not reply.event.wait(self.REPLY_TIMEOUT):
+            with w.state_lock:
+                w.replies.pop(token, None)
+            raise TimeoutError(
+                f"worker {w.index} did not answer {tag!r} within "
+                f"{self.REPLY_TIMEOUT:.0f}s"
+            )
+        if reply.error is not None:
+            raise reply.error
+        return reply.payload
+
+    # ------------------------------------------------------------------
+    # Routing / dispatch plumbing
+    # ------------------------------------------------------------------
+    def _validate_request(
+        self, b, tol, maxiter
+    ) -> tuple[NDArray[np.float64], "float | None", "int | None"]:
+        """Snapshot + validate one request parent-side (bad requests
+        must bounce before crossing the process boundary).  ``None``
+        knobs pass through for the worker's service to resolve; the
+        checks themselves are :func:`repro.serve.service.check_request`
+        — the same single source of truth the workers apply."""
+        return check_request(self._n, b, tol, maxiter)
+
+    def _route(self, key, depths: tuple[int, ...]) -> int:
+        """Pick (and possibly watermark-divert) the worker for one
+        request, given the depths the decision should see — the shared
+        :func:`~repro.serve.scheduler.pick_with_diversion` step."""
+        chosen, rebalanced = pick_with_diversion(
+            self._router, self._least_loaded, key, depths,
+            self.queue_watermark, self.on_overload, noun="worker",
+        )
+        if rebalanced:
+            with self._lock:
+                self._rebalanced += 1
+        return chosen
+
+    def _dispatch_block(
+        self, chosen: int, items: list
+    ) -> list[SolveTicket]:
+        """Send ``[(b, tol, maxiter), ...]`` to one worker as a single
+        pipe message; returns one registered ticket per item."""
+        w = self._workers[chosen]
+        tickets: list[SolveTicket] = []
+        with w.send_lock:
+            payload = []
+            with w.state_lock:
+                if w.close_sent:
+                    # close() already won this worker's send_lock: the
+                    # worker will drain and exit without reading another
+                    # message, so admitting the block would strand its
+                    # tickets until EOF mislabels them WorkerCrashed.
+                    raise QueueClosed(
+                        "submit on a closed process-sharded service"
+                    )
+                if not w.alive:
+                    raise WorkerCrashed(
+                        f"worker {chosen} has died; its requests were "
+                        "failed and it accepts no new ones"
+                    )
+                for b, tol, maxiter in items:
+                    req_id = w.seq
+                    w.seq += 1
+                    ticket = SolveTicket()
+                    # Registered before the send so an arbitrarily fast
+                    # reply always finds its ticket.
+                    w.pending[req_id] = ticket
+                    tickets.append(ticket)
+                    payload.append((req_id, b, tol, maxiter))
+            try:
+                w.conn.send(("solve_block", payload))
+            except (OSError, ValueError) as exc:
+                with w.state_lock:
+                    for req_id, _, _, _ in payload:
+                        w.pending.pop(req_id, None)
+                raise WorkerCrashed(
+                    f"worker {chosen} pipe is closed"
+                ) from exc
+        with self._lock:
+            self._routed[chosen] += len(items)
+        return tickets
+
+    # ------------------------------------------------------------------
+    # Client API (mirrors ShardedSolveService)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        b: NDArray[np.float64],
+        tol: float | None = None,
+        maxiter: int | None = None,
+        key: object | None = None,
+    ) -> SolveTicket:
+        """Route one right-hand side to a worker; returns its ticket.
+
+        Parameters
+        ----------
+        b:
+            Right-hand side of shape ``(n_dofs,)`` (snapshotted at
+            submission; the bytes travel to the worker over its pipe).
+        tol / maxiter:
+            Per-request overrides of the workers' service defaults.
+        key:
+            Routing key (tenant id) — semantics identical to
+            :meth:`repro.serve.shard.ShardedSolveService.submit`.
+
+        Returns
+        -------
+        ~repro.serve.service.SolveTicket
+            Resolves to the request's :class:`~repro.sem.cg.CGResult`,
+            bit-identical to a sequential warm solve regardless of
+            which worker served it.
+
+        Raises
+        ------
+        ValueError
+            On a bad shape or invalid ``tol``/``maxiter`` (bounced
+            parent-side, before crossing the process boundary).
+        ~repro.serve.scheduler.QueueClosed
+            After :meth:`close`.
+        WorkerCrashed
+            If the routed-to worker has died.
+        """
+        b, tol, maxiter = self._validate_request(b, tol, maxiter)
+        with self._lock:
+            if self._closed:
+                raise QueueClosed(
+                    "submit on a closed process-sharded service"
+                )
+        if self._router.uses_depths or self.queue_watermark is not None:
+            depths = self.queue_depths
+        else:
+            depths = (0,) * self.workers
+        chosen = self._route(key, depths)
+        return self._dispatch_block(chosen, [(b, tol, maxiter)])[0]
+
+    def solve_many(
+        self,
+        bs,
+        tol: float | None = None,
+        maxiter: int | None = None,
+        keys: Sequence[object] | None = None,
+    ) -> list[CGResult]:
+        """Solve a block of right-hand sides; results in input order.
+
+        The whole block is routed up front and shipped as *one* pipe
+        message per addressed worker (requests are where the process
+        tier pays, so they travel in bulk); routing decisions that read
+        depths see the live in-flight counts plus the requests already
+        planned within this call, exactly as per-request submission
+        would have accumulated them.  A group routed to a dead worker
+        fails with :class:`WorkerCrashed` — raised from the result
+        gather, but only after every healthy worker's group was
+        dispatched.
+        """
+        if keys is not None and len(keys) != len(bs):
+            raise ValueError(
+                f"keys length {len(keys)} != number of requests {len(bs)}"
+            )
+        validated = [
+            self._validate_request(b, tol, maxiter) for b in bs
+        ]
+        with self._lock:
+            if self._closed:
+                raise QueueClosed(
+                    "submit on a closed process-sharded service"
+                )
+        reads_depths = (
+            self._router.uses_depths or self.queue_watermark is not None
+        )
+        planned = [0] * self.workers
+        groups: dict[int, list] = {}
+        order: list[tuple[int, int]] = []
+        for i, item in enumerate(validated):
+            if reads_depths:
+                live = self.queue_depths
+                depths = tuple(
+                    live[j] + planned[j] for j in range(self.workers)
+                )
+            else:
+                depths = (0,) * self.workers
+            chosen = self._route(
+                None if keys is None else keys[i], depths
+            )
+            planned[chosen] += 1
+            slot = groups.setdefault(chosen, [])
+            order.append((chosen, len(slot)))
+            slot.append(item)
+        dispatched: dict[int, list[SolveTicket]] = {}
+        for chosen, items in groups.items():
+            try:
+                dispatched[chosen] = self._dispatch_block(chosen, items)
+            except (WorkerCrashed, QueueClosed) as exc:
+                # A dead (or closing) worker must not abandon the
+                # groups already dispatched to healthy workers: settle
+                # this group's tickets with the error and keep going —
+                # the gather below re-raises it, but only after every
+                # other group went out.
+                failed = []
+                for _ in items:
+                    ticket = SolveTicket()
+                    ticket._fail(exc)
+                    failed.append(ticket)
+                dispatched[chosen] = failed
+        tickets = [dispatched[chosen][pos] for chosen, pos in order]
+        return [t.result() for t in tickets]
+
+    def flush(self) -> None:
+        """Ask every live worker to drain its pending queue now.
+
+        Returns once every live worker has *solved* its pending
+        requests; the results themselves may still be in flight on the
+        pipes for a moment (wait on the tickets for delivery).  Workers
+        that die mid-flush are skipped — their in-flight tickets fail
+        through the crash path, not through this call.
+        """
+        for w in self._workers:
+            with w.state_lock:
+                if not w.alive:
+                    continue
+            try:
+                self._request(w, "flush")
+            except WorkerCrashed:
+                continue  # died between the liveness check and the ask
+
+    def close(self) -> None:
+        """Drain every worker, join the processes, unlink shared memory.
+
+        Idempotent.  Every ticket submitted before ``close`` resolves
+        (the no-dropped-requests guarantee); workers that fail to drain
+        within :attr:`JOIN_TIMEOUT` are terminated, failing whatever
+        they still held.
+        """
+        with self._lock:
+            self._closed = True
+            if self._torn_down:
+                return
+            self._torn_down = True
+        for w in self._workers:
+            with w.send_lock:
+                with w.state_lock:
+                    if not w.alive or w.close_sent:
+                        continue
+                    w.close_sent = True
+                try:
+                    w.conn.send(("close",))
+                except (OSError, ValueError):
+                    pass
+        for w in self._workers:
+            if w.reader is not None:
+                w.reader.join(timeout=self.JOIN_TIMEOUT)
+            w.process.join(timeout=self.JOIN_TIMEOUT)
+            if w.process.is_alive():  # refused to drain: last resort
+                w.process.terminate()
+                w.process.join(timeout=5.0)
+            if w.reader is not None and w.reader.is_alive():
+                w.reader.join(timeout=5.0)
+            w.conn.close()
+        self._export.close(unlink=True)
+
+    def __enter__(self) -> "ProcessShardedSolveService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has begun."""
+        with self._lock:
+            return self._closed
+
+    @property
+    def spec(self):
+        """The picklable :class:`~repro.sem.spec.ProblemSpec` workers
+        rebuilt their problems from (shared manifests included)."""
+        return self._export.spec
+
+    @property
+    def shared_blocks(self) -> tuple[str, ...]:
+        """Names of the live shared-memory blocks (empty after close)."""
+        return self._export.block_names
+
+    @property
+    def alive_workers(self) -> tuple[bool, ...]:
+        """Liveness of each worker's reply channel."""
+        return tuple(w.alive for w in self._workers)
+
+    @property
+    def queue_depths(self) -> tuple[int, ...]:
+        """In-flight request count per worker (submitted, unresolved)."""
+        return tuple(len(w.pending) for w in self._workers)
+
+    @property
+    def routed(self) -> tuple[int, ...]:
+        """Requests routed to each worker (diversions land on the
+        worker they were diverted *to*)."""
+        with self._lock:
+            return tuple(self._routed)
+
+    @property
+    def rebalanced(self) -> int:
+        """Requests diverted off their routed worker by the watermark."""
+        with self._lock:
+            return self._rebalanced
+
+    def worker_info(self) -> tuple[dict, ...]:
+        """One introspection dict per live worker (pid, attached block
+        names, geometry writability) — the zero-copy sharing, attested
+        by the workers themselves."""
+        infos = []
+        for w in self._workers:
+            with w.state_lock:
+                if not w.alive:
+                    continue
+            try:
+                infos.append(self._request(w, "info")[0])
+            except WorkerCrashed:
+                continue  # died between the liveness check and the ask
+        return tuple(infos)
+
+    @property
+    def replica_stats(self) -> tuple[StatsSnapshot, ...]:
+        """One snapshot per live worker, clock-rebased onto this
+        process (see :meth:`repro.serve.stats.StatsSnapshot.rebased`);
+        dead workers' stats died with them and are omitted."""
+        snaps = []
+        for w in self._workers:
+            with w.state_lock:
+                if not w.alive:
+                    continue
+            try:
+                snapshot, worker_offset = self._request(w, "stats")
+            except WorkerCrashed:
+                continue  # died between the liveness check and the ask
+            snaps.append(
+                snapshot.rebased(worker_offset - perf_epoch_offset())
+            )
+        return tuple(snaps)
+
+    @property
+    def stats(self) -> StatsSnapshot:
+        """Aggregate fleet snapshot; the cross-process clock rebase
+        makes its ``wall_seconds`` (and so ``solves_per_second``) span
+        the true fleet activity window."""
+        return merge_snapshots(self.replica_stats)

@@ -132,6 +132,61 @@ class MicroBatcher(Generic[T]):
             self._cond.notify_all()
             return len(self._items)
 
+    def put_many(self, items: "Sequence[T]") -> int:
+        """Enqueue several items under one lock acquisition.
+
+        The bulk twin of :meth:`put` for block ingest (the process
+        shard ships requests in blocks): consumers are notified once
+        per call instead of once per item, so a dispatcher lingering
+        for a batch wakes when the block is in rather than after every
+        element.  Blocks for backpressure exactly as :meth:`put` does —
+        item by item, so consumers draining the queue unblock the rest
+        of the block.
+
+        Parameters
+        ----------
+        items:
+            The requests to enqueue, in order.
+
+        Returns
+        -------
+        int
+            The queue depth including the new items.
+
+        Raises
+        ------
+        QueueClosed
+            If the batcher is (or becomes) closed.  Items already
+            enqueued by then stay queued and will be drained; the
+            exception's ``enqueued`` attribute says how many made it,
+            so the caller can settle the stragglers' tickets.
+        """
+        with self._cond:
+            enqueued = 0
+            for item in items:
+                while (
+                    not self._closed
+                    and self.max_pending is not None
+                    and len(self._items) >= self.max_pending
+                ):
+                    # No notify here: a full queue means items are
+                    # present, so no consumer is parked on the empty
+                    # wait (and notifying would just ping-pong blocked
+                    # producers awake against each other).
+                    self._cond.wait()
+                if self._closed:
+                    if enqueued:
+                        self._cond.notify_all()
+                    error = QueueClosed(
+                        "submit on a closed solve service"
+                    )
+                    error.enqueued = enqueued
+                    raise error
+                self._items.append((time.monotonic(), item))
+                enqueued += 1
+            self._cond.notify_all()
+            return len(self._items)
+
     def take_batch(self) -> list[T]:
         """Block until a batch is ready and pop up to ``max_batch`` items.
 
@@ -426,3 +481,75 @@ def resolve_router(
         f"unknown routing policy {policy!r}; expected one of "
         f"{ROUTING_POLICIES} or a Router instance"
     )
+
+
+def pick_with_diversion(
+    router: Router,
+    fallback: Router,
+    key: object | None,
+    depths: Sequence[int],
+    queue_watermark: int | None,
+    on_overload,
+    noun: str = "replica",
+) -> tuple[int, bool]:
+    """One routed pick plus the optional watermark diversion.
+
+    The single implementation of the shard tiers' routing step
+    (:class:`~repro.serve.shard.ShardedSolveService` and
+    :class:`~repro.serve.procshard.ProcessShardedSolveService` both
+    call it): ask ``router`` for a target, and when the target's depth
+    has reached ``queue_watermark``, divert via ``on_overload`` (or
+    ``fallback``, typically least-loaded) instead of piling on.
+
+    Parameters
+    ----------
+    router / fallback:
+        The policy router and the diversion fallback (both sized for
+        ``len(depths)`` targets).
+    key:
+        The request's routing key (may be ``None``).
+    depths:
+        Per-target depth sample the decision should see.
+    queue_watermark:
+        Diversion threshold; ``None`` disables diversion.
+    on_overload:
+        Optional hook ``(chosen, depths) -> int | None`` consulted when
+        the watermark trips.
+    noun:
+        How targets are named in error messages (``"replica"`` for the
+        thread shard, ``"worker"`` for the process shard).
+
+    Returns
+    -------
+    (int, bool)
+        The final target index, and whether the watermark diverted the
+        request off the router's original pick (the caller's
+        ``rebalanced`` accounting).
+
+    Raises
+    ------
+    ValueError
+        If the router or the hook returns an out-of-range index — a
+        buggy custom policy must fail loudly, not silently wrap onto
+        the last target.
+    """
+    replicas = router.replicas
+    chosen = router.pick(key, depths)
+    if not 0 <= chosen < replicas:
+        raise ValueError(
+            f"router {type(router).__name__} picked {noun} "
+            f"{chosen}, expected 0..{replicas - 1}"
+        )
+    if queue_watermark is None or depths[chosen] < queue_watermark:
+        return chosen, False
+    diverted = None
+    if on_overload is not None:
+        diverted = on_overload(chosen, depths)
+    if diverted is None:
+        diverted = fallback.pick(key, depths)
+    if not 0 <= diverted < replicas:
+        raise ValueError(
+            f"on_overload returned {noun} {diverted}, "
+            f"expected 0..{replicas - 1}"
+        )
+    return diverted, diverted != chosen

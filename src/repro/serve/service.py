@@ -55,6 +55,35 @@ from repro.serve.stats import ServiceStats, StatsSnapshot
 _PROTOCOL = ("operator", "precond_diag", "batch_workspace", "n_dofs")
 
 
+def check_request(
+    n: int,
+    b: NDArray[np.float64],
+    tol: float | None,
+    maxiter: int | None,
+) -> "tuple[NDArray[np.float64], float | None, int | None]":
+    """Snapshot + validate one request's parameters; no side effects.
+
+    The single source of request-validation truth, shared by
+    :meth:`SolveService.submit`/:meth:`SolveService.submit_block` (which
+    pass *resolved* knobs, so service defaults are validated too) and
+    the process shard's parent-side pre-flight (which passes ``None``
+    for knobs the worker will resolve).  ``None`` knobs pass through
+    unchecked; everything else is coerced and bounds-checked.
+    """
+    b = np.array(b, dtype=np.float64)  # snapshot: caller may mutate
+    if b.shape != (n,):
+        raise ValueError(f"rhs must have shape ({n},), got {b.shape}")
+    if tol is not None:
+        tol = float(tol)
+        if not np.isfinite(tol) or tol < 0:
+            raise ValueError(f"tol must be finite and >= 0, got {tol}")
+    if maxiter is not None:
+        maxiter = int(maxiter)
+        if maxiter < 0:
+            raise ValueError(f"maxiter must be >= 0, got {maxiter}")
+    return b, tol, maxiter
+
+
 class SolveTicket:
     """Handle to one submitted request; resolves to a
     :class:`~repro.sem.cg.CGResult`.
@@ -281,26 +310,7 @@ class SolveService:
         the submitter whose request fills a batch pays for solving it
         inline.
         """
-        b = np.array(b, dtype=np.float64)  # snapshot: caller may mutate
-        if b.shape != (self._n,):
-            raise ValueError(
-                f"rhs must have shape ({self._n},), got {b.shape}"
-            )
-        # Validate request knobs HERE, not in the batched solve: a bad
-        # value must bounce off the offending caller, never fail the
-        # innocent requests coalesced into the same batch.
-        tol_val = self.tol if tol is None else float(tol)
-        if not np.isfinite(tol_val) or tol_val < 0:
-            raise ValueError(f"tol must be finite and >= 0, got {tol_val}")
-        maxiter_val = self.maxiter if maxiter is None else int(maxiter)
-        if maxiter_val < 0:
-            raise ValueError(f"maxiter must be >= 0, got {maxiter_val}")
-        request = _Request(
-            ticket=SolveTicket(),
-            b=b,
-            tol=tol_val,
-            maxiter=maxiter_val,
-        )
+        request = self._build_request(b, tol, maxiter)
         # Count the submission BEFORE enqueueing: once the request is in
         # the queue a background dispatcher may solve and record it
         # immediately, and a snapshot cut in between must never show
@@ -317,6 +327,95 @@ class SolveService:
             # full batch it just completed.
             self._drain(once=True)
         return request.ticket
+
+    def _build_request(
+        self,
+        b: NDArray[np.float64],
+        tol: float | None,
+        maxiter: int | None,
+    ) -> _Request:
+        """Snapshot + validate one request (no side effects on failure).
+
+        Validation happens HERE, not in the batched solve: a bad value
+        must bounce off the offending caller, never fail the innocent
+        requests coalesced into the same batch.  Knobs are resolved to
+        the service defaults *before* validation, so an invalid service
+        default is caught too.
+        """
+        b, tol_val, maxiter_val = check_request(
+            self._n, b,
+            self.tol if tol is None else tol,
+            self.maxiter if maxiter is None else maxiter,
+        )
+        return _Request(
+            ticket=SolveTicket(), b=b, tol=tol_val, maxiter=maxiter_val,
+        )
+
+    def submit_block(
+        self,
+        items: "list[tuple[NDArray[np.float64], float | None, int | None]]",
+    ) -> list[SolveTicket]:
+        """Submit a block of ``(b, tol, maxiter)`` requests in bulk.
+
+        The block-ingest twin of :meth:`submit`, used by the process
+        shard (:mod:`repro.serve.procshard`): the whole block is
+        validated first (all-or-nothing — an invalid element raises
+        ``ValueError`` before anything is enqueued), then enqueued
+        under one queue-lock acquisition with a single dispatcher
+        wake-up instead of one per request.
+
+        Returns
+        -------
+        list of SolveTicket
+            One ticket per item, in order — always, even when the
+            service closes mid-block: requests that made it into the
+            queue resolve normally (drain-on-close), the stragglers'
+            tickets fail with :class:`~repro.serve.scheduler.QueueClosed`.
+            Closure is reported through the tickets rather than raised,
+            so a bulk caller never has to guess which half of its block
+            survived.
+
+        Raises
+        ------
+        ValueError
+            On any invalid element (nothing enqueued).
+        """
+        requests = [
+            self._build_request(b, tol, maxiter)
+            for b, tol, maxiter in items
+        ]
+        tickets = [request.ticket for request in requests]
+        for _ in requests:
+            self.stats_accumulator.record_submit()
+        enqueued = 0
+        try:
+            if self._dispatcher is None:
+                # Foreground: nothing else ever drains the queue, so
+                # bulk-enqueueing could wedge on the block's own
+                # max_pending backpressure (even a single chunk can,
+                # when residual items from earlier submits already
+                # occupy part of the queue).  Use submit()'s proven
+                # item-wise enqueue + drain-at-max_batch instead — the
+                # bulk wake-up win only matters when there is a
+                # dispatcher to wake.
+                for request in requests:
+                    depth = self._batcher.put(request)
+                    enqueued += 1
+                    self.stats_accumulator.record_depth(depth)
+                    if depth >= self.max_batch:
+                        self._drain(once=True)
+            else:
+                depth = self._batcher.put_many(requests)
+                enqueued = len(requests)
+                self.stats_accumulator.record_depth(depth)
+        except QueueClosed as exc:
+            enqueued += getattr(exc, "enqueued", 0)
+            for request in requests[enqueued:]:
+                self.stats_accumulator.record_rejected()
+                request.ticket._fail(exc)
+            if enqueued:
+                self.stats_accumulator.record_depth(len(self._batcher))
+        return tickets
 
     def flush(self) -> None:
         """Solve everything pending on the caller's thread.
@@ -355,7 +454,7 @@ class SolveService:
             One result per input row, in input order, each bit-identical
             to a sequential warm solve of that row.
         """
-        tickets = [self.submit(b, tol=tol, maxiter=maxiter) for b in bs]
+        tickets = self.submit_block([(b, tol, maxiter) for b in bs])
         if self._dispatcher is None:
             self.flush()
         return [t.result() for t in tickets]

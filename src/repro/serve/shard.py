@@ -46,7 +46,11 @@ import numpy as np
 from numpy.typing import NDArray
 
 from repro.sem.cg import CGResult
-from repro.serve.scheduler import Router, resolve_router
+from repro.serve.scheduler import (
+    Router,
+    pick_with_diversion,
+    resolve_router,
+)
 from repro.serve.service import SolveService, SolveTicket
 from repro.serve.stats import StatsSnapshot, merge_snapshots
 
@@ -289,32 +293,13 @@ class ShardedSolveService:
             depths = self.queue_depths
         else:
             depths = (0,) * self.replicas
-        chosen = self._router.pick(key, depths)
-        if not 0 <= chosen < self.replicas:
-            # A buggy custom router must fail loudly here — a negative
-            # index would otherwise silently wrap onto the last replica.
-            raise ValueError(
-                f"router {type(self._router).__name__} picked replica "
-                f"{chosen}, expected 0..{self.replicas - 1}"
-            )
-        if (
-            self.queue_watermark is not None
-            and depths[chosen] >= self.queue_watermark
-        ):
-            diverted = None
-            if self.on_overload is not None:
-                diverted = self.on_overload(chosen, depths)
-            if diverted is None:
-                diverted = self._least_loaded.pick(key, depths)
-            if not 0 <= diverted < self.replicas:
-                raise ValueError(
-                    f"on_overload returned replica {diverted}, "
-                    f"expected 0..{self.replicas - 1}"
-                )
-            if diverted != chosen:
-                with self._lock:
-                    self._rebalanced += 1
-                chosen = diverted
+        chosen, rebalanced = pick_with_diversion(
+            self._router, self._least_loaded, key, depths,
+            self.queue_watermark, self.on_overload, noun="replica",
+        )
+        if rebalanced:
+            with self._lock:
+                self._rebalanced += 1
         ticket = self.services[chosen].submit(b, tol=tol, maxiter=maxiter)
         with self._lock:
             self._routed[chosen] += 1

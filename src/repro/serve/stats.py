@@ -26,8 +26,26 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable
+
+
+def perf_epoch_offset() -> float:
+    """This process's ``time.time() - time.perf_counter()`` right now.
+
+    ``time.perf_counter()`` has an arbitrary per-process epoch — stamps
+    taken in two processes are not comparable, so a fleet window
+    computed across raw cross-process stamps is meaningless.  This
+    offset maps a process's ``perf_counter`` stamps onto the shared
+    wall clock: ship it alongside a snapshot and the receiver rebases
+    with :meth:`StatsSnapshot.rebased`, ``delta = sender_offset -
+    perf_epoch_offset()`` — after which the sender's stamps read as if
+    taken on the receiver's own ``perf_counter``.
+
+    The mapping is as accurate as the two wall clocks agree (exact on
+    one host, which is the process-shard's deployment unit).
+    """
+    return time.time() - time.perf_counter()
 
 
 @dataclass(frozen=True)
@@ -53,10 +71,14 @@ class StatsSnapshot:
         Wall time from the first submission to the latest completion.
     first_submit / last_done:
         ``time.perf_counter()`` stamps of the first submission and the
-        latest completion (``None`` before any traffic).  Comparable
-        only within one process; :func:`merge_snapshots` uses them to
-        compute the true fleet activity window even when replicas were
-        busy at disjoint times.
+        latest completion (``None`` before any traffic).
+        :func:`merge_snapshots` uses them to compute the true fleet
+        activity window even when replicas were busy at disjoint times.
+        ``perf_counter``'s epoch is only comparable *within one
+        process* — before merging snapshots that crossed a process
+        boundary, rebase them onto the receiving process's clock with
+        :meth:`rebased` + :func:`perf_epoch_offset` (the process-level
+        shard does this at snapshot-transfer time).
     """
 
     submitted: int
@@ -85,6 +107,32 @@ class StatsSnapshot:
         if self.batches == 0:
             return 0.0
         return (self.completed + self.failed) / self.batches
+
+    def rebased(self, delta: float) -> "StatsSnapshot":
+        """This snapshot with its clock stamps shifted by ``delta``.
+
+        The cross-process fix-up for :attr:`first_submit` /
+        :attr:`last_done`: ``perf_counter`` epochs differ per process,
+        so a receiver merges foreign snapshots only after shifting
+        their stamps onto its own clock, ``delta = sender's
+        perf_epoch_offset() - receiver's perf_epoch_offset()``.
+        Durations (``wall_seconds``, ``busy_seconds``) are epoch-free
+        and unchanged; ``None`` stamps stay ``None``.
+        """
+        if delta == 0.0 or (
+            self.first_submit is None and self.last_done is None
+        ):
+            return self
+        return replace(
+            self,
+            first_submit=(
+                None if self.first_submit is None
+                else self.first_submit + delta
+            ),
+            last_done=(
+                None if self.last_done is None else self.last_done + delta
+            ),
+        )
 
 
 def merge_snapshots(snapshots: Iterable[StatsSnapshot]) -> StatsSnapshot:

@@ -430,3 +430,73 @@ class TestBatchOfOne:
         via_cg = cg_solve(prob.apply_A, b[None, :], precond_diag=diag,
                           tol=1e-11, maxiter=300)
         assert via_cg.all_converged
+
+
+class TestBatchWorkspaceCacheRace:
+    def test_thundering_herd_materializes_exactly_one_workspace(self):
+        """Regression: cached_batch_workspace had a check-then-insert
+        race — two threads hitting an unseen batch size through
+        ``problem.batch_workspace(B)`` directly (the workspace pool
+        serializes its own callers, bare problems don't) each built a
+        SolverWorkspace, and the loser stranded a thread-pool executor
+        until ``weakref.finalize`` fired.  A barrier-released herd must
+        converge on one identical workspace, built exactly once."""
+        import threading
+
+        from repro.sem import workspace as workspace_module
+
+        ref = ReferenceElement.from_degree(2)
+        mesh = BoxMesh.build(ref, (1, 1, 1))
+        prob = PoissonProblem(mesh, ax_backend="matmul")
+
+        n_threads = 8
+        builds: list[int] = []
+        build_lock = threading.Lock()
+        real_for_mesh = SolverWorkspace.for_mesh.__func__
+
+        def counting_for_mesh(cls, *args, **kwargs):
+            with build_lock:
+                builds.append(1)
+            # Construction takes real time (buffer allocation); dilate
+            # it so every unguarded racer reaches its own build before
+            # the first one can publish to the cache.
+            import time
+
+            time.sleep(0.02)
+            return real_for_mesh(cls, *args, **kwargs)
+
+        workspace_module.SolverWorkspace.for_mesh = classmethod(
+            counting_for_mesh
+        )
+        try:
+            for batch in (3, 5):  # two herds, two distinct cache misses
+                barrier = threading.Barrier(n_threads)
+                results: list = [None] * n_threads
+                errors: list[BaseException] = []
+
+                def herd(i, batch=batch, barrier=barrier, results=results):
+                    try:
+                        barrier.wait()
+                        results[i] = prob.batch_workspace(batch)
+                    except BaseException as exc:  # pragma: no cover
+                        errors.append(exc)
+
+                threads = [
+                    threading.Thread(target=herd, args=(i,))
+                    for i in range(n_threads)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                assert not errors
+                assert all(ws is results[0] for ws in results), (
+                    "herd got distinct workspaces: the losing duplicates "
+                    "strand their executors"
+                )
+        finally:
+            workspace_module.SolverWorkspace.for_mesh = classmethod(
+                real_for_mesh
+            )
+        # One construction per distinct batch size, herd-wide.
+        assert len(builds) == 2

@@ -158,8 +158,102 @@ class TestWorkspacePool:
             assert order[i][0] == "enter" and order[i + 1][0] == "exit"
             assert order[i][1] == order[i + 1][1]
 
+    def test_sizes_nbytes_safe_under_lease_hammer(self):
+        """Regression: sizes/nbytes used to iterate the lease dict with
+        no lock, so a stats snapshot racing a first-time lease raised
+        ``RuntimeError: dictionary changed size during iteration``.
+        Hammer first-time leases against a snapshot loop; both
+        properties must stay exception-free (stubbed workspaces keep
+        the hammer allocation-light, so insertions are rapid-fire)."""
+
+        class StubWorkspace:
+            def __init__(self, batch):
+                self.batch = batch
+
+            @property
+            def nbytes(self):
+                # Yield the GIL mid-iteration, as real nbytes arithmetic
+                # can at any bytecode boundary — deterministically opens
+                # the unlocked-iteration race instead of waiting for a
+                # lucky preemption.
+                time.sleep(0)
+                return self.batch * 8
+
+            def shutdown(self):
+                pass
+
+        class StubProblem:
+            def batch_workspace(self, batch):
+                return StubWorkspace(batch)
+
+        pool = WorkspacePool(StubProblem())
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def snapshotter():
+            while not stop.is_set():
+                try:
+                    _ = pool.nbytes
+                    _ = pool.sizes
+                except BaseException as exc:  # pragma: no cover - bug path
+                    errors.append(exc)
+                    return
+                # Brief pause between passes so lease threads make
+                # progress against the (now locked) snapshot loop.
+                time.sleep(0.0002)
+
+        snap = threading.Thread(target=snapshotter)
+        snap.start()
+        try:
+            for batch in range(2, 302):  # every lease inserts a new key
+                with pool.lease(batch):
+                    pass
+                # Hand the GIL to the snapshotter between inserts so its
+                # iteration pass is live while the dict keeps growing
+                # (without this, all inserts can fit one GIL slice and
+                # the race never gets its chance to fire).
+                time.sleep(0)
+        finally:
+            stop.set()
+            snap.join()
+        assert not errors, f"snapshot raced a lease: {errors[0]!r}"
+        assert len(pool.sizes) == 300
+        assert pool.nbytes == sum(b * 8 for b in range(2, 302))
+
 
 class TestSolveServiceSync:
+    def test_solve_many_larger_than_max_pending_foreground(
+        self, serving_problem
+    ):
+        """Regression: bulk enqueue of a block larger than max_pending
+        on a foreground service must drain inline as it goes — an
+        all-at-once put would wedge on its own backpressure (there is
+        no dispatcher to drain it), including when residual items from
+        earlier submits already occupy part of the queue."""
+        prob, bank = serving_problem
+        svc = SolveService(
+            prob, max_batch=4, max_pending=4, tol=1e-10, maxiter=200,
+        )
+        residual = svc.submit(bank[12])  # pre-fill: depth 1, no drain
+        done: list = []
+
+        def run():
+            done.extend(svc.solve_many(bank[:12]))  # 12 > max_pending=4
+
+        worker = threading.Thread(target=run, daemon=True)
+        worker.start()
+        worker.join(timeout=60)
+        assert not worker.is_alive(), (
+            "solve_many deadlocked on its own backpressure"
+        )
+        assert len(done) == 12
+        for got, b in zip(done, bank[:12]):
+            assert_same_result(got, sequential_solve(prob, b))
+        assert_same_result(
+            residual.result(timeout=60), sequential_solve(prob, bank[12])
+        )
+        svc.close()
+
     def test_solve_many_bit_identical_to_sequential(self, serving_problem):
         prob, bank = serving_problem
         with SolveService(prob, max_batch=8, tol=1e-10, maxiter=200) as svc:
@@ -460,6 +554,75 @@ class TestStats:
         assert merged.mean_batch_size == 1.5
         empty = merge_snapshots([])
         assert empty.submitted == 0 and empty.solves_per_second == 0.0
+
+    def test_perf_epoch_offset_maps_perf_to_wall(self):
+        from repro.serve import perf_epoch_offset
+
+        offset = perf_epoch_offset()
+        # A perf_counter stamp plus the offset reads as wall-clock now.
+        assert abs((time.perf_counter() + offset) - time.time()) < 0.05
+
+    def test_rebased_shifts_stamps_preserves_durations(self):
+        from repro.serve import StatsSnapshot
+
+        snap = StatsSnapshot(
+            submitted=2, completed=2, failed=0, batches=1,
+            batch_histogram={2: 1}, queue_depth=0, max_queue_depth=2,
+            busy_seconds=0.25, wall_seconds=1.0,
+            first_submit=10.0, last_done=11.0,
+        )
+        moved = snap.rebased(100.0)
+        assert moved.first_submit == 110.0 and moved.last_done == 111.0
+        assert moved.wall_seconds == snap.wall_seconds
+        assert moved.busy_seconds == snap.busy_seconds
+        assert moved.submitted == snap.submitted
+        # Degenerate cases: zero delta and stampless snapshots are
+        # returned unchanged (no copy, nothing to shift).
+        assert snap.rebased(0.0) is snap
+        empty = StatsSnapshot(
+            submitted=0, completed=0, failed=0, batches=0,
+            batch_histogram={}, queue_depth=0, max_queue_depth=0,
+            busy_seconds=0.0, wall_seconds=0.0,
+        )
+        assert empty.rebased(123.0) is empty
+
+    def test_cross_process_merge_requires_rebase(self):
+        """Regression: first_submit/last_done are perf_counter stamps,
+        whose epoch is only comparable within one process.  Merging
+        snapshots from two processes without rebasing produced an
+        epoch-difference-sized fleet window (breaking solves_per_second
+        for the process shard); rebasing each snapshot onto one clock
+        at transfer time restores the true window."""
+        from repro.serve import StatsSnapshot
+
+        def snapshot_from(process_offset, first_wall, last_wall):
+            # A process stamps perf = wall - its perf_epoch_offset().
+            return StatsSnapshot(
+                submitted=4, completed=4, failed=0, batches=1,
+                batch_histogram={4: 1}, queue_depth=0, max_queue_depth=4,
+                busy_seconds=0.5,
+                wall_seconds=last_wall - first_wall,
+                first_submit=first_wall - process_offset,
+                last_done=last_wall - process_offset,
+            )
+
+        # Worker A active (wall) [1000.0, 1001.0], worker B active
+        # [1000.5, 1001.5]: the true fleet window is 1.5 s.
+        offset_a, offset_b, offset_parent = 900.0, -500.0, 250.0
+        snap_a = snapshot_from(offset_a, 1000.0, 1001.0)
+        snap_b = snapshot_from(offset_b, 1000.5, 1001.5)
+        # Unrebased, the "window" is the epoch gap, not wall time.
+        broken = merge_snapshots([snap_a, snap_b])
+        assert broken.wall_seconds > 1000
+        # Rebase each onto the parent clock: delta = sender's offset -
+        # receiver's offset (what the process shard computes per
+        # transfer).
+        fixed = merge_snapshots([
+            snap_a.rebased(offset_a - offset_parent),
+            snap_b.rebased(offset_b - offset_parent),
+        ])
+        assert fixed.wall_seconds == pytest.approx(1.5)
+        assert fixed.solves_per_second == pytest.approx(8 / 1.5)
 
     def test_merge_keeps_high_water_above_live_depth(self):
         """Summed fleet depth can exceed every per-replica peak; the
