@@ -251,6 +251,56 @@ def test_bench_serve_procshard_throughput_b16(benchmark):
     svc.close()
 
 
+def test_bench_serve_crash_recovery(benchmark):
+    """Seconds from killing one of K=2 worker processes to the fleet
+    fully healed AND a full request block served again — the price of a
+    crash under supervision (``serve_crash_recovery_s`` in
+    ``BENCH_kernels.json``).
+
+    One-shot by construction (``pedantic(rounds=1)``): each measurement
+    needs a fresh corpse, and respawn cost is dominated by the spawned
+    interpreter re-importing numpy — repeating it buys noise, not
+    precision.  Not a ``*_speedup`` key, so the --compare gate tracks
+    it without failing the build on a slow host.
+    """
+    import time
+
+    from repro.serve import (
+        ProcessShardedSolveService,
+        RestartPolicy,
+        RetryPolicy,
+    )
+
+    prob, bs, _ = _serving_problem()
+    svc = ProcessShardedSolveService(
+        prob, workers=2, policy="round-robin", max_batch=8,
+        max_wait=0.05, tol=0.0, maxiter=10,
+        retry=RetryPolicy(max_attempts=4, backoff_base=0.005),
+        restart=RestartPolicy(max_restarts=2, backoff_base=0.005),
+    )
+    svc.solve_many(bs)  # warm both workers before the drill
+
+    def crash_and_recover():
+        svc._workers[0].process.terminate()
+        deadline = time.monotonic() + 120.0
+        while not (
+            svc.restarts >= 1 and svc.health.mask() == (True, True)
+        ):
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"fleet never healed: {svc.health.states}"
+                )
+            time.sleep(0.002)
+        return svc.solve_many(bs)
+
+    results = benchmark.pedantic(crash_and_recover, rounds=1, iterations=1)
+    assert all(r.iterations == 10 for r in results)
+    assert svc.restarts >= 1
+    benchmark.extra_info["workers"] = 2
+    benchmark.extra_info["requests_per_round"] = int(bs.shape[0])
+    svc.close()
+
+
 def test_bench_gather_scatter(benchmark):
     """Direct-stiffness round trip on a 4x4x4 mesh at N=7."""
     ref = ReferenceElement.from_degree(7)

@@ -165,6 +165,16 @@ def derive(data: dict) -> dict:
                 derived["serve_procshard_throughput"]
                 / derived["serve_throughput"]
             )
+    crash_bench = bench_of(data, "test_bench_serve_crash_recovery")
+    if crash_bench:
+        # Seconds from terminating one of K=2 workers to the fleet
+        # healed (respawn handshake passed, slot re-admitted) and a
+        # full request block served.  Dominated by the respawned
+        # interpreter re-importing numpy; tracked as an absolute time,
+        # not a gated speedup ratio.
+        derived["serve_crash_recovery_s"] = float(
+            crash_bench["stats"]["mean"]
+        )
     return derived
 
 

@@ -30,6 +30,19 @@ Per-request results are bit-identical to sequential warm
 :func:`~repro.sem.cg.cg_solve` calls at every tier; batching, sharding
 and async delivery are purely throughput decisions.
 
+The process tier is **self-healing**: a supervisor respawns crashed
+workers under a :class:`RestartPolicy` (exponential backoff + a
+``max_restarts`` circuit breaker), crash-orphaned requests are
+transparently retried on healthy workers under a :class:`RetryPolicy`
+(solves are pure, so retries are bit-identical), routing is gated on a
+:class:`FleetHealth` registry, and requests may carry ``deadline``
+budgets.  Failures surface through one error taxonomy
+(:mod:`repro.serve.errors`): :class:`ServiceClosed`,
+:class:`WorkerCrashed`, :class:`DeadlineExceeded`,
+:class:`FleetUnavailable`, and retryable :class:`Overloaded`.
+Deterministic fault injection for tests and drills lives in
+:mod:`repro.serve.chaos` (:class:`FaultPlan` / :class:`FaultInjector`).
+
 Quick taste::
 
     from repro.sem import BoxMesh, PoissonProblem, ReferenceElement
@@ -46,8 +59,22 @@ workspace -> batched -> service -> sharded/async).
 """
 
 from repro.serve.asyncio_front import AsyncSolveService
+from repro.serve.chaos import FaultInjector, FaultPlan
+from repro.serve.errors import (
+    DeadlineExceeded,
+    FleetUnavailable,
+    Overloaded,
+    ServiceClosed,
+    WorkerCrashed,
+)
+from repro.serve.health import (
+    FleetHealth,
+    HealthState,
+    RestartPolicy,
+    RetryPolicy,
+)
 from repro.serve.pool import WorkspacePool
-from repro.serve.procshard import ProcessShardedSolveService, WorkerCrashed
+from repro.serve.procshard import ProcessShardedSolveService
 from repro.serve.scheduler import (
     LeastLoadedRouter,
     MicroBatcher,
@@ -70,12 +97,24 @@ __all__ = [
     "SolveService",
     "ShardedSolveService",
     "ProcessShardedSolveService",
-    "WorkerCrashed",
     "AsyncSolveService",
     "SolveTicket",
     "WorkspacePool",
     "MicroBatcher",
+    # Error taxonomy (repro.serve.errors)
+    "ServiceClosed",
     "QueueClosed",
+    "WorkerCrashed",
+    "DeadlineExceeded",
+    "FleetUnavailable",
+    "Overloaded",
+    # Resilience (repro.serve.health / repro.serve.chaos)
+    "FleetHealth",
+    "HealthState",
+    "RetryPolicy",
+    "RestartPolicy",
+    "FaultPlan",
+    "FaultInjector",
     "Router",
     "TenantRouter",
     "LeastLoadedRouter",

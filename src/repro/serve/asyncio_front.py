@@ -100,6 +100,7 @@ class AsyncSolveService:
         tol: float | None = None,
         maxiter: int | None = None,
         key: object | None = None,
+        deadline: float | None = None,
     ) -> "asyncio.Future[CGResult]":
         """Queue one right-hand side; returns an awaitable future.
 
@@ -113,6 +114,10 @@ class AsyncSolveService:
         key:
             Routing key, forwarded only when set (sharded services route
             by it; plain services take no ``key`` argument).
+        deadline:
+            Optional time budget in seconds, forwarded to the service;
+            an expired request rejects the future with
+            :class:`~repro.serve.errors.DeadlineExceeded`.
 
         Returns
         -------
@@ -125,10 +130,12 @@ class AsyncSolveService:
         Raises
         ------
         ValueError
-            Invalid shape/``tol``/``maxiter`` (surfaced here, before any
-            future exists).
-        ~repro.serve.scheduler.QueueClosed
+            Invalid shape/``tol``/``maxiter``/``deadline`` (surfaced
+            here, before any future exists).
+        ~repro.serve.errors.ServiceClosed
             If the service has been closed.
+        ~repro.serve.errors.Overloaded
+            If admission control shed the request (retryable).
 
         Notes
         -----
@@ -140,11 +147,13 @@ class AsyncSolveService:
         loop = asyncio.get_running_loop()
         call = (
             functools.partial(
-                self.service.submit, b, tol=tol, maxiter=maxiter, key=key
+                self.service.submit, b, tol=tol, maxiter=maxiter,
+                key=key, deadline=deadline,
             )
             if key is not None
             else functools.partial(
-                self.service.submit, b, tol=tol, maxiter=maxiter
+                self.service.submit, b, tol=tol, maxiter=maxiter,
+                deadline=deadline,
             )
         )
         ticket = await loop.run_in_executor(None, call)
@@ -156,6 +165,7 @@ class AsyncSolveService:
         tol: float | None = None,
         maxiter: int | None = None,
         key: object | None = None,
+        deadline: float | None = None,
     ) -> CGResult:
         """Submit one request and await its result.
 
@@ -165,7 +175,9 @@ class AsyncSolveService:
             Bit-identical to a sequential warm
             :func:`~repro.sem.cg.cg_solve` of the same system.
         """
-        future = await self.submit(b, tol=tol, maxiter=maxiter, key=key)
+        future = await self.submit(
+            b, tol=tol, maxiter=maxiter, key=key, deadline=deadline,
+        )
         return await future
 
     async def solve_many(
@@ -174,6 +186,7 @@ class AsyncSolveService:
         tol: float | None = None,
         maxiter: int | None = None,
         keys: Sequence[object] | None = None,
+        deadline: float | None = None,
     ) -> list[CGResult]:
         """Solve a block of right-hand sides concurrently; input order.
 
@@ -188,6 +201,8 @@ class AsyncSolveService:
             Shared per-request overrides.
         keys:
             Optional per-request routing keys (``len(keys) == M``).
+        deadline:
+            Shared per-request time budget in seconds.
 
         Returns
         -------
@@ -203,6 +218,7 @@ class AsyncSolveService:
             self.submit(
                 b, tol=tol, maxiter=maxiter,
                 key=None if keys is None else keys[i],
+                deadline=deadline,
             )
             for i, b in enumerate(bs)
         ))
@@ -244,12 +260,18 @@ def _ticket_to_future(
     future: "asyncio.Future[CGResult]" = loop.create_future()
 
     def transfer(done: SolveTicket) -> None:  # dispatcher thread
-        error = done.exception()
+        # A ticket cancelled through the synchronous API has no outcome
+        # to read (exception() would raise CancelledError here, on the
+        # dispatcher thread); propagate the cancellation to the future.
+        ticket_cancelled = done.cancelled()
+        error = None if ticket_cancelled else done.exception()
 
         def apply() -> None:  # event-loop thread
             if future.cancelled():
                 return  # drop-only cancellation
-            if error is not None:
+            if ticket_cancelled:
+                future.cancel()
+            elif error is not None:
                 future.set_exception(error)
             else:
                 future.set_result(done.result())

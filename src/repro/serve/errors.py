@@ -1,0 +1,94 @@
+"""The serving stack's failure vocabulary — one taxonomy, four fronts.
+
+Every serving tier (:class:`~repro.serve.service.SolveService`, the
+thread shard, the process shard, and the asyncio facade) surfaces the
+same small set of errors, so a client written against one front handles
+failures from all of them:
+
+=====================  ==========  =========================================
+error                  retryable?  meaning
+=====================  ==========  =========================================
+:class:`ServiceClosed` no          submit after :meth:`close` — the service
+                                   is gone, not busy.
+:class:`Overloaded`    yes         admission control shed the request:
+                                   surviving capacity cannot absorb it right
+                                   now.  Back off and resubmit.
+:class:`DeadlineExceeded` no       the request's own deadline expired before
+                                   it could be solved (queued too long, or
+                                   lost to a crash with no time to retry).
+:class:`FleetUnavailable` yes      no healthy worker could take the request
+                                   and the retry policy is exhausted (or
+                                   every worker is ejected).
+:class:`WorkerCrashed` --          a worker process died.  With a retry
+                                   policy (the default) this never escapes
+                                   to callers — requests are transparently
+                                   resubmitted; it surfaces only when
+                                   retry is explicitly disabled.
+=====================  ==========  =========================================
+
+"Retryable" means the condition is expected to clear (capacity returns,
+a worker respawns); the terminal errors mean the request's own budget —
+its deadline or the retry policy — ran out.
+
+:class:`QueueClosed` predates this module and remains the base class of
+:class:`ServiceClosed` so existing ``except QueueClosed`` handlers keep
+working; new code should catch :class:`ServiceClosed`.
+"""
+
+from __future__ import annotations
+
+
+class QueueClosed(RuntimeError):
+    """Historical base of :class:`ServiceClosed` (kept so existing
+    ``except QueueClosed`` handlers continue to match).  The serving
+    fronts raise :class:`ServiceClosed`, never this base directly."""
+
+
+class ServiceClosed(QueueClosed):
+    """Submit on a closed service — raised uniformly by all four
+    serving fronts (:class:`~repro.serve.service.SolveService`,
+    :class:`~repro.serve.shard.ShardedSolveService`,
+    :class:`~repro.serve.procshard.ProcessShardedSolveService`,
+    :class:`~repro.serve.asyncio_front.AsyncSolveService`) once
+    ``close()`` has begun.  Not retryable: the service is gone."""
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died with requests in flight (or was targeted
+    by a submit after dying).  With a retry policy configured (the
+    process shard's default) this is an *internal* signal — lost
+    requests are transparently resubmitted to healthy workers and the
+    caller sees a result or a terminal error; it escapes to callers
+    only when retry is explicitly disabled (``retry=None``)."""
+
+
+class DeadlineExceeded(TimeoutError):
+    """A request's deadline expired before it could be solved.
+
+    Raised from the request's own ticket (never from ``submit``):
+    the deadline may trip while the request is queued, when a crash
+    retry would land past it, or — enforced by the parent-side
+    watchdog — when the request was lost entirely (e.g. a dropped
+    pipe message).  Subclasses :class:`TimeoutError` so generic
+    timeout handling catches it.  A request already mid-solve is not
+    interrupted; the deadline gates *starting* work, not finishing it.
+    """
+
+
+class FleetUnavailable(RuntimeError):
+    """No healthy worker could take the request.
+
+    Raised at submit when every worker is dead or ejected, or from a
+    ticket when crash retries exhausted the
+    :class:`~repro.serve.health.RetryPolicy` without finding a healthy
+    worker.  Retryable: workers may respawn (unless the fleet's
+    circuit breaker has ejected them all)."""
+
+
+class Overloaded(RuntimeError):
+    """Admission control shed the request: every healthy replica's
+    queue is at or past the ``shed_watermark``, so surviving capacity
+    cannot absorb the load the watermark diversion would move.
+    Retryable by design — back off and resubmit; shedding exists so an
+    overloaded fleet degrades by refusing work it cannot do in time,
+    instead of queueing itself into timeout storms."""

@@ -1,0 +1,237 @@
+"""Per-replica health states and the resilience policies that act on them.
+
+The self-healing fleet (:class:`~repro.serve.procshard.ProcessShardedSolveService`)
+needs three small, separable pieces:
+
+* :class:`FleetHealth` — a thread-safe registry of per-slot states that
+  the routing step consults on every submit.  A slot is ``HEALTHY``
+  (admitting requests), ``DEGRADED`` (temporarily out — its worker died
+  and a respawn is pending or in flight), or ``EJECTED`` (permanently
+  out — the restart circuit breaker tripped).
+* :class:`RetryPolicy` — how requests lost to a crash are resubmitted:
+  bounded attempts with exponential backoff.  Solves are pure (same
+  rhs, same bits, any worker), which is what makes transparent
+  resubmission sound.
+* :class:`RestartPolicy` — how dead workers are respawned: exponential
+  backoff between restarts, with a max-restarts circuit breaker so a
+  worker that dies on arrival (bad host state, poisoned core) cannot
+  restart-storm the fleet forever.
+
+Both policies are deliberately **jitter-free**: backoff here is
+deterministic so the chaos harness (:mod:`repro.serve.chaos`) reproduces
+every supervision decision bit-for-bit in CI.  A deployment that needs
+decorrelated restarts across many hosts can subclass and override
+:meth:`RetryPolicy.backoff` / :meth:`RestartPolicy.backoff`.
+
+The thread shard (:class:`~repro.serve.shard.ShardedSolveService`) uses
+:class:`FleetHealth` too — its replicas cannot crash, but operators can
+:meth:`~FleetHealth.eject` one for maintenance and routing will steer
+around it.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass
+
+
+class HealthState(enum.Enum):
+    """Routing-visible health of one replica/worker slot."""
+
+    #: Admitting requests.
+    HEALTHY = "healthy"
+    #: Temporarily out of rotation (crashed; respawn pending/in flight).
+    DEGRADED = "degraded"
+    #: Permanently out (circuit breaker tripped, or operator decision).
+    EJECTED = "ejected"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Resubmission policy for requests lost to a worker crash.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total dispatch attempts per request (the initial submit counts
+        as the first).  When a crash consumes the last attempt the
+        ticket fails with
+        :class:`~repro.serve.errors.FleetUnavailable`.
+    backoff_base / backoff_factor / backoff_max:
+        The delay before retry ``k`` (1-based) is
+        ``min(backoff_max, backoff_base * backoff_factor**(k-1))``
+        seconds.  Deterministic — no jitter — so fault-injection runs
+        reproduce exactly.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.01
+    backoff_factor: float = 2.0
+    backoff_max: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff_base/backoff_max must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Respawn policy for dead worker slots.
+
+    Parameters
+    ----------
+    max_restarts:
+        Circuit breaker: after this many restarts of one slot, the slot
+        is :attr:`~HealthState.EJECTED` instead of respawned — a worker
+        that keeps dying is a fault to surface, not to hide behind an
+        infinite restart storm.
+    backoff_base / backoff_factor / backoff_max:
+        Delay before restart ``k`` of a slot (1-based):
+        ``min(backoff_max, backoff_base * backoff_factor**(k-1))``
+        seconds.  Deterministic (no jitter) for reproducible chaos runs.
+    """
+
+    max_restarts: int = 5
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 1:
+            raise ValueError(
+                f"max_restarts must be >= 1, got {self.max_restarts}"
+            )
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff_base/backoff_max must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def backoff(self, restart: int) -> float:
+        """Seconds to wait before restart number ``restart`` (1-based)."""
+        if restart < 1:
+            raise ValueError(f"restart must be >= 1, got {restart}")
+        return min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (restart - 1),
+        )
+
+
+class FleetHealth:
+    """Thread-safe per-slot health registry the routing step consults.
+
+    Parameters
+    ----------
+    slots:
+        Number of replica/worker slots (fixed for the fleet's life —
+        respawn refills a slot, it never grows the fleet).
+
+    Thread safety
+    -------------
+    Every method takes one internal lock; :meth:`mask` and
+    :attr:`states` are point-in-time samples (routing must tolerate a
+    mask a few microseconds stale, exactly as it tolerates stale queue
+    depths).
+    """
+
+    def __init__(self, slots: int) -> None:
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        self._lock = threading.Lock()
+        self._states = [HealthState.HEALTHY] * slots
+        self._restart_attempts = [0] * slots
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    @property
+    def states(self) -> tuple[HealthState, ...]:
+        """The current state of every slot."""
+        with self._lock:
+            return tuple(self._states)
+
+    def state(self, slot: int) -> HealthState:
+        """The current state of one slot."""
+        with self._lock:
+            return self._states[slot]
+
+    def mask(self) -> tuple[bool, ...]:
+        """``True`` per slot that is admitting requests (HEALTHY)."""
+        with self._lock:
+            return tuple(s is HealthState.HEALTHY for s in self._states)
+
+    @property
+    def healthy_count(self) -> int:
+        """Number of slots currently admitting requests."""
+        with self._lock:
+            return sum(
+                s is HealthState.HEALTHY for s in self._states
+            )
+
+    def any_recoverable(self) -> bool:
+        """True when at least one slot is DEGRADED — capacity that a
+        pending respawn will bring back (EJECTED slots never return)."""
+        with self._lock:
+            return any(s is HealthState.DEGRADED for s in self._states)
+
+    def restart_attempts(self, slot: int) -> int:
+        """Restarts attempted for this slot so far (circuit-breaker
+        progress)."""
+        with self._lock:
+            return self._restart_attempts[slot]
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def mark_healthy(self, slot: int) -> None:
+        """Slot is admitting requests again (fresh or respawned worker).
+
+        An EJECTED slot stays ejected — the circuit breaker is a
+        one-way door; build a new fleet to recover it.
+        """
+        with self._lock:
+            if self._states[slot] is not HealthState.EJECTED:
+                self._states[slot] = HealthState.HEALTHY
+
+    def mark_degraded(self, slot: int) -> None:
+        """Slot is temporarily out of rotation (worker died; respawn
+        pending).  EJECTED slots stay ejected."""
+        with self._lock:
+            if self._states[slot] is not HealthState.EJECTED:
+                self._states[slot] = HealthState.DEGRADED
+
+    def eject(self, slot: int) -> None:
+        """Permanently remove a slot from rotation (circuit breaker, or
+        an operator draining a replica for maintenance)."""
+        with self._lock:
+            self._states[slot] = HealthState.EJECTED
+
+    def record_restart_attempt(self, slot: int) -> int:
+        """Count one restart attempt for a slot; returns the new total
+        (the supervisor compares it against
+        :attr:`RestartPolicy.max_restarts`)."""
+        with self._lock:
+            self._restart_attempts[slot] += 1
+            return self._restart_attempts[slot]

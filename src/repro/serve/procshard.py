@@ -1,4 +1,4 @@
-"""Process-level sharded serving over shared-memory geometry.
+"""Process-level sharded serving with worker supervision and respawn.
 
 :class:`~repro.serve.shard.ShardedSolveService` replicates *within* one
 process: its replicas' BLAS and large ufuncs release the GIL, but the
@@ -23,52 +23,112 @@ Routing reuses the thread-shard's machinery unchanged
 (:class:`~repro.serve.scheduler.TenantRouter` /
 :class:`~repro.serve.scheduler.LeastLoadedRouter` /
 :class:`~repro.serve.scheduler.RoundRobinRouter`, plus the
-``queue_watermark`` + ``on_overload`` diversion); requests travel over
-per-worker pipes and a parent-side reader bridges replies back into
+``queue_watermark`` + ``on_overload`` diversion and the same
+health-gated pick step); requests travel over per-worker pipes and a
+parent-side reader bridges replies back into
 :class:`~repro.serve.service.SolveTicket`\\ s, so the client API is
 identical to the in-process shard's.  Because every worker rebuilds the
 *same* problem from the *same* shared arrays and runs the identical CG
 path, per-request results are bit-identical to a sequential warm
 :func:`~repro.sem.cg.cg_solve` under every routing policy — the same
-contract the in-process shard tests.
+contract the in-process shard tests.  Solves are **pure**: retrying a
+crashed request on a different worker returns the *same bits* the dead
+worker would have produced, which is what makes transparent retry safe.
+
+Self-healing (the resilience tier on top of the transport):
+
+* **Supervision & respawn.**  A supervisor thread owns a monotonic
+  timer heap of pending actions (retries, respawns, deadline
+  watchdogs).  A worker that dies (killed, OOM, segfault) is marked
+  ``DEGRADED`` in the fleet's :class:`~repro.serve.health.FleetHealth`
+  registry and a respawn is scheduled under the
+  :class:`~repro.serve.health.RestartPolicy`'s exponential backoff; a
+  worker that keeps dying trips the circuit breaker
+  (``max_restarts``) and is ``EJECTED`` for the service's lifetime.
+  Respawned workers rebuild from the *same* picklable spec re-attached
+  to the *existing* shared-memory export — the geometry is never
+  re-exported — and are re-admitted to routing on a successful
+  handshake.
+* **Deadlines + transparent retry.**  Requests carry an optional
+  relative ``deadline`` (seconds).  In-flight requests on a crashed
+  worker are automatically resubmitted to a healthy worker under the
+  :class:`~repro.serve.health.RetryPolicy` (bounded attempts,
+  exponential backoff); only when the policy is exhausted does the
+  client see :class:`~repro.serve.errors.FleetUnavailable` (with the
+  underlying :class:`~repro.serve.errors.WorkerCrashed` as its
+  ``__cause__``), and only when the time budget runs out does it see
+  :class:`~repro.serve.errors.DeadlineExceeded`.
+* **Health-gated routing + admission control.**  Routing never targets
+  a ``DEGRADED``/``EJECTED`` worker (the shared
+  :func:`~repro.serve.scheduler.pick_with_diversion` health gate);
+  with ``shed_watermark`` set, submits are shed with retryable
+  :class:`~repro.serve.errors.Overloaded` once every *healthy*
+  worker's in-flight depth reaches the mark — graceful degradation
+  instead of unbounded queueing while the fleet heals.
+* **Deterministic fault injection.**  A
+  :class:`~repro.serve.chaos.FaultPlan` (see
+  :mod:`repro.serve.chaos`) kills worker ``K`` after its ``M``-th
+  dispatch, delays or drops specific pipe sends, and schedules
+  worker-side slow solves — all keyed by per-worker dispatch ordinals
+  counted across respawns, so chaos runs replay exactly.
+
+Legacy mode: constructing with ``retry=None, restart=None`` disables
+the resilience tier entirely — crashes surface as
+:class:`~repro.serve.errors.WorkerCrashed` on the affected tickets and
+the dead worker stays dead, exactly the pre-supervision contract.
 
 Guarantees:
 
-* **Drain-on-close.**  ``close()`` closes every worker's queue, waits
-  for each to drain and resolve every in-flight ticket, then joins the
-  processes and unlinks the shared blocks.  Submits after close raise
-  :class:`~repro.serve.scheduler.QueueClosed`.
-* **Crash surfacing.**  A worker that dies (killed, OOM, segfault)
-  fails its in-flight tickets with :class:`WorkerCrashed` and
-  subsequent submits routed to it raise — requests never hang on a
-  dead process.
+* **Drain-on-close.**  ``close()`` settles pending supervised actions,
+  closes every worker's queue, waits for each to drain and resolve
+  every in-flight ticket, then joins the processes and unlinks the
+  shared blocks.  Submits after close raise
+  :class:`~repro.serve.errors.ServiceClosed`.
+* **No request hangs.**  Every ticket resolves: with its result, or
+  with the taxonomy error that tells the client what to do
+  (``DeadlineExceeded`` / ``FleetUnavailable`` / ``WorkerCrashed`` /
+  ``ServiceClosed``).  The one documented exception: a chaos-dropped
+  send with *no* deadline has no watchdog to fire — drop faults
+  require deadlines.
 * **Meaningful fleet stats.**  Workers ship
   :class:`~repro.serve.stats.StatsSnapshot`\\ s whose
   ``perf_counter`` stamps are rebased onto the parent's clock at
-  transfer time (:func:`~repro.serve.stats.perf_epoch_offset`), so the
-  merged ``solves_per_second`` spans the true fleet window.
-
-On a single-core host the fleet cannot beat one service (the benchmark
-gate only requires it not to fall far behind — pipes and process
-scheduling are paid from one core's budget); on a multi-core host each
-worker owns a core *including its Python dispatch*, which is exactly
-the scaling the in-process shard could not reach.
+  transfer time (:func:`~repro.serve.stats.perf_epoch_offset`); the
+  parent folds its own ``retries`` / ``restarts`` / ``expired`` /
+  ``shed`` counters into the merged snapshot.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import multiprocessing
 import os
 import pickle
 import threading
+import time
+from dataclasses import replace
 from typing import Sequence
 
 import numpy as np
 from numpy.typing import NDArray
 
 from repro.sem.cg import CGResult
+from repro.serve.chaos import FaultInjector, FaultPlan
+from repro.serve.errors import (
+    DeadlineExceeded,
+    FleetUnavailable,
+    Overloaded,
+    ServiceClosed,
+    WorkerCrashed,
+)
+from repro.serve.health import (
+    FleetHealth,
+    HealthState,
+    RestartPolicy,
+    RetryPolicy,
+)
 from repro.serve.scheduler import (
-    QueueClosed,
     Router,
     pick_with_diversion,
     resolve_router,
@@ -81,11 +141,10 @@ from repro.serve.stats import (
     perf_epoch_offset,
 )
 
-
-class WorkerCrashed(RuntimeError):
-    """A worker process died with requests in flight (or was targeted
-    by a submit after dying).  Carries no result — the request was
-    lost with the worker; resubmit to a healthy fleet."""
+__all__ = [
+    "ProcessShardedSolveService",
+    "WorkerCrashed",  # re-export; historical home of the class
+]
 
 
 def _sendable_error(exc: BaseException) -> BaseException:
@@ -117,11 +176,16 @@ def _worker_info(problem, spec) -> dict:
     }
 
 
-def _worker_main(spec, conn, service_kwargs: dict) -> None:
+def _worker_main(
+    spec, conn, service_kwargs: dict, slow_schedule: dict | None = None
+) -> None:
     """Worker-process entry point: rebuild, serve, drain, exit.
 
     Protocol (tuples over the pipe; parent -> worker):
-    ``("solve_block", [(req_id, b, tol, maxiter), ...])``,
+    ``("solve_block", [(req_id, b, tol, maxiter, deadline_remaining),
+    ...])`` — ``deadline_remaining`` is the request's *remaining* time
+    budget in seconds (monotonic clocks don't compare across
+    processes, so the wire carries a relative quantity) or ``None``;
     ``("stats", token)``, ``("info", token)``, ``("flush", token)``,
     ``("close",)``.  Worker -> parent: ``("ready", pid)`` /
     ``("fatal", exc)`` once at startup, then ``("done_block",
@@ -129,6 +193,11 @@ def _worker_main(spec, conn, service_kwargs: dict) -> None:
     ``("stats", token, snapshot, clock_offset)``, ``("info", token,
     dict)``, ``("flushed", token)``, and ``("bye",)`` after a graceful
     drain.
+
+    ``slow_schedule`` maps 1-based ``solve_block`` ordinals to seconds
+    slept before ingesting that block — the deterministic slow-solve
+    fault of :class:`~repro.serve.chaos.FaultPlan`, applied worker-side
+    so the parent's pipes and supervision observe genuine latency.
 
     Traffic is deliberately *blocked* in both directions: on a host
     where the solves themselves take fractions of a millisecond, one
@@ -206,6 +275,7 @@ def _worker_main(spec, conn, service_kwargs: dict) -> None:
         else:
             results.put((req_id, False, _sendable_error(exc)))
 
+    block_ordinal = 0
     send(("ready", os.getpid()))
     try:
         while True:
@@ -216,13 +286,18 @@ def _worker_main(spec, conn, service_kwargs: dict) -> None:
             tag = msg[0]
             if tag == "solve_block":
                 block = msg[1]
+                block_ordinal += 1
+                if slow_schedule:
+                    pause = slow_schedule.get(block_ordinal)
+                    if pause:
+                        time.sleep(pause)
                 try:
                     # Bulk ingest: one queue-lock acquisition and one
                     # dispatcher wake-up for the whole block.  Closure
                     # mid-block is reported through the tickets, so
                     # every req_id gets exactly one reply either way.
                     tickets = svc.submit_block(
-                        [(b, tol, mi) for _, b, tol, mi in block]
+                        [(b, tol, mi, dl) for _, b, tol, mi, dl in block]
                     )
                 except BaseException as exc:
                     # All-or-nothing failure (validation): nothing was
@@ -274,16 +349,39 @@ class _Reply:
         self.error: BaseException | None = None
 
 
+class _Inflight:
+    """Parent-side record of one request: everything needed to retry it.
+
+    Solves are pure, so the snapshot (``b``/``tol``/``maxiter``) plus
+    the absolute deadline is a complete resubmission recipe; the ticket
+    is the one client-visible object and survives every redispatch.
+    ``attempts`` counts registrations with a worker (incremented inside
+    :meth:`ProcessShardedSolveService._dispatch_inflights`).
+    """
+
+    __slots__ = ("ticket", "b", "tol", "maxiter", "deadline_at", "attempts")
+
+    def __init__(self, ticket, b, tol, maxiter, deadline_at) -> None:
+        self.ticket = ticket
+        self.b = b
+        self.tol = tol
+        self.maxiter = maxiter
+        self.deadline_at = deadline_at  # time.monotonic() absolute, or None
+        self.attempts = 0
+
+
 class _Worker:
     """Parent-side handle: process, pipe, in-flight bookkeeping."""
 
     __slots__ = (
-        "index", "process", "conn", "send_lock", "state_lock", "seq",
-        "pending", "replies", "alive", "close_sent", "reader", "fatal",
+        "index", "generation", "process", "conn", "send_lock",
+        "state_lock", "seq", "pending", "replies", "alive", "close_sent",
+        "reader", "fatal",
     )
 
-    def __init__(self, index: int, process, conn) -> None:
+    def __init__(self, index: int, generation: int, process, conn) -> None:
         self.index = index
+        self.generation = generation
         self.process = process
         self.conn = conn
         # send_lock serializes writers on the pipe; state_lock guards
@@ -294,7 +392,7 @@ class _Worker:
         self.send_lock = threading.Lock()
         self.state_lock = threading.Lock()
         self.seq = 0
-        self.pending: dict[int, SolveTicket] = {}
+        self.pending: dict[int, _Inflight] = {}
         self.replies: dict[int, _Reply] = {}
         self.alive = True
         self.close_sent = False
@@ -303,7 +401,7 @@ class _Worker:
 
 
 class ProcessShardedSolveService:
-    """Route solve requests across ``K`` worker *processes*.
+    """Route solve requests across ``K`` supervised worker *processes*.
 
     Parameters
     ----------
@@ -313,9 +411,10 @@ class ProcessShardedSolveService:
         :class:`~repro.sem.nekbone.NekboneCase` — anything providing
         the spec protocol (``export_shared()``, ``n_dofs``).  Its
         immutable arrays are exported to shared memory once; every
-        worker rebuilds a solve-identical problem attached to the same
-        physical pages.  The parent's problem instance itself is *not*
-        used to solve — it is the template.
+        worker (including respawned ones) rebuilds a solve-identical
+        problem attached to the same physical pages.  The parent's
+        problem instance itself is *not* used to solve — it is the
+        template.
     workers:
         Number of worker processes (``K >= 1``), one per core being the
         intended deployment.
@@ -335,6 +434,31 @@ class ProcessShardedSolveService:
         *in-flight* requests per worker (submitted, not yet resolved) —
         the parent cannot cheaply observe a worker's internal queue, and
         in-flight is the quantity backpressure actually acts on.
+    shed_watermark:
+        Admission-control shed point: when every *healthy* worker's
+        in-flight depth is at or above it, submits raise retryable
+        :class:`~repro.serve.errors.Overloaded` instead of queueing.
+        Must be ``>= queue_watermark`` when both are set (diversion
+        rebalances below the shed point).  ``None`` (default) never
+        sheds.
+    retry:
+        :class:`~repro.serve.health.RetryPolicy` governing transparent
+        resubmission of requests lost to a worker crash (solves are
+        pure, so a retried request returns bit-identical results).
+        ``None`` disables retry: crashes fail the affected tickets with
+        :class:`~repro.serve.errors.WorkerCrashed`.
+    restart:
+        :class:`~repro.serve.health.RestartPolicy` governing worker
+        respawn backoff and the ``max_restarts`` circuit breaker.
+        ``None`` disables respawn: a crashed worker is ejected for the
+        service's lifetime.  ``retry=None, restart=None`` together
+        select the legacy non-supervised contract (no health marking;
+        submits routed to the dead worker raise ``WorkerCrashed``).
+    chaos:
+        Optional :class:`~repro.serve.chaos.FaultPlan` (or prepared
+        :class:`~repro.serve.chaos.FaultInjector`) of deterministic
+        faults — worker kills, pipe send delays/drops, slow solves.
+        Test/benchmark instrumentation; ``None`` in production.
     start_method:
         ``multiprocessing`` start method (default ``"spawn"``: workers
         import fresh and attach the shared blocks explicitly, proving
@@ -351,7 +475,7 @@ class ProcessShardedSolveService:
     Examples
     --------
     >>> svc = ProcessShardedSolveService(problem, workers=2)
-    >>> ticket = svc.submit(b, key="tenant-42")   # doctest: +SKIP
+    >>> ticket = svc.submit(b, key="tenant-42", deadline=5.0)  # doctest: +SKIP
     >>> svc.close()
     """
 
@@ -363,6 +487,15 @@ class ProcessShardedSolveService:
     #: Seconds to wait for a worker to drain and exit on close before
     #: it is terminated forcefully.
     JOIN_TIMEOUT: float = 60.0
+    #: Grace added to a request's deadline before the parent-side
+    #: watchdog fails it: the worker itself expires overdue requests
+    #: (the wire carries the remaining budget), so the watchdog is a
+    #: backstop for *lost* requests (dropped sends, wedged workers) and
+    #: must not race a merely slow reply.
+    EXPIRE_GRACE: float = 0.5
+    #: Backoff when a retry finds no healthy worker but some worker is
+    #: recoverable (a respawn is pending) — requeue rather than fail.
+    RETRY_REQUEUE_WAIT: float = 0.05
 
     def __init__(
         self,
@@ -377,6 +510,10 @@ class ProcessShardedSolveService:
         precondition: "bool | object" = _UNSET,
         queue_watermark: int | None = None,
         on_overload: OverloadHook | None = None,
+        shed_watermark: int | None = None,
+        retry: RetryPolicy | None = RetryPolicy(),
+        restart: RestartPolicy | None = RestartPolicy(),
+        chaos: "FaultPlan | FaultInjector | None" = None,
         start_method: str = "spawn",
     ) -> None:
         if workers < 1:
@@ -384,6 +521,30 @@ class ProcessShardedSolveService:
         if queue_watermark is not None and queue_watermark < 1:
             raise ValueError(
                 f"queue_watermark must be >= 1, got {queue_watermark}"
+            )
+        if shed_watermark is not None:
+            if shed_watermark < 1:
+                raise ValueError(
+                    f"shed_watermark must be >= 1, got {shed_watermark}"
+                )
+            if (
+                queue_watermark is not None
+                and shed_watermark < queue_watermark
+            ):
+                raise ValueError(
+                    f"shed_watermark ({shed_watermark}) must be >= "
+                    f"queue_watermark ({queue_watermark}): diversion "
+                    "rebalances below the shed point"
+                )
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise TypeError(
+                f"retry must be a RetryPolicy or None, got "
+                f"{type(retry).__name__}"
+            )
+        if restart is not None and not isinstance(restart, RestartPolicy):
+            raise TypeError(
+                f"restart must be a RestartPolicy or None, got "
+                f"{type(restart).__name__}"
             )
         if not hasattr(problem, "export_shared"):
             raise TypeError(
@@ -398,14 +559,43 @@ class ProcessShardedSolveService:
         )
         self.queue_watermark = queue_watermark
         self.on_overload = on_overload
+        self.shed_watermark = shed_watermark
+        self.retry = retry
+        self.restart = restart
+        if chaos is None:
+            self._injector: FaultInjector | None = None
+        elif isinstance(chaos, FaultInjector):
+            self._injector = chaos
+        elif isinstance(chaos, FaultPlan):
+            self._injector = FaultInjector(chaos)
+        else:
+            raise TypeError(
+                f"chaos must be a FaultPlan, FaultInjector or None, got "
+                f"{type(chaos).__name__}"
+            )
         self._router = resolve_router(policy, workers)
         self._least_loaded = resolve_router("least-loaded", workers)
         self._lock = threading.Lock()
         self._routed = [0] * workers
         self._rebalanced = 0
+        self._health_diverted = 0
+        self._shed = 0
+        self._expired = 0
+        self._retried = 0
+        self._restarts = 0
         self._closed = False
         self._torn_down = False
         self._n = int(problem.n_dofs)
+        self.health = FleetHealth(workers)
+        # Supervisor state must exist before any worker (and so any
+        # reader thread) does: a crash during startup already routes
+        # through _schedule.
+        self._heap: list = []
+        self._sup_cond = threading.Condition()
+        self._sup_stop = False
+        self._sup_exited = False
+        self._seq_counter = itertools.count()
+        self._supervisor: threading.Thread | None = None
         # One set of service defaults: SolveService's own (see
         # ShardedSolveService, which this mirrors knob for knob).
         self._forwarded = {
@@ -425,23 +615,15 @@ class ProcessShardedSolveService:
 
         SolveService(problem, background=False, **self._forwarded).close()
         self._export = problem.export_shared()
-        self._workers: tuple[_Worker, ...] = ()
-        ctx = multiprocessing.get_context(start_method)
+        self._ctx = multiprocessing.get_context(start_method)
+        self._workers: list[_Worker] = []
         started: list[_Worker] = []
         try:
             for index in range(workers):
-                parent_conn, child_conn = ctx.Pipe()
-                process = ctx.Process(
-                    target=_worker_main,
-                    args=(self._export.spec, child_conn, self._forwarded),
-                    name=f"sem-procshard-{index}",
-                    daemon=True,
-                )
-                process.start()
-                child_conn.close()
-                started.append(_Worker(index, process, parent_conn))
+                started.append(self._spawn_worker(index, generation=0))
             for w in started:
                 self._handshake(w)
+            self._workers = started
             for w in started:
                 w.reader = threading.Thread(
                     target=self._reader_loop, args=(w,),
@@ -449,6 +631,7 @@ class ProcessShardedSolveService:
                 )
                 w.reader.start()
         except BaseException:
+            self._workers = []
             for w in started:
                 if w.process.is_alive():
                     w.process.terminate()
@@ -456,11 +639,44 @@ class ProcessShardedSolveService:
                 w.conn.close()
             self._export.close(unlink=True)
             raise
-        self._workers = tuple(started)
+        self._supervisor = threading.Thread(
+            target=self._supervisor_loop,
+            name="sem-procshard-supervisor", daemon=True,
+        )
+        self._supervisor.start()
 
     # ------------------------------------------------------------------
     # Construction / teardown plumbing
     # ------------------------------------------------------------------
+    def _spawn_worker(self, index: int, generation: int) -> _Worker:
+        """Start one worker process (fresh or respawn) on a fresh pipe.
+
+        Respawns rebuild from the *same* spec attached to the *same*
+        shared-memory export — nothing is re-exported.  The handshake
+        and reader-thread start are the caller's job (construction
+        handshakes in bulk; respawn handshakes before re-admission).
+        """
+        parent_conn, child_conn = self._ctx.Pipe()
+        slow = (
+            None
+            if self._injector is None
+            else self._injector.worker_slow_schedule(index) or None
+        )
+        name = (
+            f"sem-procshard-{index}"
+            if generation == 0
+            else f"sem-procshard-{index}-g{generation}"
+        )
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(self._export.spec, child_conn, self._forwarded, slow),
+            name=name,
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(index, generation, process, parent_conn)
+
     def _handshake(self, w: _Worker) -> None:
         """Consume the worker's startup message or fail construction."""
         if not w.conn.poll(self.HANDSHAKE_TIMEOUT):
@@ -484,12 +700,232 @@ class ProcessShardedSolveService:
                 f"{msg[0]!r}"
             )
 
+    # ------------------------------------------------------------------
+    # Supervision: timer heap + action handlers
+    # ------------------------------------------------------------------
+    def _schedule(self, delay: float, action: tuple) -> None:
+        """Enqueue ``action`` to run ``delay`` seconds from now.
+
+        After the supervisor has exited (close), the action is settled
+        *inline* in its terminal form instead — nothing scheduled is
+        ever silently dropped, which is what keeps the no-request-hangs
+        guarantee through shutdown races.
+        """
+        with self._sup_cond:
+            if not self._sup_exited:
+                heapq.heappush(
+                    self._heap,
+                    (
+                        time.monotonic() + delay,
+                        next(self._seq_counter),
+                        action,
+                    ),
+                )
+                self._sup_cond.notify()
+                return
+        self._final_action(action)
+
+    def _supervisor_loop(self) -> None:
+        """Run timed actions; on stop, settle everything left."""
+        while True:
+            leftovers: list | None = None
+            with self._sup_cond:
+                while True:
+                    if self._sup_stop:
+                        leftovers = [
+                            heapq.heappop(self._heap)[2]
+                            for _ in range(len(self._heap))
+                        ]
+                        self._sup_exited = True
+                        action = None
+                        break
+                    if self._heap:
+                        wait = self._heap[0][0] - time.monotonic()
+                        if wait <= 0:
+                            action = heapq.heappop(self._heap)[2]
+                            break
+                        self._sup_cond.wait(timeout=wait)
+                    else:
+                        self._sup_cond.wait()
+            if leftovers is not None:
+                for act in leftovers:
+                    try:
+                        self._final_action(act)
+                    except Exception:
+                        pass
+                return
+            try:
+                self._run_action(action)
+            except Exception:
+                # The supervisor must survive anything a handler hits
+                # (a torn-down pipe, a racing close): one failed action
+                # must not kill retries/respawns for the whole fleet.
+                pass
+
+    def _run_action(self, action: tuple) -> None:
+        tag = action[0]
+        if tag == "retry":
+            self._handle_retry(action[1])
+        elif tag == "respawn":
+            self._handle_respawn(action[1])
+        elif tag == "expire":
+            self._handle_expire(action[1], action[2], action[3])
+
+    def _final_action(self, action: tuple) -> None:
+        """Terminal settlement for an action after the supervisor exits:
+        retries get one last immediate dispatch attempt (the workers
+        have not been told to close yet — close stops the supervisor
+        first), expiries fire if due, respawns are moot."""
+        tag = action[0]
+        if tag == "retry":
+            self._handle_retry(action[1], final=True)
+        elif tag == "expire":
+            self._handle_expire(action[1], action[2], action[3])
+
+    def _handle_respawn(self, slot: int) -> None:
+        """Replace a dead worker with a fresh generation, or back off."""
+        if self.closed or self.health.state(slot) is HealthState.EJECTED:
+            return
+        old = self._workers[slot]
+        generation = old.generation + 1
+        try:
+            w = self._spawn_worker(slot, generation)
+            try:
+                self._handshake(w)
+            except BaseException:
+                if w.process.is_alive():
+                    w.process.terminate()
+                w.process.join(timeout=5.0)
+                w.conn.close()
+                raise
+        except Exception:
+            restart = self.restart
+            if restart is None:
+                self.health.eject(slot)
+                return
+            n = self.health.record_restart_attempt(slot)
+            if n > restart.max_restarts:
+                self.health.eject(slot)
+            else:
+                self._schedule(restart.backoff(n), ("respawn", slot))
+            return
+        w.reader = threading.Thread(
+            target=self._reader_loop, args=(w,),
+            name=f"sem-procshard-reader-{slot}-g{generation}",
+            daemon=True,
+        )
+        self._workers[slot] = w
+        w.reader.start()
+        # Re-admission: from here on the routing mask includes the slot
+        # again (mark_healthy is a no-op if a racing eject won).
+        self.health.mark_healthy(slot)
+        with self._lock:
+            self._restarts += 1
+
+    def _handle_retry(self, inflight: _Inflight, final: bool = False) -> None:
+        """Redispatch one crash-orphaned request to a healthy worker.
+
+        ``final`` marks the supervisor's shutdown settlement: no more
+        rescheduling — dispatch now or fail the ticket with the
+        taxonomy error that explains why.
+        """
+        ticket = inflight.ticket
+        if ticket.done():
+            return
+        if (
+            inflight.deadline_at is not None
+            and time.monotonic() >= inflight.deadline_at
+        ):
+            with self._lock:
+                self._expired += 1
+            ticket._fail(DeadlineExceeded(
+                "request deadline expired before a retry could be "
+                "dispatched"
+            ))
+            return
+        mask = self.health.mask()
+        if not any(mask):
+            if not final and self.health.any_recoverable():
+                # A respawn is pending; park the retry until it lands.
+                # No attempt is charged — nothing was dispatched.
+                self._schedule(
+                    self.RETRY_REQUEUE_WAIT, ("retry", inflight)
+                )
+            else:
+                ticket._fail(FleetUnavailable(
+                    f"no healthy worker to retry on after "
+                    f"{inflight.attempts} attempt(s); fleet state "
+                    f"{[s.value for s in self.health.states]}"
+                ))
+            return
+        depths = self.queue_depths
+        chosen = min(
+            (i for i in range(len(mask)) if mask[i]),
+            key=depths.__getitem__,
+        )
+        try:
+            self._dispatch_inflights(chosen, [inflight])
+        except (WorkerCrashed, ServiceClosed) as exc:
+            retry = self.retry
+            if (
+                final
+                or retry is None
+                or inflight.attempts >= retry.max_attempts
+            ):
+                error = FleetUnavailable(
+                    f"request failed after {max(inflight.attempts, 1)} "
+                    f"attempt(s); last dispatch hit: {exc}"
+                )
+                error.__cause__ = exc
+                ticket._fail(error)
+            else:
+                self._schedule(
+                    retry.backoff(max(inflight.attempts, 1)),
+                    ("retry", inflight),
+                )
+            return
+        with self._lock:
+            self._retried += 1
+
+    def _handle_expire(
+        self, w: _Worker, req_id: int, inflight: _Inflight
+    ) -> None:
+        """Deadline watchdog: fail a request still unresolved a grace
+        past its deadline (lost send, wedged worker).  Identity-checked
+        so a redispatched request's stale watchdog never fires on the
+        new registration."""
+        ticket = inflight.ticket
+        if ticket.done():
+            return
+        if (
+            inflight.deadline_at is None
+            or time.monotonic() < inflight.deadline_at
+        ):
+            return
+        with w.state_lock:
+            if w.pending.get(req_id) is not inflight:
+                return
+            w.pending.pop(req_id, None)
+        with self._lock:
+            self._expired += 1
+        ticket._fail(DeadlineExceeded(
+            f"request deadline passed {self.EXPIRE_GRACE:.1f}s ago with "
+            f"no reply from worker {w.index}"
+        ))
+
+    # ------------------------------------------------------------------
+    # Reader: replies, crash detection
+    # ------------------------------------------------------------------
     def _reader_loop(self, w: _Worker) -> None:
         """Drain one worker's pipe, resolving tickets and replies.
 
         Exits on ``bye`` (graceful) or EOF (crash / parent-initiated
-        teardown); either way every ticket and reply still registered
-        is failed, so no client ever hangs on a dead worker.
+        teardown).  On an unexpected exit with supervision enabled the
+        crash path marks the slot degraded, schedules its respawn, and
+        hands salvageable in-flight requests to the retry machinery;
+        without supervision (or during close) every ticket and reply
+        still registered is failed — either way no client ever hangs on
+        a dead worker.
         """
         try:
             while True:
@@ -501,12 +937,12 @@ class ProcessShardedSolveService:
                 if tag == "done_block":
                     for req_id, ok, payload in msg[1]:
                         with w.state_lock:
-                            ticket = w.pending.pop(req_id, None)
-                        if ticket is not None:
+                            inflight = w.pending.pop(req_id, None)
+                        if inflight is not None:
                             if ok:
-                                ticket._resolve(payload)
+                                inflight.ticket._resolve(payload)
                             else:
-                                ticket._fail(payload)
+                                inflight.ticket._fail(payload)
                 elif tag in ("stats", "info", "flushed"):
                     with w.state_lock:
                         reply = w.replies.pop(msg[1], None)
@@ -518,20 +954,73 @@ class ProcessShardedSolveService:
         finally:
             with w.state_lock:
                 w.alive = False
+                close_sent = w.close_sent
                 pending = list(w.pending.values())
                 w.pending.clear()
                 replies = list(w.replies.values())
                 w.replies.clear()
-            if pending or replies:
-                error = WorkerCrashed(
-                    f"worker {w.index} (pid {w.process.pid}) exited with "
-                    f"{len(pending)} request(s) in flight"
-                )
-                for ticket in pending:
+            crash = WorkerCrashed(
+                f"worker {w.index} (pid {w.process.pid}) exited with "
+                f"{len(pending)} request(s) in flight"
+            )
+            for reply in replies:
+                reply.error = crash
+                reply.event.set()
+            supervised = (
+                (self.retry is not None or self.restart is not None)
+                and not close_sent
+                and not self.closed
+                and self._workers[w.index] is w
+            )
+            if not supervised:
+                # Legacy / shutdown path: surface the crash as-is.
+                for inflight in pending:
+                    inflight.ticket._fail(crash)
+                return
+            self.health.mark_degraded(w.index)
+            restart = self.restart
+            if restart is None:
+                self.health.eject(w.index)
+            else:
+                n = self.health.record_restart_attempt(w.index)
+                if n > restart.max_restarts:
+                    # Circuit breaker: the slot keeps dying; stop
+                    # feeding it processes.
+                    self.health.eject(w.index)
+                else:
+                    self._schedule(
+                        restart.backoff(n), ("respawn", w.index)
+                    )
+            retry = self.retry
+            now = time.monotonic()
+            for inflight in pending:
+                ticket = inflight.ticket
+                if ticket.done():
+                    continue
+                if retry is None:
+                    ticket._fail(crash)
+                elif (
+                    inflight.deadline_at is not None
+                    and now >= inflight.deadline_at
+                ):
+                    with self._lock:
+                        self._expired += 1
+                    ticket._fail(DeadlineExceeded(
+                        "request deadline expired when its worker "
+                        "crashed"
+                    ))
+                elif inflight.attempts >= retry.max_attempts:
+                    error = FleetUnavailable(
+                        f"request failed after {inflight.attempts} "
+                        f"attempt(s); its last worker crashed"
+                    )
+                    error.__cause__ = crash
                     ticket._fail(error)
-                for reply in replies:
-                    reply.error = error
-                    reply.event.set()
+                else:
+                    self._schedule(
+                        retry.backoff(inflight.attempts),
+                        ("retry", inflight),
+                    )
 
     def _request(self, w: _Worker, tag: str) -> tuple:
         """One control round-trip (stats/info/flush) with a worker."""
@@ -568,44 +1057,75 @@ class ProcessShardedSolveService:
     # Routing / dispatch plumbing
     # ------------------------------------------------------------------
     def _validate_request(
-        self, b, tol, maxiter
-    ) -> tuple[NDArray[np.float64], "float | None", "int | None"]:
+        self, b, tol, maxiter, deadline
+    ) -> tuple:
         """Snapshot + validate one request parent-side (bad requests
         must bounce before crossing the process boundary).  ``None``
         knobs pass through for the worker's service to resolve; the
         checks themselves are :func:`repro.serve.service.check_request`
         — the same single source of truth the workers apply."""
-        return check_request(self._n, b, tol, maxiter)
+        return check_request(self._n, b, tol, maxiter, deadline)
 
-    def _route(self, key, depths: tuple[int, ...]) -> int:
-        """Pick (and possibly watermark-divert) the worker for one
-        request, given the depths the decision should see — the shared
+    def _route(
+        self, key, depths: tuple[int, ...], healthy
+    ) -> int:
+        """Pick (and possibly divert) the worker for one request, given
+        the depths and health mask the decision should see — the shared
         :func:`~repro.serve.scheduler.pick_with_diversion` step."""
-        chosen, rebalanced = pick_with_diversion(
+        chosen, rebalanced, diverted = pick_with_diversion(
             self._router, self._least_loaded, key, depths,
             self.queue_watermark, self.on_overload, noun="worker",
+            healthy=healthy,
         )
-        if rebalanced:
+        if rebalanced or diverted:
             with self._lock:
-                self._rebalanced += 1
+                self._rebalanced += int(rebalanced)
+                self._health_diverted += int(diverted)
         return chosen
 
-    def _dispatch_block(
-        self, chosen: int, items: list
-    ) -> list[SolveTicket]:
-        """Send ``[(b, tol, maxiter), ...]`` to one worker as a single
-        pipe message; returns one registered ticket per item."""
+    def _check_shed(self, depths, mask) -> None:
+        """Admission control: raise retryable ``Overloaded`` when every
+        healthy worker's in-flight depth is at the shed watermark."""
+        if self.shed_watermark is None:
+            return
+        healthy_depths = [
+            depths[i] for i in range(len(mask)) if mask[i]
+        ]
+        if healthy_depths and min(healthy_depths) >= self.shed_watermark:
+            with self._lock:
+                self._shed += 1
+            raise Overloaded(
+                f"every healthy worker's in-flight depth is at the shed "
+                f"watermark ({self.shed_watermark}); retry after a "
+                "backoff"
+            )
+
+    def _dispatch_inflights(
+        self, chosen: int, inflights: "list[_Inflight]"
+    ) -> None:
+        """Register + send a group of requests to one worker as a
+        single pipe message, applying any planned faults.
+
+        Increments each request's attempt count; schedules the
+        parent-side deadline watchdog for deadlined requests (which is
+        also what eventually fails a chaos-*dropped* send).  A chaos
+        ``kill`` fires after the send, outside the locks — the reader
+        then observes the death exactly as it would a real crash.
+        """
         w = self._workers[chosen]
-        tickets: list[SolveTicket] = []
+        injector = self._injector
+        kill = False
+        req_ids: list[int] = []
         with w.send_lock:
             payload = []
+            now = time.monotonic()
             with w.state_lock:
                 if w.close_sent:
                     # close() already won this worker's send_lock: the
                     # worker will drain and exit without reading another
                     # message, so admitting the block would strand its
                     # tickets until EOF mislabels them WorkerCrashed.
-                    raise QueueClosed(
+                    raise ServiceClosed(
                         "submit on a closed process-sharded service"
                     )
                 if not w.alive:
@@ -613,27 +1133,49 @@ class ProcessShardedSolveService:
                         f"worker {chosen} has died; its requests were "
                         "failed and it accepts no new ones"
                     )
-                for b, tol, maxiter in items:
+                for inf in inflights:
                     req_id = w.seq
                     w.seq += 1
-                    ticket = SolveTicket()
                     # Registered before the send so an arbitrarily fast
-                    # reply always finds its ticket.
-                    w.pending[req_id] = ticket
-                    tickets.append(ticket)
-                    payload.append((req_id, b, tol, maxiter))
-            try:
-                w.conn.send(("solve_block", payload))
-            except (OSError, ValueError) as exc:
-                with w.state_lock:
-                    for req_id, _, _, _ in payload:
-                        w.pending.pop(req_id, None)
-                raise WorkerCrashed(
-                    f"worker {chosen} pipe is closed"
-                ) from exc
+                    # reply always finds its request.
+                    w.pending[req_id] = inf
+                    inf.attempts += 1
+                    req_ids.append(req_id)
+                    remaining = (
+                        None
+                        if inf.deadline_at is None
+                        else max(inf.deadline_at - now, 1e-9)
+                    )
+                    payload.append(
+                        (req_id, inf.b, inf.tol, inf.maxiter, remaining)
+                    )
+            drop = False
+            if injector is not None:
+                ordinal = injector.next_ordinal(chosen)
+                delay, drop = injector.send_action(chosen, ordinal)
+                if delay:
+                    time.sleep(delay)
+                kill = injector.should_kill(chosen, ordinal)
+            if not drop:
+                try:
+                    w.conn.send(("solve_block", payload))
+                except (OSError, ValueError) as exc:
+                    with w.state_lock:
+                        for req_id in req_ids:
+                            w.pending.pop(req_id, None)
+                    raise WorkerCrashed(
+                        f"worker {chosen} pipe is closed"
+                    ) from exc
+        for req_id, inf in zip(req_ids, inflights):
+            if inf.deadline_at is not None:
+                self._schedule(
+                    max(inf.deadline_at - now, 0.0) + self.EXPIRE_GRACE,
+                    ("expire", w, req_id, inf),
+                )
         with self._lock:
-            self._routed[chosen] += len(items)
-        return tickets
+            self._routed[chosen] += len(inflights)
+        if kill:
+            w.process.terminate()
 
     # ------------------------------------------------------------------
     # Client API (mirrors ShardedSolveService)
@@ -644,8 +1186,10 @@ class ProcessShardedSolveService:
         tol: float | None = None,
         maxiter: int | None = None,
         key: object | None = None,
+        deadline: float | None = None,
     ) -> SolveTicket:
-        """Route one right-hand side to a worker; returns its ticket.
+        """Route one right-hand side to a healthy worker; returns its
+        ticket.
 
         Parameters
         ----------
@@ -657,36 +1201,73 @@ class ProcessShardedSolveService:
         key:
             Routing key (tenant id) — semantics identical to
             :meth:`repro.serve.shard.ShardedSolveService.submit`.
+        deadline:
+            Optional time budget in seconds (relative to now).  An
+            expired request fails its ticket with
+            :class:`~repro.serve.errors.DeadlineExceeded` — whether it
+            expired queued behind a slow worker, lost to a crash, or
+            mid-retry.
 
         Returns
         -------
         ~repro.serve.service.SolveTicket
             Resolves to the request's :class:`~repro.sem.cg.CGResult`,
             bit-identical to a sequential warm solve regardless of
-            which worker served it.
+            which worker served it — including after a transparent
+            retry on a different worker.
 
         Raises
         ------
         ValueError
-            On a bad shape or invalid ``tol``/``maxiter`` (bounced
-            parent-side, before crossing the process boundary).
-        ~repro.serve.scheduler.QueueClosed
+            On a bad shape or invalid ``tol``/``maxiter``/``deadline``
+            (bounced parent-side, before crossing the process
+            boundary).
+        ~repro.serve.errors.ServiceClosed
             After :meth:`close`.
-        WorkerCrashed
-            If the routed-to worker has died.
+        ~repro.serve.errors.Overloaded
+            When ``shed_watermark`` is set and every healthy worker is
+            at it (retryable — back off and resubmit).
+        ~repro.serve.errors.FleetUnavailable
+            When no healthy worker exists to route to.
+        ~repro.serve.errors.WorkerCrashed
+            Only with ``retry=None``: the routed-to worker has died.
         """
-        b, tol, maxiter = self._validate_request(b, tol, maxiter)
+        b, tol, maxiter, deadline = self._validate_request(
+            b, tol, maxiter, deadline
+        )
         with self._lock:
             if self._closed:
-                raise QueueClosed(
+                raise ServiceClosed(
                     "submit on a closed process-sharded service"
                 )
-        if self._router.uses_depths or self.queue_watermark is not None:
+        mask = self.health.mask()
+        healthy = None if all(mask) else mask
+        if (
+            self._router.uses_depths
+            or self.queue_watermark is not None
+            or self.shed_watermark is not None
+            or healthy is not None
+        ):
             depths = self.queue_depths
         else:
             depths = (0,) * self.workers
-        chosen = self._route(key, depths)
-        return self._dispatch_block(chosen, [(b, tol, maxiter)])[0]
+        self._check_shed(depths, mask)
+        chosen = self._route(key, depths, healthy)
+        deadline_at = (
+            None if deadline is None else time.monotonic() + deadline
+        )
+        inflight = _Inflight(SolveTicket(), b, tol, maxiter, deadline_at)
+        try:
+            self._dispatch_inflights(chosen, [inflight])
+        except WorkerCrashed:
+            # The worker died between the health sample and the send.
+            if self.retry is None:
+                raise
+            self._schedule(
+                self.retry.backoff(max(inflight.attempts, 1)),
+                ("retry", inflight),
+            )
+        return inflight.ticket
 
     def solve_many(
         self,
@@ -694,6 +1275,7 @@ class ProcessShardedSolveService:
         tol: float | None = None,
         maxiter: int | None = None,
         keys: Sequence[object] | None = None,
+        deadline: float | None = None,
     ) -> list[CGResult]:
         """Solve a block of right-hand sides; results in input order.
 
@@ -702,9 +1284,11 @@ class ProcessShardedSolveService:
         tier pays, so they travel in bulk); routing decisions that read
         depths see the live in-flight counts plus the requests already
         planned within this call, exactly as per-request submission
-        would have accumulated them.  A group routed to a dead worker
-        fails with :class:`WorkerCrashed` — raised from the result
-        gather, but only after every healthy worker's group was
+        would have accumulated them.  With retry enabled, a group lost
+        to a dying worker is transparently redispatched; with
+        ``retry=None`` it fails with
+        :class:`~repro.serve.errors.WorkerCrashed` — raised from the
+        result gather, but only after every healthy worker's group was
         dispatched.
         """
         if keys is not None and len(keys) != len(bs):
@@ -712,15 +1296,20 @@ class ProcessShardedSolveService:
                 f"keys length {len(keys)} != number of requests {len(bs)}"
             )
         validated = [
-            self._validate_request(b, tol, maxiter) for b in bs
+            self._validate_request(b, tol, maxiter, deadline) for b in bs
         ]
         with self._lock:
             if self._closed:
-                raise QueueClosed(
+                raise ServiceClosed(
                     "submit on a closed process-sharded service"
                 )
+        mask = self.health.mask()
+        healthy = None if all(mask) else mask
+        self._check_shed(self.queue_depths, mask)
         reads_depths = (
-            self._router.uses_depths or self.queue_watermark is not None
+            self._router.uses_depths
+            or self.queue_watermark is not None
+            or healthy is not None
         )
         planned = [0] * self.workers
         groups: dict[int, list] = {}
@@ -734,29 +1323,45 @@ class ProcessShardedSolveService:
             else:
                 depths = (0,) * self.workers
             chosen = self._route(
-                None if keys is None else keys[i], depths
+                None if keys is None else keys[i], depths, healthy
             )
             planned[chosen] += 1
             slot = groups.setdefault(chosen, [])
             order.append((chosen, len(slot)))
             slot.append(item)
-        dispatched: dict[int, list[SolveTicket]] = {}
+        now = time.monotonic()
+        dispatched: dict[int, list[_Inflight]] = {}
         for chosen, items in groups.items():
+            inflights = [
+                _Inflight(
+                    SolveTicket(), vb, vtol, vmi,
+                    None if vdl is None else now + vdl,
+                )
+                for vb, vtol, vmi, vdl in items
+            ]
+            dispatched[chosen] = inflights
             try:
-                dispatched[chosen] = self._dispatch_block(chosen, items)
-            except (WorkerCrashed, QueueClosed) as exc:
-                # A dead (or closing) worker must not abandon the
-                # groups already dispatched to healthy workers: settle
-                # this group's tickets with the error and keep going —
-                # the gather below re-raises it, but only after every
-                # other group went out.
-                failed = []
-                for _ in items:
-                    ticket = SolveTicket()
-                    ticket._fail(exc)
-                    failed.append(ticket)
-                dispatched[chosen] = failed
-        tickets = [dispatched[chosen][pos] for chosen, pos in order]
+                self._dispatch_inflights(chosen, inflights)
+            except ServiceClosed as exc:
+                # A closing service must not abandon the groups already
+                # dispatched: settle this group's tickets and keep
+                # going — the gather below re-raises.
+                for inflight in inflights:
+                    inflight.ticket._fail(exc)
+            except WorkerCrashed as exc:
+                if self.retry is None:
+                    for inflight in inflights:
+                        inflight.ticket._fail(exc)
+                else:
+                    for inflight in inflights:
+                        if not inflight.ticket.done():
+                            self._schedule(
+                                self.retry.backoff(
+                                    max(inflight.attempts, 1)
+                                ),
+                                ("retry", inflight),
+                            )
+        tickets = [dispatched[chosen][pos].ticket for chosen, pos in order]
         return [t.result() for t in tickets]
 
     def flush(self) -> None:
@@ -766,9 +1371,9 @@ class ProcessShardedSolveService:
         requests; the results themselves may still be in flight on the
         pipes for a moment (wait on the tickets for delivery).  Workers
         that die mid-flush are skipped — their in-flight tickets fail
-        through the crash path, not through this call.
+        (or retry) through the crash path, not through this call.
         """
-        for w in self._workers:
+        for w in list(self._workers):
             with w.state_lock:
                 if not w.alive:
                     continue
@@ -780,17 +1385,26 @@ class ProcessShardedSolveService:
     def close(self) -> None:
         """Drain every worker, join the processes, unlink shared memory.
 
-        Idempotent.  Every ticket submitted before ``close`` resolves
-        (the no-dropped-requests guarantee); workers that fail to drain
-        within :attr:`JOIN_TIMEOUT` are terminated, failing whatever
-        they still held.
+        Idempotent.  The supervisor is stopped *first* and settles its
+        outstanding actions (pending retries get one final dispatch
+        while the workers still accept traffic; due expiries fire;
+        respawns are moot) — then every worker drains.  Every ticket
+        submitted before ``close`` resolves (the no-dropped-requests
+        guarantee, chaos-dropped sends without deadlines excepted);
+        workers that fail to drain within :attr:`JOIN_TIMEOUT` are
+        terminated, failing whatever they still held.
         """
         with self._lock:
             self._closed = True
             if self._torn_down:
                 return
             self._torn_down = True
-        for w in self._workers:
+        with self._sup_cond:
+            self._sup_stop = True
+            self._sup_cond.notify()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=self.JOIN_TIMEOUT)
+        for w in list(self._workers):
             with w.send_lock:
                 with w.state_lock:
                     if not w.alive or w.close_sent:
@@ -800,7 +1414,7 @@ class ProcessShardedSolveService:
                     w.conn.send(("close",))
                 except (OSError, ValueError):
                     pass
-        for w in self._workers:
+        for w in list(self._workers):
             if w.reader is not None:
                 w.reader.join(timeout=self.JOIN_TIMEOUT)
             w.process.join(timeout=self.JOIN_TIMEOUT)
@@ -840,18 +1454,20 @@ class ProcessShardedSolveService:
 
     @property
     def alive_workers(self) -> tuple[bool, ...]:
-        """Liveness of each worker's reply channel."""
-        return tuple(w.alive for w in self._workers)
+        """Liveness of each worker slot's reply channel (a respawned
+        worker counts as alive again)."""
+        return tuple(w.alive for w in list(self._workers))
 
     @property
     def queue_depths(self) -> tuple[int, ...]:
         """In-flight request count per worker (submitted, unresolved)."""
-        return tuple(len(w.pending) for w in self._workers)
+        return tuple(len(w.pending) for w in list(self._workers))
 
     @property
     def routed(self) -> tuple[int, ...]:
         """Requests routed to each worker (diversions land on the
-        worker they were diverted *to*)."""
+        worker they were diverted *to*; retries count again on the
+        worker that served the redispatch)."""
         with self._lock:
             return tuple(self._routed)
 
@@ -861,12 +1477,38 @@ class ProcessShardedSolveService:
         with self._lock:
             return self._rebalanced
 
+    @property
+    def health_diverted(self) -> int:
+        """Requests diverted off an unhealthy routed worker."""
+        with self._lock:
+            return self._health_diverted
+
+    @property
+    def shed(self) -> int:
+        """Submits refused with :class:`~repro.serve.errors.Overloaded`
+        by the ``shed_watermark`` admission gate."""
+        with self._lock:
+            return self._shed
+
+    @property
+    def restarts(self) -> int:
+        """Worker respawns that completed (handshake passed and the
+        slot re-admitted to routing)."""
+        with self._lock:
+            return self._restarts
+
+    @property
+    def retried(self) -> int:
+        """Crash-orphaned requests successfully redispatched."""
+        with self._lock:
+            return self._retried
+
     def worker_info(self) -> tuple[dict, ...]:
         """One introspection dict per live worker (pid, attached block
         names, geometry writability) — the zero-copy sharing, attested
         by the workers themselves."""
         infos = []
-        for w in self._workers:
+        for w in list(self._workers):
             with w.state_lock:
                 if not w.alive:
                     continue
@@ -880,9 +1522,10 @@ class ProcessShardedSolveService:
     def replica_stats(self) -> tuple[StatsSnapshot, ...]:
         """One snapshot per live worker, clock-rebased onto this
         process (see :meth:`repro.serve.stats.StatsSnapshot.rebased`);
-        dead workers' stats died with them and are omitted."""
+        dead workers' stats died with them and are omitted (respawned
+        workers start fresh)."""
         snaps = []
-        for w in self._workers:
+        for w in list(self._workers):
             with w.state_lock:
                 if not w.alive:
                     continue
@@ -897,7 +1540,21 @@ class ProcessShardedSolveService:
 
     @property
     def stats(self) -> StatsSnapshot:
-        """Aggregate fleet snapshot; the cross-process clock rebase
-        makes its ``wall_seconds`` (and so ``solves_per_second``) span
-        the true fleet activity window."""
-        return merge_snapshots(self.replica_stats)
+        """Aggregate fleet snapshot: the workers' merged, clock-rebased
+        numbers plus the parent's own resilience counters (``retries``
+        / ``restarts`` / ``shed`` and parent-side ``expired``)."""
+        merged = merge_snapshots(self.replica_stats)
+        with self._lock:
+            expired = self._expired
+            retried = self._retried
+            restarts = self._restarts
+            shed = self._shed
+        if expired or retried or restarts or shed:
+            merged = replace(
+                merged,
+                expired=merged.expired + expired,
+                retries=merged.retries + retried,
+                restarts=merged.restarts + restarts,
+                shed=merged.shed + shed,
+            )
+        return merged

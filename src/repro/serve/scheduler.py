@@ -33,11 +33,25 @@ import time
 from collections import deque
 from typing import Generic, Sequence, TypeVar
 
+# QueueClosed/ServiceClosed moved to repro.serve.errors (the shared
+# failure taxonomy); re-exported here because this module is their
+# historical home and callers import them from it.
+from repro.serve.errors import FleetUnavailable, QueueClosed, ServiceClosed
+
 T = TypeVar("T")
 
-
-class QueueClosed(RuntimeError):
-    """Raised by :meth:`MicroBatcher.put` after :meth:`MicroBatcher.close`."""
+__all__ = [
+    "MicroBatcher",
+    "QueueClosed",
+    "ServiceClosed",
+    "Router",
+    "RoundRobinRouter",
+    "LeastLoadedRouter",
+    "TenantRouter",
+    "ROUTING_POLICIES",
+    "resolve_router",
+    "pick_with_diversion",
+]
 
 
 class MicroBatcher(Generic[T]):
@@ -115,7 +129,7 @@ class MicroBatcher(Generic[T]):
 
         Raises
         ------
-        QueueClosed
+        ServiceClosed
             If the batcher has been closed (including while blocked on
             backpressure).
         """
@@ -127,7 +141,7 @@ class MicroBatcher(Generic[T]):
             ):
                 self._cond.wait()
             if self._closed:
-                raise QueueClosed("submit on a closed solve service")
+                raise ServiceClosed("submit on a closed solve service")
             self._items.append((time.monotonic(), item))
             self._cond.notify_all()
             return len(self._items)
@@ -155,7 +169,7 @@ class MicroBatcher(Generic[T]):
 
         Raises
         ------
-        QueueClosed
+        ServiceClosed
             If the batcher is (or becomes) closed.  Items already
             enqueued by then stay queued and will be drained; the
             exception's ``enqueued`` attribute says how many made it,
@@ -177,7 +191,7 @@ class MicroBatcher(Generic[T]):
                 if self._closed:
                     if enqueued:
                         self._cond.notify_all()
-                    error = QueueClosed(
+                    error = ServiceClosed(
                         "submit on a closed solve service"
                     )
                     error.enqueued = enqueued
@@ -252,7 +266,7 @@ class MicroBatcher(Generic[T]):
         """Stop accepting new items; pending items remain poppable.
 
         Producers blocked in :meth:`put` are woken and raise
-        :class:`QueueClosed`; :meth:`take_batch` keeps returning pending
+        :class:`ServiceClosed`; :meth:`take_batch` keeps returning pending
         batches until the queue is drained, then returns ``[]``.
         """
         with self._cond:
@@ -483,6 +497,17 @@ def resolve_router(
     )
 
 
+def _least_loaded_healthy(
+    depths: Sequence[int], healthy: Sequence[bool]
+) -> int:
+    """Index of the shallowest queue among the healthy targets
+    (ties break low, matching :class:`LeastLoadedRouter`)."""
+    return min(
+        (i for i in range(len(healthy)) if healthy[i]),
+        key=depths.__getitem__,
+    )
+
+
 def pick_with_diversion(
     router: Router,
     fallback: Router,
@@ -491,15 +516,20 @@ def pick_with_diversion(
     queue_watermark: int | None,
     on_overload,
     noun: str = "replica",
-) -> tuple[int, bool]:
-    """One routed pick plus the optional watermark diversion.
+    healthy: Sequence[bool] | None = None,
+) -> tuple[int, bool, bool]:
+    """One routed pick plus health gating and the watermark diversion.
 
     The single implementation of the shard tiers' routing step
     (:class:`~repro.serve.shard.ShardedSolveService` and
     :class:`~repro.serve.procshard.ProcessShardedSolveService` both
-    call it): ask ``router`` for a target, and when the target's depth
-    has reached ``queue_watermark``, divert via ``on_overload`` (or
-    ``fallback``, typically least-loaded) instead of piling on.
+    call it): ask ``router`` for a target; when the target is not
+    healthy, steer to the shallowest healthy queue; and when the final
+    target's depth has reached ``queue_watermark``, divert via
+    ``on_overload`` (or ``fallback``, typically least-loaded) instead
+    of piling on.  Health always wins: a diversion target — including
+    one named by the ``on_overload`` hook — that is unhealthy is
+    re-steered to the shallowest healthy queue.
 
     Parameters
     ----------
@@ -518,13 +548,18 @@ def pick_with_diversion(
     noun:
         How targets are named in error messages (``"replica"`` for the
         thread shard, ``"worker"`` for the process shard).
+    healthy:
+        Optional per-target admission mask (``True`` = routable).
+        ``None`` means every target is routable — the pre-resilience
+        behavior, with no masking overhead.
 
     Returns
     -------
-    (int, bool)
-        The final target index, and whether the watermark diverted the
-        request off the router's original pick (the caller's
-        ``rebalanced`` accounting).
+    (int, bool, bool)
+        The final target index; whether the watermark diverted the
+        request off the pick (the caller's ``rebalanced`` accounting);
+        and whether health gating moved it off an unhealthy target
+        (the caller's health-diversion accounting).
 
     Raises
     ------
@@ -532,24 +567,52 @@ def pick_with_diversion(
         If the router or the hook returns an out-of-range index — a
         buggy custom policy must fail loudly, not silently wrap onto
         the last target.
+    FleetUnavailable
+        If ``healthy`` is all-``False``: there is no target at all.
     """
     replicas = router.replicas
+    all_healthy = healthy is None or all(healthy)
+    if not all_healthy and not any(healthy):
+        raise FleetUnavailable(
+            f"no healthy {noun} to route to (all "
+            f"{len(healthy)} {noun}s are out of rotation)"
+        )
     chosen = router.pick(key, depths)
     if not 0 <= chosen < replicas:
         raise ValueError(
             f"router {type(router).__name__} picked {noun} "
             f"{chosen}, expected 0..{replicas - 1}"
         )
+    health_diverted = False
+    if not all_healthy and not healthy[chosen]:
+        chosen = _least_loaded_healthy(depths, healthy)
+        health_diverted = True
     if queue_watermark is None or depths[chosen] < queue_watermark:
-        return chosen, False
+        return chosen, False, health_diverted
     diverted = None
     if on_overload is not None:
         diverted = on_overload(chosen, depths)
+        if diverted is not None and not 0 <= diverted < replicas:
+            raise ValueError(
+                f"on_overload returned {noun} {diverted}, "
+                f"expected 0..{replicas - 1}"
+            )
+        if (
+            diverted is not None
+            and not all_healthy
+            and not healthy[diverted]
+        ):
+            # The hook steered onto an out-of-rotation target; health
+            # wins, fall through to the masked least-loaded pick.
+            diverted = None
     if diverted is None:
-        diverted = fallback.pick(key, depths)
-    if not 0 <= diverted < replicas:
-        raise ValueError(
-            f"on_overload returned {noun} {diverted}, "
-            f"expected 0..{replicas - 1}"
-        )
-    return diverted, diverted != chosen
+        if all_healthy:
+            diverted = fallback.pick(key, depths)
+            if not 0 <= diverted < replicas:
+                raise ValueError(
+                    f"fallback {type(fallback).__name__} picked {noun} "
+                    f"{diverted}, expected 0..{replicas - 1}"
+                )
+        else:
+            diverted = _least_loaded_healthy(depths, healthy)
+    return diverted, diverted != chosen, health_diverted

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -46,6 +46,7 @@ import numpy as np
 from numpy.typing import NDArray
 
 from repro.sem.cg import CGResult, cg_solve_batched
+from repro.serve.errors import DeadlineExceeded, ServiceClosed
 from repro.serve.pool import WorkspacePool
 from repro.serve.scheduler import MicroBatcher
 from repro.serve.stats import ServiceStats, StatsSnapshot
@@ -60,7 +61,8 @@ def check_request(
     b: NDArray[np.float64],
     tol: float | None,
     maxiter: int | None,
-) -> "tuple[NDArray[np.float64], float | None, int | None]":
+    deadline: float | None = None,
+) -> "tuple[NDArray[np.float64], float | None, int | None, float | None]":
     """Snapshot + validate one request's parameters; no side effects.
 
     The single source of request-validation truth, shared by
@@ -69,6 +71,9 @@ def check_request(
     the process shard's parent-side pre-flight (which passes ``None``
     for knobs the worker will resolve).  ``None`` knobs pass through
     unchecked; everything else is coerced and bounds-checked.
+    ``deadline`` is the request's *relative* time budget in seconds
+    (``None`` = no deadline); callers convert it to an absolute
+    ``time.monotonic()`` instant themselves.
     """
     b = np.array(b, dtype=np.float64)  # snapshot: caller may mutate
     if b.shape != (n,):
@@ -81,7 +86,13 @@ def check_request(
         maxiter = int(maxiter)
         if maxiter < 0:
             raise ValueError(f"maxiter must be >= 0, got {maxiter}")
-    return b, tol, maxiter
+    if deadline is not None:
+        deadline = float(deadline)
+        if not np.isfinite(deadline) or deadline <= 0:
+            raise ValueError(
+                f"deadline must be finite and > 0 seconds, got {deadline}"
+            )
+    return b, tol, maxiter, deadline
 
 
 class SolveTicket:
@@ -93,6 +104,15 @@ class SolveTicket:
     background dispatcher, or a client draining synchronously).  A thin
     veneer over :class:`concurrent.futures.Future`, which already has
     the cross-thread resolve/wait/re-raise semantics needed here.
+
+    A ticket can be :meth:`cancel`-led to *disown* the request — e.g.
+    after :meth:`result` timed out and the caller no longer wants the
+    answer.  Cancellation is **drop-only**: it never reaches into a
+    queue or a batch (so it cannot poison batchmates); the solve may
+    still execute and still counts in the service stats — only the
+    result's delivery is dropped.  These are exactly the semantics the
+    asyncio front has always had (cancelling its wrapped future), now
+    uniform across fronts.
     """
 
     __slots__ = ("_future",)
@@ -149,22 +169,55 @@ class SolveTicket:
         """
         self._future.add_done_callback(lambda _f: fn(self))
 
-    # Called by the service only.
+    def cancel(self) -> bool:
+        """Disown the request: drop its result when (and if) it arrives.
+
+        Returns ``True`` if the ticket was still pending (it is now
+        cancelled: :meth:`result`/:meth:`exception` raise
+        :class:`concurrent.futures.CancelledError`, done callbacks
+        fire), ``False`` if the request had already resolved or failed.
+        Drop-only — the request is *not* pulled out of its queue and a
+        batch already containing it still solves every batchmate; the
+        service simply discards the outcome on delivery.
+        """
+        return self._future.cancel()
+
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has disowned the request."""
+        return self._future.cancelled()
+
+    # Called by the service only.  Cancellation races with resolution
+    # (client thread vs. dispatcher), and futures refuse transitions on
+    # a cancelled/settled state — for a drop-only contract losing that
+    # race simply means the outcome is discarded.
     def _resolve(self, result: CGResult) -> None:
-        self._future.set_result(result)
+        if not self._future.cancelled():
+            try:
+                self._future.set_result(result)
+            except InvalidStateError:
+                pass
 
     def _fail(self, error: BaseException) -> None:
-        self._future.set_exception(error)
+        if not self._future.cancelled():
+            try:
+                self._future.set_exception(error)
+            except InvalidStateError:
+                pass
 
 
 @dataclass
 class _Request:
-    """One queued solve: the copied rhs plus its request-level knobs."""
+    """One queued solve: the copied rhs plus its request-level knobs.
+
+    ``deadline_at`` is absolute ``time.monotonic()`` (or ``None``): the
+    instant after which the request must not *start* solving.
+    """
 
     ticket: SolveTicket
     b: NDArray[np.float64]
     tol: float
     maxiter: int
+    deadline_at: float | None = None
 
 
 @dataclass
@@ -276,6 +329,7 @@ class SolveService:
         b: NDArray[np.float64],
         tol: float | None = None,
         maxiter: int | None = None,
+        deadline: float | None = None,
     ) -> SolveTicket:
         """Queue one right-hand side for solving; returns its ticket.
 
@@ -288,6 +342,12 @@ class SolveService:
             Per-request overrides of the service defaults; each request
             keeps its own stopping criteria inside whatever batch it
             coalesces into.
+        deadline:
+            Optional time budget in seconds (relative to now).  A
+            request still queued when it expires fails its ticket with
+            :class:`~repro.serve.errors.DeadlineExceeded` instead of
+            solving; a request already mid-solve is never interrupted
+            (the deadline gates *starting* work, not finishing it).
 
         Returns
         -------
@@ -297,10 +357,11 @@ class SolveService:
         Raises
         ------
         ValueError
-            On a bad rhs shape or invalid ``tol``/``maxiter`` — bounced
-            off the offending caller here, never allowed to poison the
-            innocent batchmates a bad value would have coalesced with.
-        ~repro.serve.scheduler.QueueClosed
+            On a bad rhs shape or invalid ``tol``/``maxiter``/
+            ``deadline`` — bounced off the offending caller here, never
+            allowed to poison the innocent batchmates a bad value would
+            have coalesced with.
+        ~repro.serve.errors.ServiceClosed
             After :meth:`close`.
 
         Notes
@@ -310,7 +371,7 @@ class SolveService:
         the submitter whose request fills a batch pays for solving it
         inline.
         """
-        request = self._build_request(b, tol, maxiter)
+        request = self._build_request(b, tol, maxiter, deadline)
         # Count the submission BEFORE enqueueing: once the request is in
         # the queue a background dispatcher may solve and record it
         # immediately, and a snapshot cut in between must never show
@@ -333,6 +394,7 @@ class SolveService:
         b: NDArray[np.float64],
         tol: float | None,
         maxiter: int | None,
+        deadline: float | None = None,
     ) -> _Request:
         """Snapshot + validate one request (no side effects on failure).
 
@@ -340,29 +402,37 @@ class SolveService:
         must bounce off the offending caller, never fail the innocent
         requests coalesced into the same batch.  Knobs are resolved to
         the service defaults *before* validation, so an invalid service
-        default is caught too.
+        default is caught too.  The relative ``deadline`` becomes an
+        absolute ``time.monotonic()`` instant now, at submission — queue
+        time counts against the budget.
         """
-        b, tol_val, maxiter_val = check_request(
+        b, tol_val, maxiter_val, deadline_val = check_request(
             self._n, b,
             self.tol if tol is None else tol,
             self.maxiter if maxiter is None else maxiter,
+            deadline,
         )
         return _Request(
             ticket=SolveTicket(), b=b, tol=tol_val, maxiter=maxiter_val,
+            deadline_at=(
+                None if deadline_val is None
+                else time.monotonic() + deadline_val
+            ),
         )
 
     def submit_block(
         self,
-        items: "list[tuple[NDArray[np.float64], float | None, int | None]]",
+        items: "list[tuple]",
     ) -> list[SolveTicket]:
-        """Submit a block of ``(b, tol, maxiter)`` requests in bulk.
+        """Submit a block of ``(b, tol, maxiter[, deadline])`` requests.
 
         The block-ingest twin of :meth:`submit`, used by the process
         shard (:mod:`repro.serve.procshard`): the whole block is
         validated first (all-or-nothing — an invalid element raises
         ``ValueError`` before anything is enqueued), then enqueued
         under one queue-lock acquisition with a single dispatcher
-        wake-up instead of one per request.
+        wake-up instead of one per request.  Items may be 3-tuples
+        (no deadline) or 4-tuples with a relative deadline in seconds.
 
         Returns
         -------
@@ -370,7 +440,7 @@ class SolveService:
             One ticket per item, in order — always, even when the
             service closes mid-block: requests that made it into the
             queue resolve normally (drain-on-close), the stragglers'
-            tickets fail with :class:`~repro.serve.scheduler.QueueClosed`.
+            tickets fail with :class:`~repro.serve.errors.ServiceClosed`.
             Closure is reported through the tickets rather than raised,
             so a bulk caller never has to guess which half of its block
             survived.
@@ -381,8 +451,8 @@ class SolveService:
             On any invalid element (nothing enqueued).
         """
         requests = [
-            self._build_request(b, tol, maxiter)
-            for b, tol, maxiter in items
+            self._build_request(b, tol, maxiter, *rest)
+            for b, tol, maxiter, *rest in items
         ]
         tickets = [request.ticket for request in requests]
         for _ in requests:
@@ -408,7 +478,7 @@ class SolveService:
                 depth = self._batcher.put_many(requests)
                 enqueued = len(requests)
                 self.stats_accumulator.record_depth(depth)
-        except QueueClosed as exc:
+        except ServiceClosed as exc:
             enqueued += getattr(exc, "enqueued", 0)
             for request in requests[enqueued:]:
                 self.stats_accumulator.record_rejected()
@@ -433,6 +503,7 @@ class SolveService:
         bs,
         tol: float | None = None,
         maxiter: int | None = None,
+        deadline: float | None = None,
     ) -> list[CGResult]:
         """Solve a block of right-hand sides; results in input order.
 
@@ -447,6 +518,11 @@ class SolveService:
             exceed ``max_batch`` — the service chunks it.
         tol / maxiter:
             Shared per-request overrides of the service defaults.
+        deadline:
+            Shared per-request time budget in seconds (see
+            :meth:`submit`); waiting on the results re-raises
+            :class:`~repro.serve.errors.DeadlineExceeded` for any row
+            that expired before solving.
 
         Returns
         -------
@@ -454,7 +530,7 @@ class SolveService:
             One result per input row, in input order, each bit-identical
             to a sequential warm solve of that row.
         """
-        tickets = self.submit_block([(b, tol, maxiter) for b in bs])
+        tickets = self.submit_block([(b, tol, maxiter, deadline) for b in bs])
         if self._dispatcher is None:
             self.flush()
         return [t.result() for t in tickets]
@@ -472,7 +548,7 @@ class SolveService:
     def close(self) -> None:
         """Drain pending requests, resolve their tickets, stop serving.
 
-        Idempotent.  Further ``submit`` calls raise ``QueueClosed``.
+        Idempotent.  Further ``submit`` calls raise ``ServiceClosed``.
         """
         self._batcher.close()
         if self._dispatcher is not None:
@@ -522,7 +598,29 @@ class SolveService:
         tickets forever.  ``KeyboardInterrupt``/``SystemExit`` still
         fail the tickets (their waiters unblock) but propagate to the
         caller instead of being swallowed into ticket state.
+
+        Requests whose deadline has already passed are expired here —
+        one clock read gates the whole batch, *before* any solve work —
+        so an expired request never consumes solver time and never
+        delays its live batchmates.
         """
+        now = time.monotonic()
+        expired = [
+            req for req in batch
+            if req.deadline_at is not None and req.deadline_at <= now
+        ]
+        if expired:
+            self.stats_accumulator.record_expired(len(expired))
+            for req in expired:
+                req.ticket._fail(DeadlineExceeded(
+                    "request deadline expired before its solve started"
+                ))
+            batch = [
+                req for req in batch
+                if req.deadline_at is None or req.deadline_at > now
+            ]
+            if not batch:
+                return
         start = time.perf_counter()
         nb = len(batch)
         try:

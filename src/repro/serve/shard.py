@@ -45,7 +45,11 @@ from typing import Callable, Sequence
 import numpy as np
 from numpy.typing import NDArray
 
+from dataclasses import replace
+
 from repro.sem.cg import CGResult
+from repro.serve.errors import Overloaded
+from repro.serve.health import FleetHealth
 from repro.serve.scheduler import (
     Router,
     pick_with_diversion,
@@ -101,6 +105,22 @@ class ShardedSolveService:
         the watermark trips.  Return a replica index to divert the
         request there, or ``None`` to accept the default diversion
         (least-loaded).  Runs on the submitting thread; keep it cheap.
+    shed_watermark:
+        Optional admission-control threshold: when *every* healthy
+        replica's queue already holds this many requests, ``submit``
+        raises the retryable :class:`~repro.serve.errors.Overloaded`
+        instead of queueing — graceful degradation by refusing work the
+        surviving capacity cannot absorb in time, rather than queueing
+        into timeout storms.  ``None`` (the default) never sheds.
+        Must be ``>= queue_watermark`` when both are set (diversion
+        rebalances *below* the shed point, shedding is the last resort).
+
+    The per-replica health registry is exposed as :attr:`health` —
+    replicas of the thread shard cannot crash, but an operator can
+    :meth:`~repro.serve.health.FleetHealth.eject` or degrade one for
+    maintenance and routing steers around it (requests re-route to the
+    shallowest healthy queue; all-out fleets raise
+    :class:`~repro.serve.errors.FleetUnavailable`).
 
     Thread safety
     -------------
@@ -108,7 +128,7 @@ class ShardedSolveService:
     client threads (routers guard their own state; each replica's queue
     is a thread-safe :class:`~repro.serve.scheduler.MicroBatcher`).
     :meth:`close` must not race with submitters that expect admission —
-    late submits raise :class:`~repro.serve.scheduler.QueueClosed`.
+    late submits raise :class:`~repro.serve.errors.ServiceClosed`.
 
     Examples
     --------
@@ -130,6 +150,7 @@ class ShardedSolveService:
         precondition: "bool | object" = _UNSET,
         queue_watermark: int | None = None,
         on_overload: OverloadHook | None = None,
+        shed_watermark: int | None = None,
         _problems: "Sequence[object] | None" = None,
     ) -> None:
         # _problems is the from_problems() hand-off: pre-built replicas
@@ -156,15 +177,33 @@ class ShardedSolveService:
             raise ValueError(
                 f"queue_watermark must be >= 1, got {queue_watermark}"
             )
+        if shed_watermark is not None:
+            if shed_watermark < 1:
+                raise ValueError(
+                    f"shed_watermark must be >= 1, got {shed_watermark}"
+                )
+            if (
+                queue_watermark is not None
+                and shed_watermark < queue_watermark
+            ):
+                raise ValueError(
+                    f"shed_watermark ({shed_watermark}) must be >= "
+                    f"queue_watermark ({queue_watermark}): diversion "
+                    "rebalances below the shed point"
+                )
         self.replicas = len(problems)
         self.policy = policy if isinstance(policy, str) else type(policy).__name__
         self.queue_watermark = queue_watermark
         self.on_overload = on_overload
+        self.shed_watermark = shed_watermark
+        self.health = FleetHealth(self.replicas)
         self._router = resolve_router(policy, self.replicas)
         self._least_loaded = resolve_router("least-loaded", self.replicas)
         self._lock = threading.Lock()
         self._routed = [0] * self.replicas
         self._rebalanced = 0
+        self._health_diverted = 0
+        self._shed = 0
         self._closed = False
         # Only explicitly-set knobs are forwarded; omitted ones fall
         # through to SolveService's dataclass defaults.
@@ -250,6 +289,7 @@ class ShardedSolveService:
         tol: float | None = None,
         maxiter: int | None = None,
         key: object | None = None,
+        deadline: float | None = None,
     ) -> SolveTicket:
         """Route one right-hand side to a replica; returns its ticket.
 
@@ -264,6 +304,11 @@ class ShardedSolveService:
             Routing key (tenant id).  The ``tenant`` policy hashes it to
             pick the replica; keyless requests fall back to round-robin.
             Other policies ignore it.
+        deadline:
+            Optional time budget in seconds (see
+            :meth:`SolveService.submit`); a request still queued when it
+            expires fails its ticket with
+            :class:`~repro.serve.errors.DeadlineExceeded`.
 
         Returns
         -------
@@ -275,10 +320,15 @@ class ShardedSolveService:
         Raises
         ------
         ValueError
-            On a bad shape or invalid ``tol``/``maxiter`` (bounced at
-            submit so batchmates are never poisoned).
-        ~repro.serve.scheduler.QueueClosed
+            On a bad shape or invalid ``tol``/``maxiter``/``deadline``
+            (bounced at submit so batchmates are never poisoned).
+        ~repro.serve.errors.ServiceClosed
             After :meth:`close`.
+        ~repro.serve.errors.Overloaded
+            When ``shed_watermark`` is set and every healthy replica's
+            queue is at or past it (retryable — back off and resubmit).
+        ~repro.serve.errors.FleetUnavailable
+            When every replica is out of rotation (degraded/ejected).
 
         Notes
         -----
@@ -287,20 +337,47 @@ class ShardedSolveService:
         fires *before* that point when configured, steering load away
         from deep queues instead of blocking on them).
         """
+        mask = self.health.mask()
+        healthy = None if all(mask) else mask
         # Sampling depths takes every replica's queue lock; skip it on
-        # the hot path when neither the policy nor a watermark reads it.
-        if self._router.uses_depths or self.queue_watermark is not None:
+        # the hot path when neither the policy, a watermark, admission
+        # control nor health steering reads it.
+        if (
+            self._router.uses_depths
+            or self.queue_watermark is not None
+            or self.shed_watermark is not None
+            or healthy is not None
+        ):
             depths = self.queue_depths
         else:
             depths = (0,) * self.replicas
-        chosen, rebalanced = pick_with_diversion(
+        if self.shed_watermark is not None:
+            admitting = [
+                depths[i] for i in range(self.replicas)
+                if healthy is None or healthy[i]
+            ]
+            if admitting and all(
+                d >= self.shed_watermark for d in admitting
+            ):
+                with self._lock:
+                    self._shed += 1
+                raise Overloaded(
+                    f"every healthy replica's queue is at the shed "
+                    f"watermark ({self.shed_watermark}); retry after "
+                    "backoff"
+                )
+        chosen, rebalanced, health_diverted = pick_with_diversion(
             self._router, self._least_loaded, key, depths,
             self.queue_watermark, self.on_overload, noun="replica",
+            healthy=healthy,
         )
-        if rebalanced:
+        if rebalanced or health_diverted:
             with self._lock:
-                self._rebalanced += 1
-        ticket = self.services[chosen].submit(b, tol=tol, maxiter=maxiter)
+                self._rebalanced += rebalanced
+                self._health_diverted += health_diverted
+        ticket = self.services[chosen].submit(
+            b, tol=tol, maxiter=maxiter, deadline=deadline,
+        )
         with self._lock:
             self._routed[chosen] += 1
         return ticket
@@ -311,6 +388,7 @@ class ShardedSolveService:
         tol: float | None = None,
         maxiter: int | None = None,
         keys: Sequence[object] | None = None,
+        deadline: float | None = None,
     ) -> list[CGResult]:
         """Solve a block of right-hand sides; results in input order.
 
@@ -322,6 +400,8 @@ class ShardedSolveService:
             Shared per-request overrides.
         keys:
             Optional per-request routing keys (``len(keys) == M``).
+        deadline:
+            Shared per-request time budget in seconds.
 
         Returns
         -------
@@ -336,6 +416,7 @@ class ShardedSolveService:
             self.submit(
                 b, tol=tol, maxiter=maxiter,
                 key=None if keys is None else keys[i],
+                deadline=deadline,
             )
             for i, b in enumerate(bs)
         ]
@@ -357,7 +438,7 @@ class ShardedSolveService:
         """Gracefully drain and stop every replica.  Idempotent.
 
         Each replica's queue is closed (new submits raise
-        :class:`~repro.serve.scheduler.QueueClosed`), its dispatcher
+        :class:`~repro.serve.errors.ServiceClosed`), its dispatcher
         drains the pending requests and exits, and its workspace pool
         is shut down.  Every ticket submitted before ``close`` is
         resolved — drain-on-close is the serving layer's no-dropped-
@@ -380,7 +461,7 @@ class ShardedSolveService:
     @property
     def closed(self) -> bool:
         """True once :meth:`close` has begun; late submits raise
-        :class:`~repro.serve.scheduler.QueueClosed`."""
+        :class:`~repro.serve.errors.ServiceClosed`."""
         with self._lock:
             return self._closed
 
@@ -401,8 +482,13 @@ class ShardedSolveService:
         :func:`~repro.serve.stats.merge_snapshots`): counters sum,
         ``wall_seconds`` spans the earliest submission to the latest
         completion across replicas, so ``solves_per_second`` reads as
-        fleet throughput."""
-        return merge_snapshots(self.replica_stats)
+        fleet throughput.  The fleet-level ``shed`` counter (requests
+        refused with :class:`~repro.serve.errors.Overloaded`) is folded
+        in here — shed requests never reached a replica."""
+        merged = merge_snapshots(self.replica_stats)
+        with self._lock:
+            shed = self._shed
+        return merged if shed == 0 else replace(merged, shed=shed)
 
     @property
     def routed(self) -> tuple[int, ...]:
@@ -416,3 +502,17 @@ class ShardedSolveService:
         """Requests diverted off their routed replica by the watermark."""
         with self._lock:
             return self._rebalanced
+
+    @property
+    def health_diverted(self) -> int:
+        """Requests steered off an out-of-rotation replica by health
+        gating (distinct from watermark :attr:`rebalanced`)."""
+        with self._lock:
+            return self._health_diverted
+
+    @property
+    def shed(self) -> int:
+        """Requests refused at admission with
+        :class:`~repro.serve.errors.Overloaded`."""
+        with self._lock:
+            return self._shed

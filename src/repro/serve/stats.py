@@ -79,6 +79,15 @@ class StatsSnapshot:
         boundary, rebase them onto the receiving process's clock with
         :meth:`rebased` + :func:`perf_epoch_offset` (the process-level
         shard does this at snapshot-transfer time).
+    expired / retries / restarts / shed:
+        Resilience counters.  ``expired`` — requests whose deadline
+        tripped before a solve started (they are neither completed nor
+        failed: ``completed + failed + expired <= submitted``).
+        ``retries`` — crash-lost requests transparently resubmitted.
+        ``restarts`` — dead workers respawned into their slot.
+        ``shed`` — requests refused at admission with
+        :class:`~repro.serve.errors.Overloaded` (not counted in
+        ``submitted``; they never entered a queue).
     """
 
     submitted: int
@@ -92,6 +101,10 @@ class StatsSnapshot:
     wall_seconds: float
     first_submit: float | None = None
     last_done: float | None = None
+    expired: int = 0
+    retries: int = 0
+    restarts: int = 0
+    shed: int = 0
 
     @property
     def solves_per_second(self) -> float:
@@ -163,6 +176,7 @@ def merge_snapshots(snapshots: Iterable[StatsSnapshot]) -> StatsSnapshot:
         replica A's may be microseconds older than replica B's.
     """
     submitted = completed = failed = batches = 0
+    expired = retries = restarts = shed = 0
     histogram: dict[int, int] = {}
     queue_depth = max_queue_depth = 0
     busy = wall = 0.0
@@ -173,6 +187,10 @@ def merge_snapshots(snapshots: Iterable[StatsSnapshot]) -> StatsSnapshot:
         completed += snap.completed
         failed += snap.failed
         batches += snap.batches
+        expired += snap.expired
+        retries += snap.retries
+        restarts += snap.restarts
+        shed += snap.shed
         for size, count in snap.batch_histogram.items():
             histogram[size] = histogram.get(size, 0) + count
         queue_depth += snap.queue_depth
@@ -207,6 +225,10 @@ def merge_snapshots(snapshots: Iterable[StatsSnapshot]) -> StatsSnapshot:
         wall_seconds=wall,
         first_submit=first_submit,
         last_done=last_done,
+        expired=expired,
+        retries=retries,
+        restarts=restarts,
+        shed=shed,
     )
 
 
@@ -246,6 +268,7 @@ class ServiceStats:
     _busy_seconds: float = 0.0
     _first_submit: float | None = None
     _last_done: float | None = None
+    _expired: int = 0
 
     def record_submit(self, queue_depth: int | None = None) -> None:
         """One request is being submitted.
@@ -294,6 +317,18 @@ class ServiceStats:
             self._submitted -= 1
             if self._submitted == 0 and self._batches == 0:
                 self._first_submit = None
+
+    def record_expired(self, count: int = 1) -> None:
+        """``count`` requests' deadlines tripped before a solve started.
+
+        Expired requests never reach a batched dispatch, so they stay
+        out of the batch histogram and do not touch ``last_done`` (no
+        solve happened); they keep ``completed + failed + expired <=
+        submitted`` balanced instead of leaking "submitted but never
+        resolved" ghosts.
+        """
+        with self._lock:
+            self._expired += count
 
     def record_batch(
         self,
@@ -364,4 +399,5 @@ class ServiceStats:
                 wall_seconds=wall,
                 first_submit=self._first_submit,
                 last_done=self._last_done,
+                expired=self._expired,
             )

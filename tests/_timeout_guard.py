@@ -1,0 +1,85 @@
+"""In-tree per-test timeout guard (SIGALRM), a pytest-timeout fallback.
+
+The resilience suite intentionally crashes worker processes, drops pipe
+messages, and races respawns against deadlines — the failure mode of a
+*bug* in that machinery is a test that hangs forever, which in CI means
+a job that sits until the runner's global kill.  ``pytest-timeout``
+solves this but is not a baked-in dependency, so this module provides
+the same per-test guarantee with the standard library:
+
+* each test's call phase is armed with ``signal.setitimer`` (real time);
+* on expiry the handler raises :class:`TestTimeout` *inside* the test,
+  so the test fails loudly with a traceback pointing at the hang;
+* ``@pytest.mark.timeout(seconds)`` overrides the default per test
+  (``0`` or negative disables the guard for that test);
+* if the real ``pytest-timeout`` plugin is installed, this guard stands
+  down entirely and lets it run the show.
+
+POSIX + main thread only (SIGALRM's own constraints) — elsewhere the
+guard degrades to a no-op rather than breaking the run.  The hook
+wiring lives in ``tests/conftest.py``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+
+#: Per-test wall-clock budget (seconds) when no marker says otherwise.
+#: The whole tier-1 suite runs in about a minute; any single test close
+#: to this is hung, not slow.
+DEFAULT_TIMEOUT = 180.0
+
+
+class TestTimeout(Exception):
+    """Raised inside a test whose wall-clock budget expired."""
+
+
+def supported() -> bool:
+    """SIGALRM guards only work on POSIX, from the main thread."""
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+def timeout_for(item) -> float | None:
+    """The budget for one test item, or ``None`` for "do not guard".
+
+    Defers to the real pytest-timeout plugin when present; honours
+    ``@pytest.mark.timeout(seconds)`` (first positional arg or
+    ``timeout=`` kwarg); otherwise :data:`DEFAULT_TIMEOUT`.
+    """
+    if item.config.pluginmanager.hasplugin("timeout"):
+        return None  # pytest-timeout owns the marker and the alarm
+    if not supported():
+        return None
+    marker = item.get_closest_marker("timeout")
+    if marker is not None:
+        if marker.args:
+            seconds = float(marker.args[0])
+        else:
+            seconds = float(marker.kwargs.get("timeout", DEFAULT_TIMEOUT))
+        return seconds if seconds > 0 else None
+    return DEFAULT_TIMEOUT
+
+
+@contextlib.contextmanager
+def alarm(seconds: float, where: str):
+    """Arm a one-shot real-time alarm around a block of test code."""
+
+    def on_alarm(signum, frame):
+        raise TestTimeout(
+            f"{where} exceeded its {seconds:.0f}s timeout guard "
+            "(likely a hang: a ticket that never resolves, a worker "
+            "that never drains, or a supervisor action that never fires)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,11 +1,33 @@
-"""Shared fixtures for the test-suite."""
+"""Shared fixtures for the test-suite, plus the per-test timeout guard
+(the resilience tests crash and respawn worker processes — a bug there
+must fail loudly, never hang the suite)."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
+import _timeout_guard
 from repro.sem import BoxMesh, ReferenceElement, geometric_factors
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): per-test wall-clock budget for the in-tree "
+        "SIGALRM guard (0 disables; ignored when pytest-timeout is "
+        "installed, which then owns the marker)",
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    seconds = _timeout_guard.timeout_for(item)
+    if seconds is None:
+        yield
+    else:
+        with _timeout_guard.alarm(seconds, item.nodeid):
+            yield
 
 
 @pytest.fixture

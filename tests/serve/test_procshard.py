@@ -214,13 +214,15 @@ class TestProcShardCrash:
     def test_worker_crash_fails_pending_and_future_submits(
         self, serving_problem
     ):
-        """A killed worker surfaces WorkerCrashed on its in-flight
-        tickets and on later submits routed to it — nothing hangs — and
-        close still unlinks the shared blocks."""
+        """With supervision disabled (retry=None, restart=None — the
+        legacy contract) a killed worker surfaces WorkerCrashed on its
+        in-flight tickets and on later submits routed to it — nothing
+        hangs — and close still unlinks the shared blocks."""
         prob, bank = serving_problem
         svc = ProcessShardedSolveService(
             prob, workers=2, policy="round-robin", max_batch=8,
             max_wait=30.0, tol=1e-10, maxiter=200,
+            retry=None, restart=None,
         )
         blocks = svc.shared_blocks
         try:

@@ -1,0 +1,391 @@
+"""Tests for the self-healing serving tier: crash -> respawn ->
+bit-identical results, deadlines, retry exhaustion, the restart circuit
+breaker, admission-control shedding, the unified ServiceClosed, and the
+drop-only ticket.cancel contract."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.sem import (
+    BoxMesh,
+    PoissonProblem,
+    ReferenceElement,
+    cg_solve,
+    sine_manufactured,
+)
+from repro.serve import (
+    AsyncSolveService,
+    DeadlineExceeded,
+    FaultInjector,
+    FaultPlan,
+    FleetUnavailable,
+    HealthState,
+    Overloaded,
+    ProcessShardedSolveService,
+    QueueClosed,
+    RestartPolicy,
+    RetryPolicy,
+    ServiceClosed,
+    ShardedSolveService,
+    SolveService,
+)
+
+
+@pytest.fixture(scope="module")
+def serving_problem():
+    """The N=3/E=8 serving shape plus a bank of right-hand sides."""
+    ref = ReferenceElement.from_degree(3)
+    mesh = BoxMesh.build(ref, (2, 2, 2))
+    prob = PoissonProblem(mesh, ax_backend="matmul")
+    _, forcing = sine_manufactured(mesh.extent)
+    b0 = prob.rhs_from_forcing(forcing)
+    bank = [b0 * (1.0 + 0.3 * k) for k in range(24)]
+    return prob, bank
+
+
+def sequential_solve(prob, b, tol=1e-10, maxiter=200):
+    return cg_solve(
+        prob.apply_A, b, precond_diag=prob.precond_diag(), tol=tol,
+        maxiter=maxiter, workspace=prob.workspace,
+    )
+
+
+def assert_same_result(got, want):
+    assert np.array_equal(got.x, want.x)
+    assert got.iterations == want.iterations
+    assert got.converged == want.converged
+    assert got.residual_norm == want.residual_norm
+    assert got.residual_history == want.residual_history
+
+
+def wait_until(predicate, timeout=120.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def submit_with_patience(svc, b, timeout=120.0):
+    """A well-behaved client of a degraded fleet: back off and resubmit
+    on the *retryable* taxonomy errors (Overloaded, and FleetUnavailable
+    during the window where every worker is mid-respawn)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return svc.submit(b)
+        except (FleetUnavailable, Overloaded):
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.05)
+
+
+class TestCrashRespawnBitIdentity:
+    def test_kill_each_worker_once_stream_stays_bit_identical(
+        self, serving_problem
+    ):
+        """The acceptance criterion: a seeded FaultPlan kills each of
+        K=2 workers once mid-stream; every request still resolves
+        bit-identically to a sequential warm cg_solve (no WorkerCrashed
+        escapes to any client), the fleet returns to K healthy workers
+        on its own, and the restart/retry counters show the machinery
+        actually ran."""
+        prob, bank = serving_problem
+        plan = FaultPlan.kill_each_worker_once(
+            2, first_kill_after=2, stagger=3
+        )
+        injector = FaultInjector(plan)
+        svc = ProcessShardedSolveService(
+            prob, workers=2, policy="round-robin", max_batch=4,
+            max_wait=0.002, tol=1e-10, maxiter=200,
+            chaos=injector,
+            retry=RetryPolicy(max_attempts=4, backoff_base=0.01),
+            restart=RestartPolicy(max_restarts=3, backoff_base=0.02),
+        )
+        try:
+            tickets = [
+                submit_with_patience(svc, b) for b in bank
+            ]
+            results = [t.result(timeout=120) for t in tickets]
+            # Both planned kills fired...
+            assert injector.kills_fired == 2
+            # ...and the fleet healed itself back to K healthy workers.
+            assert wait_until(
+                lambda: svc.health.mask() == (True, True)
+            ), f"fleet never healed: {svc.health.states}"
+            assert wait_until(lambda: svc.restarts == 2)
+            assert svc.alive_workers == (True, True)
+            # Requests in flight on the killed workers were retried
+            # transparently (never surfaced WorkerCrashed).
+            assert svc.retried >= 1
+            agg = svc.stats
+            assert agg.restarts == 2
+            assert agg.retries == svc.retried
+        finally:
+            svc.close()
+        for b, got in zip(bank, results):
+            assert_same_result(got, sequential_solve(prob, b))
+
+    def test_respawned_worker_serves_after_manual_kill(
+        self, serving_problem
+    ):
+        """No chaos plan — a worker killed out-of-band (OOM-killer
+        style) is respawned and serves again, and the health registry
+        walks HEALTHY -> DEGRADED -> HEALTHY."""
+        prob, bank = serving_problem
+        svc = ProcessShardedSolveService(
+            prob, workers=1, max_batch=4, max_wait=0.002,
+            tol=1e-10, maxiter=200,
+            restart=RestartPolicy(max_restarts=2, backoff_base=0.01),
+        )
+        try:
+            first = svc.submit(bank[0]).result(timeout=60)
+            svc._workers[0].process.terminate()
+            assert wait_until(
+                lambda: svc.health.state(0) is not HealthState.HEALTHY,
+                timeout=30,
+            )
+            assert wait_until(lambda: svc.restarts == 1)
+            assert svc.health.state(0) is HealthState.HEALTHY
+            second = submit_with_patience(svc, bank[1]).result(timeout=60)
+        finally:
+            svc.close()
+        assert_same_result(first, sequential_solve(prob, bank[0]))
+        assert_same_result(second, sequential_solve(prob, bank[1]))
+
+
+class TestCircuitBreaker:
+    def test_slot_that_keeps_dying_is_ejected(self, serving_problem):
+        """max_restarts=1: the first death respawns, the second trips
+        the breaker — the slot goes EJECTED (a one-way door) and, with
+        no other worker, submits fail fast with FleetUnavailable."""
+        prob, bank = serving_problem
+        svc = ProcessShardedSolveService(
+            prob, workers=1, max_batch=4, max_wait=0.002,
+            tol=1e-10, maxiter=200,
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.01),
+            restart=RestartPolicy(max_restarts=1, backoff_base=0.01),
+        )
+        try:
+            svc.submit(bank[0]).result(timeout=60)
+            svc._workers[0].process.terminate()
+            assert wait_until(lambda: svc.restarts == 1)
+            svc._workers[0].process.terminate()
+            assert wait_until(
+                lambda: svc.health.state(0) is HealthState.EJECTED,
+                timeout=60,
+            ), f"breaker never tripped: {svc.health.states}"
+            with pytest.raises(FleetUnavailable):
+                svc.submit(bank[1])
+        finally:
+            svc.close()
+
+
+class TestDeadlines:
+    def test_expired_before_dispatch_fails_with_deadline_exceeded(
+        self, serving_problem
+    ):
+        """A request whose budget lapses while parked in the batcher is
+        expired at dispatch — counted, and never solved."""
+        prob, bank = serving_problem
+        svc = SolveService(
+            prob, background=False, max_batch=8, tol=1e-10, maxiter=200
+        )
+        try:
+            doomed = svc.submit(bank[0], deadline=1e-3)
+            fine = svc.submit(bank[1], deadline=60.0)
+            time.sleep(0.05)
+            svc.flush()
+            with pytest.raises(DeadlineExceeded):
+                doomed.result(timeout=10)
+            assert_same_result(
+                fine.result(timeout=10),
+                sequential_solve(prob, bank[1]),
+            )
+            snap = svc.stats
+            assert snap.expired == 1
+            assert snap.completed == 1
+        finally:
+            svc.close()
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+    def test_deadline_validation(self, serving_problem, bad):
+        prob, bank = serving_problem
+        svc = SolveService(prob, background=False)
+        try:
+            with pytest.raises(ValueError, match="deadline"):
+                svc.submit(bank[0], deadline=bad)
+        finally:
+            svc.close()
+
+    def test_dropped_send_is_recovered_by_the_watchdog(
+        self, serving_problem
+    ):
+        """A chaos-dropped pipe message never reaches the worker; the
+        parent-side deadline watchdog is the only thing that can fail
+        the request — and it does, with DeadlineExceeded, not a hang."""
+        prob, bank = serving_problem
+        svc = ProcessShardedSolveService(
+            prob, workers=1, max_batch=4, max_wait=0.002,
+            tol=1e-10, maxiter=200,
+            chaos=FaultPlan(drop_send={(0, 1)}),
+        )
+        svc.EXPIRE_GRACE = 0.05  # keep the test fast
+        try:
+            lost = svc.submit(bank[0], deadline=0.1)
+            with pytest.raises(DeadlineExceeded):
+                lost.result(timeout=30)
+            # The fleet is still healthy (nothing crashed) and serves.
+            after = svc.submit(bank[1]).result(timeout=60)
+            assert svc.stats.expired >= 1
+        finally:
+            svc.close()
+        assert_same_result(after, sequential_solve(prob, bank[1]))
+
+
+class TestSheddingAndHealthGating:
+    def test_procshard_sheds_with_overloaded_at_the_watermark(
+        self, serving_problem
+    ):
+        prob, bank = serving_problem
+        svc = ProcessShardedSolveService(
+            prob, workers=1, max_batch=8, max_wait=30.0,
+            tol=1e-10, maxiter=200, shed_watermark=1,
+        )
+        try:
+            parked = svc.submit(bank[0])  # depth 1 == watermark
+            with pytest.raises(Overloaded):
+                svc.submit(bank[1])
+            assert svc.shed == 1
+            assert svc.stats.shed == 1
+            svc.flush()
+            got = parked.result(timeout=60)
+        finally:
+            svc.close()
+        assert_same_result(got, sequential_solve(prob, bank[0]))
+
+    def test_thread_shard_sheds_and_routes_around_ejected_replica(
+        self, serving_problem
+    ):
+        prob, bank = serving_problem
+        with ShardedSolveService(
+            prob, replicas=2, policy="round-robin", max_batch=8,
+            max_wait=0.002, tol=1e-10, maxiter=200, shed_watermark=4,
+        ) as svc:
+            # Operator drains replica 0: every request must land on 1.
+            svc.health.eject(0)
+            results = [
+                svc.submit(b).result(timeout=60) for b in bank[:6]
+            ]
+            assert svc.routed[0] == 0
+            assert svc.routed[1] == 6
+            assert svc.health_diverted >= 1
+        for b, got in zip(bank[:6], results):
+            assert_same_result(got, sequential_solve(prob, b))
+
+    def test_no_healthy_replica_raises_fleet_unavailable(
+        self, serving_problem
+    ):
+        prob, bank = serving_problem
+        with ShardedSolveService(
+            prob, replicas=1, max_batch=8, max_wait=0.002,
+            tol=1e-10, maxiter=200,
+        ) as svc:
+            svc.health.eject(0)
+            with pytest.raises(FleetUnavailable):
+                svc.submit(bank[0])
+
+
+class TestServiceClosedEverywhere:
+    """Satellite (a): all four serving fronts raise the same
+    ServiceClosed (a QueueClosed subclass, so pre-taxonomy callers
+    keep working)."""
+
+    def test_solve_service(self, serving_problem):
+        prob, bank = serving_problem
+        svc = SolveService(prob, background=False)
+        svc.close()
+        with pytest.raises(ServiceClosed):
+            svc.submit(bank[0])
+
+    def test_thread_shard(self, serving_problem):
+        prob, bank = serving_problem
+        svc = ShardedSolveService(prob, replicas=1, max_wait=0.002)
+        svc.close()
+        with pytest.raises(ServiceClosed):
+            svc.submit(bank[0])
+
+    def test_process_shard(self, serving_problem):
+        prob, bank = serving_problem
+        svc = ProcessShardedSolveService(
+            prob, workers=1, max_wait=0.002, tol=1e-10, maxiter=200
+        )
+        svc.close()
+        with pytest.raises(ServiceClosed):
+            svc.submit(bank[0])
+
+    def test_async_front(self, serving_problem):
+        prob, bank = serving_problem
+
+        async def scenario():
+            svc = SolveService(prob, background=True, max_wait=0.002)
+            asvc = AsyncSolveService(svc)
+            await asvc.aclose()
+            with pytest.raises(ServiceClosed):
+                await asvc.submit(bank[0])
+
+        asyncio.run(scenario())
+
+    def test_service_closed_is_a_queue_closed(self):
+        assert issubclass(ServiceClosed, QueueClosed)
+
+
+class TestTicketCancel:
+    def test_cancel_drops_the_wait_not_the_batch(self, serving_problem):
+        """Satellite (b): cancel() is drop-only — the cancelled request
+        still rides its batch (batchmates' results are untouched and
+        stats count the solve); the ticket just stops reporting."""
+        prob, bank = serving_problem
+        svc = SolveService(
+            prob, background=False, max_batch=8, tol=1e-10, maxiter=200
+        )
+        try:
+            dropped = svc.submit(bank[0])
+            kept = svc.submit(bank[1])
+            assert dropped.cancel() is True
+            assert dropped.cancelled()
+            svc.flush()
+            assert_same_result(
+                kept.result(timeout=10),
+                sequential_solve(prob, bank[1]),
+            )
+            # The batch solved both requests: cancellation never
+            # reaches into the batcher.
+            assert svc.stats.completed == 2
+            # A resolved ticket can no longer be cancelled.
+            assert kept.cancel() is False
+        finally:
+            svc.close()
+
+    def test_cancelled_procshard_ticket_resolves_nothing(
+        self, serving_problem
+    ):
+        prob, bank = serving_problem
+        svc = ProcessShardedSolveService(
+            prob, workers=1, max_batch=8, max_wait=30.0,
+            tol=1e-10, maxiter=200,
+        )
+        try:
+            parked = svc.submit(bank[0])
+            assert parked.cancel() is True
+            assert parked.cancelled()
+            svc.flush()
+        finally:
+            svc.close()
+        assert parked.cancelled()
