@@ -74,6 +74,67 @@ def test_bench_ax_n7_e512(benchmark, kernel):
     )
 
 
+def test_bench_ax_n7_e512_fp32(benchmark):
+    """fp32 twin of the matmul acceptance bench above (same N=7, 512
+    elements, same kernel) — the mixed-precision inner loop's operator.
+
+    The sum-factorization ``Ax`` is memory-bandwidth-bound at this
+    shape, so halving the bytes per DOF should roughly halve the time
+    per call; ``run_baseline.py`` records the measured ratio as
+    ``ax_n7_e512_fp32_speedup`` (fp64 matmul mean / fp32 mean).
+    """
+    ref = ReferenceElement.from_degree(7)
+    rng = np.random.default_rng(0)
+    num_e = 512
+    nx = ref.n_points
+    u = rng.standard_normal((num_e, nx, nx, nx)).astype(np.float32)
+    g = (
+        np.abs(rng.standard_normal((num_e, 6, nx, nx, nx))) + 0.5
+    ).astype(np.float32)
+    out = np.empty_like(u)
+    ws = SolverWorkspace(num_elements=num_e, nx=nx, dtype=np.float32)
+    result = benchmark(ax_local_matmul, ref, u, g, out, ws)
+    assert result.dtype == np.float32
+    assert np.all(np.isfinite(result))
+    benchmark.extra_info["gflops_per_call"] = (
+        flops_per_dof(7) * num_e * nx ** 3 / 1e9
+    )
+
+
+@pytest.mark.parametrize("middle", ("kron", "stacked"))
+def test_bench_ax_middle_axis_n3_e512(benchmark, middle, monkeypatch):
+    """Before/after of the middle-axis single-GEMM carry-over at N=3.
+
+    The s-derivative's contraction index is neither leading nor
+    trailing, so the ``stacked`` spelling runs ``rows * nx`` tiny
+    ``(nx, nx) @ (nx, nx)`` matmuls — dispatch-bound at small ``nx``.
+    The ``kron`` path folds the whole field into one reshaped
+    ``kron(D, I)`` GEMM instead (the shipped default for ``nx <= 4``
+    in fp64; see ``repro.sem.kernels._middle_axis_single_gemm``);
+    ``stacked`` disables the gate to time the historical path on the
+    same inputs.
+    """
+    from repro.sem import kernels
+
+    if middle == "stacked":
+        monkeypatch.setattr(
+            kernels, "_middle_axis_single_gemm", lambda nx, itemsize: False
+        )
+    ref = ReferenceElement.from_degree(3)
+    rng = np.random.default_rng(0)
+    num_e = 512
+    nx = ref.n_points
+    u = rng.standard_normal((num_e, nx, nx, nx))
+    g = np.abs(rng.standard_normal((num_e, 6, nx, nx, nx))) + 0.5
+    out = np.empty_like(u)
+    ws = SolverWorkspace(num_elements=num_e, nx=nx)
+    result = benchmark(ax_local_matmul, ref, u, g, out, ws)
+    assert np.all(np.isfinite(result))
+    benchmark.extra_info["gflops_per_call"] = (
+        flops_per_dof(3) * num_e * nx ** 3 / 1e9
+    )
+
+
 @pytest.mark.parametrize("n", (3, 7, 11))
 def test_bench_ax_local_matmul(benchmark, n):
     """BLAS-backed matrix-free operator on 64 elements (vs einsum above)."""
@@ -299,6 +360,82 @@ def test_bench_serve_crash_recovery(benchmark):
     benchmark.extra_info["workers"] = 2
     benchmark.extra_info["requests_per_round"] = int(bs.shape[0])
     svc.close()
+
+
+def _refine_problem():
+    """The mixed-refinement gate case: N=7, 512 elements, generic rhs.
+
+    The rhs is interior-masked white noise — the same generic data every
+    kernel bench here uses, and the shape the paper calls
+    bandwidth-bound.  (A smooth manufactured rhs would hand the
+    continuous fp64 baseline a superlinear head start that any
+    restarted method — fp64 or fp32 — forfeits, turning the bench into
+    a measurement of rhs smoothness rather than of arithmetic width.)
+    """
+    ref = ReferenceElement.from_degree(7)
+    mesh = BoxMesh.build(ref, (8, 8, 8))
+    prob = PoissonProblem(mesh, ax_backend="matmul")
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(prob.n_dofs) * prob.interior
+    return prob, b
+
+
+#: Tolerance of the refinement-gate benchmarks: a realistic engineering
+#: tolerance the mixed path reaches in two fp32 sweeps at this shape.
+REFINE_TOL: float = 1e-8
+
+
+def test_bench_cg_fp64_n7_e512(benchmark):
+    """Warm fp64 Jacobi-CG to 1e-8 at the bandwidth-bound shape — the
+    baseline the mixed-precision gate divides by
+    (``cg_mixed_refine_speedup`` in ``BENCH_kernels.json``)."""
+    prob, b = _refine_problem()
+    diag = prob.precond_diag()
+
+    def run():
+        return cg_solve(
+            prob.apply_A, b, precond_diag=diag, tol=REFINE_TOL,
+            maxiter=2000, workspace=prob.workspace,
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.converged
+    benchmark.extra_info["iterations"] = int(result.iterations)
+
+
+def test_bench_cg_mixed_refine(benchmark):
+    """Mixed-precision refinement to the same fp64 1e-8 tolerance: fp32
+    inner Jacobi-CG sweeps + fp64 true-residual refinement, warm fp64
+    and fp32 workspaces.
+
+    Must sustain >= 1.3x the warm fp64 solve above
+    (``cg_mixed_refine_speedup``, gated in ``run_baseline.py``); the
+    fp32 inner iterations stream half the bytes per DOF through the
+    same sum-factorization kernels, which is the entire speedup.
+    Convergence is judged on the fp64 *true* residual, so the result
+    meets the identical tolerance contract as the baseline.
+    """
+    from repro.sem.cg import cg_solve_mixed
+
+    prob, b = _refine_problem()
+    diag = prob.precond_diag()
+    ws32 = prob.batch_workspace(1, dtype=np.float32)
+
+    def run():
+        return cg_solve_mixed(
+            prob.apply_A, prob.apply_A32, b, precond_diag=diag,
+            tol=REFINE_TOL, maxiter=2000, workspace=prob.workspace,
+            workspace32=ws32,
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.converged
+    # The mixed iterate satisfies the same fp64 tolerance the baseline
+    # was asked for — checked on the recomputed true residual.
+    true_res = float(np.linalg.norm(b - prob.apply_A(result.x)))
+    assert true_res <= REFINE_TOL * float(np.linalg.norm(b))
+    benchmark.extra_info["inner_iterations"] = int(result.iterations)
+    benchmark.extra_info["sweeps"] = int(result.sweeps)
 
 
 def test_bench_gather_scatter(benchmark):

@@ -93,6 +93,7 @@ def cg_solve(
     tol: float = 1e-10,
     maxiter: int = 1000,
     workspace: "SolverWorkspace | None" = None,
+    dtype: "np.dtype | type" = np.float64,
 ) -> "CGResult | BatchedCGResult":
     """Solve ``A x = b`` for SPD ``A`` with (Jacobi-)preconditioned CG.
 
@@ -122,6 +123,16 @@ def cg_solve(
         the five CG vectors plus scratch (sized for ``b``).  The
         returned iterate is copied out of the workspace, so the result
         stays valid across subsequent solves.
+    dtype:
+        Floating dtype of the iteration's *vectors* (``b``, ``x``,
+        ``r``, ``p``, …).  ``float64`` (the default) is the historical
+        bit-exact path; ``float32`` is the inner loop of the
+        mixed-precision solvers (:func:`cg_solve_mixed`) — vector
+        storage and updates run in fp32 while every inner product is
+        still **accumulated in fp64** with the same fused
+        multiply + pairwise-sum sequence, so the batched/sequential
+        bit-identity contract carries over unchanged.  A supplied
+        ``workspace`` must match this dtype.
 
     Returns
     -------
@@ -145,13 +156,14 @@ def cg_solve(
     :meth:`repro.sem.poisson.PoissonProblem.clone`) or serialized
     access (:class:`repro.serve.pool.WorkspacePool`).
     """
-    b = np.asarray(b, dtype=np.float64)
+    dtype = np.dtype(dtype)
+    b = np.asarray(b, dtype=dtype)
     if b.ndim == 2:
         # Stacked multi-RHS block: hand off to the batched loop (one
         # warm workspace carries all systems; see cg_solve_batched).
         return cg_solve_batched(
             apply_A, b, x0=x0, precond_diag=precond_diag, tol=tol,
-            maxiter=maxiter, workspace=workspace,
+            maxiter=maxiter, workspace=workspace, dtype=dtype,
         )
     if b.ndim != 1:
         raise ValueError(
@@ -169,6 +181,11 @@ def cg_solve(
     if workspace is not None:
         workspace.require_batch(1)
         workspace.require_global(b.shape[0])
+        if workspace.cg_x.dtype != dtype:
+            raise ValueError(
+                f"workspace dtype {workspace.cg_x.dtype} != solve "
+                f"dtype {dtype}"
+            )
         x, r, z_buf, p, ap, tmp = (
             workspace.cg_x, workspace.cg_r, workspace.cg_z,
             workspace.cg_p, workspace.cg_ap, workspace.cg_tmp,
@@ -178,12 +195,12 @@ def cg_solve(
     if x0 is None:
         x.fill(0.0)
     else:
-        x0 = np.asarray(x0, dtype=np.float64)
+        x0 = np.asarray(x0, dtype=dtype)
         if x0.shape != b.shape:
             raise ValueError(f"x0 shape {x0.shape} != b shape {b.shape}")
         np.copyto(x, x0)
     if precond_diag is not None:
-        md = np.asarray(precond_diag, dtype=np.float64)
+        md = np.asarray(precond_diag, dtype=dtype)
         if md.shape != b.shape:
             raise ValueError(f"preconditioner shape {md.shape} != {b.shape}")
         if np.any(md <= 0):
@@ -215,8 +232,11 @@ def cg_solve(
         # the batched loop's row_dots performs, so a solve here is
         # bit-identical to the same system inside a stacked block.  (It
         # also avoids np.linalg.norm's x*x field-sized temporary.)
+        # The explicit fp64 accumulator is a no-op for fp64 vectors and
+        # the load-bearing half of the fp32 contract: products round to
+        # fp32 storage, the sum never does.
         np.multiply(a_vec, b_vec, out=tmp)
-        return float(np.sum(tmp))
+        return float(np.sum(tmp, dtype=np.float64))
 
     apply_into(x, ap)
     np.subtract(b, ap, out=r)
@@ -324,6 +344,7 @@ def cg_solve_batched(
     tol: float = 1e-10,
     maxiter: int = 1000,
     workspace: "SolverWorkspace | None" = None,
+    dtype: "np.dtype | type" = np.float64,
 ) -> BatchedCGResult:
     """Solve ``B`` independent SPD systems ``A x_i = b_i`` in lockstep.
 
@@ -368,6 +389,11 @@ def cg_solve_batched(
         with ``batch=B``; supplies every ``(B, n)`` CG vector plus the
         per-system scalar buffers, making warm iterations free of
         field-sized heap allocations.
+    dtype:
+        Vector dtype, as in :func:`cg_solve`: fp32 vectors with fp64
+        dot accumulation for the mixed-precision inner loop.  The
+        per-system scalar state (``rz``, ``alpha``, residual norms, …)
+        is fp64 on every path.
 
     Returns
     -------
@@ -388,7 +414,8 @@ def cg_solve_batched(
     stacked buffers are mutated in place, so one batched workspace
     carries one stacked solve at a time.
     """
-    b = np.asarray(b, dtype=np.float64)
+    dtype = np.dtype(dtype)
+    b = np.asarray(b, dtype=dtype)
     if b.ndim != 2:
         raise ValueError(f"batched rhs must be (B, n), got shape {b.shape}")
     nb, n = b.shape
@@ -419,6 +446,11 @@ def cg_solve_batched(
     if workspace is not None:
         workspace.require_batch(nb)
         workspace.require_global(n)
+        if workspace.cg_x.dtype != dtype:
+            raise ValueError(
+                f"workspace dtype {workspace.cg_x.dtype} != solve "
+                f"dtype {dtype}"
+            )
         # reshape(nb, -1) is a no-op view for a batch>1 workspace and
         # lifts the unbatched (n,) buffers of a batch-of-one solve.
         x, r, z_buf, p, ap, tmp = (
@@ -441,12 +473,12 @@ def cg_solve_batched(
     if x0 is None:
         x.fill(0.0)
     else:
-        x0 = np.asarray(x0, dtype=np.float64)
+        x0 = np.asarray(x0, dtype=dtype)
         if x0.shape != b.shape:
             raise ValueError(f"x0 shape {x0.shape} != b shape {b.shape}")
         np.copyto(x, x0)
     if precond_diag is not None:
-        md = np.asarray(precond_diag, dtype=np.float64)
+        md = np.asarray(precond_diag, dtype=dtype)
         if md.shape not in ((n,), (nb, n)):
             raise ValueError(
                 f"preconditioner shape {md.shape} must be ({n},) "
@@ -477,8 +509,10 @@ def cg_solve_batched(
         dst: NDArray[np.float64],
     ) -> None:
         # Fused per-system inner products without a (B, n) temporary.
+        # dtype=float64 pins the accumulator (no-op for fp64 vectors,
+        # the precision contract for fp32 ones — dst is always fp64).
         np.multiply(a_vec, b_vec, out=tmp)
-        np.sum(tmp, axis=1, out=dst)
+        np.sum(tmp, axis=1, out=dst, dtype=np.float64)
 
     apply_into(x, ap)
     np.subtract(b, ap, out=r)
@@ -502,6 +536,19 @@ def cg_solve_batched(
     exhausted_total = np.zeros(nb, dtype=bool)
     alpha.fill(0.0)
     beta.fill(0.0)
+    if dtype == np.float64:
+        # fp64 vectors: broadcast the fp64 scalars directly.
+        alpha_v, beta_v = alpha, beta
+    else:
+        # fp32 vectors: the scalar recurrence (rz, alpha, beta) stays
+        # fp64, but the *vector* updates must multiply by the
+        # dtype-rounded scalar — cg_solve's ``p * alpha`` casts its
+        # Python-float alpha to fp32 and multiplies in fp32, whereas
+        # broadcasting the fp64 array here would promote the multiply
+        # to fp64 and round only on store, breaking the
+        # batched/sequential bit-identity contract.
+        alpha_v = np.empty(nb, dtype=dtype)
+        beta_v = np.empty(nb, dtype=dtype)
     history = [res.copy()]
     it = 0
     while bool(np.any(active)) and it < iter_cap:
@@ -528,9 +575,11 @@ def cg_solve_batched(
         # their x and r exactly (bit-for-bit) while the rest iterate.
         np.divide(rz, pap, out=alpha, where=active)
         np.multiply(alpha, active, out=alpha)
-        np.multiply(p, alpha[:, None], out=tmp)
+        if alpha_v is not alpha:
+            np.copyto(alpha_v, alpha)  # round the step to the vector dtype
+        np.multiply(p, alpha_v[:, None], out=tmp)
         x += tmp
-        np.multiply(ap, alpha[:, None], out=tmp)
+        np.multiply(ap, alpha_v[:, None], out=tmp)
         r -= tmp
         if inv_m is not None:
             np.multiply(r, inv_m, out=z)
@@ -538,7 +587,9 @@ def cg_solve_batched(
         np.divide(pap, rz, out=beta, where=active)
         np.multiply(beta, active, out=beta)
         np.copyto(rz, pap)
-        np.multiply(p, beta[:, None], out=p)
+        if beta_v is not beta:
+            np.copyto(beta_v, beta)
+        np.multiply(p, beta_v[:, None], out=p)
         # Only active systems pick up the new search direction (frozen
         # systems have beta = 0, so their p is simply parked at zero).
         np.multiply(z, active[:, None], out=tmp)
@@ -564,4 +615,470 @@ def cg_solve_batched(
         converged=(res <= stop) | exhausted_total,
         residual_norm=res.copy(),
         residual_history=np.stack(history),
+    )
+
+
+# ----------------------------------------------------------------------
+# Mixed precision: fp32 inner Jacobi-CG + fp64 iterative refinement
+# ----------------------------------------------------------------------
+
+#: Solve precision policies understood end to end (problems, services,
+#: process shards): ``"fp64"`` is the historical bit-exact double path,
+#: ``"mixed"`` the fp32-inner / fp64-refinement path.
+VALID_PRECISIONS: tuple[str, ...] = ("fp64", "mixed")
+
+
+def check_precision(precision: str) -> str:
+    """Validate a precision policy string, returning it unchanged."""
+    if precision not in VALID_PRECISIONS:
+        raise ValueError(
+            f"precision must be one of {VALID_PRECISIONS}, "
+            f"got {precision!r}"
+        )
+    return precision
+
+
+@dataclass(frozen=True)
+class MixedCGResult:
+    """Outcome of a mixed-precision refinement solve.
+
+    Mirrors :class:`CGResult` (``x``/``iterations``/``converged``/
+    ``residual_norm``) so the serving layer handles both uniformly, and
+    adds the refinement bookkeeping.
+
+    Attributes
+    ----------
+    x:
+        Final fp64 iterate.
+    iterations:
+        Total fp32 inner CG iterations across all sweeps.
+    converged:
+        True if the fp64 true-residual criterion was met within the
+        sweep cap (and refinement never stalled).
+    residual_norm:
+        Final **true** fp64 residual 2-norm ``||b - A x||`` — not the
+        inner loop's recurrence residual.
+    residual_history:
+        True-residual norms per refinement sweep (length
+        ``sweeps + 1``, including the initial residual).
+    sweeps:
+        Refinement sweeps executed (fp32 correction solves).
+    inner_iterations:
+        Per-sweep fp32 CG iteration counts (length ``sweeps``).
+    """
+
+    x: NDArray[np.float64]
+    iterations: int
+    converged: bool
+    residual_norm: float
+    residual_history: tuple[float, ...]
+    sweeps: int
+    inner_iterations: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class BatchedMixedCGResult:
+    """Outcome of a batched mixed-precision refinement solve.
+
+    Mirrors :class:`BatchedCGResult` plus per-system sweep counts.
+
+    Attributes
+    ----------
+    x:
+        Final fp64 iterates, shape ``(B, n)``.
+    iterations:
+        Total fp32 inner iterations per system, shape ``(B,)``.
+    converged:
+        Per-system fp64 true-residual convergence flags, shape ``(B,)``.
+    residual_norm:
+        Final true fp64 residual norms, shape ``(B,)``.
+    residual_history:
+        True-residual norms per sweep and system, shape
+        ``(total_sweeps + 1, B)``.
+    sweeps:
+        Per-system sweep counts (the sweep at which each system met its
+        criterion; the total executed count for systems that never
+        converged), shape ``(B,)``.
+    inner_iterations:
+        fp32 inner CG iterations per sweep and system, shape
+        ``(total_sweeps, B)``; frozen systems contribute zeros.  Row
+        prefixes of length ``sweeps[k]`` recover each system's solo
+        per-sweep record.
+    """
+
+    x: NDArray[np.float64]
+    iterations: NDArray[np.int64]
+    converged: NDArray[np.bool_]
+    residual_norm: NDArray[np.float64]
+    residual_history: NDArray[np.float64]
+    sweeps: NDArray[np.int64]
+    inner_iterations: NDArray[np.int64]
+
+    @property
+    def batch(self) -> int:
+        """Number of systems in the block."""
+        return self.x.shape[0]
+
+    @property
+    def all_converged(self) -> bool:
+        """True if every system met its fp64 residual criterion."""
+        return bool(np.all(self.converged))
+
+    @property
+    def total_sweeps(self) -> int:
+        """Refinement sweeps the batched loop executed (slowest system)."""
+        return self.residual_history.shape[0] - 1
+
+
+#: Default relative tolerance of the fp32 correction solves.  Each sweep
+#: multiplies the true residual by roughly this factor — until the fp32
+#: operator-quantization floor cuts in: the correction ``d`` is computed
+#: against ``A32``, so the fp64 residual after the update carries a
+#: ``(A - A32) d`` term of order ``kappa * eps_fp32`` relative to the
+#: sweep's own residual (~1e-4 at the N=7/E=512 bench shape).  Pushing
+#: the inner recurrence below that floor burns fp32 iterations the
+#: refinement update immediately throws away — measured end to end,
+#: 1e-4 needs fewer *total* inner iterations than 1e-5 at every shape
+#: tried, while still reaching ``tol = 1e-10`` in about three sweeps.
+MIXED_INNER_TOL: float = 1e-4
+
+#: Default cap on refinement sweeps.  Well-conditioned SEM systems
+#: converge in 2-4; hitting the cap means fp32 refinement is stalling on
+#: this operator (the result reports ``converged=False``).
+MIXED_MAX_SWEEPS: int = 8
+
+
+def cg_solve_mixed(
+    apply_A: Operator,
+    apply_A32: Operator,
+    b: NDArray[np.float64],
+    x0: NDArray[np.float64] | None = None,
+    precond_diag: NDArray[np.float64] | None = None,
+    tol: float = 1e-10,
+    maxiter: int = 1000,
+    workspace: "SolverWorkspace | None" = None,
+    workspace32: "SolverWorkspace | None" = None,
+    inner_tol: float = MIXED_INNER_TOL,
+    max_sweeps: int = MIXED_MAX_SWEEPS,
+) -> "MixedCGResult | BatchedMixedCGResult":
+    """Solve ``A x = b`` to fp64 ``tol`` with fp32 inner CG sweeps.
+
+    Classic iterative refinement around the bandwidth-bound ``Ax``: the
+    expensive Krylov iteration runs entirely in fp32 (:func:`cg_solve`
+    with ``dtype=float32`` — half the bytes per DOF through the
+    sum-factorization kernels), while an outer fp64 loop recomputes the
+    **true** residual ``r = b - A x``, feeds it back as the next fp32
+    correction problem ``A d = r``, and accumulates ``x += d`` in fp64.
+    Convergence is judged only on the fp64 true residual, so the result
+    meets the caller's fp64 tolerance despite the fp32 inner arithmetic
+    (as long as the operator is well-enough conditioned for fp32 to
+    make progress; a stalled sweep terminates with
+    ``converged=False`` instead of burning the sweep cap).
+
+    Parameters
+    ----------
+    apply_A:
+        fp64 operator callback (true-residual recomputation).
+    apply_A32:
+        fp32 operator callback over the same physical operator —
+        typically the problem's fp32-geometry twin.  Must accept and
+        return fp32 arrays.
+    b:
+        fp64 right-hand side; a stacked ``(B, n)`` block dispatches to
+        :func:`cg_solve_batched_mixed`.
+    x0, precond_diag, tol, maxiter:
+        As :func:`cg_solve`.  ``maxiter`` caps each fp32 inner solve
+        (per sweep); the preconditioner is cast to fp32 once for the
+        inner loop.
+    workspace:
+        Optional fp64 workspace for the outer loop's vectors.
+    workspace32:
+        Optional fp32 workspace (same mesh/batch sizing) for the inner
+        solves.
+    inner_tol:
+        Relative tolerance of each fp32 correction solve
+        (default :data:`MIXED_INNER_TOL`).
+    max_sweeps:
+        Refinement sweep cap (default :data:`MIXED_MAX_SWEEPS`).
+
+    Returns
+    -------
+    MixedCGResult
+        fp64 iterate, true-residual record and sweep bookkeeping (or a
+        :class:`BatchedMixedCGResult` for a stacked ``b``).
+    """
+    b = np.asarray(b, dtype=np.float64)
+    if b.ndim == 2:
+        return cg_solve_batched_mixed(
+            apply_A, apply_A32, b, x0=x0, precond_diag=precond_diag,
+            tol=tol, maxiter=maxiter, workspace=workspace,
+            workspace32=workspace32, inner_tol=inner_tol,
+            max_sweeps=max_sweeps,
+        )
+    if b.ndim != 1:
+        raise ValueError(
+            f"rhs must be 1-D (or (B, n) for a batched solve), "
+            f"got shape {b.shape}"
+        )
+    if np.ndim(tol) != 0 or np.ndim(maxiter) != 0:
+        raise ValueError(
+            "per-system tol/maxiter arrays require a stacked (B, n) rhs"
+        )
+    if not np.isfinite(tol):
+        raise ValueError(f"tol must be finite, got {tol}")
+    if max_sweeps < 1:
+        raise ValueError(f"max_sweeps must be >= 1, got {max_sweeps}")
+    if workspace is not None:
+        workspace.require_batch(1)
+        workspace.require_global(b.shape[0])
+        if workspace.cg_x.dtype != np.float64:
+            raise ValueError(
+                f"outer workspace must be fp64, got {workspace.cg_x.dtype}"
+            )
+        x, r, ap, tmp = (
+            workspace.cg_x, workspace.cg_r, workspace.cg_ap,
+            workspace.cg_tmp,
+        )
+    else:
+        x, r, ap, tmp = (np.empty_like(b) for _ in range(4))
+    md32 = None
+    if precond_diag is not None:
+        md = np.asarray(precond_diag, dtype=np.float64)
+        if md.shape != b.shape:
+            raise ValueError(f"preconditioner shape {md.shape} != {b.shape}")
+        if np.any(md <= 0):
+            raise ValueError("Jacobi preconditioner has non-positive entries")
+        md32 = md.astype(np.float32)
+
+    out_ok = _operator_accepts_out(apply_A)
+
+    def apply_into(vec: NDArray[np.float64], dst: NDArray[np.float64]) -> None:
+        res = apply_A(vec, out=dst) if out_ok else apply_A(vec)
+        if res is not dst:
+            np.copyto(dst, res)
+
+    def fused_dot(
+        a_vec: NDArray[np.float64], b_vec: NDArray[np.float64]
+    ) -> float:
+        np.multiply(a_vec, b_vec, out=tmp)
+        return float(np.sum(tmp, dtype=np.float64))
+
+    if x0 is None:
+        x.fill(0.0)
+        np.copyto(r, b)  # r = b - A*0 without paying the operator
+    else:
+        x0 = np.asarray(x0, dtype=np.float64)
+        if x0.shape != b.shape:
+            raise ValueError(f"x0 shape {x0.shape} != b shape {b.shape}")
+        np.copyto(x, x0)
+        apply_into(x, ap)
+        np.subtract(b, ap, out=r)
+    b_norm = float(np.sqrt(fused_dot(b, b)))
+    stop = tol * (b_norm if b_norm > 0 else 1.0)
+
+    history = [float(np.sqrt(fused_dot(r, r)))]
+    converged = history[0] <= stop
+    sweeps = 0
+    inner_counts: list[int] = []
+    while not converged and sweeps < max_sweeps:
+        # fp32 correction solve A d = r.  The cast of r is the sweep's
+        # only field-sized allocation; the correction starts from zero
+        # (the standard refinement step), so no x0 is passed.
+        inner = cg_solve(
+            apply_A32, r.astype(np.float32), precond_diag=md32,
+            tol=inner_tol, maxiter=maxiter, workspace=workspace32,
+            dtype=np.float32,
+        )
+        np.add(x, inner.x, out=x)  # fp64 accumulation of the update
+        apply_into(x, ap)
+        np.subtract(b, ap, out=r)  # TRUE residual, recomputed in fp64
+        res_norm = float(np.sqrt(fused_dot(r, r)))
+        sweeps += 1
+        inner_counts.append(int(inner.iterations))
+        converged = res_norm <= stop
+        if not converged and res_norm >= history[-1]:
+            # fp32 can no longer reduce the fp64 residual (conditioning
+            # exceeds what single precision resolves); stop burning
+            # sweeps and report honestly instead of looping to the cap.
+            history.append(res_norm)
+            break
+        history.append(res_norm)
+
+    return MixedCGResult(
+        x=x.copy() if workspace is not None else x,
+        iterations=sum(inner_counts),
+        converged=converged,
+        residual_norm=history[-1],
+        residual_history=tuple(history),
+        sweeps=sweeps,
+        inner_iterations=tuple(inner_counts),
+    )
+
+
+def cg_solve_batched_mixed(
+    apply_A: Operator,
+    apply_A32: Operator,
+    b: NDArray[np.float64],
+    x0: NDArray[np.float64] | None = None,
+    precond_diag: NDArray[np.float64] | None = None,
+    tol: float = 1e-10,
+    maxiter: int = 1000,
+    workspace: "SolverWorkspace | None" = None,
+    workspace32: "SolverWorkspace | None" = None,
+    inner_tol: float = MIXED_INNER_TOL,
+    max_sweeps: int = MIXED_MAX_SWEEPS,
+) -> BatchedMixedCGResult:
+    """Mixed-precision refinement over a stacked ``(B, n)`` block.
+
+    The batched twin of :func:`cg_solve_mixed`: each sweep runs one
+    :func:`cg_solve_batched` fp32 correction solve over the whole block
+    (with per-system ``tol``/``maxiter`` honored by the inner loop),
+    then recomputes every system's true fp64 residual with a single
+    batched operator application.  Systems that have met their fp64
+    criterion are frozen exactly — their correction rhs is zeroed, the
+    inner loop leaves them at zero iterations, and their fp64 iterate
+    never moves — so a system refined inside a block finishes
+    bit-identically to the same system refined alone (given the
+    batched/sequential bit-identity of the underlying kernels).
+
+    Parameters are as :func:`cg_solve_mixed`, with ``tol``/``maxiter``
+    optionally ``(B,)`` arrays (per-request tolerances / inner caps,
+    exactly as :func:`cg_solve_batched` accepts).
+    """
+    b = np.asarray(b, dtype=np.float64)
+    if b.ndim != 2:
+        raise ValueError(f"batched rhs must be (B, n), got shape {b.shape}")
+    nb, n = b.shape
+    if nb < 1:
+        raise ValueError("batched rhs needs at least one system")
+    tol_arr = np.asarray(tol, dtype=np.float64)
+    if tol_arr.ndim not in (0, 1) or (
+        tol_arr.ndim == 1 and tol_arr.shape != (nb,)
+    ):
+        raise ValueError(
+            f"tol must be a scalar or ({nb},), got shape {tol_arr.shape}"
+        )
+    if not np.all(np.isfinite(tol_arr)):
+        raise ValueError("tol entries must be finite")
+    miter = np.asarray(maxiter, dtype=np.int64)
+    if miter.ndim not in (0, 1) or (
+        miter.ndim == 1 and miter.shape != (nb,)
+    ):
+        raise ValueError(
+            f"maxiter must be a scalar or ({nb},), got shape {miter.shape}"
+        )
+    if miter.size and miter.min() < 0:
+        raise ValueError("maxiter entries must be >= 0")
+    if max_sweeps < 1:
+        raise ValueError(f"max_sweeps must be >= 1, got {max_sweeps}")
+    if workspace is not None:
+        workspace.require_batch(nb)
+        workspace.require_global(n)
+        if workspace.cg_x.dtype != np.float64:
+            raise ValueError(
+                f"outer workspace must be fp64, got {workspace.cg_x.dtype}"
+            )
+        x, r, ap, tmp = (
+            buf.reshape(nb, -1) for buf in (
+                workspace.cg_x, workspace.cg_r, workspace.cg_ap,
+                workspace.cg_tmp,
+            )
+        )
+        res, stop = workspace.cg_res, workspace.cg_stop
+        active = workspace.cg_active
+    else:
+        x, r, ap, tmp = (np.empty_like(b) for _ in range(4))
+        res, stop = np.empty(nb), np.empty(nb)
+        active = np.empty(nb, dtype=bool)
+    md32 = None
+    if precond_diag is not None:
+        md = np.asarray(precond_diag, dtype=np.float64)
+        if md.shape not in ((n,), (nb, n)):
+            raise ValueError(
+                f"preconditioner shape {md.shape} must be ({n},) "
+                f"or {(nb, n)}"
+            )
+        if np.any(md <= 0):
+            raise ValueError("Jacobi preconditioner has non-positive entries")
+        md32 = md.astype(np.float32)
+
+    out_ok = _operator_accepts_out(apply_A)
+
+    def apply_into(vec: NDArray[np.float64], dst: NDArray[np.float64]) -> None:
+        res_arr = apply_A(vec, out=dst) if out_ok else apply_A(vec)
+        if res_arr is not dst:
+            np.copyto(dst, res_arr)
+
+    def row_dots(
+        a_vec: NDArray[np.float64],
+        b_vec: NDArray[np.float64],
+        dst: NDArray[np.float64],
+    ) -> None:
+        np.multiply(a_vec, b_vec, out=tmp)
+        np.sum(tmp, axis=1, out=dst, dtype=np.float64)
+
+    if x0 is None:
+        x.fill(0.0)
+        np.copyto(r, b)
+    else:
+        x0 = np.asarray(x0, dtype=np.float64)
+        if x0.shape != b.shape:
+            raise ValueError(f"x0 shape {x0.shape} != b shape {b.shape}")
+        np.copyto(x, x0)
+        apply_into(x, ap)
+        np.subtract(b, ap, out=r)
+    row_dots(b, b, stop)
+    np.sqrt(stop, out=stop)
+    stop[...] = tol_arr * np.where(stop > 0, stop, 1.0)
+
+    row_dots(r, r, res)
+    np.sqrt(res, out=res)
+    np.greater(res, stop, out=active)
+    if miter.ndim:
+        active &= miter > 0  # zero-cap requests never start refining
+
+    sweeps_arr = np.zeros(nb, dtype=np.int64)
+    iterations = np.zeros(nb, dtype=np.int64)
+    inner_hist: list[NDArray[np.int64]] = []
+    history = [res.copy()]
+    prev_res = res.copy()
+    sweep = 0
+    while bool(np.any(active)) and sweep < max_sweeps:
+        r32 = r.astype(np.float32)
+        r32[~active] = 0.0  # frozen systems: zero rhs => zero correction
+        inner = cg_solve_batched(
+            apply_A32, r32, precond_diag=md32, tol=inner_tol,
+            maxiter=miter, workspace=workspace32, dtype=np.float32,
+        )
+        np.add(x, inner.x, out=x)  # frozen rows add exact zero
+        apply_into(x, ap)
+        np.subtract(b, ap, out=r)
+        row_dots(r, r, res)
+        np.sqrt(res, out=res)
+        sweep += 1
+        sweep_iters = np.where(active, inner.iterations, 0).astype(np.int64)
+        iterations += sweep_iters
+        inner_hist.append(sweep_iters)
+        history.append(res.copy())
+        newly_done = active & (res <= stop)
+        sweeps_arr[newly_done] = sweep
+        active &= ~newly_done
+        # Per-system stall guard, mirroring the unbatched path.
+        stalled = active & (res >= prev_res)
+        sweeps_arr[stalled] = sweep
+        active &= ~stalled
+        np.copyto(prev_res, res)
+
+    sweeps_arr[active] = sweep  # systems that hit the sweep cap
+    return BatchedMixedCGResult(
+        x=x.copy() if workspace is not None else x,
+        iterations=iterations,
+        converged=res <= stop,
+        residual_norm=res.copy(),
+        residual_history=np.stack(history),
+        sweeps=sweeps_arr,
+        inner_iterations=(
+            np.stack(inner_hist)
+            if inner_hist else np.zeros((0, nb), dtype=np.int64)
+        ),
     )

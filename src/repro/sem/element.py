@@ -66,6 +66,28 @@ class ReferenceElement:
         w = self.weights
         return w[:, None, None] * w[None, :, None] * w[None, None, :]
 
+    def deriv_as(self, dtype: "np.dtype | type") -> NDArray:
+        """The differentiation matrix ``D`` in ``dtype``.
+
+        ``np.float64`` returns :attr:`deriv` itself; other dtypes (the
+        mixed-precision fp32 path) get a read-only contiguous copy,
+        computed once and cached on the element — the kernels call this
+        per ``Ax`` application, so the cast must not be paid per call.
+        """
+        dtype = np.dtype(dtype)
+        if dtype == self.deriv.dtype:
+            return self.deriv
+        cache: dict | None = getattr(self, "_deriv_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_deriv_cache", cache)
+        d = cache.get(dtype.str)
+        if d is None:
+            d = np.ascontiguousarray(self.deriv.astype(dtype))
+            d.setflags(write=False)
+            cache[dtype.str] = d
+        return d
+
     def __post_init__(self) -> None:
         n = self.degree + 1
         for name, arr, shape in (

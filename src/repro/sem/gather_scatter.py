@@ -63,11 +63,18 @@ class GatherScatter:
         Number of global (unique) nodes.
     local_shape:
         ``(E, nx, nx, nx)`` shape of local fields.
+    dtype:
+        Floating dtype of the operator's float caches (multiplicities,
+        inverse-multiplicity weights, permutation scratch) and of the
+        vectors it allocates.  The integer sort caches (``l2g_flat``,
+        permutation, segment starts) are dtype-independent and shared
+        across precisions via :meth:`as_dtype`.
     """
 
     l2g_flat: NDArray[np.int64]
     n_global: int
     local_shape: tuple[int, int, int, int]
+    dtype: "np.dtype | type" = field(default=np.float64, compare=False)
     # Construction-time caches (set via object.__setattr__; frozen class).
     _perm: NDArray[np.int64] = field(init=False, repr=False, compare=False)
     _seg_starts: NDArray[np.int64] = field(
@@ -92,35 +99,90 @@ class GatherScatter:
             raise ValueError(
                 f"l2g map references nodes outside [0, {self.n_global})"
             )
+        dtype = np.dtype(self.dtype)
+        if dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(
+                f"dtype must be float64 or float32, got {dtype}"
+            )
+        object.__setattr__(self, "dtype", dtype)
         counts = np.bincount(self.l2g_flat, minlength=self.n_global)
-        mult = counts.astype(float)
+        # Multiplicities honor the owning dtype (a bare astype(float)
+        # here used to pin them fp64, silently promoting every fp32
+        # kernel touching them); the reciprocals are computed in fp64
+        # and *rounded once* to the target, never accumulated in it.
+        mult64 = counts.astype(np.float64)
         # The reduceat fast path needs every global node to own at least
         # one local slot (reduceat cannot represent empty segments); a
         # BoxMesh always satisfies this, hand-built maps may not.
         dense = bool(np.all(counts > 0))
         perm = np.argsort(self.l2g_flat, kind="stable")
         seg_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
-        safe_mult = np.where(mult > 0, mult, 1.0)
-        inv_mult_local = (1.0 / safe_mult)[self.l2g_flat]
+        safe_mult = np.where(mult64 > 0, mult64, 1.0)
+        inv_mult_local64 = (1.0 / safe_mult)[self.l2g_flat]
         for name, value in (
             ("_perm", perm),
             ("_seg_starts", seg_starts),
-            ("_mult", mult),
-            ("_inv_mult_local", inv_mult_local),
-            ("_sorted_scratch", np.empty(self.l2g_flat.shape[0])),
+            ("_mult", mult64.astype(dtype, copy=False)),
+            (
+                "_inv_mult_local",
+                inv_mult_local64.astype(dtype, copy=False),
+            ),
+            ("_sorted_scratch", np.empty(self.l2g_flat.shape[0], dtype)),
             ("_batch_scratch", {}),
             ("_dense", dense),
         ):
             object.__setattr__(self, name, value)
 
     @classmethod
-    def from_mesh(cls, mesh: BoxMesh) -> "GatherScatter":
+    def from_mesh(
+        cls, mesh: BoxMesh, dtype: "np.dtype | type" = np.float64
+    ) -> "GatherScatter":
         """Build the operator from a mesh's connectivity."""
         return cls(
             l2g_flat=mesh.l2g.reshape(-1),
             n_global=mesh.n_global,
             local_shape=mesh.l2g.shape,
+            dtype=dtype,
         )
+
+    def as_dtype(self, dtype: "np.dtype | type") -> "GatherScatter":
+        """A twin of this operator whose float caches live in ``dtype``.
+
+        The integer sort caches (l2g map, permutation, segment starts)
+        are shared with ``self``; the multiplicities and inverse weights
+        are cast *once* and the per-call scratch is freshly allocated in
+        the target dtype.  Twins are cached per dtype, so the mixed
+        solve path resolves its fp32 operator with a dict lookup — and
+        like :meth:`replicate`, each replica builds its own twins (the
+        scratch is mutable, so twins must not leak across replicas).
+        """
+        dtype = np.dtype(dtype)
+        if dtype == self.dtype:
+            return self
+        twins: dict | None = getattr(self, "_dtype_twins", None)
+        if twins is None:
+            twins = {}
+            object.__setattr__(self, "_dtype_twins", twins)
+        twin = twins.get(dtype.str)
+        if twin is None:
+            twin = copy.copy(self)
+            for name, value in (
+                ("dtype", dtype),
+                ("_mult", self._mult.astype(dtype, copy=False)),
+                (
+                    "_inv_mult_local",
+                    self._inv_mult_local.astype(dtype, copy=False),
+                ),
+                (
+                    "_sorted_scratch",
+                    np.empty(self.l2g_flat.shape[0], dtype),
+                ),
+                ("_batch_scratch", {}),
+                ("_dtype_twins", {}),
+            ):
+                object.__setattr__(twin, name, value)
+            twins[dtype.str] = twin
+        return twin
 
     def replicate(self) -> "GatherScatter":
         """A twin operator sharing the immutable caches, with fresh scratch.
@@ -148,6 +210,12 @@ class GatherScatter:
             twin, "_sorted_scratch", np.empty_like(self._sorted_scratch)
         )
         object.__setattr__(twin, "_batch_scratch", {})
+        # Dtype twins hold their own mutable scratch, so a replica must
+        # not inherit the original's (as_dtype rebuilds them lazily).
+        # Only detach when the lazy cache exists — replicas should carry
+        # exactly the source's attribute set.
+        if getattr(self, "_dtype_twins", None) is not None:
+            object.__setattr__(twin, "_dtype_twins", {})
         return twin
 
     # ------------------------------------------------------------------
@@ -206,9 +274,13 @@ class GatherScatter:
             ("local_shape", tuple(handle.local_shape)),
             ("_perm", views["perm"]),
             ("_seg_starts", views["seg_starts"]),
+            ("dtype", views["mult"].dtype),
             ("_mult", views["mult"]),
             ("_inv_mult_local", views["inv_mult_local"]),
-            ("_sorted_scratch", np.empty(views["l2g_flat"].shape[0])),
+            (
+                "_sorted_scratch",
+                np.empty(views["l2g_flat"].shape[0], views["mult"].dtype),
+            ),
             ("_batch_scratch", {}),
             ("_dense", bool(handle.dense)),
             ("_shm", shm),
@@ -228,7 +300,7 @@ class GatherScatter:
         """
         scratch = self._batch_scratch.get("buf")
         if scratch is None or scratch.shape[0] < batch:
-            scratch = np.empty((batch, self.l2g_flat.shape[0]))
+            scratch = np.empty((batch, self.l2g_flat.shape[0]), self.dtype)
             self._batch_scratch["buf"] = scratch
         return scratch[:batch]
 
@@ -286,12 +358,15 @@ class GatherScatter:
                 summed = np.bincount(
                     self.l2g_flat, weights=rows, minlength=self.n_global
                 )
+            # bincount accumulates (correctly) in fp64; round once to
+            # the owning dtype rather than leaking fp64 into the caller.
+            summed = summed.astype(self.dtype, copy=False)
             if out is None:
                 return summed
             np.copyto(out, summed)
             return out
         if out is None:
-            out = np.empty(out_shape)
+            out = np.empty(out_shape, self.dtype)
         # mode="clip" skips numpy's defensive full-size bounce buffer;
         # the permutation is construction-time valid, so it never clips.
         if batched:
@@ -387,9 +462,21 @@ class GatherScatter:
         global DOF is counted exactly once — Nekbone's ``glsc3`` pattern.
         The weights are cached at construction and the triple product is
         one fused reduction (no per-call ``bincount`` or temporaries).
+        An fp32 twin still accumulates the reduction in fp64: inner
+        products steer convergence decisions, so only the *storage* of
+        the operands drops precision, never the sum itself.
         """
+        if self._inv_mult_local.dtype == np.float64:
+            return float(
+                np.einsum(
+                    "i,i,i->",
+                    a.reshape(-1), self._inv_mult_local, b.reshape(-1),
+                )
+            )
         return float(
             np.einsum(
-                "i,i,i->", a.reshape(-1), self._inv_mult_local, b.reshape(-1)
+                "i,i,i->",
+                a.reshape(-1), self._inv_mult_local, b.reshape(-1),
+                dtype=np.float64,
             )
         )

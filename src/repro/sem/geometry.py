@@ -134,6 +134,62 @@ class Geometry:
         return self.g_soa.shape[1]
 
     # ------------------------------------------------------------------
+    # Reduced-precision twins (mixed-precision solve path)
+    # ------------------------------------------------------------------
+    def as_dtype(self, dtype: "np.dtype | type") -> "Geometry":
+        """A :class:`Geometry` twin with all arrays cast to ``dtype``.
+
+        ``float64`` returns ``self``; other dtypes (the fp32 inner-solve
+        path) get a read-only contiguous copy, computed once and cached
+        on this instance — the cast covers ``6 + 2`` field-sized arrays,
+        so it must never be paid per ``Ax`` application.  The rounding
+        happens here, once, from the fp64 factors; the fp32 kernels then
+        stream half the bytes per DOF, which is the entire point of the
+        mixed path on a bandwidth-bound operator.
+        """
+        dtype = np.dtype(dtype)
+        if dtype == self.g_soa.dtype:
+            return self
+        twins: dict | None = getattr(self, "_dtype_twins", None)
+        if twins is None:
+            twins = {}
+            object.__setattr__(self, "_dtype_twins", twins)
+        twin = twins.get(dtype.str)
+        if twin is None:
+            twin = Geometry(
+                g_soa=np.ascontiguousarray(self.g_soa.astype(dtype)),
+                jac=np.ascontiguousarray(self.jac.astype(dtype)),
+                mass=np.ascontiguousarray(self.mass.astype(dtype)),
+            )
+            for arr in (twin.g_soa, twin.jac, twin.mass):
+                arr.setflags(write=False)
+            twins[dtype.str] = twin
+        return twin
+
+    def adopt_twin(self, twin: "Geometry") -> None:
+        """Register an externally built dtype twin (shared-memory path).
+
+        A process-sharded worker attaches the parent's fp32 geometry
+        export and installs it here, so :meth:`as_dtype` resolves to the
+        shared pages instead of each worker paying a private field-sized
+        cast.  The twin must match this geometry's shapes exactly.
+        """
+        if twin.g_soa.shape != self.g_soa.shape:
+            raise ValueError(
+                f"twin g_soa shape {twin.g_soa.shape} != {self.g_soa.shape}"
+            )
+        if twin.g_soa.dtype == self.g_soa.dtype:
+            raise ValueError(
+                f"twin dtype {twin.g_soa.dtype} matches own dtype; "
+                "nothing to adopt"
+            )
+        twins: dict | None = getattr(self, "_dtype_twins", None)
+        if twins is None:
+            twins = {}
+            object.__setattr__(self, "_dtype_twins", twins)
+        twins[np.dtype(twin.g_soa.dtype).str] = twin
+
+    # ------------------------------------------------------------------
     # Shared-memory protocol (process-level sharding)
     # ------------------------------------------------------------------
     def export_shared(self):

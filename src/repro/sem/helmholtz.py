@@ -18,6 +18,7 @@ from typing import Callable
 import numpy as np
 from numpy.typing import NDArray
 
+from repro.sem.cg import check_precision, cg_solve, cg_solve_mixed
 from repro.sem.element import ReferenceElement
 from repro.sem.gather_scatter import GatherScatter
 from repro.sem.geometry import Geometry, geometric_factors
@@ -48,6 +49,9 @@ class HelmholtzProblem:
         Element-block worker threads for blocked kernels, carried by
         the problem's workspaces (see
         :func:`~repro.sem.kernels.ax_local_matmul`).
+    precision:
+        Default solve precision policy (``"fp64"`` or ``"mixed"``), as
+        :class:`~repro.sem.poisson.PoissonProblem`.
 
     Like :class:`~repro.sem.poisson.PoissonProblem`, the problem owns a
     :class:`~repro.sem.workspace.SolverWorkspace` and :meth:`apply` runs
@@ -60,6 +64,7 @@ class HelmholtzProblem:
     lam: float = 1.0
     ax_backend: AxBackend | str = ax_local
     threads: int = 1
+    precision: str = "fp64"
     # Spec/rebuild hand-off (see repro.sem.spec.ProblemParts), as in
     # PoissonProblem: adopt prebuilt (possibly shared-memory) state.
     _parts: InitVar["object | None"] = None
@@ -68,6 +73,7 @@ class HelmholtzProblem:
     workspace: SolverWorkspace = field(init=False, repr=False)
 
     def __post_init__(self, _parts: "object | None" = None) -> None:
+        check_precision(self.precision)
         if self.lam <= 0:
             raise ValueError(f"lam must be > 0 for an SPD system, got {self.lam}")
         if _parts is not None:
@@ -80,7 +86,7 @@ class HelmholtzProblem:
         self.workspace = SolverWorkspace.for_mesh(
             self.mesh, threads=self.threads
         )
-        self._batch_workspaces: dict[int, SolverWorkspace] = {}
+        self._batch_workspaces: dict[object, SolverWorkspace] = {}
         self._ax_out = accepts_keyword(self.ax_backend, "out")
         self._ax_ws = accepts_keyword(self.ax_backend, "workspace")
         self._precond_diag: NDArray[np.float64] | None = (
@@ -104,6 +110,12 @@ class HelmholtzProblem:
         uniform protocol shared with
         :class:`~repro.sem.poisson.PoissonProblem`."""
         return self.apply
+
+    @property
+    def operator32(self) -> Callable[..., NDArray[np.float32]]:
+        """The fp32 twin operator callback (:meth:`apply32`), driving
+        the mixed-precision inner solves."""
+        return self.apply32
 
     def precond_diag(self) -> NDArray[np.float64]:
         """The Jacobi diagonal (:meth:`diagonal`), computed once and
@@ -152,11 +164,14 @@ class HelmholtzProblem:
 
         return export_shared_problem(self)
 
-    def batch_workspace(self, batch: int) -> SolverWorkspace:
-        """Cached workspace for ``batch`` stacked right-hand sides."""
+    def batch_workspace(
+        self, batch: int, dtype: "np.dtype | type" = np.float64
+    ) -> SolverWorkspace:
+        """Cached workspace for ``batch`` stacked right-hand sides
+        (``dtype=np.float32`` for the mixed path's inner solves)."""
         return cached_batch_workspace(
             self._batch_workspaces, self.mesh, batch, self.threads,
-            self.workspace,
+            self.workspace, dtype=dtype,
         )
 
     def apply(
@@ -207,6 +222,84 @@ class HelmholtzProblem:
             w_local = self.ax_backend(self.ref, ws.u_local, self.geometry.g)
             w_local = w_local + self.lam * self.geometry.mass * ws.u_local
         return self.gs.gather(w_local, out=out)
+
+    def apply32(
+        self,
+        u_global: NDArray[np.float32],
+        out: NDArray[np.float32] | None = None,
+    ) -> NDArray[np.float32]:
+        """fp32 twin of :meth:`apply` over the same physical operator.
+
+        Streams the cached fp32 geometry and gather-scatter twins
+        through the dtype-generic kernels (half the bytes per DOF); the
+        mass-term axpy runs on the fp32 ``mass`` copy.  Inputs and
+        outputs are fp32.
+        """
+        if u_global.ndim == 2 and u_global.shape[0] == 1:
+            if out is not None:
+                self.apply32(u_global[0], out=out[0])
+                return out
+            return self.apply32(u_global[0])[None]
+        batched = u_global.ndim == 2
+        ws = self.batch_workspace(
+            u_global.shape[0] if batched else 1, dtype=np.float32
+        )
+        gs = self.gs.as_dtype(np.float32)
+        geo = self.geometry.as_dtype(np.float32)
+        gs.scatter(u_global, out=ws.u_local)
+        if self._ax_out and self._ax_ws:
+            w_local = self.ax_backend(
+                self.ref, ws.u_local, geo.g, out=ws.w_local, workspace=ws,
+            )
+            num_e = self.mesh.num_elements
+            tmp = ws.tmp[:num_e]
+            rows = w_local if batched else (w_local,)
+            u_rows = ws.u_local if batched else (ws.u_local,)
+            for w_row, u_row in zip(rows, u_rows):
+                np.multiply(geo.mass, u_row, out=tmp)
+                np.multiply(tmp, self.lam, out=tmp)
+                w_row += tmp
+        elif batched:
+            w_local = ws.w_local
+            for b in range(u_global.shape[0]):
+                wb = self.ax_backend(self.ref, ws.u_local[b], geo.g)
+                np.copyto(w_local[b], wb)
+                w_local[b] += self.lam * geo.mass * ws.u_local[b]
+        else:
+            w_local = self.ax_backend(self.ref, ws.u_local, geo.g)
+            w_local = (
+                w_local + self.lam * geo.mass * ws.u_local
+            ).astype(np.float32, copy=False)
+        return gs.gather(w_local, out=out)
+
+    def solve(
+        self,
+        b: NDArray[np.float64],
+        tol: float = 1e-10,
+        maxiter: int = 1000,
+        x0: NDArray[np.float64] | None = None,
+        precision: str | None = None,
+    ):
+        """Solve ``(A + lam B) x = b`` at ``precision`` (default: the
+        problem's own policy); see
+        :meth:`repro.sem.poisson.PoissonProblem.solve`."""
+        precision = check_precision(
+            self.precision if precision is None else precision
+        )
+        b = np.asarray(b, dtype=np.float64)
+        batch = b.shape[0] if b.ndim == 2 else 1
+        ws = self.batch_workspace(batch)
+        diag = self.precond_diag()
+        if precision == "fp64":
+            return cg_solve(
+                self.apply, b, x0=x0, precond_diag=diag, tol=tol,
+                maxiter=maxiter, workspace=ws,
+            )
+        ws32 = self.batch_workspace(batch, dtype=np.float32)
+        return cg_solve_mixed(
+            self.apply, self.apply32, b, x0=x0, precond_diag=diag,
+            tol=tol, maxiter=maxiter, workspace=ws, workspace32=ws32,
+        )
 
     def diagonal(self) -> NDArray[np.float64]:
         """Assembled operator diagonal (for Jacobi preconditioning)."""

@@ -57,6 +57,50 @@ AxKernel = Callable[..., NDArray[np.float64]]
 BLOCK_DOFS: int = 16384
 
 
+def _middle_axis_single_gemm(nx: int, itemsize: int) -> bool:
+    """Whether the middle-axis derivative runs as one reshaped GEMM.
+
+    The s-derivative is the one axis whose contraction index is neither
+    leading nor trailing, so the plain spelling is ``rows * nx`` stacked
+    ``(nx, nx) @ (nx, nx)`` products — dispatch-bound at small ``nx``.
+    Contracting against ``kron(D, I)`` instead folds the whole field
+    into a single ``(rows * nx, nx^2) @ (nx^2, nx^2)`` GEMM on
+    contiguous views (no transposes, no extra passes) at the price of
+    ``nx``-fold more FLOPs, the extras being exact multiplies by zero.
+
+    Measured on the bench host, the single GEMM wins up to ``nx = 4``
+    in fp64 (1.4–4x) and ``nx = 5`` in fp32, and loses beyond (the
+    stacked matmul is already bandwidth-saturated at ``N = 7``, where
+    even a same-size single GEMM is slower); those are also exactly the
+    contraction lengths (<= 25) OpenBLAS handles with one unblocked
+    micro-kernel sweep, keeping per-row results bit-identical across
+    row counts — which the fused-batch == per-system exact-equality
+    contract relies on.
+    """
+    return nx <= (4 if itemsize == 8 else 5)
+
+
+@functools.lru_cache(maxsize=64)
+def _kron_middle_ops(
+    d_bytes: bytes, nx: int, dtype_str: str
+) -> tuple[NDArray, NDArray]:
+    """``(kron(D^T, I), kron(D, I))`` for the single-GEMM middle axis.
+
+    Keyed by the differentiation matrix's bytes (tiny — ``nx^2``
+    floats), so every reference element / dtype pair builds its pair
+    once.  The first factor serves the gradient phase
+    (``us = u @ kron(D^T, I)`` row-wise), the second the transposed
+    divergence phase.
+    """
+    d = np.frombuffer(d_bytes, dtype=dtype_str).reshape(nx, nx)
+    eye = np.eye(nx, dtype=d.dtype)
+    grad = np.ascontiguousarray(np.kron(d.T, eye))
+    div = np.ascontiguousarray(np.kron(d, eye))
+    grad.setflags(write=False)
+    div.setflags(write=False)
+    return grad, div
+
+
 @functools.lru_cache(maxsize=None)
 def _fallback_executor(threads: int) -> ThreadPoolExecutor:
     """Shared pool for threaded kernel calls without a workspace.
@@ -79,16 +123,23 @@ def _ax_gradient_phase(
     ut: NDArray[np.float64],
     r_shape: tuple[int, ...],
     t_shape: tuple[int, ...],
+    kron_grad: NDArray | None = None,
+    m_shape: tuple[int, ...] | None = None,
 ) -> None:
     """Phase 1: reference-space gradient, dgemm-backed contractions.
 
     The r- and t-contractions collapse to large GEMMs ((nx, nx) against
-    a tall-skinny reshape); only the middle axis needs numpy's
-    stacked-matmul batching.  ``uf`` and the scratch are stacked
+    a tall-skinny reshape); the middle axis runs as one reshaped
+    ``kron(D^T, I)`` GEMM when ``kron_grad`` is given (small ``nx``,
+    see :func:`_middle_axis_single_gemm`) and as numpy's stacked-matmul
+    batching otherwise.  ``uf`` and the scratch are stacked
     ``(rows, nx, nx, nx)`` views (one block, or a whole folded batch).
     """
     np.matmul(d, uf.reshape(r_shape), out=ur.reshape(r_shape))
-    np.matmul(d, uf, out=us)
+    if kron_grad is not None:
+        np.matmul(uf.reshape(m_shape), kron_grad, out=us.reshape(m_shape))
+    else:
+        np.matmul(d, uf, out=us)
     np.matmul(uf.reshape(t_shape), dt, out=ut.reshape(t_shape))
 
 
@@ -137,10 +188,15 @@ def _ax_divergence_phase(
     tmp: NDArray[np.float64],
     r_shape: tuple[int, ...],
     t_shape: tuple[int, ...],
+    kron_div: NDArray | None = None,
+    m_shape: tuple[int, ...] | None = None,
 ) -> None:
     """Phase 3: transposed derivative, accumulated into the output."""
     np.matmul(dt, wr.reshape(r_shape), out=of.reshape(r_shape))
-    np.matmul(dt, ws, out=tmp)
+    if kron_div is not None:
+        np.matmul(ws.reshape(m_shape), kron_div, out=tmp.reshape(m_shape))
+    else:
+        np.matmul(dt, ws, out=tmp)
     of += tmp
     np.matmul(wt.reshape(t_shape), d, out=tmp.reshape(t_shape))
     of += tmp
@@ -166,11 +222,21 @@ def _ax_matmul_block(
     e = ub.shape[0]
     r_shape = (e, nx, nx * nx)
     t_shape = (e * nx * nx, nx)
-    _ax_gradient_phase(d, dt, ub, ur, us, ut, r_shape, t_shape)
+    m_shape = (e * nx, nx * nx)
+    kron_grad = kron_div = None
+    if _middle_axis_single_gemm(nx, d.itemsize):
+        kron_grad, kron_div = _kron_middle_ops(
+            d.tobytes(), nx, d.dtype.str
+        )
+    _ax_gradient_phase(
+        d, dt, ub, ur, us, ut, r_shape, t_shape, kron_grad, m_shape
+    )
     _ax_geometric_phase(
         tuple(gb[:, c] for c in range(6)), ur, us, ut, wr, ws, wt, tmp
     )
-    _ax_divergence_phase(d, dt, ob, wr, ws, wt, tmp, r_shape, t_shape)
+    _ax_divergence_phase(
+        d, dt, ob, wr, ws, wt, tmp, r_shape, t_shape, kron_div, m_shape
+    )
 
 
 def _ax_matmul_fused_batch(
@@ -198,13 +264,23 @@ def _ax_matmul_fused_batch(
     ur, us, ut, wr, ws, wt, tmp = (buf.reshape(fold) for buf in bufs)
     r_shape = (nb * e, nx, nx * nx)
     t_shape = (nb * e * nx * nx, nx)
-    _ax_gradient_phase(d, dt, uf, ur, us, ut, r_shape, t_shape)
+    m_shape = (nb * e * nx, nx * nx)
+    kron_grad = kron_div = None
+    if _middle_axis_single_gemm(nx, d.itemsize):
+        kron_grad, kron_div = _kron_middle_ops(
+            d.tobytes(), nx, d.dtype.str
+        )
+    _ax_gradient_phase(
+        d, dt, uf, ur, us, ut, r_shape, t_shape, kron_grad, m_shape
+    )
     bshape = (nb, e) + (nx,) * 3
     _ax_geometric_phase(
         tuple(g[:, c] for c in range(6)),
         *(x.reshape(bshape) for x in (ur, us, ut, wr, ws, wt, tmp)),
     )
-    _ax_divergence_phase(d, dt, rf, wr, ws, wt, tmp, r_shape, t_shape)
+    _ax_divergence_phase(
+        d, dt, rf, wr, ws, wt, tmp, r_shape, t_shape, kron_div, m_shape
+    )
 
 
 def ax_local_matmul(
@@ -256,7 +332,9 @@ def ax_local_matmul(
         disjoint rows, so the result is bit-identical to ``threads=1``.
     """
     _check_shapes(ref, u, g)
-    d = ref.deriv
+    # Match D to the field dtype (fp32 inputs contract against the
+    # cached fp32 D — never a silent promotion to fp64 mid-kernel).
+    d = ref.deriv_as(u.dtype)
     dt = d.T
     batched = u.ndim == 5
     num_b = u.shape[0] if batched else 1
@@ -271,11 +349,15 @@ def ax_local_matmul(
     # at a time inside each element block, so the cache-resident work
     # set (scratch + geometry slice) never grows with B.
     block = max(1, min(num_e, BLOCK_DOFS // nx ** 3))
-    if workspace is not None:
+    if workspace is not None and workspace.ur.dtype == u.dtype:
         workspace.require_local(num_e, nx)
         ws_bufs = (workspace.ur, workspace.us, workspace.ut,
                    workspace.wr, workspace.ws, workspace.wt, workspace.tmp)
     else:
+        # No workspace — or one whose buffers hold the other precision
+        # (mixed solves keep separate fp32 workspaces; a stray mismatch
+        # falls back to fresh scratch rather than corrupting GEMM
+        # ``out=`` targets).
         ws_bufs = None
     if out is None:
         out = np.empty_like(u)
@@ -287,10 +369,17 @@ def ax_local_matmul(
         # Small stacked blocks are dispatch-bound, not bandwidth-bound:
         # fuse all systems into single GEMM/ufunc sweeps.
         rows = num_b * num_e
-        if ws_bufs is not None and ws_bufs[0].shape[0] >= rows:
+        if (
+            ws_bufs is not None
+            and ws_bufs[0].shape[0] >= rows
+            and ws_bufs[0].dtype == u.dtype
+        ):
             bufs = tuple(buf[:rows] for buf in ws_bufs)
         else:
-            bufs = tuple(np.empty((rows, nx, nx, nx)) for _ in range(7))
+            bufs = tuple(
+                np.empty((rows, nx, nx, nx), dtype=u.dtype)
+                for _ in range(7)
+            )
         _ax_matmul_fused_batch(d, dt, u, g, result, bufs)
         if result is not out:
             np.copyto(out, result)
@@ -305,7 +394,7 @@ def ax_local_matmul(
             # Threaded call without a workspace: each task owns fresh
             # block scratch, keeping tasks data-independent.
             bufs = tuple(
-                np.empty((e, nx, nx, nx)) for _ in range(7)
+                np.empty((e, nx, nx, nx), dtype=u.dtype) for _ in range(7)
             )
         elif scratch is ws_bufs:
             # Workspace buffers are full-size: slice the block's own
@@ -337,7 +426,10 @@ def ax_local_matmul(
     else:
         scratch = ws_bufs
         if scratch is None:
-            scratch = tuple(np.empty((block, nx, nx, nx)) for _ in range(7))
+            scratch = tuple(
+                np.empty((block, nx, nx, nx), dtype=u.dtype)
+                for _ in range(7)
+            )
         for start in starts:
             run_block(start, scratch)
 

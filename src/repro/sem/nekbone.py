@@ -19,8 +19,10 @@ import copy
 import time
 from dataclasses import InitVar, dataclass, field
 
+import numpy as np
+
 from repro.core.cost import flops_per_dof
-from repro.sem.cg import CGResult, cg_solve
+from repro.sem.cg import CGResult, MixedCGResult, cg_solve, cg_solve_mixed
 from repro.sem.element import ReferenceElement
 from repro.sem.mesh import BoxMesh
 from repro.sem.poisson import AxBackend, PoissonProblem, sine_manufactured
@@ -87,12 +89,17 @@ class NekboneCase:
     threads:
         Element-block worker threads for blocked kernels, forwarded to
         the underlying :class:`~repro.sem.poisson.PoissonProblem`.
+    precision:
+        Default solve precision policy (``"fp64"`` or ``"mixed"``),
+        forwarded to the underlying problem; ``"mixed"`` makes
+        :meth:`run` use the fp32-inner refinement solver.
     """
 
     n: int
     shape: tuple[int, int, int]
     ax_backend: AxBackend | str = ax_local
     threads: int = 1
+    precision: str = "fp64"
     # Spec/rebuild hand-off: a pre-built underlying problem (typically
     # one whose immutable state is attached from shared memory) adopted
     # instead of constructing a fresh one.
@@ -106,7 +113,8 @@ class NekboneCase:
         ref = ReferenceElement.from_degree(self.n)
         mesh = BoxMesh.build(ref, self.shape)
         self.problem = PoissonProblem(
-            mesh, ax_backend=self.ax_backend, threads=self.threads
+            mesh, ax_backend=self.ax_backend, threads=self.threads,
+            precision=self.precision,
         )
 
     @property
@@ -128,6 +136,11 @@ class NekboneCase:
         return self.problem.operator
 
     @property
+    def operator32(self):
+        """The fp32 twin operator callback (``problem.apply_A32``)."""
+        return self.problem.operator32
+
+    @property
     def workspace(self):
         """The underlying problem's unbatched workspace."""
         return self.problem.workspace
@@ -136,9 +149,17 @@ class NekboneCase:
         """Cached Jacobi diagonal of the underlying problem."""
         return self.problem.precond_diag()
 
-    def batch_workspace(self, batch: int):
+    def batch_workspace(self, batch: int, dtype=np.float64):
         """Cached batched workspace of the underlying problem."""
-        return self.problem.batch_workspace(batch)
+        return self.problem.batch_workspace(batch, dtype=dtype)
+
+    def solve(self, b, tol: float = 1e-10, maxiter: int = 1000,
+              x0=None, precision: "str | None" = None):
+        """Solve through the underlying problem (see
+        :meth:`repro.sem.poisson.PoissonProblem.solve`)."""
+        return self.problem.solve(
+            b, tol=tol, maxiter=maxiter, x0=x0, precision=precision
+        )
 
     def clone(self) -> "NekboneCase":
         """A solve replica delegating to ``problem.clone()``.
@@ -172,29 +193,54 @@ class NekboneCase:
 
         return export_shared_problem(self)
 
-    def run(self, iterations: int = 100, tol: float = 0.0) -> tuple[NekboneReport, CGResult]:
+    def run(
+        self, iterations: int = 100, tol: float = 0.0
+    ) -> "tuple[NekboneReport, CGResult | MixedCGResult]":
         """Execute the solve phase and report Nekbone-style metrics.
 
         ``tol = 0`` runs exactly ``iterations`` CG steps (Nekbone's fixed
-        iteration count); a positive tolerance stops early.
+        iteration count); a positive tolerance stops early.  A case built
+        with ``precision="mixed"`` runs the fp32-inner refinement solver
+        instead (``iterations`` caps each inner correction solve) and
+        requires a positive ``tol`` — refinement is convergence-driven,
+        so a fixed-iteration budget has no mixed analogue.
         """
         if iterations < 1:
             raise ValueError(f"iterations must be >= 1, got {iterations}")
+        mixed = self.problem.precision == "mixed"
+        if mixed and tol <= 0:
+            raise ValueError(
+                "precision='mixed' needs tol > 0 (the refinement loop "
+                "converges on the fp64 true residual)"
+            )
         prob = self.problem
         _, forcing = sine_manufactured(prob.mesh.extent)
         b = prob.rhs_from_forcing(forcing)
         diag = prob.precond_diag()
 
         start = time.perf_counter()
-        # The solve phase runs through the problem's workspace: zero
+        # The solve phase runs through the problem's workspaces: zero
         # field-sized allocations per CG iteration (Nekbone discipline).
-        result = cg_solve(
-            prob.apply_A, b, precond_diag=diag, tol=tol, maxiter=iterations,
-            workspace=prob.workspace,
-        )
+        if mixed:
+            result = cg_solve_mixed(
+                prob.apply_A, prob.apply_A32, b, precond_diag=diag,
+                tol=tol, maxiter=iterations, workspace=prob.workspace,
+                workspace32=prob.batch_workspace(1, dtype=np.float32),
+            )
+        else:
+            result = cg_solve(
+                prob.apply_A, b, precond_diag=diag, tol=tol,
+                maxiter=iterations, workspace=prob.workspace,
+            )
         elapsed = time.perf_counter() - start
 
-        n_ax = result.iterations + 1  # initial residual + one per iter
+        # Operator applications: fp64 counts the initial residual plus
+        # one per iteration; mixed counts the fp32 inner applies (one
+        # per inner iteration) plus one fp64 true-residual per sweep.
+        n_ax = (
+            result.iterations + result.sweeps
+            if mixed else result.iterations + 1
+        )
         flops_ax = n_ax * flops_per_dof(self.n) * prob.mesh.num_local_dofs
         flops_cg = (
             result.iterations * CG_FLOPS_PER_DOF_PER_ITER * prob.n_dofs

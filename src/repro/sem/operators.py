@@ -92,7 +92,10 @@ def ax_local(
     ``w`` with the same shape as ``u``.
     """
     _check_shapes(ref, u, g)
-    d = ref.deriv
+    # A dtype-matched D keeps every contraction in the field's own
+    # precision (an fp64 D against fp32 fields would silently promote
+    # each einsum — or refuse to cast into an fp32 ``out``).
+    d = ref.deriv_as(u.dtype)
     # One einsum spelling serves both layouts: "b" is the stacked-system
     # axis of a batched ``(B, E, ...)`` block, absent otherwise.
     pre = "b" if u.ndim == 5 else ""

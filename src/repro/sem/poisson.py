@@ -17,6 +17,7 @@ from typing import Callable
 import numpy as np
 from numpy.typing import NDArray
 
+from repro.sem.cg import check_precision, cg_solve, cg_solve_mixed
 from repro.sem.element import ReferenceElement
 from repro.sem.gather_scatter import GatherScatter
 from repro.sem.geometry import Geometry, geometric_factors
@@ -50,6 +51,13 @@ class PoissonProblem:
         Element-block worker threads for blocked kernels (see
         :func:`~repro.sem.kernels.ax_local_matmul`); carried by the
         problem's workspaces, so every solve through them inherits it.
+    precision:
+        Default solve precision policy: ``"fp64"`` (the historical
+        bit-exact double path) or ``"mixed"`` (fp32 inner Jacobi-CG +
+        fp64 iterative refinement; see
+        :func:`~repro.sem.cg.cg_solve_mixed`).  Selects the path
+        :meth:`solve` takes and the default the serving layer inherits;
+        either precision can still be requested per solve.
 
     The problem owns a :class:`~repro.sem.workspace.SolverWorkspace`
     sized for its mesh; :meth:`apply_A` runs through it (and through the
@@ -64,6 +72,7 @@ class PoissonProblem:
     mesh: BoxMesh
     ax_backend: AxBackend | str = ax_local
     threads: int = 1
+    precision: str = "fp64"
     # The spec/rebuild hand-off (see repro.sem.spec.ProblemParts):
     # prebuilt immutable state — typically shared-memory views attached
     # by a worker process — adopted instead of recomputed.
@@ -74,6 +83,7 @@ class PoissonProblem:
     workspace: SolverWorkspace = field(init=False, repr=False)
 
     def __post_init__(self, _parts: "object | None" = None) -> None:
+        check_precision(self.precision)
         if _parts is not None:
             self.geometry = _parts.geometry
             self.gs = _parts.gather_scatter
@@ -85,8 +95,9 @@ class PoissonProblem:
         self.workspace = SolverWorkspace.for_mesh(
             self.mesh, threads=self.threads
         )
-        self._batch_workspaces: dict[int, SolverWorkspace] = {}
+        self._batch_workspaces: dict[object, SolverWorkspace] = {}
         self._interior_f = self.interior.astype(np.float64)
+        self._interior32: NDArray[np.float32] | None = None
         self._ax_out = accepts_keyword(self.ax_backend, "out")
         self._ax_ws = accepts_keyword(self.ax_backend, "workspace")
         self._precond_diag: NDArray[np.float64] | None = (
@@ -114,6 +125,16 @@ class PoissonProblem:
         (:mod:`repro.serve`) binds problems through this property.
         """
         return self.apply_A
+
+    @property
+    def operator32(self) -> Callable[..., NDArray[np.float32]]:
+        """The fp32 twin operator callback (:meth:`apply_A32`).
+
+        Same protocol as :attr:`operator`; the mixed-precision solvers
+        (:func:`~repro.sem.cg.cg_solve_mixed`) drive their fp32 inner
+        iterations through this.
+        """
+        return self.apply_A32
 
     def precond_diag(self) -> NDArray[np.float64]:
         """The Jacobi diagonal, computed once and cached.
@@ -189,16 +210,20 @@ class PoissonProblem:
         return export_shared_problem(self)
 
     # ------------------------------------------------------------------
-    def batch_workspace(self, batch: int) -> SolverWorkspace:
+    def batch_workspace(
+        self, batch: int, dtype: "np.dtype | type" = np.float64
+    ) -> SolverWorkspace:
         """The problem's workspace for ``batch`` stacked right-hand sides.
 
-        Sized once per distinct ``batch`` and cached, so repeated
-        batched solves stay warm; ``batch=1`` returns the problem's own
-        :attr:`workspace`.  Shares the problem's ``threads`` setting.
+        Sized once per distinct ``(batch, dtype)`` and cached, so
+        repeated batched solves stay warm; ``batch=1`` in fp64 returns
+        the problem's own :attr:`workspace`.  ``dtype=np.float32``
+        yields the half-footprint twin the mixed-precision inner solves
+        run through.  Shares the problem's ``threads`` setting.
         """
         return cached_batch_workspace(
             self._batch_workspaces, self.mesh, batch, self.threads,
-            self.workspace,
+            self.workspace, dtype=dtype,
         )
 
     def apply_A(
@@ -250,6 +275,90 @@ class PoissonProblem:
         w = self.gs.gather(w_local, out=out)
         np.multiply(w, self._interior_f, out=w)
         return w
+
+    def apply_A32(
+        self,
+        u_global: NDArray[np.float32],
+        out: NDArray[np.float32] | None = None,
+    ) -> NDArray[np.float32]:
+        """fp32 twin of :meth:`apply_A` over the same physical operator.
+
+        Streams the lazily cached fp32 geometry
+        (:meth:`~repro.sem.geometry.Geometry.as_dtype`) and
+        gather-scatter twins through the dtype-generic kernels — half
+        the bytes per DOF of the fp64 path, which is where the mixed
+        solve's speedup comes from on this bandwidth-bound operator.
+        Inputs and outputs are fp32; the first call per batch size pays
+        the one-time twin casts, after which the path is allocation-free
+        like :meth:`apply_A`.
+        """
+        if u_global.ndim == 2 and u_global.shape[0] == 1:
+            if out is not None:
+                self.apply_A32(u_global[0], out=out[0])
+                return out
+            return self.apply_A32(u_global[0])[None]
+        ws = self.batch_workspace(
+            u_global.shape[0] if u_global.ndim == 2 else 1,
+            dtype=np.float32,
+        )
+        gs = self.gs.as_dtype(np.float32)
+        geo = self.geometry.as_dtype(np.float32)
+        if self._interior32 is None:
+            self._interior32 = self.interior.astype(np.float32)
+        np.multiply(u_global, self._interior32, out=ws.g_tmp)
+        gs.scatter(ws.g_tmp, out=ws.u_local)
+        if self._ax_out and self._ax_ws:
+            w_local = self.ax_backend(
+                self.ref, ws.u_local, geo.g, out=ws.w_local, workspace=ws,
+            )
+        elif u_global.ndim == 2:
+            w_local = ws.w_local
+            for b in range(u_global.shape[0]):
+                np.copyto(
+                    w_local[b],
+                    self.ax_backend(self.ref, ws.u_local[b], geo.g),
+                )
+        else:
+            w_local = self.ax_backend(self.ref, ws.u_local, geo.g)
+        w = gs.gather(w_local, out=out)
+        np.multiply(w, self._interior32, out=w)
+        return w
+
+    def solve(
+        self,
+        b: NDArray[np.float64],
+        tol: float = 1e-10,
+        maxiter: int = 1000,
+        x0: NDArray[np.float64] | None = None,
+        precision: str | None = None,
+    ):
+        """Solve ``A x = b`` through the problem's cached workspaces.
+
+        Dispatches on ``precision`` (default: the problem's own
+        :attr:`precision` field): ``"fp64"`` runs the historical
+        :func:`~repro.sem.cg.cg_solve`, ``"mixed"`` the fp32-inner /
+        fp64-refinement :func:`~repro.sem.cg.cg_solve_mixed` — both to
+        the same fp64 ``tol``, judged on the true residual for the
+        mixed path.  A stacked ``(B, n)`` right-hand side solves the
+        whole block at once either way.
+        """
+        precision = check_precision(
+            self.precision if precision is None else precision
+        )
+        b = np.asarray(b, dtype=np.float64)
+        batch = b.shape[0] if b.ndim == 2 else 1
+        ws = self.batch_workspace(batch)
+        diag = self.precond_diag()
+        if precision == "fp64":
+            return cg_solve(
+                self.apply_A, b, x0=x0, precond_diag=diag, tol=tol,
+                maxiter=maxiter, workspace=ws,
+            )
+        ws32 = self.batch_workspace(batch, dtype=np.float32)
+        return cg_solve_mixed(
+            self.apply_A, self.apply_A32, b, x0=x0, precond_diag=diag,
+            tol=tol, maxiter=maxiter, workspace=ws, workspace32=ws32,
+        )
 
     def jacobi_diagonal(self) -> NDArray[np.float64]:
         """Assembled diagonal of ``A`` for the Jacobi preconditioner.

@@ -64,6 +64,10 @@ class ProblemSpec:
         Element-block worker threads of the rebuilt workspaces.
     lam:
         Helmholtz coefficient (``None`` for the other kinds).
+    precision:
+        Default solve precision policy of the rebuilt problem
+        (``"fp64"`` or ``"mixed"``); per-request precision still works
+        either way.
     geometry / gather_scatter / extras:
         Optional shared-memory handles (set by
         :func:`export_shared_problem`): the
@@ -74,6 +78,12 @@ class ProblemSpec:
         (``points``/``weights``/``deriv``) and the assembled Jacobi
         diagonal.  ``None`` means :func:`rebuild` recomputes instead of
         attaching.
+    geometry32:
+        Optional manifest of the fp32 geometry twin
+        (:meth:`~repro.sem.geometry.Geometry.as_dtype`), exported
+        alongside the fp64 factors so every worker's mixed-precision
+        inner solves stream one parent-owned fp32 copy instead of each
+        paying a private field-sized cast.
     """
 
     kind: str
@@ -83,9 +93,11 @@ class ProblemSpec:
     ax_backend: str
     threads: int = 1
     lam: float | None = None
+    precision: str = "fp64"
     geometry: SharedArrayManifest | None = None
     gather_scatter: SharedGatherScatter | None = None
     extras: SharedArrayManifest | None = None
+    geometry32: SharedArrayManifest | None = None
 
     @property
     def shared_blocks(self) -> tuple[str, ...]:
@@ -97,6 +109,8 @@ class ProblemSpec:
             names.append(self.gather_scatter.arrays.block)
         if self.extras is not None:
             names.append(self.extras.block)
+        if self.geometry32 is not None:
+            names.append(self.geometry32.block)
         return tuple(names)
 
 
@@ -182,6 +196,7 @@ def _base_spec(problem) -> ProblemSpec:
         ax_backend=name,
         threads=int(inner.threads),
         lam=float(problem.lam) if kind == "helmholtz" else None,
+        precision=inner.precision,
     )
 
 
@@ -216,12 +231,16 @@ def problem_spec(problem) -> ProblemSpec:
 def export_shared_problem(problem) -> SharedProblemExport:
     """Export ``problem``'s immutable arrays and return spec + blocks.
 
-    Three blocks are created: the geometric factors
+    Four blocks are created: the geometric factors
     (:meth:`~repro.sem.geometry.Geometry.export_shared`), the
     gather-scatter caches (:meth:`~repro.sem.gather_scatter.
-    GatherScatter.export_shared`), and an extras block with the nodal
+    GatherScatter.export_shared`), an extras block with the nodal
     coordinates, the reference element's quadrature arrays and the
-    (force-computed) Jacobi diagonal.  Every worker that
+    (force-computed) Jacobi diagonal, and the fp32 geometry twin for
+    the mixed-precision inner solves (exported unconditionally — it is
+    half the fp64 factors' size, and shipping it lets any worker honor
+    a per-request ``precision="mixed"`` zero-copy even when the
+    problem's default policy is fp64).  Every worker that
     :func:`rebuild`-s the returned spec attaches these same blocks —
     one physical copy of the big arrays across the whole fleet,
     deformed meshes included (the coordinates ride along).
@@ -248,6 +267,10 @@ def export_shared_problem(problem) -> SharedProblemExport:
             "precond_diag": problem.precond_diag(),
         })
         blocks.append(extras_shm)
+        geo32_shm, geo32_manifest = (
+            inner.geometry.as_dtype(np.float32).export_shared()
+        )
+        blocks.append(geo32_shm)
     except BaseException:
         for shm in blocks:
             shm.close()
@@ -258,6 +281,7 @@ def export_shared_problem(problem) -> SharedProblemExport:
         geometry=geo_manifest,
         gather_scatter=gs_handle,
         extras=extras_manifest,
+        geometry32=geo32_manifest,
     )
     return SharedProblemExport(spec=spec, blocks=tuple(blocks))
 
@@ -298,6 +322,11 @@ def rebuild(spec: ProblemSpec):
             "spec must carry both the geometry and gather-scatter "
             "manifests (or neither)"
         )
+    if spec.geometry32 is not None and spec.geometry is None:
+        raise ValueError(
+            "spec carries an fp32 geometry manifest without the fp64 "
+            "geometry it twins"
+        )
     extras_shm = extras = None
     if spec.extras is not None:
         extras_shm, extras = attach_shared_arrays(spec.extras)
@@ -319,8 +348,13 @@ def rebuild(spec: ProblemSpec):
 
     parts = None
     if spec.geometry is not None:
+        geometry = Geometry.attach_shared(spec.geometry)
+        if spec.geometry32 is not None:
+            # Install the parent's shared fp32 twin, so as_dtype()
+            # resolves to the exported pages instead of a private cast.
+            geometry.adopt_twin(Geometry.attach_shared(spec.geometry32))
         parts = ProblemParts(
-            geometry=Geometry.attach_shared(spec.geometry),
+            geometry=geometry,
             gather_scatter=GatherScatter.attach_shared(spec.gather_scatter),
             precond_diag=(
                 extras["precond_diag"]
@@ -332,15 +366,15 @@ def rebuild(spec: ProblemSpec):
     if spec.kind == "helmholtz":
         return HelmholtzProblem(
             mesh, lam=spec.lam, ax_backend=spec.ax_backend,
-            threads=spec.threads, _parts=parts,
+            threads=spec.threads, precision=spec.precision, _parts=parts,
         )
     poisson = PoissonProblem(
         mesh, ax_backend=spec.ax_backend, threads=spec.threads,
-        _parts=parts,
+        precision=spec.precision, _parts=parts,
     )
     if spec.kind == "poisson":
         return poisson
     return NekboneCase(
         n=spec.degree, shape=spec.shape, ax_backend=spec.ax_backend,
-        threads=spec.threads, _problem=poisson,
+        threads=spec.threads, precision=spec.precision, _problem=poisson,
     )

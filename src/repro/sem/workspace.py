@@ -124,6 +124,14 @@ class SolverWorkspace:
         Element-block worker threads for the blocked ``Ax`` kernels.
         ``1`` runs sequentially; ``k > 1`` lazily spins up a persistent
         pool reused across calls (see :attr:`executor`).
+    dtype:
+        Floating dtype of every float buffer (``np.float64`` or
+        ``np.float32``).  The default keeps the historical fp64 shapes
+        bit-identical; ``np.float32`` halves the workspace footprint
+        and feeds the mixed-precision solve path
+        (:func:`repro.sem.cg.cg_solve_mixed`).  ``cg_active`` stays
+        bool and the ``(batch,)`` scalar reduction buffers stay fp64
+        either way (inner products accumulate in fp64 on every path).
 
     Use :meth:`for_mesh` to size a workspace from a
     :class:`~repro.sem.mesh.BoxMesh` in one call.
@@ -144,6 +152,7 @@ class SolverWorkspace:
     n_global: int = 0
     batch: int = 1
     threads: int = 1
+    dtype: "np.dtype | type" = np.float64
 
     ur: NDArray[np.float64] = field(init=False, repr=False)
     us: NDArray[np.float64] = field(init=False, repr=False)
@@ -183,6 +192,11 @@ class SolverWorkspace:
             raise ValueError(f"batch must be >= 1, got {self.batch}")
         if self.threads < 1:
             raise ValueError(f"threads must be >= 1, got {self.threads}")
+        self.dtype = np.dtype(self.dtype)
+        if self.dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(
+                f"dtype must be float64 or float32, got {self.dtype}"
+            )
         scratch_rows = self.num_elements
         if (
             self.batch > 1
@@ -199,13 +213,17 @@ class SolverWorkspace:
             local_shape = (self.batch,) + local_shape
             global_shape = (self.batch,) + global_shape
         for name in KERNEL_SCRATCH_BUFFERS:
-            setattr(self, name, np.empty(scratch_shape))
+            setattr(self, name, np.empty(scratch_shape, dtype=self.dtype))
         for name in LOCAL_FIELD_BUFFERS:
-            setattr(self, name, np.empty(local_shape))
+            setattr(self, name, np.empty(local_shape, dtype=self.dtype))
         for name in GLOBAL_BUFFERS:
-            setattr(self, name, np.empty(global_shape))
+            setattr(self, name, np.empty(global_shape, dtype=self.dtype))
+        # Scalar reduction targets stay fp64 regardless of the field
+        # dtype: the CG inner products are always *accumulated* in fp64
+        # (the mixed path drops field storage, never dot precision), and
+        # at (batch,) size the bytes are irrelevant anyway.
         for name in BATCH_SCALAR_BUFFERS:
-            setattr(self, name, np.empty(self.batch))
+            setattr(self, name, np.empty(self.batch, dtype=np.float64))
         self.cg_active = np.empty(self.batch, dtype=bool)
         self._executor: ThreadPoolExecutor | None = None
         self._finalizer: weakref.finalize | None = None
@@ -213,13 +231,17 @@ class SolverWorkspace:
     # ------------------------------------------------------------------
     @classmethod
     def for_mesh(
-        cls, mesh: BoxMesh, batch: int = 1, threads: int = 1
+        cls,
+        mesh: BoxMesh,
+        batch: int = 1,
+        threads: int = 1,
+        dtype: "np.dtype | type" = np.float64,
     ) -> "SolverWorkspace":
         """Size a full workspace (kernel + CG buffers) from a mesh."""
         e, nx = mesh.l2g.shape[0], mesh.l2g.shape[1]
         return cls(
             num_elements=e, nx=nx, n_global=mesh.n_global,
-            batch=batch, threads=threads,
+            batch=batch, threads=threads, dtype=dtype,
         )
 
     @property
@@ -230,18 +252,17 @@ class SolverWorkspace:
 
     @property
     def nbytes(self) -> int:
-        """Total bytes held by the workspace buffers."""
-        field = self.num_elements * self.nx ** 3
-        scratch = len(KERNEL_SCRATCH_BUFFERS) * self.ur.shape[0] * self.nx ** 3
-        per_system = (
-            len(LOCAL_FIELD_BUFFERS) * field
-            + len(GLOBAL_BUFFERS) * self.n_global
+        """Total bytes held by the workspace buffers (itemsize-aware:
+        an fp32 workspace reports half the float footprint of its fp64
+        twin; ``cg_active`` stays 1 byte per system)."""
+        names = (
+            KERNEL_SCRATCH_BUFFERS + LOCAL_FIELD_BUFFERS
+            + GLOBAL_BUFFERS + BATCH_SCALAR_BUFFERS
         )
-        # cg_active is the lone bool buffer: 1 byte per system, not 8.
-        return 8 * (
-            scratch + self.batch * per_system
-            + len(BATCH_SCALAR_BUFFERS) * self.batch
-        ) + self.batch
+        return (
+            sum(getattr(self, name).nbytes for name in names)
+            + self.cg_active.nbytes
+        )
 
     @property
     def executor(self) -> ThreadPoolExecutor | None:
@@ -313,16 +334,18 @@ class SolverWorkspace:
 
 
 #: Reserved key under which each workspace cache stores its creation
-#: lock (ints are the batch-size keys, so a str can never collide).
+#: lock (ints / ``(int, str)`` tuples are the workspace keys, so a str
+#: can never collide).
 _CACHE_LOCK_KEY: str = "__create_lock__"
 
 
 def cached_batch_workspace(
-    cache: "dict[int, SolverWorkspace]",
+    cache: "dict[object, SolverWorkspace]",
     mesh: BoxMesh,
     batch: int,
     threads: int,
     base: "SolverWorkspace",
+    dtype: "np.dtype | type" = np.float64,
 ) -> "SolverWorkspace":
     """Shared per-problem cache of batched workspaces.
 
@@ -340,7 +363,12 @@ def cached_batch_workspace(
         Element-block worker threads every created workspace carries.
     base:
         The problem's own unbatched workspace, returned for
-        ``batch == 1``.
+        ``batch == 1`` when its dtype matches ``dtype``.
+    dtype:
+        Floating dtype of the requested workspace.  fp64 keeps the
+        historical plain-``int`` cache keys; other dtypes key on
+        ``(batch, dtype.str)`` so fp64 and fp32 workspaces coexist in
+        one cache without colliding.
 
     Returns
     -------
@@ -361,9 +389,13 @@ def cached_batch_workspace(
     construction; *use* of the returned workspace is still the caller's
     to serialize (one solve per workspace at a time).
     """
-    if batch == 1:
+    dtype = np.dtype(dtype)
+    if batch == 1 and dtype == base.dtype:
         return base
-    ws = cache.get(batch)
+    key: object = (
+        batch if dtype == np.dtype(np.float64) else (batch, dtype.str)
+    )
+    ws = cache.get(key)
     if ws is not None:
         return ws
     lock = cache.get(_CACHE_LOCK_KEY)
@@ -372,10 +404,10 @@ def cached_batch_workspace(
         # one lock even when the cache starts empty.
         lock = cache.setdefault(_CACHE_LOCK_KEY, threading.Lock())
     with lock:
-        ws = cache.get(batch)
+        ws = cache.get(key)
         if ws is None:
             ws = SolverWorkspace.for_mesh(
-                mesh, batch=batch, threads=threads
+                mesh, batch=batch, threads=threads, dtype=dtype
             )
-            cache[batch] = ws
+            cache[key] = ws
     return ws

@@ -101,6 +101,7 @@ class AsyncSolveService:
         maxiter: int | None = None,
         key: object | None = None,
         deadline: float | None = None,
+        precision: str | None = None,
     ) -> "asyncio.Future[CGResult]":
         """Queue one right-hand side; returns an awaitable future.
 
@@ -118,6 +119,10 @@ class AsyncSolveService:
             Optional time budget in seconds, forwarded to the service;
             an expired request rejects the future with
             :class:`~repro.serve.errors.DeadlineExceeded`.
+        precision:
+            Per-request solve policy override (``"fp64"`` or
+            ``"mixed"``), forwarded to the service; mixed futures
+            resolve to a :class:`~repro.sem.cg.MixedCGResult`.
 
         Returns
         -------
@@ -148,12 +153,12 @@ class AsyncSolveService:
         call = (
             functools.partial(
                 self.service.submit, b, tol=tol, maxiter=maxiter,
-                key=key, deadline=deadline,
+                key=key, deadline=deadline, precision=precision,
             )
             if key is not None
             else functools.partial(
                 self.service.submit, b, tol=tol, maxiter=maxiter,
-                deadline=deadline,
+                deadline=deadline, precision=precision,
             )
         )
         ticket = await loop.run_in_executor(None, call)
@@ -166,6 +171,7 @@ class AsyncSolveService:
         maxiter: int | None = None,
         key: object | None = None,
         deadline: float | None = None,
+        precision: str | None = None,
     ) -> CGResult:
         """Submit one request and await its result.
 
@@ -177,6 +183,7 @@ class AsyncSolveService:
         """
         future = await self.submit(
             b, tol=tol, maxiter=maxiter, key=key, deadline=deadline,
+            precision=precision,
         )
         return await future
 
@@ -187,6 +194,7 @@ class AsyncSolveService:
         maxiter: int | None = None,
         keys: Sequence[object] | None = None,
         deadline: float | None = None,
+        precision: str | None = None,
     ) -> list[CGResult]:
         """Solve a block of right-hand sides concurrently; input order.
 
@@ -203,6 +211,8 @@ class AsyncSolveService:
             Optional per-request routing keys (``len(keys) == M``).
         deadline:
             Shared per-request time budget in seconds.
+        precision:
+            Shared per-request solve policy override.
 
         Returns
         -------
@@ -218,7 +228,7 @@ class AsyncSolveService:
             self.submit(
                 b, tol=tol, maxiter=maxiter,
                 key=None if keys is None else keys[i],
-                deadline=deadline,
+                deadline=deadline, precision=precision,
             )
             for i, b in enumerate(bs)
         ))

@@ -18,6 +18,8 @@ import threading
 from contextlib import contextmanager
 from typing import Iterator
 
+import numpy as np
+
 from repro.sem.workspace import SolverWorkspace
 
 
@@ -56,7 +58,9 @@ class WorkspacePool:
         # introspection stalling for seconds behind a solve is its own
         # bug.
         self._registry_lock = threading.Lock()
-        self._leased: dict[int, SolverWorkspace] = {}
+        # Keys: plain ints for fp64 leases, (batch, "f32") for the fp32
+        # twins a mixed lease adds alongside.
+        self._leased: dict[object, SolverWorkspace] = {}
 
     @contextmanager
     def lease(self, batch: int) -> Iterator[SolverWorkspace]:
@@ -84,17 +88,48 @@ class WorkspacePool:
                 self._leased[batch] = ws
             yield ws
 
+    @contextmanager
+    def lease_mixed(
+        self, batch: int
+    ) -> Iterator[tuple[SolverWorkspace, SolverWorkspace]]:
+        """Exclusive use of the fp64 + fp32 workspace pair for ``batch``.
+
+        The mixed-precision dispatch needs both: the fp64 workspace
+        carries the refinement loop's outer vectors, the fp32 twin the
+        inner correction solves.  One lease (the same lock as
+        :meth:`lease`) covers the pair — the fp64 buffers are shared
+        with the plain path, so a mixed and an fp64 solve must still
+        exclude each other.
+
+        Yields
+        ------
+        (SolverWorkspace, SolverWorkspace)
+            The ``(fp64, fp32)`` workspaces for ``batch``, exclusively
+            held until the ``with`` block exits.
+        """
+        with self._lock:
+            ws = self._problem.batch_workspace(batch)
+            ws32 = self._problem.batch_workspace(batch, dtype=np.float32)
+            with self._registry_lock:
+                self._leased[batch] = ws
+                self._leased[(batch, "f32")] = ws32
+            yield ws, ws32
+
     # ------------------------------------------------------------------
     @property
     def sizes(self) -> tuple[int, ...]:
         """Batch sizes this pool has leased so far (sorted).
 
-        Guarded by the registry lock (never the lease lock), so a
-        snapshot racing a first-time lease sees a consistent dict
-        without waiting out an in-flight solve.
+        Counts fp64 leases only (a mixed lease's fp32 twin rides along
+        at the same batch size); see :attr:`nbytes` for the full
+        footprint including the twins.  Guarded by the registry lock
+        (never the lease lock), so a snapshot racing a first-time lease
+        sees a consistent dict without waiting out an in-flight solve.
         """
         with self._registry_lock:
-            return tuple(sorted(self._leased))
+            return tuple(sorted(
+                k for k in self._leased if isinstance(k, int)
+            ))
 
     @property
     def nbytes(self) -> int:

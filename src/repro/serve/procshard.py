@@ -167,12 +167,26 @@ def _worker_info(problem, spec) -> dict:
     inner = getattr(problem, "problem", problem)
     geo = inner.geometry
     shm = getattr(geo, "_shm", None)
+    # fp32 attestation: the mixed path's geometry twin must be the
+    # parent's shared export, not a private worker-side cast.
+    twins = getattr(geo, "_dtype_twins", None) or {}
+    twin32 = twins.get(np.dtype(np.float32).str)
+    shm32 = None if twin32 is None else getattr(twin32, "_shm", None)
     return {
         "pid": os.getpid(),
         "n_dofs": int(problem.n_dofs),
         "geometry_block": None if shm is None else shm.name,
         "g_soa_writeable": bool(geo.g_soa.flags.writeable),
         "shared_blocks": tuple(spec.shared_blocks),
+        "precision": spec.precision,
+        "geometry32_block": None if shm32 is None else shm32.name,
+        "geometry32_dtype": (
+            None if twin32 is None else str(twin32.g_soa.dtype)
+        ),
+        "g32_soa_writeable": (
+            None if twin32 is None
+            else bool(twin32.g_soa.flags.writeable)
+        ),
     }
 
 
@@ -182,10 +196,12 @@ def _worker_main(
     """Worker-process entry point: rebuild, serve, drain, exit.
 
     Protocol (tuples over the pipe; parent -> worker):
-    ``("solve_block", [(req_id, b, tol, maxiter, deadline_remaining),
-    ...])`` — ``deadline_remaining`` is the request's *remaining* time
-    budget in seconds (monotonic clocks don't compare across
-    processes, so the wire carries a relative quantity) or ``None``;
+    ``("solve_block", [(req_id, b, tol, maxiter, deadline_remaining,
+    precision), ...])`` — ``deadline_remaining`` is the request's
+    *remaining* time budget in seconds (monotonic clocks don't compare
+    across processes, so the wire carries a relative quantity) or
+    ``None``; ``precision`` the request's solve policy (``"fp64"`` /
+    ``"mixed"`` / ``None`` = the worker service's default);
     ``("stats", token)``, ``("info", token)``, ``("flush", token)``,
     ``("close",)``.  Worker -> parent: ``("ready", pid)`` /
     ``("fatal", exc)`` once at startup, then ``("done_block",
@@ -297,7 +313,10 @@ def _worker_main(
                     # mid-block is reported through the tickets, so
                     # every req_id gets exactly one reply either way.
                     tickets = svc.submit_block(
-                        [(b, tol, mi, dl) for _, b, tol, mi, dl in block]
+                        [
+                            (b, tol, mi, dl, prec)
+                            for _, b, tol, mi, dl, prec in block
+                        ]
                     )
                 except BaseException as exc:
                     # All-or-nothing failure (validation): nothing was
@@ -359,14 +378,20 @@ class _Inflight:
     :meth:`ProcessShardedSolveService._dispatch_inflights`).
     """
 
-    __slots__ = ("ticket", "b", "tol", "maxiter", "deadline_at", "attempts")
+    __slots__ = (
+        "ticket", "b", "tol", "maxiter", "deadline_at", "precision",
+        "attempts",
+    )
 
-    def __init__(self, ticket, b, tol, maxiter, deadline_at) -> None:
+    def __init__(
+        self, ticket, b, tol, maxiter, deadline_at, precision=None
+    ) -> None:
         self.ticket = ticket
         self.b = b
         self.tol = tol
         self.maxiter = maxiter
         self.deadline_at = deadline_at  # time.monotonic() absolute, or None
+        self.precision = precision  # "fp64" / "mixed" / None (worker default)
         self.attempts = 0
 
 
@@ -423,7 +448,8 @@ class ProcessShardedSolveService:
         :class:`~repro.serve.scheduler.Router` sized for ``workers`` —
         the same policies, with the same semantics, as the in-process
         :class:`~repro.serve.shard.ShardedSolveService`.
-    max_batch / max_wait / max_pending / tol / maxiter / precondition:
+    max_batch / max_wait / max_pending / tol / maxiter / precision /
+    precondition:
         Forwarded to every worker's in-process
         :class:`~repro.serve.service.SolveService`; omitted knobs take
         that dataclass's own defaults (the ``_UNSET`` pattern shared
@@ -507,6 +533,7 @@ class ProcessShardedSolveService:
         max_pending: "int | None | object" = _UNSET,
         tol: "float | object" = _UNSET,
         maxiter: "int | object" = _UNSET,
+        precision: "str | object" = _UNSET,
         precondition: "bool | object" = _UNSET,
         queue_watermark: int | None = None,
         on_overload: OverloadHook | None = None,
@@ -603,7 +630,8 @@ class ProcessShardedSolveService:
             for name, value in (
                 ("max_batch", max_batch), ("max_wait", max_wait),
                 ("max_pending", max_pending), ("tol", tol),
-                ("maxiter", maxiter), ("precondition", precondition),
+                ("maxiter", maxiter), ("precision", precision),
+                ("precondition", precondition),
             )
             if value is not _UNSET
         }
@@ -1057,14 +1085,14 @@ class ProcessShardedSolveService:
     # Routing / dispatch plumbing
     # ------------------------------------------------------------------
     def _validate_request(
-        self, b, tol, maxiter, deadline
+        self, b, tol, maxiter, deadline, precision=None
     ) -> tuple:
         """Snapshot + validate one request parent-side (bad requests
         must bounce before crossing the process boundary).  ``None``
         knobs pass through for the worker's service to resolve; the
         checks themselves are :func:`repro.serve.service.check_request`
         — the same single source of truth the workers apply."""
-        return check_request(self._n, b, tol, maxiter, deadline)
+        return check_request(self._n, b, tol, maxiter, deadline, precision)
 
     def _route(
         self, key, depths: tuple[int, ...], healthy
@@ -1147,7 +1175,10 @@ class ProcessShardedSolveService:
                         else max(inf.deadline_at - now, 1e-9)
                     )
                     payload.append(
-                        (req_id, inf.b, inf.tol, inf.maxiter, remaining)
+                        (
+                            req_id, inf.b, inf.tol, inf.maxiter, remaining,
+                            inf.precision,
+                        )
                     )
             drop = False
             if injector is not None:
@@ -1187,6 +1218,7 @@ class ProcessShardedSolveService:
         maxiter: int | None = None,
         key: object | None = None,
         deadline: float | None = None,
+        precision: str | None = None,
     ) -> SolveTicket:
         """Route one right-hand side to a healthy worker; returns its
         ticket.
@@ -1207,6 +1239,14 @@ class ProcessShardedSolveService:
             :class:`~repro.serve.errors.DeadlineExceeded` — whether it
             expired queued behind a slow worker, lost to a crash, or
             mid-retry.
+        precision:
+            Per-request solve policy override (``"fp64"`` or
+            ``"mixed"``), resolved against the worker services'
+            default; mixed tickets resolve to a
+            :class:`~repro.sem.cg.MixedCGResult`.  The fp32 inner
+            solves stream the parent's shared fp32 geometry twin —
+            attested in :meth:`worker_info` — so no worker pays a
+            private cast.
 
         Returns
         -------
@@ -1232,8 +1272,8 @@ class ProcessShardedSolveService:
         ~repro.serve.errors.WorkerCrashed
             Only with ``retry=None``: the routed-to worker has died.
         """
-        b, tol, maxiter, deadline = self._validate_request(
-            b, tol, maxiter, deadline
+        b, tol, maxiter, deadline, precision = self._validate_request(
+            b, tol, maxiter, deadline, precision
         )
         with self._lock:
             if self._closed:
@@ -1256,7 +1296,9 @@ class ProcessShardedSolveService:
         deadline_at = (
             None if deadline is None else time.monotonic() + deadline
         )
-        inflight = _Inflight(SolveTicket(), b, tol, maxiter, deadline_at)
+        inflight = _Inflight(
+            SolveTicket(), b, tol, maxiter, deadline_at, precision
+        )
         try:
             self._dispatch_inflights(chosen, [inflight])
         except WorkerCrashed:
@@ -1276,6 +1318,7 @@ class ProcessShardedSolveService:
         maxiter: int | None = None,
         keys: Sequence[object] | None = None,
         deadline: float | None = None,
+        precision: str | None = None,
     ) -> list[CGResult]:
         """Solve a block of right-hand sides; results in input order.
 
@@ -1296,7 +1339,8 @@ class ProcessShardedSolveService:
                 f"keys length {len(keys)} != number of requests {len(bs)}"
             )
         validated = [
-            self._validate_request(b, tol, maxiter, deadline) for b in bs
+            self._validate_request(b, tol, maxiter, deadline, precision)
+            for b in bs
         ]
         with self._lock:
             if self._closed:
@@ -1335,9 +1379,9 @@ class ProcessShardedSolveService:
             inflights = [
                 _Inflight(
                     SolveTicket(), vb, vtol, vmi,
-                    None if vdl is None else now + vdl,
+                    None if vdl is None else now + vdl, vprec,
                 )
-                for vb, vtol, vmi, vdl in items
+                for vb, vtol, vmi, vdl, vprec in items
             ]
             dispatched[chosen] = inflights
             try:

@@ -45,7 +45,13 @@ from typing import Callable
 import numpy as np
 from numpy.typing import NDArray
 
-from repro.sem.cg import CGResult, cg_solve_batched
+from repro.sem.cg import (
+    CGResult,
+    MixedCGResult,
+    cg_solve_batched,
+    cg_solve_batched_mixed,
+    check_precision,
+)
 from repro.serve.errors import DeadlineExceeded, ServiceClosed
 from repro.serve.pool import WorkspacePool
 from repro.serve.scheduler import MicroBatcher
@@ -62,7 +68,11 @@ def check_request(
     tol: float | None,
     maxiter: int | None,
     deadline: float | None = None,
-) -> "tuple[NDArray[np.float64], float | None, int | None, float | None]":
+    precision: str | None = None,
+) -> (
+    "tuple[NDArray[np.float64], float | None, int | None, float | None,"
+    " str | None]"
+):
     """Snapshot + validate one request's parameters; no side effects.
 
     The single source of request-validation truth, shared by
@@ -73,7 +83,9 @@ def check_request(
     unchecked; everything else is coerced and bounds-checked.
     ``deadline`` is the request's *relative* time budget in seconds
     (``None`` = no deadline); callers convert it to an absolute
-    ``time.monotonic()`` instant themselves.
+    ``time.monotonic()`` instant themselves.  ``precision`` is the
+    request's solve policy (``"fp64"``/``"mixed"``, ``None`` = resolve
+    later).
     """
     b = np.array(b, dtype=np.float64)  # snapshot: caller may mutate
     if b.shape != (n,):
@@ -92,7 +104,9 @@ def check_request(
             raise ValueError(
                 f"deadline must be finite and > 0 seconds, got {deadline}"
             )
-    return b, tol, maxiter, deadline
+    if precision is not None:
+        check_precision(precision)
+    return b, tol, maxiter, deadline, precision
 
 
 class SolveTicket:
@@ -218,6 +232,7 @@ class _Request:
     tol: float
     maxiter: int
     deadline_at: float | None = None
+    precision: str = "fp64"
 
 
 @dataclass
@@ -249,6 +264,20 @@ class SolveService:
         inline, so its queue cannot grow past ``max_batch``).
     tol / maxiter:
         Service-level defaults for requests that don't override them.
+    precision:
+        Service-level default solve policy (``"fp64"`` or ``"mixed"``)
+        for requests that don't override it per submission.  ``None``
+        (the default) inherits the problem's own ``precision``
+        attribute, so a fleet built over a ``precision="mixed"``
+        problem serves mixed by default without re-stating the policy
+        at every layer.  Mixed and
+        fp64 requests may coalesce into the same queue batch; the
+        service splits them into **separate dispatch groups** at solve
+        time (one fp64 :func:`~repro.sem.cg.cg_solve_batched`, one
+        fp32-inner :func:`~repro.sem.cg.cg_solve_batched_mixed`), so
+        each request's numerics are exactly its precision's solo path.
+        ``"mixed"`` requires the problem to expose an ``operator32``
+        twin.
     precondition:
         Use the problem's cached Jacobi diagonal (default) or solve
         unpreconditioned.
@@ -280,6 +309,7 @@ class SolveService:
     max_pending: int | None = None
     tol: float = 1e-10
     maxiter: int = 1000
+    precision: str | None = None
     precondition: bool = True
     background: bool = False
 
@@ -295,9 +325,21 @@ class SolveService:
                 f"protocol attribute(s) {missing}; expected a "
                 "PoissonProblem, HelmholtzProblem or NekboneCase"
             )
+        if self.precision is None:
+            self.precision = getattr(self.problem, "precision", "fp64")
+        check_precision(self.precision)
         if self.max_pending is None and self.background:
             self.max_pending = 4 * self.max_batch
         self._operator = self.problem.operator
+        # The fp32 twin is optional problem equipment (not part of
+        # _PROTOCOL): fp64-only problems keep working unchanged, and a
+        # mixed request against one bounces at submission.
+        self._operator32 = getattr(self.problem, "operator32", None)
+        if self.precision == "mixed" and self._operator32 is None:
+            raise TypeError(
+                f"precision='mixed' needs an operator32 twin, which "
+                f"problem {type(self.problem).__name__} does not expose"
+            )
         self._diag = (
             self.problem.precond_diag() if self.precondition else None
         )
@@ -330,6 +372,7 @@ class SolveService:
         tol: float | None = None,
         maxiter: int | None = None,
         deadline: float | None = None,
+        precision: str | None = None,
     ) -> SolveTicket:
         """Queue one right-hand side for solving; returns its ticket.
 
@@ -348,11 +391,16 @@ class SolveService:
             :class:`~repro.serve.errors.DeadlineExceeded` instead of
             solving; a request already mid-solve is never interrupted
             (the deadline gates *starting* work, not finishing it).
+        precision:
+            Per-request override of the service's solve policy
+            (``"fp64"`` or ``"mixed"``); the ticket resolves to a
+            :class:`~repro.sem.cg.MixedCGResult` for mixed requests.
 
         Returns
         -------
         SolveTicket
-            Resolves to the request's :class:`~repro.sem.cg.CGResult`.
+            Resolves to the request's :class:`~repro.sem.cg.CGResult`
+            (or :class:`~repro.sem.cg.MixedCGResult`).
 
         Raises
         ------
@@ -371,7 +419,7 @@ class SolveService:
         the submitter whose request fills a batch pays for solving it
         inline.
         """
-        request = self._build_request(b, tol, maxiter, deadline)
+        request = self._build_request(b, tol, maxiter, deadline, precision)
         # Count the submission BEFORE enqueueing: once the request is in
         # the queue a background dispatcher may solve and record it
         # immediately, and a snapshot cut in between must never show
@@ -395,6 +443,7 @@ class SolveService:
         tol: float | None,
         maxiter: int | None,
         deadline: float | None = None,
+        precision: str | None = None,
     ) -> _Request:
         """Snapshot + validate one request (no side effects on failure).
 
@@ -406,25 +455,33 @@ class SolveService:
         absolute ``time.monotonic()`` instant now, at submission — queue
         time counts against the budget.
         """
-        b, tol_val, maxiter_val, deadline_val = check_request(
+        b, tol_val, maxiter_val, deadline_val, precision_val = check_request(
             self._n, b,
             self.tol if tol is None else tol,
             self.maxiter if maxiter is None else maxiter,
             deadline,
+            self.precision if precision is None else precision,
         )
+        if precision_val == "mixed" and self._operator32 is None:
+            raise TypeError(
+                f"precision='mixed' needs an operator32 twin, which "
+                f"problem {type(self.problem).__name__} does not expose"
+            )
         return _Request(
             ticket=SolveTicket(), b=b, tol=tol_val, maxiter=maxiter_val,
             deadline_at=(
                 None if deadline_val is None
                 else time.monotonic() + deadline_val
             ),
+            precision=precision_val,
         )
 
     def submit_block(
         self,
         items: "list[tuple]",
     ) -> list[SolveTicket]:
-        """Submit a block of ``(b, tol, maxiter[, deadline])`` requests.
+        """Submit a block of ``(b, tol, maxiter[, deadline[, precision]])``
+        requests.
 
         The block-ingest twin of :meth:`submit`, used by the process
         shard (:mod:`repro.serve.procshard`): the whole block is
@@ -432,7 +489,8 @@ class SolveService:
         ``ValueError`` before anything is enqueued), then enqueued
         under one queue-lock acquisition with a single dispatcher
         wake-up instead of one per request.  Items may be 3-tuples
-        (no deadline) or 4-tuples with a relative deadline in seconds.
+        (no deadline), 4-tuples with a relative deadline in seconds, or
+        5-tuples adding a per-request precision policy.
 
         Returns
         -------
@@ -504,7 +562,8 @@ class SolveService:
         tol: float | None = None,
         maxiter: int | None = None,
         deadline: float | None = None,
-    ) -> list[CGResult]:
+        precision: str | None = None,
+    ) -> "list[CGResult | MixedCGResult]":
         """Solve a block of right-hand sides; results in input order.
 
         The scripted front-end: equivalent to submitting every row and
@@ -523,14 +582,20 @@ class SolveService:
             :meth:`submit`); waiting on the results re-raises
             :class:`~repro.serve.errors.DeadlineExceeded` for any row
             that expired before solving.
+        precision:
+            Shared per-request solve policy override (``"fp64"`` or
+            ``"mixed"``).
 
         Returns
         -------
         list of ~repro.sem.cg.CGResult
             One result per input row, in input order, each bit-identical
-            to a sequential warm solve of that row.
+            to a sequential warm solve of that row
+            (:class:`~repro.sem.cg.MixedCGResult` for mixed rows).
         """
-        tickets = self.submit_block([(b, tol, maxiter, deadline) for b in bs])
+        tickets = self.submit_block(
+            [(b, tol, maxiter, deadline, precision) for b in bs]
+        )
         if self._dispatcher is None:
             self.flush()
         return [t.result() for t in tickets]
@@ -603,6 +668,12 @@ class SolveService:
         one clock read gates the whole batch, *before* any solve work —
         so an expired request never consumes solver time and never
         delays its live batchmates.
+
+        Mixed-precision and fp64 requests that coalesced into the same
+        queue batch are split into separate dispatch groups (one stacked
+        solve and one stats record each): the two paths run different
+        kernels over different workspaces, and sharing a stacked solve
+        would force one group through the other's numerics.
         """
         now = time.monotonic()
         expired = [
@@ -621,6 +692,29 @@ class SolveService:
             ]
             if not batch:
                 return
+        groups = [
+            group for group in (
+                [req for req in batch if req.precision != "mixed"],
+                [req for req in batch if req.precision == "mixed"],
+            ) if group
+        ]
+        for i, group in enumerate(groups):
+            try:
+                self._solve_group(group)
+            except BaseException:
+                # Only interrupts escape _solve_group; fail the still
+                # pending later groups' tickets before propagating so
+                # no waiter is stranded.
+                for later in groups[i + 1:]:
+                    for req in later:
+                        req.ticket._fail(ServiceClosed(
+                            "service interrupted before this dispatch group"
+                        ))
+                raise
+
+    def _solve_group(self, batch: list[_Request]) -> None:
+        """One stacked dispatch of same-precision requests."""
+        mixed = batch[0].precision == "mixed"
         start = time.perf_counter()
         nb = len(batch)
         try:
@@ -629,11 +723,19 @@ class SolveService:
             maxiters = np.array(
                 [req.maxiter for req in batch], dtype=np.int64
             )
-            with self._pool.lease(nb) as ws:
-                res = cg_solve_batched(
-                    self._operator, bs, precond_diag=self._diag,
-                    tol=tols, maxiter=maxiters, workspace=ws,
-                )
+            if mixed:
+                with self._pool.lease_mixed(nb) as (ws, ws32):
+                    res = cg_solve_batched_mixed(
+                        self._operator, self._operator32, bs,
+                        precond_diag=self._diag, tol=tols,
+                        maxiter=maxiters, workspace=ws, workspace32=ws32,
+                    )
+            else:
+                with self._pool.lease(nb) as ws:
+                    res = cg_solve_batched(
+                        self._operator, bs, precond_diag=self._diag,
+                        tol=tols, maxiter=maxiters, workspace=ws,
+                    )
         except BaseException as exc:  # resolve tickets even on breakdown
             # Stats first, tickets second: a client that has seen its
             # ticket resolve must also see itself counted in the next
@@ -651,8 +753,9 @@ class SolveService:
         self.stats_accumulator.record_batch(
             nb, time.perf_counter() - start, len(self._batcher),
         )
+        extract = _outcome_row_mixed if mixed else _outcome_row
         for k, req in enumerate(batch):
-            req.ticket._resolve(_outcome_row(res, k))
+            req.ticket._resolve(extract(res, k))
 
 
 def _outcome_row(res, k: int) -> CGResult:
@@ -671,5 +774,28 @@ def _outcome_row(res, k: int) -> CGResult:
         residual_norm=float(res.residual_norm[k]),
         residual_history=tuple(
             float(v) for v in res.residual_history[: iterations + 1, k]
+        ),
+    )
+
+
+def _outcome_row_mixed(res, k: int) -> MixedCGResult:
+    """Extract system ``k`` of a batched mixed result.
+
+    Histories are truncated to the system's own sweep count (later rows
+    are frozen repeats while slower batchmates refined), so the record
+    matches a solo :func:`~repro.sem.cg.cg_solve_mixed` of that system.
+    """
+    sweeps = int(res.sweeps[k])
+    return MixedCGResult(
+        x=res.x[k].copy(),
+        iterations=int(res.iterations[k]),
+        converged=bool(res.converged[k]),
+        residual_norm=float(res.residual_norm[k]),
+        residual_history=tuple(
+            float(v) for v in res.residual_history[: sweeps + 1, k]
+        ),
+        sweeps=sweeps,
+        inner_iterations=tuple(
+            int(v) for v in res.inner_iterations[:sweeps, k]
         ),
     )

@@ -89,7 +89,8 @@ class ShardedSolveService:
         ``"tenant"``, ``"least-loaded"``, ``"round-robin"``, or a
         ready :class:`~repro.serve.scheduler.Router` sized for
         ``replicas``.
-    max_batch / max_wait / max_pending / tol / maxiter / precondition:
+    max_batch / max_wait / max_pending / tol / maxiter / precision /
+    precondition:
         Forwarded to every replica :class:`~repro.serve.service.SolveService`
         (each runs with ``background=True``, i.e. its own dispatcher
         thread).  When omitted, each knob takes ``SolveService``'s own
@@ -147,6 +148,7 @@ class ShardedSolveService:
         max_pending: "int | None | object" = _UNSET,
         tol: "float | object" = _UNSET,
         maxiter: "int | object" = _UNSET,
+        precision: "str | object" = _UNSET,
         precondition: "bool | object" = _UNSET,
         queue_watermark: int | None = None,
         on_overload: OverloadHook | None = None,
@@ -212,7 +214,8 @@ class ShardedSolveService:
             for name, value in (
                 ("max_batch", max_batch), ("max_wait", max_wait),
                 ("max_pending", max_pending), ("tol", tol),
-                ("maxiter", maxiter), ("precondition", precondition),
+                ("maxiter", maxiter), ("precision", precision),
+                ("precondition", precondition),
             )
             if value is not _UNSET
         }
@@ -290,6 +293,7 @@ class ShardedSolveService:
         maxiter: int | None = None,
         key: object | None = None,
         deadline: float | None = None,
+        precision: str | None = None,
     ) -> SolveTicket:
         """Route one right-hand side to a replica; returns its ticket.
 
@@ -309,6 +313,9 @@ class ShardedSolveService:
             :meth:`SolveService.submit`); a request still queued when it
             expires fails its ticket with
             :class:`~repro.serve.errors.DeadlineExceeded`.
+        precision:
+            Per-request solve policy override (``"fp64"`` or
+            ``"mixed"``; see :meth:`SolveService.submit`).
 
         Returns
         -------
@@ -377,6 +384,7 @@ class ShardedSolveService:
                 self._health_diverted += health_diverted
         ticket = self.services[chosen].submit(
             b, tol=tol, maxiter=maxiter, deadline=deadline,
+            precision=precision,
         )
         with self._lock:
             self._routed[chosen] += 1
@@ -389,6 +397,7 @@ class ShardedSolveService:
         maxiter: int | None = None,
         keys: Sequence[object] | None = None,
         deadline: float | None = None,
+        precision: str | None = None,
     ) -> list[CGResult]:
         """Solve a block of right-hand sides; results in input order.
 
@@ -402,6 +411,8 @@ class ShardedSolveService:
             Optional per-request routing keys (``len(keys) == M``).
         deadline:
             Shared per-request time budget in seconds.
+        precision:
+            Shared per-request solve policy override.
 
         Returns
         -------
@@ -416,7 +427,7 @@ class ShardedSolveService:
             self.submit(
                 b, tol=tol, maxiter=maxiter,
                 key=None if keys is None else keys[i],
-                deadline=deadline,
+                deadline=deadline, precision=precision,
             )
             for i, b in enumerate(bs)
         ]

@@ -173,7 +173,8 @@ class TestSharedExport:
         want = warm_solve(prob, b)
         export = prob.export_shared()
         try:
-            assert len(export.block_names) == 3
+            # geometry (fp64 + fp32 twin), gather-scatter, mesh coords.
+            assert len(export.block_names) == 4
             for name in export.block_names:
                 assert os.path.exists(f"/dev/shm/{name}")
             spec = pickle.loads(pickle.dumps(export.spec))

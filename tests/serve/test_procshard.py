@@ -97,7 +97,8 @@ class TestProcShardSharedMemory:
         )
         try:
             blocks = svc.shared_blocks
-            assert len(blocks) == 3  # geometry, gather-scatter, extras
+            # geometry (fp64 + fp32 twin), gather-scatter, extras
+            assert len(blocks) == 4
             assert all(shm_exists(name) for name in blocks)
             infos = svc.worker_info()
             assert len(infos) == 2
@@ -284,3 +285,92 @@ class TestProcShardStats:
         # epochs across processes differ by boot-scale magnitudes).
         assert 0 < agg.wall_seconds < 60
         assert agg.solves_per_second > 0
+
+
+class TestProcShardMixed:
+    """Mixed-precision requests across the process boundary."""
+
+    def mixed_reference(self, prob, b, tol=1e-10, maxiter=200):
+        from repro.sem.cg import cg_solve_mixed
+
+        return cg_solve_mixed(
+            prob.apply_A, prob.apply_A32, b,
+            precond_diag=prob.precond_diag(), tol=tol, maxiter=maxiter,
+            workspace=prob.workspace,
+            workspace32=prob.batch_workspace(1, dtype=np.float32),
+        )
+
+    def assert_same_mixed(self, got, want):
+        from repro.sem.cg import MixedCGResult
+
+        assert isinstance(got, MixedCGResult)
+        assert np.array_equal(got.x, want.x)
+        assert got.iterations == want.iterations
+        assert got.converged == want.converged
+        assert got.residual_norm == want.residual_norm
+        assert got.residual_history == want.residual_history
+        assert got.sweeps == want.sweeps
+        assert got.inner_iterations == want.inner_iterations
+
+    def test_per_request_mixed_bit_identical_across_processes(
+        self, serving_problem
+    ):
+        """A mixed request solved in a worker process comes back as a
+        MixedCGResult bit-identical to the local warm solo refinement
+        — the precision flag, the fp32 twin rebuild, and every result
+        field survived the pipe."""
+        prob, bank = serving_problem
+        with ProcessShardedSolveService(
+            prob, workers=2, policy="round-robin", max_batch=8,
+            max_wait=0.002, tol=1e-10, maxiter=200,
+        ) as svc:
+            results = svc.solve_many(bank[:6], precision="mixed")
+            fp64 = svc.submit(bank[0]).result(timeout=60)
+        for b, got in zip(bank[:6], results):
+            self.assert_same_mixed(got, self.mixed_reference(prob, b))
+        # fp64 requests on the same fleet stay on the historical path.
+        assert_same_result(fp64, sequential_solve(prob, bank[0]))
+
+    def test_workers_attest_shared_fp32_geometry(self, serving_problem):
+        """Workers attach the parent's exported fp32 geometry twin
+        (one shared block, read-only) rather than re-casting fp64 —
+        attested per worker via worker_info."""
+        prob, _ = serving_problem
+        with ProcessShardedSolveService(
+            prob, workers=2, policy="round-robin", max_batch=8,
+            max_wait=0.002, tol=1e-10, maxiter=200,
+        ) as svc:
+            infos = svc.worker_info()
+            assert len(infos) == 2
+            blocks = {info["geometry32_block"] for info in infos}
+            assert len(blocks) == 1  # one shared block, all workers on it
+            (block,) = blocks
+            assert block is not None and shm_exists(block)
+            for info in infos:
+                assert info["geometry32_dtype"] == "float32"
+                assert info["g32_soa_writeable"] is False
+                assert info["precision"] == "fp64"  # the fleet default
+        assert not shm_exists(block)  # unlinked on close
+
+    def test_fleet_default_mixed_from_problem_precision(self):
+        """A problem built with precision="mixed" makes the whole fleet
+        default to refinement — no per-request flag — while explicit
+        precision="fp64" still overrides per request."""
+        ref = ReferenceElement.from_degree(3)
+        mesh = BoxMesh.build(ref, (2, 2, 2))
+        prob = PoissonProblem(
+            mesh, ax_backend="matmul", precision="mixed"
+        )
+        _, forcing = sine_manufactured(mesh.extent)
+        b = prob.rhs_from_forcing(forcing)
+        with ProcessShardedSolveService(
+            prob, workers=2, policy="round-robin", max_batch=4,
+            max_wait=0.002, tol=1e-10, maxiter=200,
+        ) as svc:
+            infos = svc.worker_info()
+            got = svc.submit(b).result(timeout=60)
+            fp64 = svc.submit(b, precision="fp64").result(timeout=60)
+        for info in infos:
+            assert info["precision"] == "mixed"
+        self.assert_same_mixed(got, self.mixed_reference(prob, b))
+        assert_same_result(fp64, sequential_solve(prob, b))

@@ -687,3 +687,140 @@ class TestStats:
         assert final.completed == n_clients * per_client
         assert final.failed == 0
         assert final.queue_depth == 0
+
+class TestMixedPrecisionService:
+    """Per-request and service-default ``precision="mixed"`` through the
+    micro-batching front: separate dispatch groups, solo-equivalent
+    numerics, and honest bounces on problems without an fp32 twin."""
+
+    def mixed_reference(self, prob, b, tol=1e-10, maxiter=200):
+        from repro.sem.cg import cg_solve_mixed
+
+        return cg_solve_mixed(
+            prob.apply_A, prob.apply_A32, b,
+            precond_diag=prob.precond_diag(), tol=tol, maxiter=maxiter,
+            workspace=prob.workspace,
+            workspace32=prob.batch_workspace(1, dtype=np.float32),
+        )
+
+    def test_per_request_mixed_resolves_mixed_result(self, serving_problem):
+        from repro.sem.cg import MixedCGResult
+
+        prob, bank = serving_problem
+        with SolveService(prob, max_batch=4) as svc:
+            ticket = svc.submit(bank[0], precision="mixed")
+            svc.flush()
+            got = ticket.result(timeout=60)
+        assert isinstance(got, MixedCGResult)
+        assert got.converged
+        want = self.mixed_reference(prob, bank[0])
+        assert np.array_equal(got.x, want.x)
+        assert got.sweeps == want.sweeps
+        assert got.inner_iterations == want.inner_iterations
+        assert got.residual_history == want.residual_history
+
+    def test_coalesced_mixed_and_fp64_split_into_groups(
+        self, serving_problem
+    ):
+        """Mixed and fp64 requests queued into the same batch must each
+        get exactly their solo path's numerics — the service splits the
+        batch into separate dispatch groups at solve time."""
+        from repro.sem.cg import MixedCGResult
+
+        prob, bank = serving_problem
+        with SolveService(prob, max_batch=8) as svc:
+            tickets = [
+                svc.submit(
+                    b, precision="mixed" if k % 2 else "fp64"
+                )
+                for k, b in enumerate(bank[:6])
+            ]
+            svc.flush()
+            results = [t.result(timeout=60) for t in tickets]
+            snap = svc.stats
+        for k, (b, got) in enumerate(zip(bank[:6], results)):
+            if k % 2:
+                assert isinstance(got, MixedCGResult)
+                want = self.mixed_reference(prob, b)
+                assert np.array_equal(got.x, want.x)
+            else:
+                assert not isinstance(got, MixedCGResult)
+                assert_same_result(got, sequential_solve(prob, b))
+        # Two dispatch groups: one stacked fp64 solve, one stacked mixed.
+        assert snap.completed == 6
+
+    def test_solve_many_all_mixed(self, serving_problem):
+        from repro.sem.cg import MixedCGResult
+
+        prob, bank = serving_problem
+        with SolveService(prob, max_batch=4) as svc:
+            results = svc.solve_many(bank[:4], precision="mixed")
+        for b, got in zip(bank[:4], results):
+            assert isinstance(got, MixedCGResult)
+            want = self.mixed_reference(prob, b)
+            assert np.array_equal(got.x, want.x)
+
+    def test_service_inherits_problem_precision(self):
+        from repro.sem.cg import MixedCGResult
+
+        ref = ReferenceElement.from_degree(3)
+        mesh = BoxMesh.build(ref, (2, 2, 1))
+        prob = PoissonProblem(
+            mesh, ax_backend="matmul", precision="mixed"
+        )
+        _, forcing = sine_manufactured(mesh.extent)
+        b = prob.rhs_from_forcing(forcing)
+        with SolveService(prob, max_batch=2) as svc:
+            assert svc.precision == "mixed"
+            t_mixed = svc.submit(b)
+            # And the per-request override back to fp64 still works.
+            t_fp64 = svc.submit(b, precision="fp64")
+            svc.flush()
+            got = t_mixed.result(timeout=60)
+            got64 = t_fp64.result(timeout=60)
+        assert isinstance(got, MixedCGResult)
+        assert not isinstance(got64, MixedCGResult)
+
+    def test_mixed_bounces_without_operator32(self, serving_problem):
+        """A problem lacking the fp32 twin keeps working for fp64 and
+        rejects mixed at submission (and at construction for a mixed
+        service default) with a clear TypeError."""
+        prob, bank = serving_problem
+
+        class Fp64Only:
+            n_dofs = prob.n_dofs
+            operator = staticmethod(prob.apply_A)
+            workspace = prob.workspace
+
+            def precond_diag(self):
+                return prob.precond_diag()
+
+            def batch_workspace(self, batch, dtype=np.float64):
+                return prob.batch_workspace(batch, dtype=dtype)
+
+        with SolveService(Fp64Only(), max_batch=2) as svc:
+            ticket = svc.submit(bank[0])
+            svc.flush()
+            assert ticket.result(timeout=60).converged
+            with pytest.raises(TypeError, match="operator32"):
+                svc.submit(bank[0], precision="mixed")
+        with pytest.raises(TypeError, match="operator32"):
+            SolveService(Fp64Only(), precision="mixed")
+
+    def test_invalid_precision_bounces_at_submit(self, serving_problem):
+        prob, bank = serving_problem
+        with SolveService(prob, max_batch=2) as svc:
+            with pytest.raises(ValueError, match="precision"):
+                svc.submit(bank[0], precision="fp32")
+
+    def test_lease_mixed_registers_twin_and_sizes_stay_int(
+        self, serving_problem
+    ):
+        prob, _ = serving_problem
+        pool = WorkspacePool(prob)
+        with pool.lease_mixed(3) as (ws, ws32):
+            assert ws.cg_x.dtype == np.float64
+            assert ws32.cg_x.dtype == np.float32
+            assert ws32.nbytes < ws.nbytes
+        assert pool.sizes == (3,)
+        assert pool.nbytes >= ws.nbytes + ws32.nbytes
