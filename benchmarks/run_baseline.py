@@ -189,6 +189,22 @@ def derive(data: dict) -> dict:
                 derived["serve_procshard_throughput"]
                 / derived["serve_throughput"]
             )
+    ring_bench = bench_of(data, "test_bench_serve_zerocopy_throughput_b16")
+    if ring_bench:
+        ring = float(ring_bench["stats"]["mean"])
+        ring_requests = float(
+            ring_bench.get("extra_info", {}).get("requests_per_round", 16)
+        )
+        derived["serve_zerocopy_b16_s"] = ring
+        derived["serve_zerocopy_throughput"] = ring_requests / ring
+        if proc_bench:
+            # Ring transport vs the pickled-pipe baseline, same fleet,
+            # same stream.  At the small serving shape the removed
+            # pickle is a modest slice of each round trip, so on this
+            # 1-vCPU host the honest expectation is parity (~1x, floor
+            # 0.8x below); the ratio is tracked so payload-heavier
+            # shapes and multi-core hosts record the real win.
+            derived["serve_zerocopy_vs_pipe_speedup"] = proc / ring
     crash_bench = bench_of(data, "test_bench_serve_crash_recovery")
     if crash_bench:
         # Seconds from terminating one of K=2 workers to the fleet
@@ -338,6 +354,18 @@ def main(argv: list[str] | None = None) -> int:
             "~0.65-0.78x; the floor only demands that the process "
             "boundary stay cheap, the ratio itself is tracked for "
             "multi-core hosts like threads2/sharded)"
+        )
+        if not args.fast:
+            status = status or 1
+    zerocopy = data["derived"].get("serve_zerocopy_vs_pipe_speedup")
+    if zerocopy is not None and zerocopy < 0.8:
+        print(
+            f"WARNING: zero-copy ring transport at {zerocopy:.2f}x the "
+            "pipe baseline is below the 0.8x floor (at the small N=3/E=8 "
+            "serving shape the removed pickle is a modest slice of each "
+            "round trip, so the honest 1-vCPU expectation is parity — "
+            "the ring must at least not cost throughput; the ratio is "
+            "tracked for payload-heavier shapes and multi-core hosts)"
         )
         if not args.fast:
             status = status or 1

@@ -58,6 +58,8 @@ from repro.sem.nekbone import (
 )
 from repro.sem.shared import (
     SharedArrayManifest,
+    SlotRing,
+    SlotRingManifest,
     attach_shared_arrays,
     export_shared_arrays,
 )
@@ -118,6 +120,8 @@ __all__ = [
     "NekboneReport",
     "element_sweep",
     "SharedArrayManifest",
+    "SlotRing",
+    "SlotRingManifest",
     "attach_shared_arrays",
     "export_shared_arrays",
     "ProblemSpec",

@@ -38,6 +38,7 @@ from repro.sem.nekbone import NekboneCase
 from repro.sem.poisson import PoissonProblem
 from repro.sem.shared import (
     SharedArrayManifest,
+    SlotRingManifest,
     attach_shared_arrays,
     export_shared_arrays,
 )
@@ -84,6 +85,15 @@ class ProblemSpec:
         alongside the fp64 factors so every worker's mixed-precision
         inner solves stream one parent-owned fp32 copy instead of each
         paying a private field-sized cast.
+    ring:
+        Optional :class:`~repro.sem.shared.SlotRingManifest` of the
+        request/response slot ring assigned to the worker rebuilding
+        from this spec (the zero-copy serving transport; see
+        :class:`~repro.sem.shared.SlotRing`).  Unlike the manifests
+        above, which every worker shares, a ring is **per worker** —
+        the parent stamps each worker's spec with its own ring via
+        :meth:`SharedProblemExport.spec_with_ring`.  :func:`rebuild`
+        ignores it; the serving layer attaches it beside the problem.
     """
 
     kind: str
@@ -98,6 +108,7 @@ class ProblemSpec:
     gather_scatter: SharedGatherScatter | None = None
     extras: SharedArrayManifest | None = None
     geometry32: SharedArrayManifest | None = None
+    ring: SlotRingManifest | None = None
 
     @property
     def shared_blocks(self) -> tuple[str, ...]:
@@ -111,6 +122,8 @@ class ProblemSpec:
             names.append(self.extras.block)
         if self.geometry32 is not None:
             names.append(self.geometry32.block)
+        if self.ring is not None:
+            names.append(self.ring.block)
         return tuple(names)
 
 
@@ -148,6 +161,18 @@ class SharedProblemExport:
     def block_names(self) -> tuple[str, ...]:
         """The shared blocks' names (``/dev/shm`` entries on Linux)."""
         return tuple(shm.name for shm in self.blocks)
+
+    def spec_with_ring(self, ring: SlotRingManifest | None) -> ProblemSpec:
+        """This export's spec stamped with one worker's ring descriptor.
+
+        The per-worker hand-off of the zero-copy transport: the shared
+        problem manifests are common to the fleet, the ring is the one
+        per-worker block — a respawned worker gets the *same* ring
+        manifest back, re-attaching the slots its predecessor left.
+        """
+        if ring is None:
+            return self.spec
+        return replace(self.spec, ring=ring)
 
     def close(self, unlink: bool = True) -> None:
         """Unmap (and by default unlink) every exported block.  Idempotent."""

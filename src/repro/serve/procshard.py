@@ -24,8 +24,7 @@ Routing reuses the thread-shard's machinery unchanged
 :class:`~repro.serve.scheduler.LeastLoadedRouter` /
 :class:`~repro.serve.scheduler.RoundRobinRouter`, plus the
 ``queue_watermark`` + ``on_overload`` diversion and the same
-health-gated pick step); requests travel over per-worker pipes and a
-parent-side reader bridges replies back into
+health-gated pick step); a parent-side reader bridges replies back into
 :class:`~repro.serve.service.SolveTicket`\\ s, so the client API is
 identical to the in-process shard's.  Because every worker rebuilds the
 *same* problem from the *same* shared arrays and runs the identical CG
@@ -34,6 +33,32 @@ path, per-request results are bit-identical to a sequential warm
 contract the in-process shard tests.  Solves are **pure**: retrying a
 crashed request on a different worker returns the *same bits* the dead
 worker would have produced, which is what makes transparent retry safe.
+
+Two transports carry the payloads:
+
+* ``transport="ring"`` (the default) — **zero-copy slot rings.**  Each
+  worker owns a per-worker shared-memory
+  :class:`~repro.sem.shared.SlotRing`: the client writes each rhs
+  *directly into a ring slot*, the worker solves a view of that slot
+  and writes ``x`` back in place, and the pipe is demoted to a
+  **doorbell/control channel** carrying slot ordinals and scalar knobs
+  (tol / maxiter / deadline / precision) plus errors.  Request payloads
+  cross zero serialization hops — the fleet's
+  :attr:`~repro.serve.stats.StatsSnapshot.copy_bytes` stays 0 — which
+  is the serving analogue of the paper's on-chip dataflow argument:
+  sub-millisecond solves must not pay a pickle-and-pipe round trip per
+  vector.  Slot hand-off uses monotonic ordinals stamped in
+  sequence-number headers, so a slot is never read while writable and
+  a stale write is detectable; a full ring blocks the submitter (that
+  *is* the backpressure).  Workers are core-pinned via
+  ``os.sched_setaffinity`` (best-effort, guarded on non-Linux) so each
+  ring's pages stay hot next to the worker that drains them.
+* ``transport="pipe"`` — the original pickle-over-pipe payload path,
+  retained as the fallback and the A/B benchmark baseline.  Every
+  shipped rhs is audited into ``copy_bytes``.
+
+Results are bit-identical across the two transports: both feed the
+identical worker-side solve path; only the bytes' route differs.
 
 Self-healing (the resilience tier on top of the transport):
 
@@ -114,6 +139,7 @@ import numpy as np
 from numpy.typing import NDArray
 
 from repro.sem.cg import CGResult
+from repro.sem.shared import SlotRing
 from repro.serve.chaos import FaultInjector, FaultPlan
 from repro.serve.errors import (
     DeadlineExceeded,
@@ -161,7 +187,7 @@ def _sendable_error(exc: BaseException) -> BaseException:
         return RuntimeError(f"{type(exc).__name__}: {exc}")
 
 
-def _worker_info(problem, spec) -> dict:
+def _worker_info(problem, spec, ring=None, pinned=None) -> dict:
     """Introspection payload for the parent's ``worker_info`` (tests
     prove the zero-copy sharing through it)."""
     inner = getattr(problem, "problem", problem)
@@ -187,33 +213,67 @@ def _worker_info(problem, spec) -> dict:
             None if twin32 is None
             else bool(twin32.g_soa.flags.writeable)
         ),
+        # Ring attestation: which shared slot ring this worker solves
+        # out of (name/slots/dtype), and that its request side really
+        # is the parent's block mapped read-only — the transport twin
+        # of the one-geometry-copy attestation above.
+        "transport": "pipe" if ring is None else "ring",
+        "ring_block": None if ring is None else ring.manifest.block,
+        "ring_slots": None if ring is None else int(ring.manifest.slots),
+        "ring_n": None if ring is None else int(ring.manifest.n),
+        "ring_dtype": None if ring is None else str(np.dtype(ring.manifest.dtype)),
+        "ring_rhs_writeable": (
+            None if ring is None else bool(ring.rhs.flags.writeable)
+        ),
+        "pinned_cpus": pinned,
     }
 
 
 def _worker_main(
-    spec, conn, service_kwargs: dict, slow_schedule: dict | None = None
+    spec,
+    conn,
+    service_kwargs: dict,
+    slow_schedule: dict | None = None,
+    pin_to: "tuple[int, ...] | None" = None,
 ) -> None:
     """Worker-process entry point: rebuild, serve, drain, exit.
 
     Protocol (tuples over the pipe; parent -> worker):
-    ``("solve_block", [(req_id, b, tol, maxiter, deadline_remaining,
-    precision), ...])`` — ``deadline_remaining`` is the request's
-    *remaining* time budget in seconds (monotonic clocks don't compare
-    across processes, so the wire carries a relative quantity) or
-    ``None``; ``precision`` the request's solve policy (``"fp64"`` /
-    ``"mixed"`` / ``None`` = the worker service's default);
-    ``("stats", token)``, ``("info", token)``, ``("flush", token)``,
-    ``("close",)``.  Worker -> parent: ``("ready", pid)`` /
-    ``("fatal", exc)`` once at startup, then ``("done_block",
-    [(req_id, ok, CGResult | exc), ...])`` blocks of results,
-    ``("stats", token, snapshot, clock_offset)``, ``("info", token,
-    dict)``, ``("flushed", token)``, and ``("bye",)`` after a graceful
-    drain.
+    ``("solve_block", [...])`` where the items depend on the transport.
+    On the **pipe** transport (``spec.ring is None``) each item is
+    ``(req_id, b, tol, maxiter, deadline_remaining, precision)`` — the
+    rhs payload pickles across.  On the **ring** transport each item is
+    a doorbell ``(req_id, ordinal, slot, tol, maxiter,
+    deadline_remaining, precision)``: the rhs is already sitting in the
+    worker's :class:`~repro.sem.shared.SlotRing` slot and the worker
+    solves a zero-copy view of it, writing ``x`` back in place and
+    stamping ``resp_seq[slot] = ordinal`` before replying — the pipe
+    message carries *no payload bytes* either way.
+    ``deadline_remaining`` is the request's *remaining* time budget in
+    seconds (monotonic clocks don't compare across processes, so the
+    wire carries a relative quantity) or ``None``; ``precision`` the
+    request's solve policy (``"fp64"`` / ``"mixed"`` / ``None`` = the
+    worker service's default); ``("stats", token)``, ``("info",
+    token)``, ``("flush", token)``, ``("close",)``.  Worker -> parent:
+    ``("ready", pid)`` / ``("fatal", exc)`` once at startup, then
+    ``("done_block", [(req_id, ok, result | exc), ...])`` blocks of
+    results (on the ring transport a successful ``result`` is the
+    CGResult/MixedCGResult metadata with ``x=None`` — the solution
+    bytes ride the ring, not the pipe), ``("stats", token, snapshot,
+    clock_offset)``, ``("info", token, dict)``, ``("flushed", token)``,
+    and ``("bye",)`` after a graceful drain.
 
     ``slow_schedule`` maps 1-based ``solve_block`` ordinals to seconds
     slept before ingesting that block — the deterministic slow-solve
     fault of :class:`~repro.serve.chaos.FaultPlan`, applied worker-side
     so the parent's pipes and supervision observe genuine latency.
+
+    ``pin_to`` is the parent-assigned CPU set for this worker
+    (``os.sched_setaffinity``, best-effort: non-Linux hosts and denied
+    affinity calls degrade to an unpinned worker, attested as
+    ``pinned_cpus=None`` in the info payload).  Pinning keeps each
+    ring's pages hot in the cache hierarchy next to the one worker
+    that drains them — the NUMA-aware layout the ROADMAP calls for.
 
     Traffic is deliberately *blocked* in both directions: on a host
     where the solves themselves take fractions of a millisecond, one
@@ -227,9 +287,20 @@ def _worker_main(
     from repro.sem.spec import rebuild
     from repro.serve.service import SolveService
 
+    pinned: "tuple[int, ...] | None" = None
+    if pin_to is not None and hasattr(os, "sched_setaffinity"):
+        try:  # best-effort: containers may deny affinity changes
+            os.sched_setaffinity(0, pin_to)
+            pinned = tuple(sorted(os.sched_getaffinity(0)))
+        except (OSError, ValueError):
+            pinned = None
+
+    ring: SlotRing | None = None
     try:
         problem = rebuild(spec)
         svc = SolveService(problem, background=True, **service_kwargs)
+        if spec.ring is not None:
+            ring = SlotRing.attach(spec.ring)
     except BaseException as exc:
         try:
             conn.send(("fatal", _sendable_error(exc)))
@@ -291,6 +362,20 @@ def _worker_main(
         else:
             results.put((req_id, False, _sendable_error(exc)))
 
+    def report_ring(req_id: int, ordinal: int, slot: int, ticket) -> None:
+        # Zero-copy response: the solution vector goes back through the
+        # ring slot it arrived in; only the CGResult metadata (x=None)
+        # rides the pipe.  resp_seq is stamped *after* the x write so
+        # the parent never reads a half-written solution.
+        exc = ticket.exception()
+        if exc is None:
+            res = ticket.result()
+            ring.x[slot][...] = res.x
+            ring.resp_seq[slot] = ordinal
+            results.put((req_id, True, replace(res, x=None)))
+        else:
+            results.put((req_id, False, _sendable_error(exc)))
+
     block_ordinal = 0
     send(("ready", os.getpid()))
     try:
@@ -307,32 +392,85 @@ def _worker_main(
                     pause = slow_schedule.get(block_ordinal)
                     if pause:
                         time.sleep(pause)
-                try:
-                    # Bulk ingest: one queue-lock acquisition and one
-                    # dispatcher wake-up for the whole block.  Closure
-                    # mid-block is reported through the tickets, so
-                    # every req_id gets exactly one reply either way.
-                    tickets = svc.submit_block(
-                        [
-                            (b, tol, mi, dl, prec)
-                            for _, b, tol, mi, dl, prec in block
-                        ]
-                    )
-                except BaseException as exc:
-                    # All-or-nothing failure (validation): nothing was
-                    # enqueued; report every item.
-                    error = _sendable_error(exc)
-                    for req_id, *_ in block:
-                        results.put((req_id, False, error))
-                else:
-                    for (req_id, *_), ticket in zip(block, tickets):
-                        ticket.add_done_callback(
-                            lambda t, rid=req_id: report(rid, t)
+                if ring is None:
+                    try:
+                        # Bulk ingest: one queue-lock acquisition and
+                        # one dispatcher wake-up for the whole block.
+                        # Closure mid-block is reported through the
+                        # tickets, so every req_id gets exactly one
+                        # reply either way.
+                        tickets = svc.submit_block(
+                            [
+                                (b, tol, mi, dl, prec)
+                                for _, b, tol, mi, dl, prec in block
+                            ]
                         )
+                    except BaseException as exc:
+                        # All-or-nothing failure (validation): nothing
+                        # was enqueued; report every item.
+                        error = _sendable_error(exc)
+                        for req_id, *_ in block:
+                            results.put((req_id, False, error))
+                    else:
+                        for (req_id, *_), ticket in zip(block, tickets):
+                            ticket.add_done_callback(
+                                lambda t, rid=req_id: report(rid, t)
+                            )
+                else:
+                    # Ring transport: each item is a doorbell
+                    # (req_id, ordinal, slot, tol, maxiter, deadline,
+                    # precision).  The slot header must match the
+                    # doorbell's ordinal — a mismatch means the parent
+                    # recycled the slot after giving up on this request
+                    # (expiry), so the rhs bytes are no longer ours to
+                    # read; report it rather than solve garbage.
+                    good = []
+                    for item in block:
+                        req_id, ordinal, slot = item[0], item[1], item[2]
+                        if (
+                            0 <= slot < ring.manifest.slots
+                            and int(ring.req_seq[slot]) == ordinal
+                        ):
+                            good.append(item)
+                        else:
+                            results.put((
+                                req_id, False,
+                                RuntimeError(
+                                    f"stale ring doorbell: slot {slot} "
+                                    f"ordinal {ordinal} no longer owns "
+                                    "the slot"
+                                ),
+                            ))
+                    if good:
+                        try:
+                            # snapshot=False: the solver batches views
+                            # of the shared slots directly — no ingest
+                            # copy on either side of the process
+                            # boundary.
+                            tickets = svc.submit_block(
+                                [
+                                    (ring.rhs[slot], tol, mi, dl, prec)
+                                    for _, _, slot, tol, mi, dl, prec
+                                    in good
+                                ],
+                                snapshot=False,
+                            )
+                        except BaseException as exc:
+                            error = _sendable_error(exc)
+                            for req_id, *_ in good:
+                                results.put((req_id, False, error))
+                        else:
+                            for item, ticket in zip(good, tickets):
+                                ticket.add_done_callback(
+                                    lambda t,
+                                    rid=item[0],
+                                    o=item[1],
+                                    s=item[2]: report_ring(rid, o, s, t)
+                                )
             elif tag == "stats":
                 send(("stats", msg[1], svc.stats, perf_epoch_offset()))
             elif tag == "info":
-                send(("info", msg[1], _worker_info(problem, spec)))
+                send(("info", msg[1], _worker_info(problem, spec, ring, pinned)))
             elif tag == "flush":
                 svc.flush()
                 send(("flushed", msg[1]))
@@ -354,6 +492,11 @@ def _worker_main(
             pass
         results.put(None)
         pump_thread.join(timeout=5.0)
+        if ring is not None:
+            try:
+                ring.close()  # drop the mapping; the parent owns unlink
+            except Exception:
+                pass
         conn.close()
 
 
@@ -376,11 +519,20 @@ class _Inflight:
     is the one client-visible object and survives every redispatch.
     ``attempts`` counts registrations with a worker (incremented inside
     :meth:`ProcessShardedSolveService._dispatch_inflights`).
+
+    On the ring transport, ``ring``/``ring_ordinal``/``ring_slot``
+    record the staged slot while the request is parked in a worker's
+    :class:`~repro.sem.shared.SlotRing` (``b`` then aliases the slot's
+    rhs row).  Whoever removes the inflight from a worker's pending map
+    owns releasing the slot — via
+    :meth:`ProcessShardedSolveService._unstage`, which first copies the
+    rhs back out to a private array when the ticket may still be
+    retried.
     """
 
     __slots__ = (
         "ticket", "b", "tol", "maxiter", "deadline_at", "precision",
-        "attempts",
+        "attempts", "ring", "ring_ordinal", "ring_slot",
     )
 
     def __init__(
@@ -393,6 +545,9 @@ class _Inflight:
         self.deadline_at = deadline_at  # time.monotonic() absolute, or None
         self.precision = precision  # "fp64" / "mixed" / None (worker default)
         self.attempts = 0
+        self.ring = None  # SlotRing while staged, else None
+        self.ring_ordinal = None
+        self.ring_slot = None
 
 
 class _Worker:
@@ -490,6 +645,26 @@ class ProcessShardedSolveService:
         import fresh and attach the shared blocks explicitly, proving
         zero-copy sharing rather than inheriting pages by fork
         accident; ``"fork"``/``"forkserver"`` also work).
+    transport:
+        ``"ring"`` (default) hands request/response payloads through
+        per-worker shared-memory :class:`~repro.sem.shared.SlotRing`
+        slot rings; the pipe carries only doorbells (slot ordinals and
+        scalars), so the request payload path copies **zero bytes**
+        through a transport hop (``stats.copy_bytes == 0``).
+        ``"pipe"`` retains the original pickled-payload wire protocol
+        as the A/B baseline; it audits every rhs it pickles into
+        ``stats.copy_bytes``.  Results are bit-identical between the
+        two — same solver, same bytes, different road.
+    ring_slots:
+        Slots per worker ring (default 32).  A full ring is
+        backpressure: staging blocks until a slot is released, never
+        overwriting an unconsumed one.
+    pin_cores:
+        Pin each worker process to one CPU (round-robin over the
+        parent's affinity mask via ``os.sched_setaffinity``);
+        best-effort — hosts that deny affinity calls degrade to
+        unpinned workers, attested as ``pinned_cpus=None`` in
+        :meth:`worker_info`.
 
     Thread safety
     -------------
@@ -542,9 +717,18 @@ class ProcessShardedSolveService:
         restart: RestartPolicy | None = RestartPolicy(),
         chaos: "FaultPlan | FaultInjector | None" = None,
         start_method: str = "spawn",
+        transport: str = "ring",
+        ring_slots: int = 32,
+        pin_cores: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if transport not in ("ring", "pipe"):
+            raise ValueError(
+                f"transport must be 'ring' or 'pipe', got {transport!r}"
+            )
+        if ring_slots < 1:
+            raise ValueError(f"ring_slots must be >= 1, got {ring_slots}")
         if queue_watermark is not None and queue_watermark < 1:
             raise ValueError(
                 f"queue_watermark must be >= 1, got {queue_watermark}"
@@ -581,6 +765,9 @@ class ProcessShardedSolveService:
                 "all provide it)"
             )
         self.workers = workers
+        self.transport = transport
+        self.ring_slots = ring_slots
+        self.pin_cores = pin_cores
         self.policy = (
             policy if isinstance(policy, str) else type(policy).__name__
         )
@@ -610,6 +797,7 @@ class ProcessShardedSolveService:
         self._expired = 0
         self._retried = 0
         self._restarts = 0
+        self._copy_bytes = 0
         self._closed = False
         self._torn_down = False
         self._n = int(problem.n_dofs)
@@ -643,6 +831,21 @@ class ProcessShardedSolveService:
 
         SolveService(problem, background=False, **self._forwarded).close()
         self._export = problem.export_shared()
+        # One request/response slot ring per worker: a crashed worker's
+        # replacement re-attaches the *same* ring (same physical pages),
+        # so staged rhs bytes survive the respawn.
+        self._rings: "list[SlotRing] | None" = None
+        if transport == "ring":
+            rings: list[SlotRing] = []
+            try:
+                for _ in range(workers):
+                    rings.append(SlotRing.create(ring_slots, self._n))
+            except BaseException:
+                for ring in rings:
+                    ring.close(unlink=True)
+                self._export.close(unlink=True)
+                raise
+            self._rings = rings
         self._ctx = multiprocessing.get_context(start_method)
         self._workers: list[_Worker] = []
         started: list[_Worker] = []
@@ -665,6 +868,10 @@ class ProcessShardedSolveService:
                     w.process.terminate()
                 w.process.join(timeout=5.0)
                 w.conn.close()
+            if self._rings is not None:
+                for ring in self._rings:
+                    ring.close(unlink=True)
+                self._rings = None
             self._export.close(unlink=True)
             raise
         self._supervisor = threading.Thread(
@@ -680,9 +887,9 @@ class ProcessShardedSolveService:
         """Start one worker process (fresh or respawn) on a fresh pipe.
 
         Respawns rebuild from the *same* spec attached to the *same*
-        shared-memory export — nothing is re-exported.  The handshake
-        and reader-thread start are the caller's job (construction
-        handshakes in bulk; respawn handshakes before re-admission).
+        shared-memory export — nothing is re-exported — and, on the
+        ring transport, re-attach the *same* slot ring, so rhs bytes
+        staged before a crash are still in place for retry.
         """
         parent_conn, child_conn = self._ctx.Pipe()
         slow = (
@@ -695,15 +902,34 @@ class ProcessShardedSolveService:
             if generation == 0
             else f"sem-procshard-{index}-g{generation}"
         )
+        spec = (
+            self._export.spec
+            if self._rings is None
+            else self._export.spec_with_ring(self._rings[index].manifest)
+        )
         process = self._ctx.Process(
             target=_worker_main,
-            args=(self._export.spec, child_conn, self._forwarded, slow),
+            args=(spec, child_conn, self._forwarded, slow,
+                  self._pin_for(index)),
             name=name,
             daemon=True,
         )
         process.start()
         child_conn.close()
         return _Worker(index, generation, process, parent_conn)
+
+    def _pin_for(self, index: int) -> "tuple[int, ...] | None":
+        """CPU set for worker ``index``: round-robin over the parent's
+        affinity mask, or ``None`` when pinning is off/unsupported."""
+        if not self.pin_cores or not hasattr(os, "sched_getaffinity"):
+            return None
+        try:
+            avail = sorted(os.sched_getaffinity(0))
+        except OSError:
+            return None
+        if not avail:
+            return None
+        return (avail[index % len(avail)],)
 
     def _handshake(self, w: _Worker) -> None:
         """Consume the worker's startup message or fail construction."""
@@ -847,6 +1073,10 @@ class ProcessShardedSolveService:
         # Re-admission: from here on the routing mask includes the slot
         # again (mark_healthy is a no-op if a racing eject won).
         self.health.mark_healthy(slot)
+        if self._rings is not None:
+            # The replacement attached the same ring; staging may block
+            # on it again instead of failing with the crash error.
+            self._rings[slot].resume()
         with self._lock:
             self._restarts += 1
 
@@ -892,7 +1122,25 @@ class ProcessShardedSolveService:
             key=depths.__getitem__,
         )
         try:
-            self._dispatch_inflights(chosen, [inflight])
+            # Bounded slot acquisition: the supervisor thread runs every
+            # timer — it must not park indefinitely on one full ring.
+            self._dispatch_inflights(
+                chosen, [inflight],
+                acquire_timeout=self.RETRY_REQUEUE_WAIT,
+            )
+        except TimeoutError:
+            # Ring full: no attempt was charged (nothing registered);
+            # requeue unless this is the shutdown settlement.
+            if final:
+                ticket._fail(FleetUnavailable(
+                    f"no free ring slot on worker {chosen} at shutdown "
+                    f"after {max(inflight.attempts, 1)} attempt(s)"
+                ))
+            else:
+                self._schedule(
+                    self.RETRY_REQUEUE_WAIT, ("retry", inflight)
+                )
+            return
         except (WorkerCrashed, ServiceClosed) as exc:
             retry = self.retry
             if (
@@ -907,6 +1155,7 @@ class ProcessShardedSolveService:
                 error.__cause__ = exc
                 ticket._fail(error)
             else:
+                self._privatize(inflight)
                 self._schedule(
                     retry.backoff(max(inflight.attempts, 1)),
                     ("retry", inflight),
@@ -940,6 +1189,10 @@ class ProcessShardedSolveService:
             f"request deadline passed {self.EXPIRE_GRACE:.1f}s ago with "
             f"no reply from worker {w.index}"
         ))
+        # Reclaim the ring slot of a lost request.  If a wedged worker
+        # later completes it anyway, the stale write is caught by the
+        # sequence-header check, never silently served.
+        self._unstage([inflight])
 
     # ------------------------------------------------------------------
     # Reader: replies, crash detection
@@ -966,11 +1219,45 @@ class ProcessShardedSolveService:
                     for req_id, ok, payload in msg[1]:
                         with w.state_lock:
                             inflight = w.pending.pop(req_id, None)
-                        if inflight is not None:
+                        if inflight is None:
+                            continue
+                        if inflight.ring is None:
                             if ok:
                                 inflight.ticket._resolve(payload)
                             else:
                                 inflight.ticket._fail(payload)
+                            continue
+                        # Ring transport: the pipe carried metadata
+                        # only (x=None); the solution bytes are in the
+                        # slot, guarded by its response sequence
+                        # header.  Copy x out, release the slot, then
+                        # resolve — in that order, so the client never
+                        # observes a ticket whose slot is still held.
+                        ring = inflight.ring
+                        ordinal = inflight.ring_ordinal
+                        slot = inflight.ring_slot
+                        result = error = None
+                        if not ok:
+                            error = payload
+                        elif int(ring.resp_seq[slot]) != ordinal:
+                            error = RuntimeError(
+                                f"ring slot {slot} response header "
+                                f"{int(ring.resp_seq[slot])} != expected "
+                                f"ordinal {ordinal}: the slot was "
+                                "overwritten by a stale late completion"
+                            )
+                        else:
+                            result = replace(
+                                payload, x=np.array(ring.x[slot])
+                            )
+                        inflight.ring = None
+                        inflight.ring_ordinal = None
+                        inflight.ring_slot = None
+                        ring.release(ordinal)
+                        if error is None:
+                            inflight.ticket._resolve(result)
+                        else:
+                            inflight.ticket._fail(error)
                 elif tag in ("stats", "info", "flushed"):
                     with w.state_lock:
                         reply = w.replies.pop(msg[1], None)
@@ -994,6 +1281,17 @@ class ProcessShardedSolveService:
             for reply in replies:
                 reply.error = crash
                 reply.event.set()
+            ring = None if self._rings is None else self._rings[w.index]
+            if ring is not None and not close_sent:
+                # Wake anyone blocked staging into this worker's full
+                # ring (and bounce new stagers): the slots they wait
+                # for may never come back.  The replacement worker
+                # re-attaches the same ring, so a successful respawn
+                # resumes it.
+                ring.interrupt(WorkerCrashed(
+                    f"worker {w.index} has died; its ring accepts no "
+                    "new requests"
+                ))
             supervised = (
                 (self.retry is not None or self.restart is not None)
                 and not close_sent
@@ -1004,6 +1302,7 @@ class ProcessShardedSolveService:
                 # Legacy / shutdown path: surface the crash as-is.
                 for inflight in pending:
                     inflight.ticket._fail(crash)
+                self._unstage(pending)
                 return
             self.health.mark_degraded(w.index)
             restart = self.restart
@@ -1024,9 +1323,11 @@ class ProcessShardedSolveService:
             for inflight in pending:
                 ticket = inflight.ticket
                 if ticket.done():
+                    self._unstage([inflight])
                     continue
                 if retry is None:
                     ticket._fail(crash)
+                    self._unstage([inflight])
                 elif (
                     inflight.deadline_at is not None
                     and now >= inflight.deadline_at
@@ -1037,6 +1338,7 @@ class ProcessShardedSolveService:
                         "request deadline expired when its worker "
                         "crashed"
                     ))
+                    self._unstage([inflight])
                 elif inflight.attempts >= retry.max_attempts:
                     error = FleetUnavailable(
                         f"request failed after {inflight.attempts} "
@@ -1044,7 +1346,13 @@ class ProcessShardedSolveService:
                     )
                     error.__cause__ = crash
                     ticket._fail(error)
+                    self._unstage([inflight])
                 else:
+                    # Copy the rhs out of the dead worker's slot (the
+                    # shared pages survive the crash untouched — the
+                    # worker's view is read-only) so the retry carries
+                    # bit-identical bytes wherever it lands.
+                    self._unstage([inflight])
                     self._schedule(
                         retry.backoff(inflight.attempts),
                         ("retry", inflight),
@@ -1091,8 +1399,19 @@ class ProcessShardedSolveService:
         must bounce before crossing the process boundary).  ``None``
         knobs pass through for the worker's service to resolve; the
         checks themselves are :func:`repro.serve.service.check_request`
-        — the same single source of truth the workers apply."""
-        return check_request(self._n, b, tol, maxiter, deadline, precision)
+        — the same single source of truth the workers apply.
+
+        On the ring transport validation takes a zero-copy *view*
+        (``snapshot=False``): the one write that moves the bytes is the
+        staging store into the ring slot, and dispatch happens within
+        the same client call, before the caller can mutate its array.
+        On the pipe transport the snapshot copy is kept — pickling
+        happens later and possibly concurrently with caller mutation.
+        """
+        return check_request(
+            self._n, b, tol, maxiter, deadline, precision,
+            snapshot=self._rings is None,
+        )
 
     def _route(
         self, key, depths: tuple[int, ...], healthy
@@ -1128,11 +1447,82 @@ class ProcessShardedSolveService:
                 "backoff"
             )
 
+    def _stage_ring(
+        self,
+        ring: SlotRing,
+        inflights: "list[_Inflight]",
+        timeout: "float | None",
+    ) -> None:
+        """Park each request's rhs in a ring slot ahead of the doorbell.
+
+        Runs *before* any worker lock is taken: a full ring blocks here
+        (backpressure), and the thread that unblocks it is the reader
+        releasing slots under ``state_lock`` — staging inside that lock
+        would deadlock.  ``inf.b`` is rebound to the slot's rhs row (the
+        slot is now the request's home); on any failure the staged
+        slots are unwound via :meth:`_unstage`.
+        """
+        staged: list[_Inflight] = []
+        try:
+            for inf in inflights:
+                ordinal, slot = ring.acquire(timeout=timeout)
+                ring.rhs[slot][...] = inf.b
+                inf.b = ring.rhs[slot]
+                inf.ring = ring
+                inf.ring_ordinal = ordinal
+                inf.ring_slot = slot
+                staged.append(inf)
+        except BaseException:
+            self._unstage(staged)
+            raise
+
+    def _unstage(self, inflights: "list[_Inflight]") -> None:
+        """Release each request's ring slot (no-op for unstaged ones).
+
+        A ticket that may still be retried gets its rhs copied back out
+        to a private array first — the slot's bytes stop being ours the
+        moment it is released.  Callers that are about to fail the
+        ticket should do so *before* unstaging to skip that copy.
+        """
+        for inf in inflights:
+            ring, ordinal = inf.ring, inf.ring_ordinal
+            if ring is None:
+                continue
+            slot = inf.ring_slot
+            inf.ring = None
+            inf.ring_ordinal = None
+            inf.ring_slot = None
+            if not inf.ticket.done():
+                inf.b = np.array(ring.rhs[slot])
+            ring.release(ordinal)
+
+    def _privatize(self, inflight: _Inflight) -> None:
+        """Give a retry-bound request its own rhs bytes.
+
+        Ring-mode validation hands out zero-copy views of the caller's
+        array; a retry outliving the submit call must not alias memory
+        the caller is free to mutate.  (Already-staged or pipe-mode
+        requests hold their own bytes and are left alone.)
+        """
+        if self._rings is not None and inflight.ring is None:
+            inflight.b = np.array(inflight.b)
+
     def _dispatch_inflights(
-        self, chosen: int, inflights: "list[_Inflight]"
+        self,
+        chosen: int,
+        inflights: "list[_Inflight]",
+        acquire_timeout: "float | None" = None,
     ) -> None:
         """Register + send a group of requests to one worker as a
         single pipe message, applying any planned faults.
+
+        On the ring transport the rhs payloads are staged into the
+        worker's slot ring first (blocking while the ring is full —
+        bounded by ``acquire_timeout``, which the supervisor's retry
+        path sets so one full ring cannot stall the whole timer wheel)
+        and the pipe message carries only doorbells; on the pipe
+        transport the payloads pickle across and their bytes are added
+        to the ``copy_bytes`` audit.
 
         Increments each request's attempt count; schedules the
         parent-side deadline watchdog for deadlined requests (which is
@@ -1141,62 +1531,90 @@ class ProcessShardedSolveService:
         then observes the death exactly as it would a real crash.
         """
         w = self._workers[chosen]
+        ring = None if self._rings is None else self._rings[chosen]
+        if ring is not None:
+            self._stage_ring(ring, inflights, acquire_timeout)
         injector = self._injector
         kill = False
         req_ids: list[int] = []
-        with w.send_lock:
-            payload = []
-            now = time.monotonic()
-            with w.state_lock:
-                if w.close_sent:
-                    # close() already won this worker's send_lock: the
-                    # worker will drain and exit without reading another
-                    # message, so admitting the block would strand its
-                    # tickets until EOF mislabels them WorkerCrashed.
-                    raise ServiceClosed(
-                        "submit on a closed process-sharded service"
-                    )
-                if not w.alive:
-                    raise WorkerCrashed(
-                        f"worker {chosen} has died; its requests were "
-                        "failed and it accepts no new ones"
-                    )
-                for inf in inflights:
-                    req_id = w.seq
-                    w.seq += 1
-                    # Registered before the send so an arbitrarily fast
-                    # reply always finds its request.
-                    w.pending[req_id] = inf
-                    inf.attempts += 1
-                    req_ids.append(req_id)
-                    remaining = (
-                        None
-                        if inf.deadline_at is None
-                        else max(inf.deadline_at - now, 1e-9)
-                    )
-                    payload.append(
-                        (
-                            req_id, inf.b, inf.tol, inf.maxiter, remaining,
-                            inf.precision,
+        try:
+            with w.send_lock:
+                payload = []
+                now = time.monotonic()
+                with w.state_lock:
+                    if w.close_sent:
+                        # close() already won this worker's send_lock:
+                        # the worker will drain and exit without reading
+                        # another message, so admitting the block would
+                        # strand its tickets until EOF mislabels them
+                        # WorkerCrashed.
+                        raise ServiceClosed(
+                            "submit on a closed process-sharded service"
                         )
-                    )
-            drop = False
-            if injector is not None:
-                ordinal = injector.next_ordinal(chosen)
-                delay, drop = injector.send_action(chosen, ordinal)
-                if delay:
-                    time.sleep(delay)
-                kill = injector.should_kill(chosen, ordinal)
-            if not drop:
-                try:
-                    w.conn.send(("solve_block", payload))
-                except (OSError, ValueError) as exc:
-                    with w.state_lock:
-                        for req_id in req_ids:
-                            w.pending.pop(req_id, None)
-                    raise WorkerCrashed(
-                        f"worker {chosen} pipe is closed"
-                    ) from exc
+                    if not w.alive:
+                        raise WorkerCrashed(
+                            f"worker {chosen} has died; its requests "
+                            "were failed and it accepts no new ones"
+                        )
+                    for inf in inflights:
+                        req_id = w.seq
+                        w.seq += 1
+                        # Registered before the send so an arbitrarily
+                        # fast reply always finds its request.
+                        w.pending[req_id] = inf
+                        inf.attempts += 1
+                        req_ids.append(req_id)
+                        remaining = (
+                            None
+                            if inf.deadline_at is None
+                            else max(inf.deadline_at - now, 1e-9)
+                        )
+                        if ring is not None:
+                            payload.append(
+                                (
+                                    req_id, inf.ring_ordinal,
+                                    inf.ring_slot, inf.tol, inf.maxiter,
+                                    remaining, inf.precision,
+                                )
+                            )
+                        else:
+                            payload.append(
+                                (
+                                    req_id, inf.b, inf.tol, inf.maxiter,
+                                    remaining, inf.precision,
+                                )
+                            )
+                drop = False
+                if injector is not None:
+                    ordinal = injector.next_ordinal(chosen)
+                    delay, drop = injector.send_action(chosen, ordinal)
+                    if delay:
+                        time.sleep(delay)
+                    kill = injector.should_kill(chosen, ordinal)
+                if not drop:
+                    try:
+                        w.conn.send(("solve_block", payload))
+                    except (OSError, ValueError) as exc:
+                        with w.state_lock:
+                            for req_id in req_ids:
+                                w.pending.pop(req_id, None)
+                        raise WorkerCrashed(
+                            f"worker {chosen} pipe is closed"
+                        ) from exc
+                    if ring is None:
+                        # copy_bytes audit: every rhs that pickled
+                        # across the pipe is a transport copy the ring
+                        # path does not pay.
+                        sent = sum(inf.b.nbytes for inf in inflights)
+                        with self._lock:
+                            self._copy_bytes += sent
+        except BaseException:
+            # Nothing was admitted (registrations were rolled back or
+            # never made): unwind the staged slots so they are free for
+            # whoever dispatches next.
+            if ring is not None:
+                self._unstage(inflights)
+            raise
         for req_id, inf in zip(req_ids, inflights):
             if inf.deadline_at is not None:
                 self._schedule(
@@ -1226,8 +1644,11 @@ class ProcessShardedSolveService:
         Parameters
         ----------
         b:
-            Right-hand side of shape ``(n_dofs,)`` (snapshotted at
-            submission; the bytes travel to the worker over its pipe).
+            Right-hand side of shape ``(n_dofs,)``.  On the ring
+            transport the bytes are written once into the routed
+            worker's shared slot ring before this call returns (zero
+            transport copies); on the pipe transport they are
+            snapshotted here and pickled across the worker's pipe.
         tol / maxiter:
             Per-request overrides of the workers' service defaults.
         key:
@@ -1305,6 +1726,7 @@ class ProcessShardedSolveService:
             # The worker died between the health sample and the send.
             if self.retry is None:
                 raise
+            self._privatize(inflight)
             self._schedule(
                 self.retry.backoff(max(inflight.attempts, 1)),
                 ("retry", inflight),
@@ -1399,6 +1821,7 @@ class ProcessShardedSolveService:
                 else:
                     for inflight in inflights:
                         if not inflight.ticket.done():
+                            self._privatize(inflight)
                             self._schedule(
                                 self.retry.backoff(
                                     max(inflight.attempts, 1)
@@ -1468,6 +1891,17 @@ class ProcessShardedSolveService:
             if w.reader is not None and w.reader.is_alive():
                 w.reader.join(timeout=5.0)
             w.conn.close()
+        if self._rings is not None:
+            for ring in self._rings:
+                # Wake any straggler blocked staging a slot, then tear
+                # the ring down.  Parent-side views of slots may still
+                # be referenced (SlotRing.close tolerates that); the
+                # /dev/shm entry is unlinked regardless.
+                ring.interrupt(ServiceClosed(
+                    "submit on a closed process-sharded service"
+                ))
+                ring.close(unlink=True)
+            self._rings = None
         self._export.close(unlink=True)
 
     def __enter__(self) -> "ProcessShardedSolveService":
@@ -1493,8 +1927,14 @@ class ProcessShardedSolveService:
 
     @property
     def shared_blocks(self) -> tuple[str, ...]:
-        """Names of the live shared-memory blocks (empty after close)."""
-        return self._export.block_names
+        """Names of the live shared-memory blocks — the problem export
+        plus, on the ring transport, one slot ring per worker (empty
+        after close)."""
+        names = self._export.block_names
+        rings = self._rings
+        if rings is not None:
+            names = tuple(names) + tuple(r.manifest.block for r in rings)
+        return names
 
     @property
     def alive_workers(self) -> tuple[bool, ...]:
@@ -1586,19 +2026,23 @@ class ProcessShardedSolveService:
     def stats(self) -> StatsSnapshot:
         """Aggregate fleet snapshot: the workers' merged, clock-rebased
         numbers plus the parent's own resilience counters (``retries``
-        / ``restarts`` / ``shed`` and parent-side ``expired``)."""
+        / ``restarts`` / ``shed`` and parent-side ``expired``) and the
+        ``copy_bytes`` transport audit (0 on the ring transport: no
+        request payload ever crosses a copying hop)."""
         merged = merge_snapshots(self.replica_stats)
         with self._lock:
             expired = self._expired
             retried = self._retried
             restarts = self._restarts
             shed = self._shed
-        if expired or retried or restarts or shed:
+            copy_bytes = self._copy_bytes
+        if expired or retried or restarts or shed or copy_bytes:
             merged = replace(
                 merged,
                 expired=merged.expired + expired,
                 retries=merged.retries + retried,
                 restarts=merged.restarts + restarts,
                 shed=merged.shed + shed,
+                copy_bytes=merged.copy_bytes + copy_bytes,
             )
         return merged

@@ -69,6 +69,7 @@ def check_request(
     maxiter: int | None,
     deadline: float | None = None,
     precision: str | None = None,
+    snapshot: bool = True,
 ) -> (
     "tuple[NDArray[np.float64], float | None, int | None, float | None,"
     " str | None]"
@@ -86,8 +87,20 @@ def check_request(
     ``time.monotonic()`` instant themselves.  ``precision`` is the
     request's solve policy (``"fp64"``/``"mixed"``, ``None`` = resolve
     later).
+
+    ``snapshot=False`` skips the defensive rhs copy and accepts ``b``
+    as a zero-copy *view* (coerced only if it is not already a float64
+    ndarray) — for callers whose transport already owns the bytes: the
+    process shard's workers solve straight out of shared-memory ring
+    slots, and its ring-ingest parent copies into a slot itself, making
+    a prior snapshot pure waste.  Such callers take on the snapshot
+    contract themselves: the array must not change under a queued
+    request.
     """
-    b = np.array(b, dtype=np.float64)  # snapshot: caller may mutate
+    if snapshot:
+        b = np.array(b, dtype=np.float64)  # snapshot: caller may mutate
+    else:
+        b = np.asarray(b, dtype=np.float64)
     if b.shape != (n,):
         raise ValueError(f"rhs must have shape ({n},), got {b.shape}")
     if tol is not None:
@@ -444,6 +457,7 @@ class SolveService:
         maxiter: int | None,
         deadline: float | None = None,
         precision: str | None = None,
+        snapshot: bool = True,
     ) -> _Request:
         """Snapshot + validate one request (no side effects on failure).
 
@@ -461,6 +475,7 @@ class SolveService:
             self.maxiter if maxiter is None else maxiter,
             deadline,
             self.precision if precision is None else precision,
+            snapshot=snapshot,
         )
         if precision_val == "mixed" and self._operator32 is None:
             raise TypeError(
@@ -479,6 +494,7 @@ class SolveService:
     def submit_block(
         self,
         items: "list[tuple]",
+        snapshot: bool = True,
     ) -> list[SolveTicket]:
         """Submit a block of ``(b, tol, maxiter[, deadline[, precision]])``
         requests.
@@ -491,6 +507,12 @@ class SolveService:
         wake-up instead of one per request.  Items may be 3-tuples
         (no deadline), 4-tuples with a relative deadline in seconds, or
         5-tuples adding a per-request precision policy.
+
+        ``snapshot=False`` queues each item's rhs as a zero-copy view
+        instead of a defensive copy (see :func:`check_request`) — the
+        process shard's workers pass shared-memory ring slots through
+        here without re-staging a single payload byte; the caller
+        guarantees the bytes stay put until the request resolves.
 
         Returns
         -------
@@ -509,7 +531,7 @@ class SolveService:
             On any invalid element (nothing enqueued).
         """
         requests = [
-            self._build_request(b, tol, maxiter, *rest)
+            self._build_request(b, tol, maxiter, *rest, snapshot=snapshot)
             for b, tol, maxiter, *rest in items
         ]
         tickets = [request.ticket for request in requests]

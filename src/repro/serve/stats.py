@@ -88,6 +88,16 @@ class StatsSnapshot:
         ``shed`` — requests refused at admission with
         :class:`~repro.serve.errors.Overloaded` (not counted in
         ``submitted``; they never entered a queue).
+    copy_bytes:
+        Request-payload bytes copied through a serialization/transport
+        hop on their way to a solver (pickled rhs vectors crossing a
+        pipe, staging snapshots taken because the transport cannot hold
+        a view).  The zero-copy audit counter: the process shard's
+        ``transport="pipe"`` path adds every shipped rhs here, the
+        shared-memory ring path adds **zero** — clients write straight
+        into ring slots and workers solve views of them.  Solve-side
+        work (batch assembly stacking, the worker's in-place write of
+        ``x`` back into its slot) is not transport and is not counted.
     """
 
     submitted: int
@@ -105,6 +115,7 @@ class StatsSnapshot:
     retries: int = 0
     restarts: int = 0
     shed: int = 0
+    copy_bytes: int = 0
 
     @property
     def solves_per_second(self) -> float:
@@ -176,7 +187,7 @@ def merge_snapshots(snapshots: Iterable[StatsSnapshot]) -> StatsSnapshot:
         replica A's may be microseconds older than replica B's.
     """
     submitted = completed = failed = batches = 0
-    expired = retries = restarts = shed = 0
+    expired = retries = restarts = shed = copy_bytes = 0
     histogram: dict[int, int] = {}
     queue_depth = max_queue_depth = 0
     busy = wall = 0.0
@@ -191,6 +202,7 @@ def merge_snapshots(snapshots: Iterable[StatsSnapshot]) -> StatsSnapshot:
         retries += snap.retries
         restarts += snap.restarts
         shed += snap.shed
+        copy_bytes += snap.copy_bytes
         for size, count in snap.batch_histogram.items():
             histogram[size] = histogram.get(size, 0) + count
         queue_depth += snap.queue_depth
@@ -229,6 +241,7 @@ def merge_snapshots(snapshots: Iterable[StatsSnapshot]) -> StatsSnapshot:
         retries=retries,
         restarts=restarts,
         shed=shed,
+        copy_bytes=copy_bytes,
     )
 
 
@@ -269,6 +282,7 @@ class ServiceStats:
     _first_submit: float | None = None
     _last_done: float | None = None
     _expired: int = 0
+    _copy_bytes: int = 0
 
     def record_submit(self, queue_depth: int | None = None) -> None:
         """One request is being submitted.
@@ -329,6 +343,13 @@ class ServiceStats:
         """
         with self._lock:
             self._expired += count
+
+    def record_copy_bytes(self, nbytes: int) -> None:
+        """``nbytes`` of request payload crossed a copying transport hop
+        (see :attr:`StatsSnapshot.copy_bytes`).  Zero-copy paths simply
+        never call this."""
+        with self._lock:
+            self._copy_bytes += nbytes
 
     def record_batch(
         self,
@@ -400,4 +421,5 @@ class ServiceStats:
                 first_submit=self._first_submit,
                 last_done=self._last_done,
                 expired=self._expired,
+                copy_bytes=self._copy_bytes,
             )

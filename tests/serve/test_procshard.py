@@ -97,8 +97,11 @@ class TestProcShardSharedMemory:
         )
         try:
             blocks = svc.shared_blocks
-            # geometry (fp64 + fp32 twin), gather-scatter, extras
-            assert len(blocks) == 4
+            # geometry (fp64 + fp32 twin), gather-scatter, extras —
+            # plus one request/response slot ring per worker.
+            assert len(blocks) == 4 + 2
+            export_blocks = blocks[:4]
+            ring_blocks = blocks[4:]
             assert all(shm_exists(name) for name in blocks)
             infos = svc.worker_info()
             assert len(infos) == 2
@@ -109,9 +112,15 @@ class TestProcShardSharedMemory:
             geometry_blocks = {info["geometry_block"] for info in infos}
             assert geometry_blocks == {svc.spec.geometry.block}
             assert all(not info["g_soa_writeable"] for info in infos)
-            assert all(
-                tuple(info["shared_blocks"]) == blocks for info in infos
+            # Each worker sees the export blocks plus its OWN ring
+            # (rings are per-worker, not fleet-wide).
+            assert {info["ring_block"] for info in infos} == set(
+                ring_blocks
             )
+            for info in infos:
+                assert tuple(info["shared_blocks"]) == (
+                    export_blocks + (info["ring_block"],)
+                )
         finally:
             svc.close()
         assert not any(shm_exists(name) for name in blocks)

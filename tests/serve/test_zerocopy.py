@@ -1,0 +1,254 @@
+"""Tests for the zero-copy ring transport of
+ProcessShardedSolveService: the copy_bytes audit (0 on rings, every
+pickled rhs on pipes), ring-vs-pipe bit-identity for fp64 and mixed
+across all routing policies, crash-mid-slot recovery through respawn,
+tiny-ring backpressure, and the worker-side ring attestation."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.sem import (
+    BoxMesh,
+    PoissonProblem,
+    ReferenceElement,
+    cg_solve,
+    sine_manufactured,
+)
+from repro.serve import (
+    FaultPlan,
+    ProcessShardedSolveService,
+    RestartPolicy,
+    RetryPolicy,
+)
+
+
+@pytest.fixture(scope="module")
+def serving_problem():
+    """The N=3/E=8 serving shape plus a bank of right-hand sides."""
+    ref = ReferenceElement.from_degree(3)
+    mesh = BoxMesh.build(ref, (2, 2, 2))
+    prob = PoissonProblem(mesh, ax_backend="matmul")
+    _, forcing = sine_manufactured(mesh.extent)
+    b0 = prob.rhs_from_forcing(forcing)
+    bank = [b0 * (1.0 + 0.3 * k) for k in range(16)]
+    return prob, bank
+
+
+def sequential_solve(prob, b, tol=1e-10, maxiter=200):
+    return cg_solve(
+        prob.apply_A, b, precond_diag=prob.precond_diag(), tol=tol,
+        maxiter=maxiter, workspace=prob.workspace,
+    )
+
+
+def assert_same_result(got, want):
+    assert np.array_equal(got.x, want.x)
+    assert got.iterations == want.iterations
+    assert got.converged == want.converged
+    assert got.residual_norm == want.residual_norm
+    assert got.residual_history == want.residual_history
+
+
+def wait_until(predicate, timeout=120.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def shm_exists(name: str) -> bool:
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+class TestTransportKnob:
+    def test_transport_validation(self, serving_problem):
+        prob, _ = serving_problem
+        with pytest.raises(ValueError, match="transport"):
+            ProcessShardedSolveService(prob, workers=1, transport="smoke")
+        with pytest.raises(ValueError, match="ring_slots"):
+            ProcessShardedSolveService(prob, workers=1, ring_slots=0)
+
+    def test_ring_is_the_default(self, serving_problem):
+        prob, bank = serving_problem
+        with ProcessShardedSolveService(prob, workers=1) as svc:
+            assert svc.transport == "ring"
+            svc.submit(bank[0]).result(timeout=60)
+
+
+class TestCopyBytesAudit:
+    def test_ring_request_path_copies_zero_bytes(self, serving_problem):
+        """The acceptance criterion: a K=2 run on the ring transport
+        reports copy_bytes == 0 — no request payload crossed a copying
+        transport hop."""
+        prob, bank = serving_problem
+        with ProcessShardedSolveService(
+            prob, workers=2, policy="round-robin", max_batch=8,
+            max_wait=0.002, tol=1e-10, maxiter=200,
+        ) as svc:
+            svc.solve_many(bank)
+            svc.submit(bank[0]).result(timeout=60)
+            assert svc.stats.copy_bytes == 0
+
+    def test_pipe_audits_every_pickled_rhs(self, serving_problem):
+        prob, bank = serving_problem
+        with ProcessShardedSolveService(
+            prob, workers=2, policy="round-robin", max_batch=8,
+            max_wait=0.002, tol=1e-10, maxiter=200, transport="pipe",
+        ) as svc:
+            svc.solve_many(bank)
+            expected = sum(b.nbytes for b in bank)
+            assert svc.stats.copy_bytes == expected
+
+
+class TestRingPipeBitIdentity:
+    @pytest.mark.parametrize(
+        "policy", ("tenant", "least-loaded", "round-robin")
+    )
+    def test_fp64_identical_across_transports(
+        self, serving_problem, policy
+    ):
+        prob, bank = serving_problem
+        want = [sequential_solve(prob, b) for b in bank]
+        results = {}
+        for transport in ("ring", "pipe"):
+            with ProcessShardedSolveService(
+                prob, workers=2, policy=policy, max_batch=8,
+                max_wait=0.002, tol=1e-10, maxiter=200,
+                transport=transport,
+            ) as svc:
+                keys = [f"tenant-{k % 4}" for k in range(len(bank))]
+                results[transport] = svc.solve_many(bank, keys=keys)
+        for got_ring, got_pipe, ref in zip(
+            results["ring"], results["pipe"], want
+        ):
+            assert_same_result(got_ring, ref)
+            assert_same_result(got_pipe, ref)
+
+    def test_mixed_precision_identical_across_transports(
+        self, serving_problem
+    ):
+        """Mixed rides the rings too: the serving boundary is fp64 in
+        both directions, so one payload dtype carries both paths."""
+        prob, bank = serving_problem
+        results = {}
+        for transport in ("ring", "pipe"):
+            with ProcessShardedSolveService(
+                prob, workers=2, policy="round-robin", max_batch=8,
+                max_wait=0.002, tol=1e-8, maxiter=200,
+                transport=transport,
+            ) as svc:
+                results[transport] = svc.solve_many(
+                    bank[:8], precision="mixed"
+                )
+        for ring_res, pipe_res in zip(results["ring"], results["pipe"]):
+            assert np.array_equal(ring_res.x, pipe_res.x)
+            assert ring_res.sweeps == pipe_res.sweeps
+            assert ring_res.inner_iterations == pipe_res.inner_iterations
+            assert ring_res.residual_norm == pipe_res.residual_norm
+
+
+class TestRingCrashRecovery:
+    def test_crash_mid_slot_respawn_reattaches_and_retries(
+        self, serving_problem
+    ):
+        """Kill each worker once mid-stream on the ring transport: the
+        respawned workers re-attach the SAME ring blocks (attested by
+        block name before and after), orphaned slots are recycled (the
+        ring drains back to zero in-use), in-flight requests are
+        retried bit-identically, and copy_bytes stays 0 — retries ride
+        the rings too."""
+        prob, bank = serving_problem
+        plan = FaultPlan.kill_each_worker_once(2, first_kill_after=2,
+                                               stagger=3)
+        svc = ProcessShardedSolveService(
+            prob, workers=2, policy="round-robin", max_batch=4,
+            max_wait=0.002, tol=1e-10, maxiter=200, chaos=plan,
+            retry=RetryPolicy(max_attempts=4, backoff_base=0.01),
+            restart=RestartPolicy(max_restarts=3, backoff_base=0.02),
+        )
+        try:
+            rings_before = {
+                info["pid"]: info["ring_block"]
+                for info in svc.worker_info()
+            }
+            blocks_before = tuple(sorted(rings_before.values()))
+            tickets = [
+                svc.submit(b, key=f"tenant-{k}")
+                for k, b in enumerate(bank)
+            ]
+            for t, b in zip(tickets, bank):
+                assert_same_result(
+                    t.result(timeout=120), sequential_solve(prob, b)
+                )
+            assert wait_until(lambda: svc.restarts == 2)
+            assert svc.retried >= 1
+            infos = svc.worker_info()
+            rings_after = {
+                info["pid"]: info["ring_block"] for info in infos
+            }
+            # Fresh processes...
+            assert not (set(rings_after) & set(rings_before))
+            # ...attached to the SAME per-slot ring blocks.
+            assert tuple(sorted(rings_after.values())) == blocks_before
+            assert all(info["transport"] == "ring" for info in infos)
+            # Every orphaned slot was recycled on the way.
+            assert wait_until(
+                lambda: all(r.in_use == 0 for r in svc._rings)
+            )
+            assert svc.stats.copy_bytes == 0
+        finally:
+            svc.close()
+        assert not any(shm_exists(name) for name in blocks_before)
+
+
+class TestRingBackpressure:
+    def test_tiny_ring_blocks_instead_of_overwriting(
+        self, serving_problem
+    ):
+        """ring_slots=2 with far more requests in flight than slots:
+        submission simply blocks until slots free up, every request
+        resolves bit-identically, and nothing is lost or overwritten."""
+        prob, bank = serving_problem
+        with ProcessShardedSolveService(
+            prob, workers=1, policy="round-robin", max_batch=4,
+            max_wait=0.002, tol=1e-10, maxiter=200, ring_slots=2,
+        ) as svc:
+            tickets = [svc.submit(b) for b in bank]
+            for t, b in zip(tickets, bank):
+                assert_same_result(
+                    t.result(timeout=120), sequential_solve(prob, b)
+                )
+            assert svc.stats.copy_bytes == 0
+
+
+class TestRingAttestation:
+    def test_worker_info_attests_ring_and_pipe(self, serving_problem):
+        prob, _ = serving_problem
+        with ProcessShardedSolveService(
+            prob, workers=2, ring_slots=8
+        ) as svc:
+            infos = svc.worker_info()
+            assert len(infos) == 2
+            for info in infos:
+                assert info["transport"] == "ring"
+                assert info["ring_slots"] == 8
+                assert info["ring_n"] == prob.n_dofs
+                assert info["ring_dtype"] == "float64"
+                assert info["ring_rhs_writeable"] is False
+                assert shm_exists(info["ring_block"])
+            # Per-worker rings: two distinct blocks.
+            assert len({info["ring_block"] for info in infos}) == 2
+        with ProcessShardedSolveService(
+            prob, workers=1, transport="pipe"
+        ) as svc:
+            (info,) = svc.worker_info()
+            assert info["transport"] == "pipe"
+            assert info["ring_block"] is None
+            assert info["ring_slots"] is None
