@@ -395,6 +395,114 @@ def test_bench_serve_crash_recovery(benchmark):
     svc.close()
 
 
+def test_bench_serve_gateway_b8(benchmark):
+    """The same eight-request stream as ``serve_throughput_b8``, but
+    through the multi-tenant gateway: authenticate the tenant's bearer
+    token, run the admission pipeline (priority clamp, rate limit,
+    shed check, quota charge), hop through the asyncio facade, and
+    await the futures.  The ratio against the direct-submit benchmark
+    is ``serve_gateway_overhead`` in ``BENCH_kernels.json`` —
+    floor-gated in ``run_baseline.py``: the front door must keep at
+    least half the direct solves/s at this small serving shape (where
+    per-request bookkeeping is largest relative to the ~ms solves)."""
+    import asyncio
+
+    from repro.serve import Gateway, SolveService, TenantRegistry
+
+    prob, bs, _ = _serving_problem()
+    svc = SolveService(
+        prob, max_batch=8, max_wait=0.002, tol=0.0, maxiter=10,
+        background=True,
+    )
+    registry = TenantRegistry()
+    tenant = registry.provision("bench")
+    gateway = Gateway(svc, registry)
+    loop = asyncio.new_event_loop()
+
+    async def stream():
+        return await asyncio.gather(*[
+            gateway.solve(tenant.token, b, maxiter=10) for b in bs
+        ])
+
+    def run():
+        return loop.run_until_complete(stream())
+
+    results = benchmark(run)
+    assert all(r.iterations == 10 for r in results)
+    benchmark.extra_info["requests_per_round"] = int(bs.shape[0])
+    loop.run_until_complete(gateway.aclose())
+    loop.close()
+
+
+def test_bench_serve_costaware_tail_p99(benchmark):
+    """Tail latency of the cheap tenant class under cost-predicted vs
+    depth-only routing, same K=2 fleet, same seeded heterogeneous mix.
+
+    Each wave submits 1 tight request (40 iterations) and 3 loose ones
+    (5 iterations) to a thread-sharded fleet with ``max_batch=4``.
+    Depth-only routing counts *requests*, so a loose request regularly
+    lands in the tight request's micro-batch and pays the batch's
+    max-member cost; the cost router charges each replica the model's
+    *predicted iterations*, so the loose class congregates away from
+    the tight one and its batches stay homogeneous.  The measured p99
+    of the loose class under each policy goes to ``extra_info``;
+    ``run_baseline.py`` derives ``serve_costaware_tail_p99_ratio``
+    (depth-only p99 / cost-aware p99, >1 means the cost model pays).
+    One-shot (``pedantic(rounds=1)``): the drill is self-timing and
+    repeats internally — benchmark rounds would just rerun both fleets.
+    """
+    import time as _time
+
+    from repro.serve import CostAwareRouter, CostModel, ShardedSolveService
+
+    prob, bs, _ = _serving_problem()
+    TIGHT_ITERS, LOOSE_ITERS, WAVES = 40, 5, 8
+
+    def drill(policy):
+        svc = ShardedSolveService(
+            prob, replicas=2, policy=policy, max_batch=4,
+            max_wait=0.003, tol=0.0, maxiter=10,
+        )
+        loose_lat = []
+        try:
+            for w in range(WAVES):
+                tickets = [svc.submit(
+                    bs[w % 8], maxiter=TIGHT_ITERS, key="tight",
+                )]
+                for j in range(3):
+                    tk = svc.submit(
+                        bs[(w + j + 1) % 8], maxiter=LOOSE_ITERS,
+                        key="loose",
+                    )
+                    tk.add_done_callback(
+                        lambda t, s=_time.monotonic():
+                        loose_lat.append(_time.monotonic() - s)
+                    )
+                    tickets.append(tk)
+                for tk in tickets:
+                    tk.result(timeout=60)
+        finally:
+            svc.close()
+        lat = sorted(loose_lat)
+        return lat[max(int(0.99 * len(lat)) - 1, 0)]
+
+    def cost_router():
+        # Warm-started the way a long-running gateway would be (its
+        # CostModel persists across fleet restarts via from_stats).
+        model = CostModel()
+        model.observe("tight", 0.0, None, TIGHT_ITERS)
+        model.observe("loose", 0.0, None, LOOSE_ITERS)
+        return CostAwareRouter(2, model=model)
+
+    def both():
+        return drill("least-loaded"), drill(cost_router())
+
+    depth_p99, cost_p99 = benchmark.pedantic(both, rounds=1, iterations=1)
+    benchmark.extra_info["depth_only_loose_p99_s"] = depth_p99
+    benchmark.extra_info["costaware_loose_p99_s"] = cost_p99
+    benchmark.extra_info["waves"] = WAVES
+
+
 def _refine_problem():
     """The mixed-refinement gate case: N=7, 512 elements, generic rhs.
 

@@ -43,6 +43,18 @@ budgets.  Failures surface through one error taxonomy
 Deterministic fault injection for tests and drills lives in
 :mod:`repro.serve.chaos` (:class:`FaultPlan` / :class:`FaultInjector`).
 
+On top of the fleet sits the **multi-tenant gateway**
+(:mod:`repro.serve.gateway`): :class:`Gateway` is the
+protocol-independent admission core — bearer-token auth
+(:class:`TenantRegistry`), per-tenant :class:`TokenBucket` rate limits,
+priority-aware early shedding (:class:`AdmissionPolicy`), exact
+:class:`QuotaLedger` accounting, gateway-side deadline enforcement, and
+a :class:`CostModel` that learns expected iterations per ``(tenant,
+tol, precision)`` from completed solves; share that model with a
+:class:`CostAwareRouter` (``policy="cost"``) and the fleet routes by
+*predicted work* instead of queue depth.  :class:`GatewayServer` puts a
+dependency-free HTTP/1.1 + WebSocket wire protocol in front of it.
+
 Quick taste::
 
     from repro.sem import BoxMesh, PoissonProblem, ReferenceElement
@@ -59,15 +71,27 @@ workspace -> batched -> service -> sharded/async).
 """
 
 from repro.serve.asyncio_front import AsyncSolveService
+from repro.serve.auth import (
+    QuotaLedger,
+    Tenant,
+    TenantRegistry,
+    TokenBucket,
+)
 from repro.serve.chaos import FaultInjector, FaultPlan
+from repro.serve.costmodel import CostAwareRouter, CostModel
 from repro.serve.errors import (
+    AuthError,
     DeadlineExceeded,
     FleetUnavailable,
     Overloaded,
+    QuotaExceeded,
+    RateLimited,
     ServiceClosed,
     WorkerCrashed,
 )
+from repro.serve.gateway import Gateway, GatewayServer
 from repro.serve.health import (
+    AdmissionPolicy,
     FleetHealth,
     HealthState,
     RestartPolicy,
@@ -82,6 +106,7 @@ from repro.serve.scheduler import (
     RoundRobinRouter,
     Router,
     TenantRouter,
+    attach_cost_feedback,
     resolve_router,
 )
 from repro.serve.service import SolveService, SolveTicket
@@ -108,18 +133,32 @@ __all__ = [
     "DeadlineExceeded",
     "FleetUnavailable",
     "Overloaded",
+    "RateLimited",
+    "QuotaExceeded",
+    "AuthError",
     # Resilience (repro.serve.health / repro.serve.chaos)
     "FleetHealth",
     "HealthState",
     "RetryPolicy",
     "RestartPolicy",
+    "AdmissionPolicy",
     "FaultPlan",
     "FaultInjector",
+    # Gateway tier (repro.serve.gateway / auth / costmodel)
+    "Gateway",
+    "GatewayServer",
+    "Tenant",
+    "TenantRegistry",
+    "TokenBucket",
+    "QuotaLedger",
+    "CostModel",
+    "CostAwareRouter",
     "Router",
     "TenantRouter",
     "LeastLoadedRouter",
     "RoundRobinRouter",
     "resolve_router",
+    "attach_cost_feedback",
     "ServiceStats",
     "StatsSnapshot",
     "merge_snapshots",

@@ -268,6 +268,12 @@ def _ticket_to_future(
     simply dropped, and the request's batchmates never notice.
     """
     future: "asyncio.Future[CGResult]" = loop.create_future()
+    # The gateway's deadline enforcement needs the underlying ticket:
+    # cancelling only the asyncio future abandons the *wait*, while
+    # ticket.cancel() marks the request itself disowned (still
+    # drop-only) so the process shard's watchdog can reclaim its
+    # staged ring slot.
+    future.solve_ticket = ticket  # type: ignore[attr-defined]
 
     def transfer(done: SolveTicket) -> None:  # dispatcher thread
         # A ticket cancelled through the synchronous API has no outcome

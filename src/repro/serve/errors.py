@@ -30,6 +30,14 @@ error                  retryable?  meaning
 a worker respawns); the terminal errors mean the request's own budget —
 its deadline or the retry policy — ran out.
 
+The multi-tenant gateway (:mod:`repro.serve.gateway`) adds three
+tenancy errors on top: :class:`AuthError` (bad/missing token — HTTP
+401), :class:`RateLimited` (token bucket empty — a retryable
+:class:`Overloaded` subclass carrying a deterministic ``retry_after``
+hint, HTTP 429), and :class:`QuotaExceeded` (admitted-work quota
+exhausted — terminal until re-provisioned, HTTP 429 without a
+``Retry-After``).
+
 :class:`QueueClosed` predates this module and remains the base class of
 :class:`ServiceClosed` so existing ``except QueueClosed`` handlers keep
 working; new code should catch :class:`ServiceClosed`.
@@ -91,4 +99,38 @@ class Overloaded(RuntimeError):
     cannot absorb the load the watermark diversion would move.
     Retryable by design — back off and resubmit; shedding exists so an
     overloaded fleet degrades by refusing work it cannot do in time,
-    instead of queueing itself into timeout storms."""
+    instead of queueing itself into timeout storms.
+
+    The gateway tier raises it too — for loads shed *before* the fleet
+    watermark — and attaches a deterministic backoff hint as a
+    ``retry_after`` attribute (seconds; surfaced as HTTP 429 +
+    ``Retry-After``).  The attribute is optional: fleet-level sheds
+    carry none and clients fall back to their own backoff."""
+
+    retry_after: "float | None" = None
+
+
+class RateLimited(Overloaded):
+    """The tenant's token bucket is empty: the request exceeded the
+    tenant's provisioned request rate, not the fleet's capacity.
+    Subclasses :class:`Overloaded` (same client remedy: back off and
+    resubmit — generic overload handlers keep working) and always
+    carries a ``retry_after`` hint, the deterministic seconds until the
+    bucket refills one token."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class QuotaExceeded(RuntimeError):
+    """The tenant's admitted-work quota is exhausted.  *Not* retryable
+    on its own: unlike rate limits (which refill) and overloads (which
+    drain), a quota resets only by out-of-band provisioning — clients
+    should stop submitting, not back off and hammer."""
+
+
+class AuthError(PermissionError):
+    """The request's bearer token is missing, unknown, or revoked.
+    Subclasses :class:`PermissionError`; surfaced by the HTTP gateway
+    as 401."""

@@ -27,6 +27,14 @@ The thread shard (:class:`~repro.serve.shard.ShardedSolveService`) uses
 :class:`FleetHealth` too — its replicas cannot crash, but operators can
 :meth:`~FleetHealth.eject` one for maintenance and routing will steer
 around it.
+
+:class:`AdmissionPolicy` is the gateway-side extension of the same
+idea: the fleet's ``shed_watermark`` is its last line of defence, but a
+front door that *knows* the fleet's health and queue depths can shed
+earlier and smarter — priority-aware soft limits below the hard
+watermark, with deterministic ``retry_after`` backoff hints instead of
+bare refusals.  It is pure policy arithmetic (no locks, no clocks), so
+the gateway's admission decisions are exactly reproducible in tests.
 """
 
 from __future__ import annotations
@@ -133,6 +141,107 @@ class RestartPolicy:
         return min(
             self.backoff_max,
             self.backoff_base * self.backoff_factor ** (restart - 1),
+        )
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Priority-aware load shedding *before* the fleet watermark.
+
+    The fleet's ``shed_watermark`` refuses work only once every healthy
+    queue is already saturated; by then latency SLOs are gone.  A
+    gateway applies this policy at its own front door instead: shed
+    when the *per-healthy-replica* pending load crosses a soft limit
+    that depends on the request's priority, so background traffic backs
+    off while interactive traffic still flows — and the fleet watermark
+    (the hard limit here, which should sit at or below it) is reached
+    only when even top-priority load exceeds capacity.
+
+    Parameters
+    ----------
+    soft_limit:
+        Pending requests per healthy replica at which **priority 0**
+        (lowest) requests shed.
+    hard_limit:
+        Pending requests per healthy replica at which *every* priority
+        sheds.  Set it at (or just below) the backend's
+        ``shed_watermark`` so the gateway's refusal — which carries a
+        backoff hint — always fires before the fleet's bare one.
+    levels:
+        Number of priority classes; priorities clamp to
+        ``[0, levels - 1]``.  The shed threshold interpolates linearly
+        from ``soft_limit`` (priority 0) to ``hard_limit`` (top
+        priority).
+    retry_after_base / retry_after_max:
+        The deterministic backoff hint: ``retry_after_base * (1 +
+        overshoot)`` seconds, capped at ``retry_after_max``, where
+        ``overshoot`` is how many requests-per-replica past the
+        threshold the fleet currently is.  Deterministic (no jitter)
+        for the same reason the retry/restart policies are — admission
+        decisions replay exactly in tests.
+    """
+
+    soft_limit: int = 8
+    hard_limit: int = 16
+    levels: int = 3
+    retry_after_base: float = 0.05
+    retry_after_max: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.soft_limit < 1:
+            raise ValueError(
+                f"soft_limit must be >= 1, got {self.soft_limit}"
+            )
+        if self.hard_limit < self.soft_limit:
+            raise ValueError(
+                f"hard_limit ({self.hard_limit}) must be >= "
+                f"soft_limit ({self.soft_limit})"
+            )
+        if self.levels < 1:
+            raise ValueError(f"levels must be >= 1, got {self.levels}")
+        if self.retry_after_base < 0 or self.retry_after_max < 0:
+            raise ValueError(
+                "retry_after_base/retry_after_max must be >= 0"
+            )
+
+    def clamp_priority(self, priority: int) -> int:
+        """Clamp a requested priority into ``[0, levels - 1]``."""
+        return max(0, min(int(priority), self.levels - 1))
+
+    def shed_threshold(self, priority: int) -> float:
+        """Pending-per-healthy-replica load at which this priority
+        sheds (linear from ``soft_limit`` to ``hard_limit``)."""
+        p = self.clamp_priority(priority)
+        if self.levels == 1:
+            return float(self.soft_limit)
+        return self.soft_limit + (
+            (self.hard_limit - self.soft_limit) * p / (self.levels - 1)
+        )
+
+    def should_shed(
+        self, total_depth: int, healthy: int, priority: int = 0
+    ) -> bool:
+        """Shed one request of ``priority`` given ``total_depth``
+        requests pending across ``healthy`` replicas?  A fleet with no
+        healthy replica always sheds (the submit would only raise
+        :class:`~repro.serve.errors.FleetUnavailable` deeper in)."""
+        if healthy < 1:
+            return True
+        return (total_depth / healthy) >= self.shed_threshold(priority)
+
+    def retry_after(
+        self, total_depth: int, healthy: int, priority: int = 0
+    ) -> float:
+        """Deterministic backoff hint (seconds) for one shed request."""
+        if healthy < 1:
+            return self.retry_after_max
+        overshoot = max(
+            0.0,
+            total_depth / healthy - self.shed_threshold(priority),
+        )
+        return min(
+            self.retry_after_max,
+            self.retry_after_base * (1.0 + overshoot),
         )
 
 

@@ -156,6 +156,7 @@ from repro.serve.health import (
 )
 from repro.serve.scheduler import (
     Router,
+    attach_cost_feedback,
     pick_with_diversion,
     resolve_router,
 )
@@ -1172,8 +1173,6 @@ class ProcessShardedSolveService:
         so a redispatched request's stale watchdog never fires on the
         new registration."""
         ticket = inflight.ticket
-        if ticket.done():
-            return
         if (
             inflight.deadline_at is None
             or time.monotonic() < inflight.deadline_at
@@ -1183,6 +1182,16 @@ class ProcessShardedSolveService:
             if w.pending.get(req_id) is not inflight:
                 return
             w.pending.pop(req_id, None)
+        if ticket.done():
+            # Settled but still registered means cancelled client-side
+            # (e.g. a gateway disowning the request at its own deadline):
+            # the outcome is already decided, but the registration and —
+            # on the ring transport — the staged slot are not freed by
+            # anyone else if the send was dropped or the worker wedged.
+            # Reclaim them here; don't count the request as expired (its
+            # deadline didn't decide anything, the cancel did).
+            self._unstage([inflight])
+            return
         with self._lock:
             self._expired += 1
         ticket._fail(DeadlineExceeded(
@@ -1731,6 +1740,9 @@ class ProcessShardedSolveService:
                 self.retry.backoff(max(inflight.attempts, 1)),
                 ("retry", inflight),
             )
+        attach_cost_feedback(
+            self._router, inflight.ticket, chosen, key, tol, precision,
+        )
         return inflight.ticket
 
     def solve_many(

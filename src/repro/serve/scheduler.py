@@ -51,6 +51,7 @@ __all__ = [
     "ROUTING_POLICIES",
     "resolve_router",
     "pick_with_diversion",
+    "attach_cost_feedback",
 ]
 
 
@@ -450,7 +451,9 @@ def _stable_hash(key: object) -> int:
 
 
 #: Routing policy names accepted by the sharded service.
-ROUTING_POLICIES: tuple[str, ...] = ("tenant", "least-loaded", "round-robin")
+ROUTING_POLICIES: tuple[str, ...] = (
+    "tenant", "least-loaded", "round-robin", "cost",
+)
 
 
 def resolve_router(
@@ -461,7 +464,11 @@ def resolve_router(
     Parameters
     ----------
     policy:
-        ``"tenant"``, ``"least-loaded"``, ``"round-robin"``, or an
+        ``"tenant"``, ``"least-loaded"``, ``"round-robin"``, ``"cost"``
+        (predicted-work placement —
+        :class:`~repro.serve.costmodel.CostAwareRouter` over a private
+        :class:`~repro.serve.costmodel.CostModel`; construct the router
+        yourself to share a model with a gateway), or an
         already-constructed :class:`Router` (which must be sized for
         ``replicas``).
     replicas:
@@ -491,10 +498,61 @@ def resolve_router(
         return LeastLoadedRouter(replicas)
     if policy == "round-robin":
         return RoundRobinRouter(replicas)
+    if policy == "cost":
+        # Local import: costmodel imports Router from this module.
+        from repro.serve.costmodel import CostAwareRouter
+
+        return CostAwareRouter(replicas)
     raise ValueError(
         f"unknown routing policy {policy!r}; expected one of "
         f"{ROUTING_POLICIES} or a Router instance"
     )
+
+
+def attach_cost_feedback(
+    router: Router,
+    ticket,
+    chosen: int,
+    key: object | None,
+    tol: float | None,
+    precision: str | None,
+) -> None:
+    """Wire one admitted request into the router's cost-feedback loop.
+
+    The shard tiers call this right after a routed submit is accepted.
+    Routers that implement the duck-typed cost protocol
+    (``begin_request``/``finish_request`` — see
+    :class:`~repro.serve.costmodel.CostAwareRouter`) get the request's
+    predicted cost charged against ``chosen`` immediately, and a
+    done-callback on the ticket releases exactly that charge when the
+    solve completes — feeding the actual iteration count back into the
+    model when there is one (failed or cancelled tickets teach it
+    nothing).  Every pre-existing router lacks the protocol and is
+    skipped at the cost of one ``getattr``.
+
+    A request the process shard retries onto a *different* worker keeps
+    its charge on the original pick — the ledger is a routing signal,
+    not an audit, and crash retries are rare enough that a briefly
+    misattributed in-flight cost is noise the next completions wash
+    out.
+    """
+    begin = getattr(router, "begin_request", None)
+    if begin is None:
+        return
+    cost = begin(chosen, key, tol, precision)
+    finish = router.finish_request
+
+    def _release(done) -> None:
+        iterations = None
+        if not done.cancelled():
+            error = done.exception()  # non-blocking: ticket is done
+            if error is None:
+                iterations = getattr(
+                    done.result(), "iterations", None
+                )
+        finish(chosen, cost, key, tol, precision, iterations)
+
+    ticket.add_done_callback(_release)
 
 
 def _least_loaded_healthy(

@@ -52,6 +52,7 @@ from repro.serve.errors import Overloaded
 from repro.serve.health import FleetHealth
 from repro.serve.scheduler import (
     Router,
+    attach_cost_feedback,
     pick_with_diversion,
     resolve_router,
 )
@@ -86,7 +87,9 @@ class ShardedSolveService:
         Number of replica services (``K >= 1``).  One per core/NUMA
         domain is the intended deployment.
     policy:
-        ``"tenant"``, ``"least-loaded"``, ``"round-robin"``, or a
+        ``"tenant"``, ``"least-loaded"``, ``"round-robin"``, ``"cost"``
+        (predicted-work placement via
+        :class:`~repro.serve.costmodel.CostAwareRouter`), or a
         ready :class:`~repro.serve.scheduler.Router` sized for
         ``replicas``.
     max_batch / max_wait / max_pending / tol / maxiter / precision /
@@ -385,6 +388,9 @@ class ShardedSolveService:
         ticket = self.services[chosen].submit(
             b, tol=tol, maxiter=maxiter, deadline=deadline,
             precision=precision,
+        )
+        attach_cost_feedback(
+            self._router, ticket, chosen, key, tol, precision,
         )
         with self._lock:
             self._routed[chosen] += 1

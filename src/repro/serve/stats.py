@@ -98,6 +98,15 @@ class StatsSnapshot:
         into ring slots and workers solve views of them.  Solve-side
         work (batch assembly stacking, the worker's in-place write of
         ``x`` back into its slot) is not transport and is not counted.
+    tenant_iterations:
+        Per-tenant solve-cost history:
+        ``{(tenant, tol, precision): (count, iterations_sum)}``.  The
+        raw material of cost-predicted scheduling — a
+        :class:`~repro.serve.costmodel.CostModel` warm-starts from it
+        via :meth:`~repro.serve.costmodel.CostModel.from_stats`.
+        Recorded by whichever layer knows the tenant (the gateway;
+        plain services never learn tenant identities), so most
+        service-level snapshots carry an empty mapping.
     """
 
     submitted: int
@@ -116,6 +125,9 @@ class StatsSnapshot:
     restarts: int = 0
     shed: int = 0
     copy_bytes: int = 0
+    tenant_iterations: dict[tuple, tuple[int, float]] = field(
+        default_factory=dict
+    )
 
     @property
     def solves_per_second(self) -> float:
@@ -189,6 +201,7 @@ def merge_snapshots(snapshots: Iterable[StatsSnapshot]) -> StatsSnapshot:
     submitted = completed = failed = batches = 0
     expired = retries = restarts = shed = copy_bytes = 0
     histogram: dict[int, int] = {}
+    tenants: dict[tuple, tuple[int, float]] = {}
     queue_depth = max_queue_depth = 0
     busy = wall = 0.0
     firsts: list[float] = []
@@ -205,6 +218,9 @@ def merge_snapshots(snapshots: Iterable[StatsSnapshot]) -> StatsSnapshot:
         copy_bytes += snap.copy_bytes
         for size, count in snap.batch_histogram.items():
             histogram[size] = histogram.get(size, 0) + count
+        for key, (count, total) in snap.tenant_iterations.items():
+            have = tenants.get(key, (0, 0.0))
+            tenants[key] = (have[0] + count, have[1] + total)
         queue_depth += snap.queue_depth
         max_queue_depth = max(max_queue_depth, snap.max_queue_depth)
         busy += snap.busy_seconds
@@ -242,6 +258,7 @@ def merge_snapshots(snapshots: Iterable[StatsSnapshot]) -> StatsSnapshot:
         restarts=restarts,
         shed=shed,
         copy_bytes=copy_bytes,
+        tenant_iterations=tenants,
     )
 
 
@@ -283,6 +300,9 @@ class ServiceStats:
     _last_done: float | None = None
     _expired: int = 0
     _copy_bytes: int = 0
+    _tenant_hist: dict[tuple, tuple[int, float]] = field(
+        default_factory=dict, repr=False
+    )
 
     def record_submit(self, queue_depth: int | None = None) -> None:
         """One request is being submitted.
@@ -343,6 +363,27 @@ class ServiceStats:
         """
         with self._lock:
             self._expired += count
+
+    def record_tenant(
+        self,
+        tenant: object | None,
+        tol: float | None,
+        precision: str | None,
+        iterations: float,
+    ) -> None:
+        """One tenant-attributed solve completed in ``iterations``.
+
+        Accumulates the per-key ``(count, iterations_sum)`` history
+        behind :attr:`StatsSnapshot.tenant_iterations`.  Called by the
+        layer that knows the tenant (the gateway's completion hook) —
+        the batching services themselves never see tenant identities.
+        """
+        with self._lock:
+            key = (tenant, tol, precision)
+            count, total = self._tenant_hist.get(key, (0, 0.0))
+            self._tenant_hist[key] = (
+                count + 1, total + float(iterations)
+            )
 
     def record_copy_bytes(self, nbytes: int) -> None:
         """``nbytes`` of request payload crossed a copying transport hop
@@ -422,4 +463,5 @@ class ServiceStats:
                 last_done=self._last_done,
                 expired=self._expired,
                 copy_bytes=self._copy_bytes,
+                tenant_iterations=dict(self._tenant_hist),
             )

@@ -19,11 +19,13 @@ from repro.sem import (
     sine_manufactured,
 )
 from repro.serve import (
+    AdmissionPolicy,
     AsyncSolveService,
     DeadlineExceeded,
     FaultInjector,
     FaultPlan,
     FleetUnavailable,
+    Gateway,
     HealthState,
     Overloaded,
     ProcessShardedSolveService,
@@ -33,6 +35,8 @@ from repro.serve import (
     ServiceClosed,
     ShardedSolveService,
     SolveService,
+    TenantRegistry,
+    WorkerCrashed,
 )
 
 
@@ -389,3 +393,179 @@ class TestTicketCancel:
         finally:
             svc.close()
         assert parked.cancelled()
+
+
+class TestGatewayChaosDrill:
+    def test_kill_each_worker_once_behind_the_gateway(
+        self, serving_problem
+    ):
+        """The same kill-each-worker-once drill as above, but through
+        the multi-tenant gateway: every client either retries on a
+        *retryable* refusal (Overloaded with a backoff hint,
+        FleetUnavailable) or gets a bit-identical result.  WorkerCrashed
+        never reaches a client — the fleet's retry machinery absorbs
+        both kills — and the gateway's books balance: completed equals
+        the request count, failed stays zero, and the quota ledger
+        charges exactly the admitted work."""
+        prob, bank = serving_problem
+        plan = FaultPlan.kill_each_worker_once(
+            2, first_kill_after=2, stagger=3
+        )
+        injector = FaultInjector(plan)
+        svc = ProcessShardedSolveService(
+            prob, workers=2, policy="cost", max_batch=4,
+            max_wait=0.002, tol=1e-10, maxiter=200,
+            chaos=injector,
+            retry=RetryPolicy(max_attempts=4, backoff_base=0.01),
+            restart=RestartPolicy(max_restarts=3, backoff_base=0.02),
+        )
+        registry = TenantRegistry()
+        tenants = [
+            registry.provision(f"tenant{i}", quota=len(bank))
+            for i in range(3)
+        ]
+        gateway = Gateway(
+            svc, registry,
+            admission=AdmissionPolicy(soft_limit=64, hard_limit=128),
+        )
+
+        async def client(tenant, b):
+            for _ in range(60):
+                try:
+                    return await gateway.solve(
+                        tenant.token, b, tol=1e-10, maxiter=200
+                    )
+                except Overloaded as exc:
+                    # Retryable by contract; honor the backoff hint.
+                    await asyncio.sleep(
+                        min(exc.retry_after or 0.05, 0.2)
+                    )
+                except FleetUnavailable:
+                    await asyncio.sleep(0.05)
+            raise AssertionError("client starved out after 60 retries")
+
+        async def scenario():
+            jobs = [
+                client(tenants[i % 3], b) for i, b in enumerate(bank)
+            ]
+            return await asyncio.gather(*jobs, return_exceptions=True)
+
+        try:
+            outcomes = asyncio.run(scenario())
+            crashes = [
+                o for o in outcomes if isinstance(o, WorkerCrashed)
+            ]
+            assert not crashes, f"WorkerCrashed leaked: {crashes}"
+            errors = [o for o in outcomes if isinstance(o, Exception)]
+            assert not errors, f"non-retryable errors leaked: {errors}"
+            assert injector.kills_fired == 2
+            assert wait_until(
+                lambda: svc.health.mask() == (True, True)
+            ), f"fleet never healed: {svc.health.states}"
+            counters = gateway.counters
+            assert counters["completed"] == len(bank)
+            assert counters["failed"] == 0
+            # Quota charged exactly the admitted work: every fleet
+            # refusal mid-drill was refunded before the client retried.
+            totals = gateway.ledger.totals()
+            assert sum(totals.values()) == len(bank)
+            for i, tenant in enumerate(tenants):
+                want = len([k for k in range(len(bank)) if k % 3 == i])
+                assert totals[tenant.tenant_id] == want
+        finally:
+            svc.close()
+        for b, got in zip(bank, outcomes):
+            assert_same_result(got, sequential_solve(prob, b))
+
+
+class TestRingSlotReclaimOnCancel:
+    """Satellite (4): a ticket cancelled after gateway-side deadline
+    expiry must release its staged ring slot — the deadline watchdog,
+    not the wedged worker's eventual reply, is what reclaims it."""
+
+    def test_watchdog_reclaims_cancelled_slot_behind_wedged_worker(
+        self, serving_problem
+    ):
+        prob, bank = serving_problem
+        # Worker 0 sleeps 9s in its message loop on its first block:
+        # request A wedges the worker with slot 0 held, and nothing the
+        # worker does can free slot 1 before the sleep ends.
+        injector = FaultInjector(FaultPlan(slow_solves={0: {1: 9.0}}))
+        svc = ProcessShardedSolveService(
+            prob, workers=1, ring_slots=2, max_batch=1,
+            max_wait=0.002, tol=1e-10, maxiter=200, chaos=injector,
+        )
+        try:
+            ring = svc._rings[0]
+            a = svc.submit(bank[0])
+            assert wait_until(lambda: ring.in_use >= 1, timeout=10.0)
+            b_ticket = svc.submit(bank[1], deadline=0.3)
+            assert ring.in_use == 2
+            # Gateway-style disowning: cancel right after staging.
+            assert b_ticket.cancel() is True
+            # The watchdog fires at deadline + grace (~0.8s) and must
+            # unstage the cancelled request's slot — well before the
+            # worker drains its 9s wedge.
+            assert wait_until(
+                lambda: ring.in_use == 1, timeout=4.0
+            ), "cancelled ticket's ring slot was never reclaimed"
+            # A cancelled ticket is not an expiry: its deadline decided
+            # nothing, the cancel did.
+            assert svc.stats.expired == 0
+            # The freed slot is immediately usable: this submit stages
+            # into the reclaimed slot and returns instead of blocking
+            # on a full ring behind the still-wedged worker.  (No
+            # in_use sample here: on a loaded host the wedge can drain
+            # between submit and sample, making the count racy.)
+            c = svc.submit(bank[2])
+            got_a = a.result(timeout=60.0)
+            got_c = c.result(timeout=60.0)
+            assert b_ticket.cancelled()
+        finally:
+            svc.close()
+        assert_same_result(got_a, sequential_solve(prob, bank[0]))
+        assert_same_result(got_c, sequential_solve(prob, bank[2]))
+
+    def test_cancellation_pressure_with_two_slots(
+        self, serving_problem
+    ):
+        """Cancellation pressure on a ring_slots=2 service: with the
+        worker wedged 10s, four cancel-after-deadline cycles must each
+        reclaim the spare slot via the watchdog (~0.7s per cycle).
+        Before the fix the second submit would block until the worker
+        drained — the elapsed bound is the regression assertion."""
+        prob, bank = serving_problem
+        injector = FaultInjector(FaultPlan(slow_solves={0: {1: 10.0}}))
+        svc = ProcessShardedSolveService(
+            prob, workers=1, ring_slots=2, max_batch=1,
+            max_wait=0.002, tol=1e-10, maxiter=200, chaos=injector,
+        )
+        try:
+            ring = svc._rings[0]
+            anchor = svc.submit(bank[0])  # wedges the worker, holds a slot
+            assert wait_until(lambda: ring.in_use >= 1, timeout=10.0)
+            start = time.monotonic()
+            cancelled = []
+            for k in range(4):
+                # submit blocks while both slots are held; only the
+                # watchdog's reclaim of the previous cancelled request
+                # can unblock it — the worker is asleep for 10s.
+                t = svc.submit(bank[1 + k], deadline=0.2)
+                assert t.cancel() is True
+                cancelled.append(t)
+            elapsed = time.monotonic() - start
+            assert elapsed < 7.0, (
+                f"cancellation cycles took {elapsed:.1f}s — staged "
+                "slots are waiting on the wedged worker, not the "
+                "watchdog"
+            )
+            assert svc.stats.expired == 0
+            # After the wedge drains the service is fully healthy: the
+            # anchor and a fresh request both solve bit-identically.
+            got_anchor = anchor.result(timeout=60.0)
+            final = svc.submit(bank[5]).result(timeout=60.0)
+            assert all(t.cancelled() for t in cancelled)
+        finally:
+            svc.close()
+        assert_same_result(got_anchor, sequential_solve(prob, bank[0]))
+        assert_same_result(final, sequential_solve(prob, bank[5]))
