@@ -1,0 +1,154 @@
+"""Findings, the parsed-source model, and suppression comments.
+
+A :class:`SourceFile` is what every rule sees: the parsed AST plus the
+comment map rules need for the annotation vocabulary (trailing
+``# guarded-by:`` declarations, ``# lint: ignore[...]`` suppressions).
+Comments are recovered with :mod:`tokenize` so the model never guesses
+at string contents.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+#: ``# lint: ignore[rule]`` / ``# lint: file-ignore[rule]`` (optionally
+#: ``-- reason``); several rules may be listed comma-separated.
+_IGNORE_RE = re.compile(
+    r"#\s*lint:\s*(file-)?ignore\[([A-Za-z0-9_,\- ]+)\]"
+)
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+_REQUIRES_RE = re.compile(r"#\s*requires-lock:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+#: Only the first few lines may carry file-wide ignores, so a file's
+#: exemptions are visible at its head, not buried mid-module.
+_FILE_IGNORE_HEAD_LINES = 5
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    rule:
+        The rule identifier (``"lock-discipline"``, ...).
+    path:
+        POSIX-style path of the offending file, relative to the
+        analysis root (so findings and baseline entries compare
+        machine-independently).
+    line:
+        1-based line of the offending node.
+    symbol:
+        Dotted qualname of the enclosing definition (``Class.method``,
+        module-level code reports ``"<module>"``) — the stable half of
+        a finding's identity: baselines match on ``(rule, path,
+        symbol)`` so entries survive unrelated line drift.
+    message:
+        Human-readable description of the violation.
+    """
+
+    rule: str
+    path: str
+    line: int
+    symbol: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line: [rule] message (in symbol)`` — one CLI line."""
+        return (
+            f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+            f" (in {self.symbol})"
+        )
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file plus its comment-derived annotations.
+
+    Attributes
+    ----------
+    path:
+        Root-relative POSIX path (what findings report).
+    text:
+        Raw source text.
+    tree:
+        Parsed :class:`ast.Module`.
+    comments:
+        ``{line: comment_text}`` for every comment token.
+    line_ignores:
+        ``{line: {rule, ...}}`` from ``# lint: ignore[...]`` comments.
+    file_ignores:
+        Rules suppressed for the whole file.
+    guarded_by_lines:
+        ``{line: lock_name}`` from ``# guarded-by:`` comments.
+    requires_lock_lines:
+        ``{line: lock_name}`` from ``# requires-lock:`` comments.
+    """
+
+    path: str
+    text: str
+    tree: ast.Module
+    comments: dict[int, str] = field(default_factory=dict)
+    line_ignores: dict[int, set[str]] = field(default_factory=dict)
+    file_ignores: set[str] = field(default_factory=set)
+    guarded_by_lines: dict[int, str] = field(default_factory=dict)
+    requires_lock_lines: dict[int, str] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, text: str) -> "SourceFile":
+        """Parse ``text`` into the model every rule consumes.
+
+        Raises
+        ------
+        SyntaxError
+            If the file does not parse — callers surface that as its
+            own finding rather than skipping the file silently.
+        """
+        tree = ast.parse(text, filename=path)
+        src = cls(path=path, text=text, tree=tree)
+        for tok in tokenize.generate_tokens(io.StringIO(text).readline):
+            if tok.type != tokenize.COMMENT:
+                continue
+            line = tok.start[0]
+            src.comments[line] = tok.string
+            for match in _IGNORE_RE.finditer(tok.string):
+                rules = {
+                    r.strip() for r in match.group(2).split(",") if r.strip()
+                }
+                if match.group(1):  # file-ignore
+                    if line <= _FILE_IGNORE_HEAD_LINES:
+                        src.file_ignores |= rules
+                else:
+                    src.line_ignores.setdefault(line, set()).update(rules)
+            guarded = _GUARDED_RE.search(tok.string)
+            if guarded:
+                src.guarded_by_lines[line] = guarded.group(1)
+            requires = _REQUIRES_RE.search(tok.string)
+            if requires:
+                src.requires_lock_lines[line] = requires.group(1)
+        return src
+
+    # ------------------------------------------------------------------
+    def ignored(self, rule: str, line: int) -> bool:
+        """Is ``rule`` suppressed at ``line`` (or file-wide)?"""
+        if rule in self.file_ignores:
+            return True
+        return rule in self.line_ignores.get(line, ())
+
+    def definition_ignored(self, rule: str, node: ast.AST) -> bool:
+        """Is ``rule`` suppressed on a definition's ``def``/``class``
+        header (decorator lines included, so the ignore can sit above
+        the signature)?"""
+        start = min(
+            [node.lineno]
+            + [d.lineno for d in getattr(node, "decorator_list", [])]
+        )
+        body = getattr(node, "body", None)
+        end = body[0].lineno if body else node.lineno
+        return any(
+            self.ignored(rule, line) for line in range(start, end + 1)
+        )

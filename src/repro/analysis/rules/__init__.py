@@ -1,0 +1,35 @@
+"""The project lint rules.
+
+Each rule module exposes ``RULE_ID`` (or several) and a ``check(src,
+config)`` generator yielding raw :class:`~repro.analysis.findings.
+Finding` objects; the engine applies suppressions and baselines on
+top.  Rules are pure functions of the parsed source — no imports of
+the code under analysis, no I/O.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import (
+    clock,
+    contiguity,
+    hot_path,
+    lock_discipline,
+    shm_lifecycle,
+)
+
+#: Every registered rule module, in reporting order.
+RULE_MODULES = (
+    lock_discipline,
+    clock,
+    shm_lifecycle,
+    hot_path,
+    contiguity,
+)
+
+#: Every rule identifier the engine knows (one module may host several
+#: closely-related rules, e.g. the two clock-discipline checks).
+ALL_RULE_IDS: tuple[str, ...] = tuple(
+    rule_id
+    for module in RULE_MODULES
+    for rule_id in module.RULE_IDS
+)

@@ -1,0 +1,98 @@
+"""Monotonic-clock discipline in the serving timing paths.
+
+Two rules, both scoped to :attr:`~repro.analysis.config.AnalysisConfig.
+clock_paths` (the serving layer):
+
+* ``wall-clock`` — no ``time.time()`` / naive-``datetime`` reads.
+  Deadlines, linger timers and latency stamps must use
+  ``time.monotonic()`` / ``time.perf_counter()``: the wall clock can
+  step (NTP, DST, operator) and a stepped deadline either fires years
+  early or never.  The one legitimate wall-clock read is the epoch
+  *rebase* helper itself (``perf_epoch_offset``), which carries an
+  inline ignore with its justification.
+* ``perf-counter-transit`` — a raw ``time.perf_counter()`` stamp may
+  not be shipped across a process/queue boundary (``.send(...)`` /
+  ``.put(...)``): ``perf_counter`` epochs are arbitrary per process,
+  so a foreign stamp is meaningless until rebased (the PR 5
+  cross-process stats bug — fleet windows computed across two epochs).
+  Ship ``perf_epoch_offset()`` alongside and rebase at the receiver
+  instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import call_name, enclosing_symbol, name_matches
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding, SourceFile
+
+WALL_CLOCK = "wall-clock"
+PERF_TRANSIT = "perf-counter-transit"
+RULE_IDS = (WALL_CLOCK, PERF_TRANSIT)
+
+#: Channel-crossing call names whose payloads must not carry raw
+#: perf_counter stamps.
+_TRANSIT_CALLS = ("send", "send_bytes", "put", "put_nowait")
+
+
+def _in_scope(src: SourceFile, config: AnalysisConfig) -> bool:
+    return any(
+        src.path == prefix or src.path.startswith(prefix.rstrip("/") + "/")
+        for prefix in config.clock_paths
+    )
+
+
+def _contains_perf_counter(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and name_matches(
+            call_name(sub), "perf_counter"
+        ):
+            return True
+    return False
+
+
+def check(src: SourceFile, config: AnalysisConfig) -> Iterator[Finding]:
+    """Yield wall-clock reads and perf-counter boundary crossings."""
+    if not _in_scope(src, config):
+        return
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = call_name(node)
+        for banned in config.wall_clock_calls:
+            if name_matches(dotted, banned):
+                yield Finding(
+                    rule=WALL_CLOCK,
+                    path=src.path,
+                    line=node.lineno,
+                    symbol=enclosing_symbol(src.tree, node),
+                    message=(
+                        f"{banned}() in a serving timing path; use "
+                        "time.monotonic()/perf_counter() (wall clocks "
+                        "step under NTP/DST and break deadlines)"
+                    ),
+                )
+                break
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _TRANSIT_CALLS
+            and any(
+                _contains_perf_counter(arg)
+                for arg in list(node.args)
+                + [kw.value for kw in node.keywords]
+            )
+        ):
+            yield Finding(
+                rule=PERF_TRANSIT,
+                path=src.path,
+                line=node.lineno,
+                symbol=enclosing_symbol(src.tree, node),
+                message=(
+                    "raw time.perf_counter() stamp shipped through "
+                    f".{node.func.attr}(); perf_counter epochs are "
+                    "per-process — send perf_epoch_offset() alongside "
+                    "and rebase at the receiver"
+                ),
+            )

@@ -1,0 +1,108 @@
+"""Contiguity guards on ``out=`` parameters.
+
+Numpy silently *copies* when an ``out=`` destination is non-contiguous
+in some code paths (and raises in others) — PR 3's gather/scatter bug:
+a transposed view passed as ``out=`` produced a silent copy, the
+caller's buffer never saw the result, and the solve "converged" on
+stale data.
+
+Any function that takes a parameter named ``out`` and *risks* it —
+reshapes it or forwards it as an ``out=`` keyword into a numpy call —
+must visibly guard contiguity first: touch ``out.flags``
+(``c_contiguous`` checks), call ``np.ascontiguousarray(out)``, or pass
+``out`` through one of the configured helper validators.  Functions
+that only index-assign into ``out`` (``out[...] = x``) are exempt:
+plain ``__setitem__`` never silently copies.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import call_name, qualname_map
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding, SourceFile
+
+RULE_ID = "out-contiguity"
+RULE_IDS = (RULE_ID,)
+
+_PARAM = "out"
+_RISKY_METHODS = ("reshape", "ravel", "view")
+
+
+def _takes_out(func: "ast.FunctionDef | ast.AsyncFunctionDef") -> bool:
+    a = func.args
+    return any(
+        arg.arg == _PARAM for arg in a.posonlyargs + a.args + a.kwonlyargs
+    )
+
+
+def _is_out_name(node: ast.AST) -> bool:
+    return isinstance(node, ast.Name) and node.id == _PARAM
+
+
+def _risky_use(func: ast.AST) -> ast.AST | None:
+    """First node that risks ``out``'s contiguity, or ``None``."""
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _RISKY_METHODS
+            and _is_out_name(node.func.value)
+        ):
+            return node
+        if isinstance(node, ast.Call) and any(
+            kw.arg == _PARAM and _is_out_name(kw.value)
+            for kw in node.keywords
+        ):
+            return node
+    return None
+
+
+def _guarded(func: ast.AST, config: AnalysisConfig) -> bool:
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == "flags"
+            and _is_out_name(node.value)
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = call_name(node)
+            if dotted is None:
+                continue
+            helpers = ("ascontiguousarray",) + tuple(
+                config.contiguity_helpers
+            )
+            if any(
+                dotted == h or dotted.endswith("." + h) for h in helpers
+            ) and any(_is_out_name(arg) for arg in node.args):
+                return True
+    return False
+
+
+def check(src: SourceFile, config: AnalysisConfig) -> Iterator[Finding]:
+    """Yield functions that risk an unguarded ``out=`` parameter."""
+    for func, qual in qualname_map(src.tree).items():
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _takes_out(func):
+            continue
+        if src.definition_ignored(RULE_ID, func):
+            continue
+        risky = _risky_use(func)
+        if risky is None or _guarded(func, config):
+            continue
+        yield Finding(
+            rule=RULE_ID,
+            path=src.path,
+            line=risky.lineno,
+            symbol=qual,
+            message=(
+                "`out` parameter is reshaped/forwarded as out= without "
+                "a contiguity guard (check out.flags.c_contiguous or "
+                "validate first); non-contiguous out= can silently "
+                "write to a copy"
+            ),
+        )

@@ -1,0 +1,163 @@
+"""Hot-path allocation gate: preallocate outside, compute into buffers.
+
+The CG inner loop's contract since PR 1: per-iteration work allocates
+nothing — every operand writes into a workspace buffer via ``out=``.
+A single stray ``np.zeros`` in ``apply_into`` costs an allocation per
+CG iteration per RHS and shows up directly in p95 latency.
+
+A function opts in by carrying the :func:`repro.analysis.annotations.
+hot_path` decorator, or by being listed in ``AnalysisConfig.
+hot_path_functions`` as ``"path/to/file.py::Qual.name"`` (for code that
+must stay import-free of the analysis package).  Inside, the rule
+flags:
+
+* allocating numpy constructors (``np.empty``/``zeros``/``concatenate``
+  /...: the :attr:`~repro.analysis.config.AnalysisConfig.
+  allocating_constructors` list);
+* out-capable numpy calls *without* ``out=`` (``np.multiply(a, b)``
+  allocates; ``np.multiply(a, b, out=buf)`` does not) — including
+  ufunc method forms ``.reduce``/``.accumulate``/``.reduceat``/
+  ``.outer``;
+* allocating array methods ``.copy()`` / ``.astype()`` /
+  ``.flatten()`` / ``.tolist()``;
+* the ``@`` matmul operator (always allocates; use
+  ``np.matmul(..., out=)``).
+
+Scalar arithmetic (``alpha = rz_new / rz``) is untouched — only calls
+and ``@`` are inspected, so the rule stays quiet on the solver's
+scalar recurrences.  Deliberate allocations (setup code inside a
+marked function) take ``# lint: ignore[hot-path-alloc] -- reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import call_name, name_matches, qualname_map
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding, SourceFile
+
+RULE_ID = "hot-path-alloc"
+RULE_IDS = (RULE_ID,)
+
+_ALLOCATING_METHODS = ("copy", "astype", "flatten", "tolist")
+_UFUNC_METHODS = ("reduce", "accumulate", "reduceat", "outer")
+
+
+def _is_hot(
+    func: "ast.FunctionDef | ast.AsyncFunctionDef",
+    qual: str,
+    src: SourceFile,
+    config: AnalysisConfig,
+) -> bool:
+    for deco in func.decorator_list:
+        name = None
+        if isinstance(deco, (ast.Name, ast.Attribute)):
+            name = (
+                deco.id if isinstance(deco, ast.Name) else deco.attr
+            )
+        elif isinstance(deco, ast.Call):
+            name = call_name(deco)
+        if name is not None and (
+            name == "hot_path" or name.endswith(".hot_path")
+            or name.endswith("hot_path")
+        ):
+            return True
+    return f"{src.path}::{qual}" in config.hot_path_functions
+
+
+def _has_out_kwarg(node: ast.Call) -> bool:
+    return any(kw.arg == "out" for kw in node.keywords)
+
+
+def _check_call(
+    node: ast.Call, config: AnalysisConfig
+) -> str | None:
+    """Return a violation message for ``node``, or ``None``."""
+    dotted = call_name(node)
+    for ctor in config.allocating_constructors:
+        for prefix in ("np.", "numpy."):
+            if dotted == prefix + ctor:
+                return (
+                    f"allocating constructor {dotted}() on a hot path; "
+                    "preallocate in the workspace and reuse"
+                )
+    for fn in config.outful_functions:
+        for prefix in ("np.", "numpy."):
+            if dotted == prefix + fn and not _has_out_kwarg(node):
+                return (
+                    f"{dotted}() without out= allocates a fresh array "
+                    "per call; write into a workspace buffer"
+                )
+    if isinstance(node.func, ast.Attribute):
+        attr = node.func.attr
+        if attr in _ALLOCATING_METHODS:
+            return (
+                f".{attr}() allocates on a hot path; preallocate and "
+                "copy with np.copyto / compute with out="
+            )
+        if (
+            attr in _UFUNC_METHODS
+            and not _has_out_kwarg(node)
+            and name_matches(dotted, attr)
+            and dotted is not None
+            and (dotted.startswith("np.") or dotted.startswith("numpy."))
+        ):
+            return (
+                f"ufunc .{attr}() without out= allocates; pass a "
+                "workspace buffer"
+            )
+    return None
+
+
+def check(src: SourceFile, config: AnalysisConfig) -> Iterator[Finding]:
+    """Yield allocations inside ``@hot_path``/config-listed functions."""
+    quals = qualname_map(src.tree)
+    for func, qual in quals.items():
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _is_hot(func, qual, src, config):
+            continue
+        if src.definition_ignored(RULE_ID, func):
+            continue
+        # Walk only this function's own statements — nested defs get
+        # their own decision (a closure inside a hot function is hot
+        # only if marked itself).
+        nested = {
+            n
+            for n in quals
+            if n is not func
+            and isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and func.lineno < n.lineno
+            and (n.end_lineno or 0) <= (func.end_lineno or 0)
+        }
+
+        def in_nested(node: ast.AST) -> bool:
+            line = getattr(node, "lineno", 0)
+            return any(
+                f.body[0].lineno <= line <= (f.end_lineno or 0)
+                for f in nested
+                if f.body
+            )
+
+        for node in ast.walk(func):
+            message = None
+            if isinstance(node, ast.Call):
+                message = _check_call(node, config)
+            elif isinstance(node, ast.BinOp) and isinstance(
+                node.op, ast.MatMult
+            ):
+                message = (
+                    "`@` matmul allocates its result; use "
+                    "np.matmul(..., out=workspace)"
+                )
+            if message is None or in_nested(node):
+                continue
+            yield Finding(
+                rule=RULE_ID,
+                path=src.path,
+                line=node.lineno,
+                symbol=qual,
+                message=message,
+            )

@@ -39,6 +39,8 @@ from typing import TYPE_CHECKING, Callable
 import numpy as np
 from numpy.typing import NDArray
 
+from repro.analysis.annotations import hot_path
+
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from repro.sem.workspace import SolverWorkspace
 
@@ -217,6 +219,7 @@ def cg_solve(
 
     out_ok = _operator_accepts_out(apply_A)
 
+    @hot_path
     def apply_into(vec: NDArray[np.float64], dst: NDArray[np.float64]) -> None:
         # Operators may accept ``out=`` yet still return a fresh array
         # (only writing into ``out`` is optional); honor the return
@@ -225,6 +228,7 @@ def cg_solve(
         if res is not dst:
             np.copyto(dst, res)
 
+    @hot_path
     def fused_dot(
         a_vec: NDArray[np.float64], b_vec: NDArray[np.float64]
     ) -> float:
@@ -498,11 +502,13 @@ def cg_solve_batched(
 
     out_ok = _operator_accepts_out(apply_A)
 
+    @hot_path
     def apply_into(vec: NDArray[np.float64], dst: NDArray[np.float64]) -> None:
         res_arr = apply_A(vec, out=dst) if out_ok else apply_A(vec)
         if res_arr is not dst:
             np.copyto(dst, res_arr)
 
+    @hot_path
     def row_dots(
         a_vec: NDArray[np.float64],
         b_vec: NDArray[np.float64],
@@ -852,11 +858,13 @@ def cg_solve_mixed(
 
     out_ok = _operator_accepts_out(apply_A)
 
+    @hot_path
     def apply_into(vec: NDArray[np.float64], dst: NDArray[np.float64]) -> None:
         res = apply_A(vec, out=dst) if out_ok else apply_A(vec)
         if res is not dst:
             np.copyto(dst, res)
 
+    @hot_path
     def fused_dot(
         a_vec: NDArray[np.float64], b_vec: NDArray[np.float64]
     ) -> float:
@@ -1004,11 +1012,13 @@ def cg_solve_batched_mixed(
 
     out_ok = _operator_accepts_out(apply_A)
 
+    @hot_path
     def apply_into(vec: NDArray[np.float64], dst: NDArray[np.float64]) -> None:
         res_arr = apply_A(vec, out=dst) if out_ok else apply_A(vec)
         if res_arr is not dst:
             np.copyto(dst, res_arr)
 
+    @hot_path
     def row_dots(
         a_vec: NDArray[np.float64],
         b_vec: NDArray[np.float64],

@@ -38,6 +38,7 @@ from typing import Callable
 import numpy as np
 from numpy.typing import NDArray
 
+from repro.analysis.annotations import hot_path
 from repro.sem.element import ReferenceElement
 from repro.sem.operators import (
     _check_shapes,
@@ -114,6 +115,7 @@ def _fallback_executor(threads: int) -> ThreadPoolExecutor:
     return ThreadPoolExecutor(max_workers=threads, thread_name_prefix="sem-ax")
 
 
+@hot_path
 def _ax_gradient_phase(
     d: NDArray[np.float64],
     dt: NDArray[np.float64],
@@ -143,6 +145,7 @@ def _ax_gradient_phase(
     np.matmul(uf.reshape(t_shape), dt, out=ut.reshape(t_shape))
 
 
+@hot_path
 def _ax_geometric_phase(
     gc: tuple[NDArray[np.float64], ...],
     ur: NDArray[np.float64],
@@ -178,6 +181,7 @@ def _ax_geometric_phase(
     wt += tmp
 
 
+@hot_path
 def _ax_divergence_phase(
     d: NDArray[np.float64],
     dt: NDArray[np.float64],
@@ -202,6 +206,7 @@ def _ax_divergence_phase(
     of += tmp
 
 
+@hot_path
 def _ax_matmul_block(
     d: NDArray[np.float64],
     dt: NDArray[np.float64],
@@ -239,6 +244,7 @@ def _ax_matmul_block(
     )
 
 
+@hot_path
 def _ax_matmul_fused_batch(
     d: NDArray[np.float64],
     dt: NDArray[np.float64],

@@ -92,6 +92,12 @@ def ax_local(
     ``w`` with the same shape as ``u``.
     """
     _check_shapes(ref, u, g)
+    if out is not None and not out.flags.c_contiguous:
+        # The einsum fast paths want a contiguous destination; compute
+        # into a fresh contiguous result and copy once (mirrors
+        # GatherScatter.gather's handling of non-contiguous ``out``).
+        np.copyto(out, ax_local(ref, u, g, workspace=workspace))
+        return out
     # A dtype-matched D keeps every contraction in the field's own
     # precision (an fp64 D against fp32 fields would silently promote
     # each einsum — or refuse to cast into an fp32 ``out``).

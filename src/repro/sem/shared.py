@@ -363,13 +363,21 @@ class SlotRing:
             + _aligned(slab_nbytes) + slab_nbytes
         )
         shm = shared_memory.SharedMemory(create=True, size=size)
-        manifest = SlotRingManifest(
-            block=shm.name, slots=int(slots), n=int(n), dtype=dtype.str,
-            creator_pid=os.getpid(),
-        )
-        ring = cls(shm, manifest, owner=True)
-        ring.req_seq[:] = 0
-        ring.resp_seq[:] = 0
+        try:
+            manifest = SlotRingManifest(
+                block=shm.name, slots=int(slots), n=int(n), dtype=dtype.str,
+                creator_pid=os.getpid(),
+            )
+            ring = cls(shm, manifest, owner=True)
+            ring.req_seq[:] = 0
+            ring.resp_seq[:] = 0
+        except BaseException:
+            # The segment is kernel-side state: if ring construction
+            # dies between create and handoff, release it here or it
+            # leaks in /dev/shm until reboot.
+            shm.close()
+            shm.unlink()
+            raise
         return ring
 
     @classmethod

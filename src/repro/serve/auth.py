@@ -28,6 +28,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.analysis.runtime import race_checked
 from repro.serve.errors import AuthError, QuotaExceeded
 
 __all__ = [
@@ -90,6 +91,7 @@ class Tenant:
             raise ValueError(f"quota must be >= 0, got {self.quota}")
 
 
+@race_checked
 class TokenBucket:
     """Deterministic token-bucket rate limiter with an injectable clock.
 
@@ -111,6 +113,8 @@ class TokenBucket:
     connections may race on one tenant's bucket.
     """
 
+    _GUARDED_BY = {"_tokens": "_lock", "_stamp": "_lock"}
+
     def __init__(
         self, rate: float, burst: int, clock=time.monotonic
     ) -> None:
@@ -125,7 +129,7 @@ class TokenBucket:
         self._tokens = float(burst)
         self._stamp: float | None = None
 
-    def _refill(self, now: float) -> None:
+    def _refill(self, now: float) -> None:  # requires-lock: _lock
         if self._stamp is not None and now > self._stamp:
             self._tokens = min(
                 float(self.burst),
@@ -159,6 +163,7 @@ class TokenBucket:
             return self._tokens
 
 
+@race_checked
 class QuotaLedger:
     """Admitted-work accounting with an exactness invariant.
 
@@ -172,6 +177,8 @@ class QuotaLedger:
     -------------
     One lock over all tenants' counters; charge/refund are O(1).
     """
+
+    _GUARDED_BY = {"_charged": "_lock"}
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -226,6 +233,7 @@ class QuotaLedger:
             return dict(self._charged)
 
 
+@race_checked
 class TenantRegistry:
     """Token → :class:`Tenant` lookup plus per-tenant rate buckets.
 
@@ -241,6 +249,8 @@ class TenantRegistry:
     Registration and authentication take one lock; the per-tenant
     buckets lock themselves.
     """
+
+    _GUARDED_BY = {"_by_token": "_lock", "_buckets": "_lock"}
 
     def __init__(self, clock=time.monotonic) -> None:
         self._clock = clock

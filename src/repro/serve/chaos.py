@@ -43,6 +43,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.analysis.runtime import race_checked
+
 
 def _freeze_ordinal_map(raw: Mapping[int, int], noun: str) -> dict[int, int]:
     out = {}
@@ -181,6 +183,7 @@ class FaultPlan:
         return cls(kill_after=kill_after, slow_solves=slow)
 
 
+@race_checked
 class FaultInjector:
     """Live per-run counter state over a :class:`FaultPlan`.
 
@@ -188,6 +191,8 @@ class FaultInjector:
     internal lock so concurrent submitters see a consistent ordinal
     sequence per slot.  Each fault fires at most once.
     """
+
+    _GUARDED_BY = {"_dispatched": "_lock", "_killed": "_lock"}
 
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan

@@ -49,6 +49,7 @@ from __future__ import annotations
 import threading
 from typing import Mapping, Sequence
 
+from repro.analysis.runtime import race_checked
 from repro.serve.scheduler import Router
 
 __all__ = ["CostModel", "CostAwareRouter"]
@@ -79,6 +80,7 @@ class _Estimate:
             self.mean += alpha * (float(value) - self.mean)
 
 
+@race_checked
 class CostModel:
     """Expected-iterations estimator keyed by ``(tenant, tol, precision)``.
 
@@ -105,6 +107,10 @@ class CostModel:
     :meth:`observe` are called on hot submit/completion paths and do
     O(1) work under it.
     """
+
+    _GUARDED_BY = {
+        "_exact": "_lock", "_by_tol": "_lock", "_global": "_lock",
+    }
 
     def __init__(self, alpha: float = 0.3, default_cost: float = 50.0) -> None:
         if not 0.0 < alpha <= 1.0:
@@ -235,6 +241,7 @@ class CostModel:
         return model
 
 
+@race_checked
 class CostAwareRouter(Router):
     """Route each request to the replica with the least predicted
     outstanding work.
@@ -269,6 +276,8 @@ class CostAwareRouter(Router):
     """
 
     uses_depths = True
+
+    _GUARDED_BY = {"_outstanding": "_lock"}
 
     def __init__(
         self,

@@ -171,8 +171,8 @@ class Gateway:
             getattr(self.backend, "queue_depths", None) is not None
         )
         self._lock = threading.Lock()
-        self._counters = {name: 0 for name in _COUNTERS}
-        self._latencies: list[float] = []
+        self._counters = {name: 0 for name in _COUNTERS}  # guarded-by: _lock
+        self._latencies: list[float] = []  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Fleet introspection

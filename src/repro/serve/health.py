@@ -43,6 +43,8 @@ import enum
 import threading
 from dataclasses import dataclass
 
+from repro.analysis.runtime import race_checked
+
 
 class HealthState(enum.Enum):
     """Routing-visible health of one replica/worker slot."""
@@ -245,6 +247,7 @@ class AdmissionPolicy:
         )
 
 
+@race_checked
 class FleetHealth:
     """Thread-safe per-slot health registry the routing step consults.
 
@@ -262,6 +265,8 @@ class FleetHealth:
     depths).
     """
 
+    _GUARDED_BY = {"_states": "_lock", "_restart_attempts": "_lock"}
+
     def __init__(self, slots: int) -> None:
         if slots < 1:
             raise ValueError(f"slots must be >= 1, got {slots}")
@@ -270,7 +275,8 @@ class FleetHealth:
         self._restart_attempts = [0] * slots
 
     def __len__(self) -> int:
-        return len(self._states)
+        with self._lock:
+            return len(self._states)
 
     # ------------------------------------------------------------------
     # Reads

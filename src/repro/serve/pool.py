@@ -20,9 +20,11 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.analysis.runtime import race_checked
 from repro.sem.workspace import SolverWorkspace
 
 
+@race_checked
 class WorkspacePool:
     """Serialized access to one problem's batched-workspace cache.
 
@@ -46,6 +48,13 @@ class WorkspacePool:
     sharded deployment each replica owns its own pool over its own
     problem clone, so replicas never serialize against each other.
     """
+
+    # The invariant the PR 5 ``sizes``-vs-first-lease race taught us:
+    # the lease registry is only ever touched under its own mutex.
+    # Checked statically by the lock-discipline rule and dynamically
+    # (REPRO_RACECHECK=1) by the guarded-attribute descriptors.
+    _GUARDED_BY = {"_leased": "_registry_lock"}
+    _TRACKED_LOCKS = ("_lock", "_registry_lock")
 
     def __init__(self, problem) -> None:
         self._problem = problem

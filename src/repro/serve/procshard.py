@@ -791,16 +791,16 @@ class ProcessShardedSolveService:
         self._router = resolve_router(policy, workers)
         self._least_loaded = resolve_router("least-loaded", workers)
         self._lock = threading.Lock()
-        self._routed = [0] * workers
-        self._rebalanced = 0
-        self._health_diverted = 0
-        self._shed = 0
-        self._expired = 0
-        self._retried = 0
-        self._restarts = 0
-        self._copy_bytes = 0
-        self._closed = False
-        self._torn_down = False
+        self._routed = [0] * workers  # guarded-by: _lock
+        self._rebalanced = 0  # guarded-by: _lock
+        self._health_diverted = 0  # guarded-by: _lock
+        self._shed = 0  # guarded-by: _lock
+        self._expired = 0  # guarded-by: _lock
+        self._retried = 0  # guarded-by: _lock
+        self._restarts = 0  # guarded-by: _lock
+        self._copy_bytes = 0  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
+        self._torn_down = False  # guarded-by: _lock
         self._n = int(problem.n_dofs)
         self.health = FleetHealth(workers)
         # Supervisor state must exist before any worker (and so any

@@ -36,6 +36,7 @@ from typing import Generic, Sequence, TypeVar
 # QueueClosed/ServiceClosed moved to repro.serve.errors (the shared
 # failure taxonomy); re-exported here because this module is their
 # historical home and callers import them from it.
+from repro.analysis.runtime import race_checked
 from repro.serve.errors import FleetUnavailable, QueueClosed, ServiceClosed
 
 T = TypeVar("T")
@@ -102,17 +103,20 @@ class MicroBatcher(Generic[T]):
         # Each entry carries its arrival time so the linger deadline is
         # anchored to the *oldest pending request*, not to whenever the
         # dispatcher got around to looking.
-        self._items: deque[tuple[float, T]] = deque()
+        self._items: deque[tuple[float, T]] = deque()  # guarded-by: _cond
         self._cond = threading.Condition()
-        self._closed = False
+        self._closed = False  # guarded-by: _cond
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._items)
+        # Deliberate lock-free sample: len() of a deque is one atomic
+        # word read, and callers treat the depth as instantly stale.
+        return len(self._items)  # lint: ignore[lock-discipline] -- atomic depth sample
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        # Same single-word-read argument as __len__.
+        return self._closed  # lint: ignore[lock-discipline] -- atomic flag sample
 
     def put(self, item: T) -> int:
         """Enqueue one item, blocking while the queue is at capacity.
@@ -332,6 +336,7 @@ class Router:
         raise NotImplementedError
 
 
+@race_checked
 class RoundRobinRouter(Router):
     """Cycle through the replicas in submission order.
 
@@ -341,6 +346,8 @@ class RoundRobinRouter(Router):
     """
 
     uses_depths = False
+
+    _GUARDED_BY = {"_next": "_lock"}
 
     def __init__(self, replicas: int) -> None:
         super().__init__(replicas)

@@ -638,9 +638,14 @@ class SolveService:
         Idempotent.  Further ``submit`` calls raise ``ServiceClosed``.
         """
         self._batcher.close()
-        if self._dispatcher is not None:
-            self._dispatcher.join()
-            self._dispatcher = None
+        # Snapshot-then-clear: two threads racing into close() must not
+        # both pass the None check and have one call .join() on the
+        # None the other already stored.  Joining the same Thread twice
+        # is safe; joining None is an AttributeError.
+        dispatcher = self._dispatcher
+        self._dispatcher = None
+        if dispatcher is not None:
+            dispatcher.join()
         self._drain(once=False)  # foreground leftovers (no-op otherwise)
         self._pool.shutdown()
 

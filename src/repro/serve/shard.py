@@ -205,11 +205,11 @@ class ShardedSolveService:
         self._router = resolve_router(policy, self.replicas)
         self._least_loaded = resolve_router("least-loaded", self.replicas)
         self._lock = threading.Lock()
-        self._routed = [0] * self.replicas
-        self._rebalanced = 0
-        self._health_diverted = 0
-        self._shed = 0
-        self._closed = False
+        self._routed = [0] * self.replicas  # guarded-by: _lock
+        self._rebalanced = 0  # guarded-by: _lock
+        self._health_diverted = 0  # guarded-by: _lock
+        self._shed = 0  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
         # Only explicitly-set knobs are forwarded; omitted ones fall
         # through to SolveService's dataclass defaults.
         forwarded = {

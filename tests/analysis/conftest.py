@@ -1,0 +1,34 @@
+"""Helpers for the analysis-toolkit tests: fixture-file loading."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.engine import analyze_source
+from repro.analysis.findings import Finding, SourceFile
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def analyze():
+    """``analyze(fixture_name, path=..., config=...) -> list[Finding]``.
+
+    Parses a file from ``tests/analysis/fixtures/`` and runs the full
+    rule set over it.  ``path`` overrides the path label the parsed
+    source reports (the clock rules are path-scoped).
+    """
+
+    def run(
+        name: str,
+        path: "str | None" = None,
+        config: "AnalysisConfig | None" = None,
+    ) -> "list[Finding]":
+        file = FIXTURES / name
+        src = SourceFile.parse(path or name, file.read_text())
+        return analyze_source(src, config or AnalysisConfig())
+
+    return run

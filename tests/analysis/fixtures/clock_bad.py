@@ -1,0 +1,22 @@
+"""Fixture: wall-clock reads and raw perf_counter stamps in transit.
+
+Analyzed under a path inside the configured clock scope.
+"""
+import time
+from datetime import datetime
+
+
+def deadline_for(timeout):
+    return time.time() + timeout  # wall clock in a timing path
+
+
+def stamp_request(req):
+    req.created = datetime.now()  # naive datetime in a timing path
+
+
+def ship(conn):
+    conn.send(("t0", time.perf_counter()))  # raw perf stamp across a boundary
+
+
+def enqueue(queue):
+    queue.put({"stamp": time.perf_counter()})  # same, via queue.put

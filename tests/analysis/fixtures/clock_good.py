@@ -1,0 +1,19 @@
+"""Fixture: monotonic clocks everywhere; stamps rebased before transit."""
+import time
+
+
+def deadline_for(timeout):
+    return time.monotonic() + timeout
+
+
+def elapsed(t0):
+    return time.perf_counter() - t0
+
+
+def perf_epoch_offset():
+    return time.time() - time.perf_counter()  # lint: ignore[wall-clock] -- the rebase helper itself
+
+
+def ship(conn, offset):
+    # Stamp plus the sender's epoch offset: receiver rebases.
+    conn.send(("t0", 1.25, offset))

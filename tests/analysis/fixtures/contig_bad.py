@@ -1,0 +1,13 @@
+"""Fixture: out= parameters risked without a contiguity guard."""
+import numpy as np
+
+
+def reshaping(u, out):
+    flat = out.reshape(-1)  # reshape of a non-contiguous out copies
+    flat[:] = u.reshape(-1)
+    return out
+
+
+def forwarding(a, b, out):
+    np.multiply(a, b, out=out)  # forwarded with no visible guard
+    return out

@@ -1,0 +1,27 @@
+"""Fixture: guarded, validated, or risk-free uses of an out= parameter."""
+import numpy as np
+
+
+def flags_guarded(u, out):
+    if not out.flags.c_contiguous:
+        raise ValueError("out must be C-contiguous")
+    flat = out.reshape(-1)
+    flat[:] = u.reshape(-1)
+    return out
+
+
+def helper_guarded(a, b, out):
+    out = np.ascontiguousarray(out)
+    np.multiply(a, b, out=out)
+    return out
+
+
+def setitem_only(u, out):
+    # Plain indexed assignment never silently copies: exempt.
+    out[:] = u
+    return out
+
+
+def no_out_param(a, b):
+    result = a.reshape(-1)
+    return np.multiply(result, b.reshape(-1))

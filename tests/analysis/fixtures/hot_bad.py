@@ -1,0 +1,14 @@
+"""Fixture: allocations inside hot-path-marked functions (5 findings)."""
+import numpy as np
+
+from repro.analysis.annotations import hot_path
+
+
+@hot_path
+def inner_step(a, b, buf):
+    tmp = np.zeros(a.shape)          # allocating constructor
+    np.multiply(a, b, out=buf)
+    c = np.sqrt(buf)                 # out-capable call without out=
+    d = a @ b                        # matmul operator allocates
+    e = a.copy()                     # allocating method
+    return tmp, c, d, e, a.astype(np.float32)  # another allocating method

@@ -1,0 +1,33 @@
+"""Fixture: allocation-free hot path, plus unmarked code that may allocate."""
+import numpy as np
+
+from repro.analysis.annotations import hot_path
+
+
+@hot_path
+def inner_step(a, b, buf, dst):
+    np.multiply(a, b, out=buf)
+    np.sqrt(buf, out=buf)
+    np.matmul(a, b, out=dst)
+    np.copyto(dst, buf)              # copyto writes in place: allowed
+    alpha = float(np.sum(buf))       # scalar reduction: allowed
+    beta = alpha * 2.0 + 1.0         # scalar arithmetic: allowed
+    return beta
+
+
+@hot_path
+def with_setup(a, dst):
+    # Deliberate one-off allocation inside a marked function.
+    table = np.arange(4)  # lint: ignore[hot-path-alloc] -- setup, runs once per shape
+    np.multiply(a, table[0], out=dst)
+
+    def cold_helper(x):
+        # Nested defs are not hot unless marked themselves.
+        return np.zeros_like(x)
+
+    return cold_helper
+
+
+def cold_step(a, b):
+    # Unmarked functions allocate freely.
+    return np.sqrt(a) + np.zeros(b.shape)

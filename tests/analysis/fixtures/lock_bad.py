@@ -1,0 +1,25 @@
+"""Fixture: guarded attributes touched outside their lock (3 findings)."""
+import threading
+
+
+class Registry:
+    _GUARDED_BY = {"_items": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+
+    def add(self, key, value):
+        self._items[key] = value  # unguarded write
+
+    def snapshot(self):
+        return dict(self._items)  # unguarded read
+
+
+class Commented:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+
+    def bump(self):
+        self._count += 1  # unguarded read+write (one finding per line)

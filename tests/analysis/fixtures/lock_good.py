@@ -1,0 +1,34 @@
+"""Fixture: every guarded access correct — via with-blocks,
+requires-lock helpers, exempt methods, or explicit ignores."""
+import threading
+
+
+class Registry:
+    _GUARDED_BY = {"_items": "_lock", "_total": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+        self._total = 0  # __init__ is exempt: construction is single-threaded
+
+    def add(self, key, value):
+        with self._lock:
+            self._items[key] = value
+            self._bump_locked()
+
+    def _bump_locked(self):  # requires-lock: _lock
+        self._total += 1
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._items), self._total
+
+    def approx_len(self):
+        # Deliberate single-word sample.
+        return len(self._items)  # lint: ignore[lock-discipline] -- atomic sample
+
+    def nested_scope(self):
+        with self._lock:
+            def reader():
+                return self._items  # lexically under the with: allowed
+            return reader()

@@ -1,0 +1,13 @@
+"""Fixture: shared-memory segments created without a visible release."""
+from multiprocessing import shared_memory
+
+
+def leaky(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    return shm.name
+
+
+def leaky_mid_function(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    header = bytes(shm.buf[:8])  # an exception here leaks the segment
+    return header

@@ -1,0 +1,34 @@
+"""Fixture: every created segment has a reachable release path."""
+import weakref
+from multiprocessing import shared_memory
+
+
+def scoped(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        return bytes(shm.buf[:8])
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def guarded_handoff(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        ring = object()
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    return shm, ring
+
+
+def finalized(owner, size):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    weakref.finalize(owner, shm.unlink)
+    return shm
+
+
+def attach_only(name):
+    # create=False (attach) needs no release pairing here.
+    return shared_memory.SharedMemory(name=name, create=False)

@@ -1,0 +1,88 @@
+"""CLI tests for ``python -m repro.analysis``."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.__main__ import main
+from repro.analysis.engine import known_rule_ids
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BAD = """
+import threading
+
+
+class S:
+    _GUARDED_BY = {"_x": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._x = 0
+
+    def bad(self):
+        return self._x
+"""
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out.split()
+    assert out == list(known_rule_ids())
+
+
+def test_report_mode_always_exits_zero(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text(BAD)
+    assert main(["--root", str(tmp_path), "bad.py"]) == 0
+    out = capsys.readouterr().out
+    assert "[lock-discipline]" in out
+    assert "1 new" in out
+
+
+def test_check_mode_fails_on_new_findings(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text(BAD)
+    assert main(["--check", "--root", str(tmp_path), "bad.py"]) == 1
+    assert "FAILED" in capsys.readouterr().err
+
+
+def test_check_mode_fails_on_stale_baseline(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    (tmp_path / "baseline.toml").write_text(
+        '[[suppression]]\nrule = "wall-clock"\npath = "gone.py"\n'
+        'symbol = "f"\njustification = "covered a deleted file"\n'
+    )
+    assert main([
+        "--check", "--root", str(tmp_path),
+        "--baseline", "baseline.toml", "ok.py",
+    ]) == 1
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_check_mode_green_with_matching_baseline(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text(BAD)
+    (tmp_path / "baseline.toml").write_text(
+        '[[suppression]]\nrule = "lock-discipline"\npath = "bad.py"\n'
+        'symbol = "S.bad"\njustification = "reviewed: test fixture"\n'
+    )
+    assert main([
+        "--check", "--root", str(tmp_path),
+        "--baseline", "baseline.toml", "bad.py",
+    ]) == 0
+    assert "analysis clean" in capsys.readouterr().out
+
+
+def test_malformed_baseline_is_exit_2(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    (tmp_path / "baseline.toml").write_text(
+        '[[suppression]]\nrule = "r"\npath = "p"\nsymbol = "s"\n'
+    )
+    assert main([
+        "--check", "--root", str(tmp_path),
+        "--baseline", "baseline.toml", "ok.py",
+    ]) == 2
+    assert "justification" in capsys.readouterr().err
+
+
+def test_repo_check_is_green():
+    """The committed tree passes its own CI gate."""
+    assert main(["--check", "--root", str(REPO_ROOT)]) == 0

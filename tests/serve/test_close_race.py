@@ -1,0 +1,120 @@
+"""Regression: concurrent ``SolveService.close()`` calls must not race.
+
+The bug (caught by the lock-discipline audit for the analysis toolkit):
+``close()`` read ``self._dispatcher``, joined it, then wrote ``None``
+back — so two threads racing into ``close()`` could interleave as
+*check (not None) → [other thread joins and stores None] → reload
+``self._dispatcher`` for ``.join()`` → AttributeError on None*, from a
+code path whose whole contract is "idempotent".  The fix snapshots the
+thread handle once and clears the attribute before joining
+(double-joining a finished ``threading.Thread`` is legal; calling
+``.join()`` on ``None`` is not).
+
+The pre-fix window is the gap between two *adjacent bytecodes*
+(``POP_JUMP`` after the ``is not None`` test and the ``LOAD_ATTR`` that
+reloads the handle), held open for the full duration of the other
+thread's ``join()``.  No barrier hammer hits that reliably, so the
+regression test forces the interleaving deterministically: a test
+subclass turns ``_dispatcher`` into a property whose first armed read
+captures the value, *parks the reading thread*, and only returns after
+a rival thread has run ``close()`` to completion — byte-for-byte the
+schedule "descheduled immediately after the attribute load".  Pre-fix
+code reads the attribute twice and the second (post-park) read comes
+back ``None`` → ``AttributeError``; the fixed code reads it exactly
+once, so the schedule is harmless.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.sem import BoxMesh, PoissonProblem, ReferenceElement
+from repro.serve import SolveService
+
+
+@pytest.fixture(scope="module")
+def problem():
+    ref = ReferenceElement.from_degree(2)
+    mesh = BoxMesh.build(ref, (2, 2, 2))
+    return PoissonProblem(mesh, ax_backend="matmul")
+
+
+class _ReadGate:
+    """Parks the first armed reader of ``_dispatcher`` mid-read.
+
+    ``on_read`` is called by the property *after* the value has been
+    captured but *before* it is returned to the caller — the exact
+    moment a thread can lose the interpreter after a ``LOAD_ATTR``.
+    The first thread to read a non-``None`` value while armed becomes
+    the victim: it signals ``victim_parked`` and waits until the test
+    has driven a full rival ``close()``, then resumes with its
+    already-captured value.  All other reads pass straight through.
+    """
+
+    def __init__(self) -> None:
+        self.armed = False
+        self.victim: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self.victim_parked = threading.Event()
+        self.rival_done = threading.Event()
+
+    def on_read(self, value: object) -> None:
+        if not self.armed or value is None:
+            return
+        me = threading.current_thread()
+        with self._lock:
+            if self.victim is not None:
+                return  # victim already chosen; later reads pass through
+            self.victim = me
+        self.victim_parked.set()
+        assert self.rival_done.wait(timeout=30), "rival close() never ran"
+
+
+def _gated_service_class(gate: _ReadGate) -> type[SolveService]:
+    class GatedSolveService(SolveService):
+        @property
+        def _dispatcher(self):
+            value = self.__dict__.get("_gated_dispatcher")
+            gate.on_read(value)  # park *between* the read and its use
+            return value
+
+        @_dispatcher.setter
+        def _dispatcher(self, value):
+            self.__dict__["_gated_dispatcher"] = value
+
+    return GatedSolveService
+
+
+def test_concurrent_close_is_idempotent(problem):
+    """Force the check/reload straddle; no close() call may raise."""
+    gate = _ReadGate()
+    svc = _gated_service_class(gate)(problem, max_batch=2, background=True)
+    errors: list[BaseException] = []
+
+    def victim_close():
+        try:
+            svc.close()
+        except BaseException as exc:  # noqa: BLE001 - the assertion
+            errors.append(exc)
+
+    gate.armed = True
+    victim = threading.Thread(target=victim_close)
+    victim.start()
+    # Wait until the victim has *read* the dispatcher handle but not yet
+    # acted on it, then run a rival close() to completion: it joins the
+    # dispatcher and stores None.  Pre-fix, the victim's next read of
+    # ``self._dispatcher`` now yields None and ``.join()`` blows up.
+    assert gate.victim_parked.wait(timeout=30), "victim never read handle"
+    svc.close()
+    gate.rival_done.set()
+    victim.join(timeout=30)
+    assert not victim.is_alive(), "victim close() hung"
+    assert not errors, f"concurrent close() raised: {errors[0]!r}"
+
+
+def test_close_twice_sequentially(problem):
+    svc = SolveService(problem, max_batch=2, background=True)
+    svc.close()
+    svc.close()  # documented idempotence, single-threaded
